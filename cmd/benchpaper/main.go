@@ -1,0 +1,59 @@
+// Command benchpaper regenerates the figures of the paper's evaluation
+// section (Caneill et al., Middleware'16) and prints them as text tables.
+//
+// Usage:
+//
+//	benchpaper                      # every figure, full scale
+//	benchpaper -fig fig11           # one figure
+//	benchpaper -fig ablations       # the ablation studies
+//	benchpaper -scale 0.1           # quick run at a tenth of the budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/locastream/locastream/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpaper:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate: all, ablations, fig7..fig14, ablation-refinement, ablation-sketch, ablation-alpha, ablation-period, ablation-rack")
+		scale = flag.Float64("scale", 1.0, "experiment size multiplier (tuples per measurement)")
+	)
+	flag.Parse()
+
+	var (
+		figs []experiments.Figure
+		err  error
+	)
+	start := time.Now()
+	switch *fig {
+	case "all":
+		figs, err = experiments.AllFigures(experiments.Scale(*scale))
+	case "ablations":
+		figs, err = experiments.AllAblations(experiments.Scale(*scale))
+	default:
+		figs, err = experiments.FigureByID(*fig, experiments.Scale(*scale))
+	}
+	if err != nil {
+		return err
+	}
+	for i := range figs {
+		if err := figs[i].Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	fmt.Printf("# %d figures in %.1fs\n", len(figs), time.Since(start).Seconds())
+	return nil
+}

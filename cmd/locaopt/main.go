@@ -1,0 +1,181 @@
+// Command locaopt performs the paper's offline analysis (§3.2): it reads
+// a dataset of key pairs, computes locality-aware routing tables for a
+// given cluster size, and writes them as a JSON configuration compatible
+// with the engine's FileStore ("in cases where the workload is stable ...
+// it is possible to perform an offline analysis on a large sample of the
+// data").
+//
+// Usage:
+//
+//	locagen -workload flickr -n 200000 -out photos.tsv
+//	locaopt -in photos.tsv -servers 6 -out configs/
+//	locaopt -in tweets.tsv -cols 1,2 -servers 4 -alpha 1.1 -print
+//
+// Input is tab-separated, one tuple per line; -cols selects the two key
+// columns (0-based, default "0,1").
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/locastream/locastream/internal/cluster"
+	"github.com/locastream/locastream/internal/core"
+	"github.com/locastream/locastream/internal/engine"
+	"github.com/locastream/locastream/internal/spacesaving"
+	"github.com/locastream/locastream/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "locaopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in       = flag.String("in", "", "input TSV dataset (required)")
+		cols     = flag.String("cols", "0,1", "two 0-based key columns, comma separated")
+		servers  = flag.Int("servers", 6, "cluster size (= parallelism of both operators)")
+		alpha    = flag.Float64("alpha", 1.03, "load imbalance bound")
+		maxEdges = flag.Int("maxedges", 0, "keep only the heaviest key pairs (0 = all)")
+		sketch   = flag.Int("sketch", 1<<20, "SpaceSaving capacity for pair counting")
+		seed     = flag.Int64("seed", 1, "partitioner seed")
+		outDir   = flag.String("out", "", "write the configuration under this directory")
+		show     = flag.Bool("print", false, "print the routing tables to stdout")
+	)
+	flag.Parse()
+	if *in == "" {
+		return fmt.Errorf("missing -in dataset")
+	}
+	colA, colB, err := parseCols(*cols)
+	if err != nil {
+		return err
+	}
+
+	pairs, lines, err := countPairs(*in, colA, colB, *sketch)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "read %d tuples, %d distinct pairs monitored\n", lines, pairs.Len())
+
+	topo, place, err := evalDeployment(*servers)
+	if err != nil {
+		return err
+	}
+	opt, err := core.NewOptimizer(topo, place, core.OptimizerOptions{
+		Alpha:    *alpha,
+		MaxEdges: *maxEdges,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+	tables, plan, err := opt.ComputeTables([]engine.PairStat{{
+		FromOp: "A", ToOp: "B", Pairs: pairs.Counters(),
+	}})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "configuration v%d: %d keys, %d pairs, expected locality %.3f, imbalance %.3f\n",
+		plan.Version, plan.Keys, plan.Edges, plan.ExpectedLocality, plan.Imbalance)
+
+	if *outDir != "" {
+		store := &core.FileStore{Dir: *outDir}
+		if err := store.Save(plan.Version, tables); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "configuration written under %s\n", *outDir)
+	}
+	if *show {
+		for _, op := range []string{"A", "B"} {
+			t := tables[op]
+			if t == nil {
+				continue
+			}
+			keys := make([]string, 0, len(t.Assign))
+			for k := range t.Assign {
+				keys = append(keys, k)
+			}
+			// Stable output for diffing.
+			for i := 1; i < len(keys); i++ {
+				for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+					keys[j], keys[j-1] = keys[j-1], keys[j]
+				}
+			}
+			for _, k := range keys {
+				fmt.Printf("%s\t%s\t%d\n", op, k, t.Assign[k])
+			}
+		}
+	}
+	return nil
+}
+
+func parseCols(spec string) (int, int, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-cols wants two comma-separated indices, got %q", spec)
+	}
+	a, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	if a < 0 || b < 0 {
+		return 0, 0, fmt.Errorf("column indices must be non-negative")
+	}
+	return a, b, nil
+}
+
+func countPairs(path string, colA, colB, capacity int) (*spacesaving.PairSketch, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+
+	pairs := spacesaving.NewPairs(capacity)
+	scanner := bufio.NewScanner(f)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for scanner.Scan() {
+		fields := strings.Split(scanner.Text(), "\t")
+		if colA >= len(fields) || colB >= len(fields) {
+			continue
+		}
+		pairs.Add(fields[colA], fields[colB])
+		lines++
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, 0, err
+	}
+	return pairs, lines, nil
+}
+
+// evalDeployment builds the canonical two-operator application the
+// offline tables target.
+func evalDeployment(servers int) (*topology.Topology, *cluster.Placement, error) {
+	topo, err := topology.NewBuilder("offline").
+		AddOperator(topology.Operator{Name: "A", Parallelism: servers, Stateful: true,
+			New: func() topology.Processor { return topology.NewCounter(0) }}).
+		AddOperator(topology.Operator{Name: "B", Parallelism: servers, Stateful: true,
+			New: func() topology.Processor { return topology.NewCounter(1) }}).
+		Connect("A", "B", topology.Fields, 1).
+		Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	place, err := cluster.NewRoundRobin(topo, servers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return topo, place, nil
+}

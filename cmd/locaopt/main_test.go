@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseCols(t *testing.T) {
+	tests := []struct {
+		give    string
+		wantA   int
+		wantB   int
+		wantErr bool
+	}{
+		{give: "0,1", wantA: 0, wantB: 1},
+		{give: " 2 , 5 ", wantA: 2, wantB: 5},
+		{give: "1", wantErr: true},
+		{give: "a,b", wantErr: true},
+		{give: "-1,0", wantErr: true},
+		{give: "0,1,2", wantErr: true},
+	}
+	for _, tt := range tests {
+		a, b, err := parseCols(tt.give)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("parseCols(%q) accepted", tt.give)
+			}
+			continue
+		}
+		if err != nil || a != tt.wantA || b != tt.wantB {
+			t.Errorf("parseCols(%q) = %d,%d,%v", tt.give, a, b, err)
+		}
+	}
+}
+
+func TestCountPairs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.tsv")
+	content := "loc1\ttag1\nloc1\ttag1\nloc2\ttag2\nshort\nloc1\ttag3\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pairs, lines, err := countPairs(path, 0, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines != 4 {
+		t.Fatalf("lines = %d, want 4 (short line skipped)", lines)
+	}
+	top := pairs.Top(1)
+	if len(top) != 1 || top[0].In != "loc1" || top[0].Out != "tag1" || top[0].Count != 2 {
+		t.Fatalf("top pair = %+v", top)
+	}
+
+	if _, _, err := countPairs(filepath.Join(dir, "missing.tsv"), 0, 1, 10); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestEvalDeployment(t *testing.T) {
+	topo, place, err := evalDeployment(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Source() != "A" || place.Servers() != 4 {
+		t.Fatalf("deployment = %s/%d", topo.Source(), place.Servers())
+	}
+	if _, _, err := evalDeployment(0); err == nil {
+		t.Fatal("0 servers accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Command locasim runs one simulated configuration of the paper's
+// evaluation application (two stateful counting operators) and reports
+// throughput, locality, load balance and the bottleneck resource.
+//
+// Usage:
+//
+//	locasim -parallelism 6 -locality 0.8 -padding 8192 -mode locality-aware
+//	locasim -mode hash -network 1g -tuples 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	locastream "github.com/locastream/locastream"
+	"github.com/locastream/locastream/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "locasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		parallelism = flag.Int("parallelism", 6, "instances per operator = servers")
+		locality    = flag.Float64("locality", 0.8, "synthetic workload locality in [0,1]")
+		padding     = flag.Int("padding", 0, "tuple payload bytes")
+		tuples      = flag.Int("tuples", 50000, "tuples to stream")
+		mode        = flag.String("mode", "locality-aware", "routing: locality-aware, hash, worst-case")
+		network     = flag.String("network", "10g", "network model: 10g or 1g")
+		seed        = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	topo, err := locastream.NewTopology("eval").
+		AddOperator(locastream.Operator{
+			Name: "A", Parallelism: *parallelism, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(0) },
+		}).
+		AddOperator(locastream.Operator{
+			Name: "B", Parallelism: *parallelism, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(1) },
+		}).
+		Connect("A", "B", locastream.Fields, 1).
+		Build()
+	if err != nil {
+		return err
+	}
+
+	model := locastream.Model10G()
+	if *network == "1g" {
+		model = locastream.Model1G()
+	}
+	opts := []locastream.Option{
+		locastream.WithServers(*parallelism),
+		locastream.WithCostModel(model),
+	}
+	switch *mode {
+	case "locality-aware":
+		// explicit identity tables below
+	case "hash":
+		opts = append(opts, locastream.WithHashRouting())
+	case "worst-case":
+		opts = append(opts, locastream.WithWorstCaseRouting())
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	sim, err := locastream.NewSimulation(topo, opts...)
+	if err != nil {
+		return err
+	}
+	if *mode == "locality-aware" {
+		assign := make(map[string]int, *parallelism)
+		for i := 0; i < *parallelism; i++ {
+			assign[strconv.Itoa(i)] = i
+		}
+		sim.SetRoutingTable("A", assign)
+		sim.SetRoutingTable("B", assign)
+	}
+
+	gen := workload.NewSynthetic(*parallelism, *locality, *padding, *seed)
+	for i := 0; i < *tuples; i++ {
+		sim.Inject(gen.Next())
+	}
+
+	busy, label := sim.Bottleneck()
+	fmt.Printf("mode=%s parallelism=%d locality-param=%.2f padding=%d network=%s\n",
+		*mode, *parallelism, *locality, *padding, *network)
+	fmt.Printf("throughput   %.1f Ktuples/s\n", sim.ThroughputPerSec()/1000)
+	fmt.Printf("locality     %.3f\n", sim.Locality())
+	fmt.Printf("imbalance A  %.3f\n", locastream.Imbalance(sim.Loads("A")))
+	fmt.Printf("imbalance B  %.3f\n", locastream.Imbalance(sim.Loads("B")))
+	fmt.Printf("bottleneck   %s (%.1f ms busy)\n", label, busy/1e6)
+	return nil
+}

@@ -1,0 +1,88 @@
+package locastream_test
+
+import (
+	"fmt"
+	"strconv"
+
+	locastream "github.com/locastream/locastream"
+)
+
+// ExampleNewApp deploys the paper's evaluation application live, runs
+// one online reconfiguration and reports the locality it unlocked.
+func ExampleNewApp() {
+	topo, err := locastream.NewTopology("geo-trends").
+		AddOperator(locastream.Operator{
+			Name: "regions", Parallelism: 2, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(0) },
+		}).
+		AddOperator(locastream.Operator{
+			Name: "hashtags", Parallelism: 2, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(1) },
+		}).
+		Connect("regions", "hashtags", locastream.Fields, 1).
+		Build()
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	app, err := locastream.NewApp(topo, locastream.WithServers(2))
+	if err != nil {
+		fmt.Println("deploy:", err)
+		return
+	}
+	defer app.Stop()
+
+	// Perfectly correlated region/hashtag pairs.
+	for i := 0; i < 1000; i++ {
+		k := strconv.Itoa(i % 8)
+		_ = app.Inject(locastream.Tuple{Values: []string{"region" + k, "#tag" + k}})
+	}
+	app.Drain()
+
+	plan, err := app.Reconfigure()
+	if err != nil {
+		fmt.Println("reconfigure:", err)
+		return
+	}
+	fmt.Printf("expected locality after v%d: %.0f%%\n", plan.Version, plan.ExpectedLocality*100)
+	// Output: expected locality after v1: 100%
+}
+
+// ExampleNewSimulation measures saturation throughput on the calibrated
+// cluster model before and after routing optimization.
+func ExampleNewSimulation() {
+	topo, _ := locastream.NewTopology("eval").
+		AddOperator(locastream.Operator{
+			Name: "A", Parallelism: 4, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(0) },
+		}).
+		AddOperator(locastream.Operator{
+			Name: "B", Parallelism: 4, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(1) },
+		}).
+		Connect("A", "B", locastream.Fields, 1).
+		Build()
+	sim, err := locastream.NewSimulation(topo,
+		locastream.WithServers(4),
+		locastream.WithCostModel(locastream.Model10G()),
+	)
+	if err != nil {
+		fmt.Println("simulate:", err)
+		return
+	}
+	inject := func() {
+		for i := 0; i < 4000; i++ {
+			k := strconv.Itoa(i % 16)
+			sim.Inject(locastream.Tuple{Values: []string{k, "#" + k}, Padding: 8192})
+		}
+	}
+	inject()
+	if _, err := sim.Reoptimize(); err != nil {
+		fmt.Println("reoptimize:", err)
+		return
+	}
+	sim.NextWindow()
+	inject()
+	fmt.Printf("optimized locality: %.0f%%\n", sim.Locality()*100)
+	// Output: optimized locality: 100%
+}

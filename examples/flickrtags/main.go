@@ -1,0 +1,101 @@
+// Flickrtags: the §4.4 protocol-validation experiment in miniature —
+// photo metadata (tag, country) streams through two stateful counters on
+// six simulated servers. The run lasts 30 simulated minutes; the
+// configuration reoptimizes after minutes 10 and 20, and the program
+// prints the per-minute throughput with and without reconfiguration
+// (Fig. 13's shape: a step up right after the first reconfiguration).
+//
+//	go run ./examples/flickrtags
+package main
+
+import (
+	"fmt"
+	"log"
+
+	locastream "github.com/locastream/locastream"
+	"github.com/locastream/locastream/internal/workload"
+)
+
+const (
+	parallelism     = 6
+	minutes         = 30
+	tuplesPerMinute = 10000
+	padding         = 8192
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildSim(hashOnly bool) (*locastream.Simulation, error) {
+	topo, err := locastream.NewTopology("flickr-tags").
+		AddOperator(locastream.Operator{
+			Name: "tags", Parallelism: parallelism, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(0) },
+		}).
+		AddOperator(locastream.Operator{
+			Name: "countries", Parallelism: parallelism, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(1) },
+		}).
+		Connect("tags", "countries", locastream.Fields, 1).
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	opts := []locastream.Option{
+		locastream.WithServers(parallelism),
+		locastream.WithCostModel(locastream.Model1G()),
+		locastream.WithOptimizer(1.03, 1<<20, 1),
+	}
+	if hashOnly {
+		opts = append(opts, locastream.WithHashRouting())
+	}
+	return locastream.NewSimulation(topo, opts...)
+}
+
+func run() error {
+	withReconf, err := buildSim(false)
+	if err != nil {
+		return err
+	}
+	without, err := buildSim(true)
+	if err != nil {
+		return err
+	}
+
+	cfg := workload.DefaultFlickrConfig()
+	cfg.Padding = padding
+	genA := workload.NewFlickr(cfg)
+	genB := workload.NewFlickr(cfg) // identical stream for the baseline
+
+	fmt.Printf("minute  w/reconf(Ktuples/s)  w/o-reconf(Ktuples/s)\n")
+	for minute := 1; minute <= minutes; minute++ {
+		withReconf.NextWindow()
+		without.NextWindow()
+		for i := 0; i < tuplesPerMinute; i++ {
+			withReconf.Inject(genA.Next())
+			without.Inject(genB.Next())
+		}
+		fmt.Printf("%6d  %19.1f  %21.1f\n",
+			minute,
+			withReconf.ThroughputPerSec()/1000,
+			without.ThroughputPerSec()/1000)
+
+		if minute%10 == 0 && minute < minutes {
+			plan, err := withReconf.Reoptimize()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("        -- reconfiguration v%d: expected locality %.3f --\n",
+				plan.Version, plan.ExpectedLocality)
+		}
+	}
+
+	busy, label := without.Bottleneck()
+	fmt.Printf("\nbaseline bottleneck: %s (%.1f ms busy in the last minute)\n", label, busy/1e6)
+	fmt.Printf("final locality: w/reconf %.3f | w/o %.3f (last minute)\n",
+		withReconf.Locality(), without.Locality())
+	return nil
+}

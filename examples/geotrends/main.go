@@ -1,0 +1,121 @@
+// Geotrends: the paper's running example (§3.2) — geolocated messages
+// with hashtags are routed first by region, then by hashtag, to maintain
+// per-region and per-hashtag statistics. The workload's correlations
+// drift week over week; the app reconfigures online after every week and
+// the program prints the per-week locality for the online strategy
+// against a hash-routing baseline, a live-engine miniature of Fig. 11a.
+//
+//	go run ./examples/geotrends
+package main
+
+import (
+	"fmt"
+	"log"
+
+	locastream "github.com/locastream/locastream"
+	"github.com/locastream/locastream/internal/workload"
+)
+
+const (
+	parallelism    = 4
+	weeks          = 6
+	tuplesPerWeek  = 20000
+	reportTemplate = "week %d: online locality %.3f | hash locality %.3f\n"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildApp(hashOnly bool) (*locastream.App, error) {
+	topo, err := locastream.NewTopology("geo-trends").
+		AddOperator(locastream.Operator{
+			Name: "regions", Parallelism: parallelism, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(0) },
+		}).
+		AddOperator(locastream.Operator{
+			Name: "hashtags", Parallelism: parallelism, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(1) },
+		}).
+		Connect("regions", "hashtags", locastream.Fields, 1).
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	opts := []locastream.Option{
+		locastream.WithServers(parallelism),
+		locastream.WithOptimizer(1.03, 1<<20, 1),
+	}
+	if hashOnly {
+		opts = append(opts, locastream.WithHashRouting())
+	}
+	return locastream.NewApp(topo, opts...)
+}
+
+func run() error {
+	online, err := buildApp(false)
+	if err != nil {
+		return err
+	}
+	defer online.Stop()
+	hash, err := buildApp(true)
+	if err != nil {
+		return err
+	}
+	defer hash.Stop()
+
+	cfg := workload.DefaultTwitterConfig()
+	cfg.Locations = 64
+	cfg.Hashtags = 1500
+	genOnline := workload.NewTwitter(cfg)
+	genHash := workload.NewTwitter(cfg) // identical deterministic stream
+
+	prevOnline := locastream.Traffic{}
+	prevHash := locastream.Traffic{}
+	for week := 0; week < weeks; week++ {
+		for i := 0; i < tuplesPerWeek; i++ {
+			if err := online.Inject(genOnline.Next()); err != nil {
+				return err
+			}
+			if err := hash.Inject(genHash.Next()); err != nil {
+				return err
+			}
+		}
+		online.Drain()
+		hash.Drain()
+
+		curOnline := online.FieldsTraffic()
+		curHash := hash.FieldsTraffic()
+		weekOnline := diff(curOnline, prevOnline)
+		weekHash := diff(curHash, prevHash)
+		prevOnline, prevHash = curOnline, curHash
+		fmt.Printf(reportTemplate, week, weekOnline.Locality(), weekHash.Locality())
+
+		// End of week: the online app optimizes (collect statistics,
+		// partition the key graph, deploy tables, migrate state).
+		if plan, err := online.Reconfigure(); err != nil {
+			return err
+		} else if week == 0 {
+			fmt.Printf("  first reconfiguration: %d keys, %d pairs, expected locality %.3f\n",
+				plan.Keys, plan.Edges, plan.ExpectedLocality)
+		}
+		genOnline.NextWeek()
+		genHash.NextWeek()
+	}
+
+	fmt.Printf("\nregion load imbalance: online %.3f | hash %.3f\n",
+		locastream.Imbalance(online.Loads("regions")),
+		locastream.Imbalance(hash.Loads("regions")))
+	return nil
+}
+
+func diff(cur, prev locastream.Traffic) locastream.Traffic {
+	return locastream.Traffic{
+		LocalTuples:  cur.LocalTuples - prev.LocalTuples,
+		RemoteTuples: cur.RemoteTuples - prev.RemoteTuples,
+		LocalBytes:   cur.LocalBytes - prev.LocalBytes,
+		RemoteBytes:  cur.RemoteBytes - prev.RemoteBytes,
+	}
+}

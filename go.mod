@@ -1,0 +1,3 @@
+module github.com/locastream/locastream
+
+go 1.22

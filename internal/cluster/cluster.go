@@ -1,0 +1,147 @@
+// Package cluster models the physical deployment of a topology: a set of
+// servers and the static assignment of operator instances (POIs) to them.
+// Following §3.1 of the paper, the placement is an input to the routing
+// optimizer, not something it changes (operator scheduling is orthogonal
+// related work).
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/locastream/locastream/internal/topology"
+)
+
+// Placement maps every operator instance to the server hosting it, and
+// every server to a rack (a single rack by default). Rack information
+// feeds the hierarchical locality extension sketched in the paper's
+// conclusion.
+type Placement struct {
+	servers  int
+	serverOf map[string][]int // op -> instance index -> server
+	rackOf   []int            // server -> rack
+	racks    int
+}
+
+// NewRoundRobin places instance i of every operator on server i mod
+// servers. With parallelism == servers this reproduces the paper's
+// deployment, where each server hosts exactly one instance of each
+// operator (X_i on server i, §4.1).
+func NewRoundRobin(t *topology.Topology, servers int) (*Placement, error) {
+	if servers < 1 {
+		return nil, fmt.Errorf("cluster: %d servers, want >= 1", servers)
+	}
+	p := &Placement{
+		servers:  servers,
+		serverOf: make(map[string][]int),
+		rackOf:   make([]int, servers),
+		racks:    1,
+	}
+	for _, op := range t.Operators() {
+		assign := make([]int, op.Parallelism)
+		for i := range assign {
+			assign[i] = i % servers
+		}
+		p.serverOf[op.Name] = assign
+	}
+	return p, nil
+}
+
+// NewExplicit builds a placement from an explicit map of operator name to
+// per-instance server indices.
+func NewExplicit(t *topology.Topology, servers int, assign map[string][]int) (*Placement, error) {
+	if servers < 1 {
+		return nil, fmt.Errorf("cluster: %d servers, want >= 1", servers)
+	}
+	p := &Placement{
+		servers:  servers,
+		serverOf: make(map[string][]int),
+		rackOf:   make([]int, servers),
+		racks:    1,
+	}
+	for _, op := range t.Operators() {
+		a, ok := assign[op.Name]
+		if !ok {
+			return nil, fmt.Errorf("cluster: no placement for operator %q", op.Name)
+		}
+		if len(a) != op.Parallelism {
+			return nil, fmt.Errorf("cluster: operator %q has %d instances but %d placements",
+				op.Name, op.Parallelism, len(a))
+		}
+		for i, s := range a {
+			if s < 0 || s >= servers {
+				return nil, fmt.Errorf("cluster: operator %q instance %d on invalid server %d",
+					op.Name, i, s)
+			}
+		}
+		p.serverOf[op.Name] = append([]int(nil), a...)
+	}
+	return p, nil
+}
+
+// AssignRacks maps servers to racks. rackOf must list one non-negative
+// rack per server; rack numbering may be sparse.
+func (p *Placement) AssignRacks(rackOf []int) error {
+	if len(rackOf) != p.servers {
+		return fmt.Errorf("cluster: %d rack entries for %d servers", len(rackOf), p.servers)
+	}
+	racks := 0
+	for s, r := range rackOf {
+		if r < 0 {
+			return fmt.Errorf("cluster: server %d has negative rack %d", s, r)
+		}
+		if r+1 > racks {
+			racks = r + 1
+		}
+	}
+	p.rackOf = append([]int(nil), rackOf...)
+	p.racks = racks
+	return nil
+}
+
+// Servers returns the number of servers.
+func (p *Placement) Servers() int { return p.servers }
+
+// Racks returns the number of racks (1 unless AssignRacks was called).
+func (p *Placement) Racks() int { return p.racks }
+
+// RackOf returns the rack of a server (-1 for invalid servers).
+func (p *Placement) RackOf(server int) int {
+	if server < 0 || server >= p.servers {
+		return -1
+	}
+	return p.rackOf[server]
+}
+
+// RackAssignment returns a copy of the server-to-rack map.
+func (p *Placement) RackAssignment() []int {
+	return append([]int(nil), p.rackOf...)
+}
+
+// Parallelism returns the instance count of op (0 when unknown).
+func (p *Placement) Parallelism(op string) int { return len(p.serverOf[op]) }
+
+// ServerOf returns the server hosting instance idx of op; -1 when the
+// operator or instance is unknown.
+func (p *Placement) ServerOf(op string, idx int) int {
+	a, ok := p.serverOf[op]
+	if !ok || idx < 0 || idx >= len(a) {
+		return -1
+	}
+	return a[idx]
+}
+
+// ServersOf returns a copy of the per-instance server assignment of op.
+func (p *Placement) ServersOf(op string) []int {
+	return append([]int(nil), p.serverOf[op]...)
+}
+
+// InstancesOn returns the instance indices of op hosted on server s.
+func (p *Placement) InstancesOn(op string, s int) []int {
+	var out []int
+	for i, server := range p.serverOf[op] {
+		if server == s {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/locastream/locastream/internal/topology"
+)
+
+func testTopo(t *testing.T, parA, parB int) *topology.Topology {
+	t.Helper()
+	topo, err := topology.NewBuilder("t").
+		AddOperator(topology.Operator{Name: "A", Parallelism: parA, New: topology.Passthrough}).
+		AddOperator(topology.Operator{Name: "B", Parallelism: parB, Stateful: true,
+			New: func() topology.Processor { return topology.NewCounter(0) }}).
+		Connect("A", "B", topology.Fields, 0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestRoundRobinPaperDeployment(t *testing.T) {
+	// parallelism == servers: X_i on server i.
+	topo := testTopo(t, 4, 4)
+	p, err := NewRoundRobin(topo, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Servers() != 4 {
+		t.Fatalf("Servers() = %d", p.Servers())
+	}
+	for i := 0; i < 4; i++ {
+		if got := p.ServerOf("A", i); got != i {
+			t.Errorf("ServerOf(A,%d) = %d, want %d", i, got, i)
+		}
+		if got := p.ServerOf("B", i); got != i {
+			t.Errorf("ServerOf(B,%d) = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestRoundRobinWraps(t *testing.T) {
+	topo := testTopo(t, 5, 2)
+	p, err := NewRoundRobin(topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 0, 1, 0}
+	for i, w := range want {
+		if got := p.ServerOf("A", i); got != w {
+			t.Errorf("ServerOf(A,%d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := p.InstancesOn("A", 0); len(got) != 3 {
+		t.Errorf("InstancesOn(A,0) = %v, want 3 instances", got)
+	}
+	if p.Parallelism("A") != 5 || p.Parallelism("B") != 2 {
+		t.Error("Parallelism wrong")
+	}
+	if p.Parallelism("missing") != 0 {
+		t.Error("Parallelism(missing) should be 0")
+	}
+}
+
+func TestRoundRobinInvalidServers(t *testing.T) {
+	topo := testTopo(t, 2, 2)
+	if _, err := NewRoundRobin(topo, 0); err == nil {
+		t.Fatal("0 servers accepted")
+	}
+}
+
+func TestServerOfOutOfRange(t *testing.T) {
+	topo := testTopo(t, 2, 2)
+	p, _ := NewRoundRobin(topo, 2)
+	if p.ServerOf("A", -1) != -1 || p.ServerOf("A", 5) != -1 || p.ServerOf("zzz", 0) != -1 {
+		t.Error("out-of-range lookups should return -1")
+	}
+}
+
+func TestExplicitPlacement(t *testing.T) {
+	topo := testTopo(t, 2, 3)
+	p, err := NewExplicit(topo, 3, map[string][]int{
+		"A": {2, 0},
+		"B": {1, 1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ServerOf("A", 0) != 2 || p.ServerOf("B", 1) != 1 {
+		t.Error("explicit placement not honoured")
+	}
+	if got := p.InstancesOn("B", 1); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("InstancesOn(B,1) = %v", got)
+	}
+	servers := p.ServersOf("B")
+	servers[0] = 99
+	if p.ServerOf("B", 0) == 99 {
+		t.Error("ServersOf exposes internal slice")
+	}
+}
+
+func TestExplicitPlacementErrors(t *testing.T) {
+	topo := testTopo(t, 2, 2)
+	if _, err := NewExplicit(topo, 0, nil); err == nil {
+		t.Error("0 servers accepted")
+	}
+	if _, err := NewExplicit(topo, 2, map[string][]int{"A": {0, 1}}); err == nil {
+		t.Error("missing operator accepted")
+	}
+	if _, err := NewExplicit(topo, 2, map[string][]int{"A": {0}, "B": {0, 1}}); err == nil {
+		t.Error("wrong instance count accepted")
+	}
+	if _, err := NewExplicit(topo, 2, map[string][]int{"A": {0, 5}, "B": {0, 1}}); err == nil {
+		t.Error("invalid server index accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package cluster
+
+import "testing"
+
+func TestDefaultSingleRack(t *testing.T) {
+	topo := testTopo(t, 2, 2)
+	p, err := NewRoundRobin(topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Racks() != 1 {
+		t.Fatalf("Racks() = %d, want 1 by default", p.Racks())
+	}
+	if p.RackOf(0) != 0 || p.RackOf(1) != 0 {
+		t.Fatal("all servers should be in rack 0 by default")
+	}
+	if p.RackOf(-1) != -1 || p.RackOf(5) != -1 {
+		t.Fatal("invalid servers should report rack -1")
+	}
+}
+
+func TestAssignRacks(t *testing.T) {
+	topo := testTopo(t, 4, 4)
+	p, err := NewRoundRobin(topo, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AssignRacks([]int{0, 0, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Racks() != 2 {
+		t.Fatalf("Racks() = %d", p.Racks())
+	}
+	if p.RackOf(2) != 1 {
+		t.Fatalf("RackOf(2) = %d", p.RackOf(2))
+	}
+	assignment := p.RackAssignment()
+	assignment[0] = 9 // callers must not alias internals
+	if p.RackOf(0) != 0 {
+		t.Fatal("RackAssignment exposes internal slice")
+	}
+}
+
+func TestAssignRacksValidation(t *testing.T) {
+	topo := testTopo(t, 2, 2)
+	p, _ := NewRoundRobin(topo, 2)
+	if err := p.AssignRacks([]int{0}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if err := p.AssignRacks([]int{0, -1}); err == nil {
+		t.Error("negative rack accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"github.com/locastream/locastream/internal/engine"
+	"github.com/locastream/locastream/internal/routing"
+)
+
+// Impact estimates what deploying a candidate configuration would gain
+// and cost. It implements the estimator the paper leaves as future work
+// ("design estimators able to predict the impact of a reconfiguration to
+// provide more fine-grained information to the manager", §6): when the
+// workload is volatile, reconfiguring for ephemeral correlations costs
+// more (state migration) than it saves (network traffic).
+type Impact struct {
+	// CurrentLocality is the expected locality of keeping the deployed
+	// tables, evaluated on the fresh statistics.
+	CurrentLocality float64
+	// CandidateLocality is the expected locality of the candidate
+	// tables on the same statistics.
+	CandidateLocality float64
+	// TrafficPerPeriod is the fields-grouped tuple volume observed over
+	// the statistics window (the sketch totals).
+	TrafficPerPeriod uint64
+	// SavedTuplesPerPeriod estimates how many tuple transfers per
+	// statistics period would move off the network.
+	SavedTuplesPerPeriod float64
+	// KeysToMigrate is the number of keys whose owner changes.
+	KeysToMigrate int
+}
+
+// Worthwhile reports whether the estimated steady-state saving justifies
+// the migration: the locality gain must save at least costPerKey tuple
+// transfers per migrated key over one statistics period. costPerKey
+// amortizes the migration (state transfer, buffering, coordination); the
+// paper's observation that "deploying an updated configuration ... is
+// extremely fast" (§4.4) argues for small values.
+func (im Impact) Worthwhile(costPerKey float64) bool {
+	if im.KeysToMigrate == 0 {
+		return im.CandidateLocality > im.CurrentLocality
+	}
+	return im.SavedTuplesPerPeriod >= costPerKey*float64(im.KeysToMigrate)
+}
+
+// EstimateImpact evaluates candidate tables against the deployed ones
+// over the given pair statistics. Both configurations are scored by
+// summing, over every observed key pair, the pair's weight when the two
+// keys resolve to the same server — the exact objective the partitioner
+// optimizes, but evaluated with hash fallback and on whichever tables are
+// provided.
+func (o *Optimizer) EstimateImpact(stats []engine.PairStat, current, candidate map[string]*routing.Table) Impact {
+	var (
+		total      uint64
+		curLocal   float64
+		candLocal  float64
+		movedKeys  = make(map[[2]string]bool)
+		seenTables = func(tables map[string]*routing.Table, op string) *routing.Table {
+			if tables == nil {
+				return nil
+			}
+			return tables[op]
+		}
+	)
+	for _, st := range stats {
+		fromN := o.place.Parallelism(st.FromOp)
+		toN := o.place.Parallelism(st.ToOp)
+		if fromN == 0 || toN == 0 {
+			continue
+		}
+		for _, p := range st.Pairs {
+			total += p.Count
+
+			curFrom := o.serverOfOwner(st.FromOp, Owner(seenTables(current, st.FromOp), st.FromOp, p.In, fromN))
+			curTo := o.serverOfOwner(st.ToOp, Owner(seenTables(current, st.ToOp), st.ToOp, p.Out, toN))
+			if curFrom == curTo {
+				curLocal += float64(p.Count)
+			}
+
+			candFrom := o.serverOfOwner(st.FromOp, Owner(seenTables(candidate, st.FromOp), st.FromOp, p.In, fromN))
+			candTo := o.serverOfOwner(st.ToOp, Owner(seenTables(candidate, st.ToOp), st.ToOp, p.Out, toN))
+			if candFrom == candTo {
+				candLocal += float64(p.Count)
+			}
+
+			// Track owner changes for both endpoint keys.
+			if ownerChanged(seenTables(current, st.FromOp), seenTables(candidate, st.FromOp), st.FromOp, p.In, fromN) {
+				movedKeys[[2]string{st.FromOp, p.In}] = true
+			}
+			if ownerChanged(seenTables(current, st.ToOp), seenTables(candidate, st.ToOp), st.ToOp, p.Out, toN) {
+				movedKeys[[2]string{st.ToOp, p.Out}] = true
+			}
+		}
+	}
+	im := Impact{TrafficPerPeriod: total, KeysToMigrate: len(movedKeys)}
+	if total > 0 {
+		im.CurrentLocality = curLocal / float64(total)
+		im.CandidateLocality = candLocal / float64(total)
+		im.SavedTuplesPerPeriod = candLocal - curLocal
+	}
+	return im
+}
+
+func ownerChanged(cur, cand *routing.Table, op, key string, n int) bool {
+	return Owner(cur, op, key, n) != Owner(cand, op, key, n)
+}
+
+// serverOfOwner maps an owning instance to its server.
+func (o *Optimizer) serverOfOwner(op string, inst int) int {
+	return o.place.ServerOf(op, inst)
+}

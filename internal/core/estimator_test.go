@@ -1,0 +1,134 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/locastream/locastream/internal/engine"
+	"github.com/locastream/locastream/internal/spacesaving"
+	"github.com/locastream/locastream/internal/topology"
+)
+
+func TestEstimateImpactFromHashToOptimal(t *testing.T) {
+	topo, place := evalTopology(t, 2)
+	o, err := NewOptimizer(topo, place, OptimizerOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stats := []engine.PairStat{pairStat("A", "B",
+		"Asia", "#java", 1000,
+		"Oceania", "#python", 1000,
+	)}
+	candidate, _, err := o.ComputeTables(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	im := o.EstimateImpact(stats, nil, candidate)
+	if im.TrafficPerPeriod != 2000 {
+		t.Fatalf("TrafficPerPeriod = %d", im.TrafficPerPeriod)
+	}
+	if im.CandidateLocality != 1.0 {
+		t.Fatalf("CandidateLocality = %f, want 1 (disjoint clusters)", im.CandidateLocality)
+	}
+	if im.CandidateLocality < im.CurrentLocality {
+		t.Fatalf("candidate %f worse than hash baseline %f", im.CandidateLocality, im.CurrentLocality)
+	}
+	if im.SavedTuplesPerPeriod < 0 {
+		t.Fatalf("SavedTuplesPerPeriod = %f", im.SavedTuplesPerPeriod)
+	}
+}
+
+func TestEstimateImpactNoChangeNoMigration(t *testing.T) {
+	topo, place := evalTopology(t, 2)
+	o, _ := NewOptimizer(topo, place, OptimizerOptions{Seed: 1})
+	stats := []engine.PairStat{pairStat("A", "B", "k", "v", 100)}
+	tables, _, err := o.ComputeTables(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := o.EstimateImpact(stats, tables, tables)
+	if im.KeysToMigrate != 0 {
+		t.Fatalf("KeysToMigrate = %d for identical tables", im.KeysToMigrate)
+	}
+	if im.SavedTuplesPerPeriod != 0 {
+		t.Fatalf("SavedTuplesPerPeriod = %f", im.SavedTuplesPerPeriod)
+	}
+	if im.Worthwhile(1) {
+		t.Fatal("identical configuration should not be worthwhile")
+	}
+}
+
+func TestEstimateImpactSkipsUnknownOps(t *testing.T) {
+	topo, place := evalTopology(t, 2)
+	o, _ := NewOptimizer(topo, place, OptimizerOptions{})
+	stats := []engine.PairStat{{FromOp: "ghost", ToOp: "B",
+		Pairs: []spacesaving.PairCounter{{In: "x", Out: "y", Count: 5}}}}
+	im := o.EstimateImpact(stats, nil, nil)
+	if im.TrafficPerPeriod != 0 {
+		t.Fatalf("unknown op contributed traffic: %+v", im)
+	}
+}
+
+func TestImpactWorthwhileThreshold(t *testing.T) {
+	im := Impact{
+		SavedTuplesPerPeriod: 100,
+		KeysToMigrate:        10,
+	}
+	if !im.Worthwhile(10) {
+		t.Error("saving 100 for 10 keys at cost 10/key should be worthwhile")
+	}
+	if im.Worthwhile(11) {
+		t.Error("cost 11/key should not be worthwhile")
+	}
+	gainOnly := Impact{CurrentLocality: 0.2, CandidateLocality: 0.5}
+	if !gainOnly.Worthwhile(1000) {
+		t.Error("zero-migration improvements are always worthwhile")
+	}
+}
+
+func TestManagerReconfigureIfWorthwhile(t *testing.T) {
+	const parallelism = 3
+	live, topo, place := newLiveEval(t, parallelism)
+	mgr, err := NewManager(live, topo, place, ManagerOptions{
+		Optimizer: OptimizerOptions{Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Strongly correlated traffic: reconfiguration must be deployed.
+	for i := 0; i < 3000; i++ {
+		k := strconv.Itoa(i % 9)
+		_ = live.Inject(topology.Tuple{Values: []string{k, "t" + k}})
+	}
+	live.Drain()
+	plan, impact, deployed, err := mgr.ReconfigureIfWorthwhile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deployed {
+		t.Fatalf("correlated workload not deployed: impact %+v", impact)
+	}
+	if plan == nil || plan.Version != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if len(mgr.Tables()) == 0 {
+		t.Fatal("tables not installed")
+	}
+
+	// Re-running immediately on an empty statistics window: nothing to
+	// gain, so the candidate must be skipped.
+	_, impact, deployed, err = mgr.ReconfigureIfWorthwhile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deployed {
+		t.Fatalf("empty window deployed anyway: impact %+v", impact)
+	}
+	// The deployed configuration must remain the first one.
+	if v := mgr.Tables()["B"].Version; v != 1 {
+		t.Fatalf("deployed version = %d, want 1", v)
+	}
+}

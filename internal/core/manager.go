@@ -1,0 +1,247 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"github.com/locastream/locastream/internal/cluster"
+	"github.com/locastream/locastream/internal/engine"
+	"github.com/locastream/locastream/internal/routing"
+	"github.com/locastream/locastream/internal/topology"
+)
+
+// ConfigStore persists routing configurations before deployment. The
+// paper's manager "saves all routing configurations to stable storage
+// before starting reconfiguration" for fault tolerance (§3.4).
+type ConfigStore interface {
+	// Save persists one configuration version.
+	Save(version uint64, tables map[string]*routing.Table) error
+	// Load returns the highest saved version (ok == false when none).
+	Load() (version uint64, tables map[string]*routing.Table, ok bool, err error)
+}
+
+// MemoryStore is an in-process ConfigStore, the default. Safe for
+// concurrent use.
+type MemoryStore struct {
+	mu      sync.Mutex
+	version uint64
+	tables  map[string]*routing.Table
+	saved   bool
+}
+
+// Save implements ConfigStore.
+func (m *MemoryStore) Save(version uint64, tables map[string]*routing.Table) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.version = version
+	m.tables = cloneTables(tables)
+	m.saved = true
+	return nil
+}
+
+// Load implements ConfigStore.
+func (m *MemoryStore) Load() (uint64, map[string]*routing.Table, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.saved {
+		return 0, nil, false, nil
+	}
+	return m.version, cloneTables(m.tables), true, nil
+}
+
+// FileStore persists configurations as JSON files in a directory, one
+// file per version plus a "latest" pointer.
+type FileStore struct {
+	// Dir is the target directory (created on first save).
+	Dir string
+}
+
+type storedConfig struct {
+	Version uint64                    `json:"version"`
+	Tables  map[string]map[string]int `json:"tables"`
+}
+
+// Save implements ConfigStore.
+func (f *FileStore) Save(version uint64, tables map[string]*routing.Table) error {
+	if err := os.MkdirAll(f.Dir, 0o755); err != nil {
+		return fmt.Errorf("config store: %w", err)
+	}
+	cfg := storedConfig{Version: version, Tables: make(map[string]map[string]int, len(tables))}
+	for op, t := range tables {
+		cfg.Tables[op] = t.Assign
+	}
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return fmt.Errorf("config store: encode: %w", err)
+	}
+	path := filepath.Join(f.Dir, fmt.Sprintf("config-%06d.json", version))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("config store: %w", err)
+	}
+	// The "latest" pointer is written last so a crash mid-save never
+	// points at a missing file.
+	latest := filepath.Join(f.Dir, "latest.json")
+	if err := os.WriteFile(latest, data, 0o644); err != nil {
+		return fmt.Errorf("config store: %w", err)
+	}
+	return nil
+}
+
+// Load implements ConfigStore.
+func (f *FileStore) Load() (uint64, map[string]*routing.Table, bool, error) {
+	data, err := os.ReadFile(filepath.Join(f.Dir, "latest.json"))
+	if os.IsNotExist(err) {
+		return 0, nil, false, nil
+	}
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("config store: %w", err)
+	}
+	var cfg storedConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, nil, false, fmt.Errorf("config store: decode: %w", err)
+	}
+	tables := make(map[string]*routing.Table, len(cfg.Tables))
+	for op, assign := range cfg.Tables {
+		tables[op] = &routing.Table{Version: cfg.Version, Assign: assign}
+	}
+	return cfg.Version, tables, true, nil
+}
+
+func cloneTables(tables map[string]*routing.Table) map[string]*routing.Table {
+	out := make(map[string]*routing.Table, len(tables))
+	for op, t := range tables {
+		out[op] = t.Clone()
+	}
+	return out
+}
+
+// ManagerOptions configure a Manager.
+type ManagerOptions struct {
+	// Optimizer options (alpha, max edges, seed, ...).
+	Optimizer OptimizerOptions
+	// Store persists configurations; nil selects an in-memory store.
+	Store ConfigStore
+}
+
+// Manager is the coordinator of §3.3-3.4: it collects key-pair statistics
+// from the running application, computes optimized routing tables, and
+// deploys them with the online reconfiguration protocol. Not safe for
+// concurrent use.
+type Manager struct {
+	eng    *engine.Live
+	topo   *topology.Topology
+	place  *cluster.Placement
+	opt    *Optimizer
+	store  ConfigStore
+	tables map[string]*routing.Table
+}
+
+// NewManager returns a manager driving the given live engine.
+func NewManager(eng *engine.Live, topo *topology.Topology, place *cluster.Placement, opts ManagerOptions) (*Manager, error) {
+	opt, err := NewOptimizer(topo, place, opts.Optimizer)
+	if err != nil {
+		return nil, err
+	}
+	store := opts.Store
+	if store == nil {
+		store = &MemoryStore{}
+	}
+	return &Manager{
+		eng:    eng,
+		topo:   topo,
+		place:  place,
+		opt:    opt,
+		store:  store,
+		tables: make(map[string]*routing.Table),
+	}, nil
+}
+
+// Reconfigure executes one full round of Algorithm 1: collect statistics
+// (resetting the sketches), compute new routing tables, persist them, and
+// deploy them online with state migration. It returns the optimizer's
+// plan for the new configuration.
+func (m *Manager) Reconfigure() (*Plan, error) {
+	stats := m.eng.CollectPairStats()
+	tables, plan, err := m.opt.ComputeTables(stats)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.deploy(tables, plan); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// ReconfigureIfWorthwhile computes a candidate configuration and deploys
+// it only when the impact estimator predicts the locality saving to
+// amortize the migration cost (costPerKey tuple transfers per migrated
+// key and statistics period). deployed reports the decision. Whatever the
+// decision, the statistics sketches restart a new window, so a skipped
+// reconfiguration is re-evaluated on fresh data next time — this guards
+// against the "ephemeral correlations" the paper's conclusion warns
+// about.
+func (m *Manager) ReconfigureIfWorthwhile(costPerKey float64) (plan *Plan, impact Impact, deployed bool, err error) {
+	stats := m.eng.CollectPairStats()
+	tables, plan, err := m.opt.ComputeTables(stats)
+	if err != nil {
+		return nil, Impact{}, false, err
+	}
+	impact = m.opt.EstimateImpact(stats, m.tables, tables)
+	if !impact.Worthwhile(costPerKey) {
+		return plan, impact, false, nil
+	}
+	if err := m.deploy(tables, plan); err != nil {
+		return nil, impact, false, err
+	}
+	return plan, impact, true, nil
+}
+
+// deploy persists and rolls out a computed configuration.
+func (m *Manager) deploy(tables map[string]*routing.Table, plan *Plan) error {
+	if err := m.store.Save(plan.Version, tables); err != nil {
+		return fmt.Errorf("core: persist configuration: %w", err)
+	}
+	moves := make(map[string][]engine.KeyMove)
+	for _, op := range affectedOps(m.tables, tables) {
+		if opr := m.topo.Operator(op); opr == nil || !opr.Stateful {
+			continue
+		}
+		n := m.place.Parallelism(op)
+		for _, mv := range DiffTables(m.tables[op], tables[op], op, n) {
+			moves[op] = append(moves[op], engine.KeyMove{Key: mv.Key, From: mv.From, To: mv.To})
+		}
+	}
+	if err := m.eng.Reconfigure(engine.ReconfigPlan{Tables: tables, Moves: moves}); err != nil {
+		return err
+	}
+	m.tables = tables
+	return nil
+}
+
+// Tables returns a copy of the currently deployed routing tables.
+func (m *Manager) Tables() map[string]*routing.Table { return cloneTables(m.tables) }
+
+// affectedOps returns the union of operators named in either
+// configuration, sorted.
+func affectedOps(oldT, newT map[string]*routing.Table) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for op := range oldT {
+		if !seen[op] {
+			seen[op] = true
+			out = append(out, op)
+		}
+	}
+	for op := range newT {
+		if !seen[op] {
+			seen[op] = true
+			out = append(out, op)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"github.com/locastream/locastream/internal/cluster"
+	"github.com/locastream/locastream/internal/engine"
+	"github.com/locastream/locastream/internal/routing"
+	"github.com/locastream/locastream/internal/topology"
+)
+
+func newLiveEval(t *testing.T, parallelism int) (*engine.Live, *topology.Topology, *cluster.Placement) {
+	t.Helper()
+	topo, place := evalTopology(t, parallelism)
+	policies, err := engine.NewPolicies(topo, place, engine.FieldsTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := engine.NewSourcePolicy(topo, place, topology.Fields, engine.FieldsTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := engine.NewLive(engine.LiveConfig{
+		Topology:       topo,
+		Placement:      place,
+		Policies:       policies,
+		SourcePolicy:   src,
+		SourceKeyField: 0,
+		SketchCapacity: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(live.Stop)
+	return live, topo, place
+}
+
+func totalCount(t *testing.T, live *engine.Live, op string, parallelism int) uint64 {
+	t.Helper()
+	var total uint64
+	for i := 0; i < parallelism; i++ {
+		if err := live.ProcessorState(op, i, func(p topology.Processor) {
+			total += p.(*topology.Counter).TotalCount()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return total
+}
+
+func TestManagerOnlineOptimizationImprovesLocality(t *testing.T) {
+	const parallelism = 4
+	live, topo, place := newLiveEval(t, parallelism)
+	mgr, err := NewManager(live, topo, place, ManagerOptions{
+		Optimizer: OptimizerOptions{Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inject := func(n int) {
+		for i := 0; i < n; i++ {
+			k := strconv.Itoa(i % 16)
+			_ = live.Inject(topology.Tuple{Values: []string{k, "t" + k}})
+		}
+		live.Drain()
+	}
+
+	inject(4000)
+	before := live.FieldsTraffic().Locality()
+
+	plan, err := mgr.Reconfigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ExpectedLocality != 1.0 {
+		t.Fatalf("ExpectedLocality = %f, want 1 (keys perfectly correlated)", plan.ExpectedLocality)
+	}
+	if plan.Imbalance > 1.2 {
+		t.Fatalf("Imbalance = %f", plan.Imbalance)
+	}
+
+	// No state lost by migration.
+	if got := totalCount(t, live, "B", parallelism); got != 4000 {
+		t.Fatalf("B total after reconfiguration = %d, want 4000", got)
+	}
+
+	// Second phase: measure locality with the deployed tables only.
+	firstPhase := live.FieldsTraffic()
+	inject(4000)
+	after := live.FieldsTraffic()
+	after.LocalTuples -= firstPhase.LocalTuples
+	after.RemoteTuples -= firstPhase.RemoteTuples
+	if after.Locality() != 1.0 {
+		t.Fatalf("locality after reconfiguration = %f, want 1.0 (before: %f)", after.Locality(), before)
+	}
+	if len(mgr.Tables()) != 2 {
+		t.Fatalf("Tables() = %v, want entries for A and B", mgr.Tables())
+	}
+}
+
+func TestManagerRepeatedReconfigurations(t *testing.T) {
+	// Drifting correlations: the association between first and second
+	// field changes every round; online reconfiguration must keep up and
+	// never lose state.
+	const parallelism = 3
+	live, topo, place := newLiveEval(t, parallelism)
+	mgr, err := NewManager(live, topo, place, ManagerOptions{
+		Optimizer: OptimizerOptions{Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	total := 0
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 900; i++ {
+			k := i % 9
+			// The hashtag associated with location k rotates each round.
+			tag := fmt.Sprintf("t%d", (k+round)%9)
+			_ = live.Inject(topology.Tuple{Values: []string{strconv.Itoa(k), tag}})
+			total++
+		}
+		live.Drain()
+		plan, err := mgr.Reconfigure()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if plan.Version != uint64(round+1) {
+			t.Fatalf("round %d: version %d", round, plan.Version)
+		}
+	}
+	if got := totalCount(t, live, "A", parallelism); got != uint64(total) {
+		t.Fatalf("A total = %d, want %d", got, total)
+	}
+	if got := totalCount(t, live, "B", parallelism); got != uint64(total) {
+		t.Fatalf("B total = %d, want %d", got, total)
+	}
+}
+
+func TestManagerReconfigureUnderLoad(t *testing.T) {
+	const parallelism = 3
+	live, topo, place := newLiveEval(t, parallelism)
+	mgr, err := NewManager(live, topo, place, ManagerOptions{
+		Optimizer: OptimizerOptions{Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 6000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			k := strconv.Itoa(i % 10)
+			_ = live.Inject(topology.Tuple{Values: []string{k, "t" + k}})
+		}
+	}()
+	for round := 0; round < 3; round++ {
+		if _, err := mgr.Reconfigure(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	live.Drain()
+
+	if got := totalCount(t, live, "B", parallelism); got != total {
+		t.Fatalf("B total = %d, want %d (stream disrupted by reconfiguration)", got, total)
+	}
+}
+
+func TestManagerPersistsBeforeDeploy(t *testing.T) {
+	live, topo, place := newLiveEval(t, 2)
+	store := &MemoryStore{}
+	mgr, err := NewManager(live, topo, place, ManagerOptions{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		k := strconv.Itoa(i % 4)
+		_ = live.Inject(topology.Tuple{Values: []string{k, "t" + k}})
+	}
+	live.Drain()
+	if _, err := mgr.Reconfigure(); err != nil {
+		t.Fatal(err)
+	}
+	version, tables, ok, err := store.Load()
+	if err != nil || !ok {
+		t.Fatalf("Load: %v %v", ok, err)
+	}
+	if version != 1 || len(tables) == 0 {
+		t.Fatalf("stored version %d tables %v", version, tables)
+	}
+}
+
+func TestMemoryStoreEmptyLoad(t *testing.T) {
+	store := &MemoryStore{}
+	_, _, ok, err := store.Load()
+	if err != nil || ok {
+		t.Fatalf("empty store Load = %v %v", ok, err)
+	}
+}
+
+func TestMemoryStoreIsolation(t *testing.T) {
+	store := &MemoryStore{}
+	tables := map[string]*routing.Table{"A": {Version: 1, Assign: map[string]int{"k": 1}}}
+	if err := store.Save(1, tables); err != nil {
+		t.Fatal(err)
+	}
+	tables["A"].Assign["k"] = 9
+	_, loaded, _, _ := store.Load()
+	if loaded["A"].Assign["k"] != 1 {
+		t.Fatal("store shares table memory with caller")
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store := &FileStore{Dir: dir + "/configs"}
+
+	if _, _, ok, err := store.Load(); err != nil || ok {
+		t.Fatalf("empty file store Load = %v %v", ok, err)
+	}
+
+	tables := map[string]*routing.Table{
+		"A": {Version: 3, Assign: map[string]int{"Asia": 0, "Oceania": 1}},
+		"B": {Version: 3, Assign: map[string]int{"#java": 0}},
+	}
+	if err := store.Save(3, tables); err != nil {
+		t.Fatal(err)
+	}
+	version, loaded, ok, err := store.Load()
+	if err != nil || !ok {
+		t.Fatalf("Load: %v %v", ok, err)
+	}
+	if version != 3 {
+		t.Fatalf("version = %d", version)
+	}
+	if loaded["A"].Assign["Asia"] != 0 || loaded["A"].Assign["Oceania"] != 1 {
+		t.Fatalf("loaded A = %v", loaded["A"])
+	}
+	if loaded["B"].Assign["#java"] != 0 {
+		t.Fatalf("loaded B = %v", loaded["B"])
+	}
+
+	// A later save supersedes.
+	if err := store.Save(4, map[string]*routing.Table{"A": {Version: 4, Assign: map[string]int{"x": 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	version, loaded, _, _ = store.Load()
+	if version != 4 || len(loaded) != 1 {
+		t.Fatalf("after second save: version %d tables %v", version, loaded)
+	}
+}

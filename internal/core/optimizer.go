@@ -1,0 +1,170 @@
+// Package core implements the paper's primary contribution: the manager
+// that turns key-pair statistics into locality-aware routing tables
+// (§3.3) and deploys them online with the DAG-ordered reconfiguration and
+// state-migration protocol of §3.4 (Algorithm 1).
+package core
+
+import (
+	"fmt"
+
+	"github.com/locastream/locastream/internal/cluster"
+	"github.com/locastream/locastream/internal/engine"
+	"github.com/locastream/locastream/internal/keygraph"
+	"github.com/locastream/locastream/internal/partition"
+	"github.com/locastream/locastream/internal/routing"
+	"github.com/locastream/locastream/internal/topology"
+)
+
+// OptimizerOptions tune the routing-table computation.
+type OptimizerOptions struct {
+	// Alpha is the load-imbalance bound passed to the partitioner. Zero
+	// selects the paper's 1.03 (Metis default, §4.3).
+	Alpha float64
+	// MaxEdges bounds how many of the heaviest key pairs are considered
+	// per operator pair (Fig. 12 studies this knob). Zero keeps all.
+	MaxEdges int
+	// Seed makes partitioning deterministic.
+	Seed int64
+	// CoarsenTo and RefinePasses are forwarded to the partitioner (zero
+	// selects its defaults).
+	CoarsenTo    int
+	RefinePasses int
+	// RackAware partitions hierarchically when the placement defines
+	// more than one rack: keys are first split across racks (minimizing
+	// the expensive inter-rack traffic) and then across each rack's
+	// servers — the extension sketched in the paper's conclusion.
+	RackAware bool
+}
+
+// Plan reports what a computed configuration promises. The expected
+// locality is the one Metis reports in the paper ("Metis reports an
+// expected locality of 75%", §4.3) — achieved locality on future data is
+// lower because unseen keys fall back to hashing.
+type Plan struct {
+	// Version is the monotonically increasing configuration number.
+	Version uint64
+	// ExpectedLocality is 1 - cut/total over the statistics the tables
+	// were computed from.
+	ExpectedLocality float64
+	// Imbalance is the partitioner's max/avg vertex-weight ratio.
+	Imbalance float64
+	// Keys is the number of distinct keys assigned.
+	Keys int
+	// Edges is the number of key pairs considered.
+	Edges int
+}
+
+// Optimizer computes locality-aware routing tables from collected
+// statistics. Not safe for concurrent use.
+type Optimizer struct {
+	topo    *topology.Topology
+	place   *cluster.Placement
+	opts    OptimizerOptions
+	version uint64
+}
+
+// NewOptimizer returns an optimizer for the given deployment.
+func NewOptimizer(topo *topology.Topology, place *cluster.Placement, opts OptimizerOptions) (*Optimizer, error) {
+	if topo == nil || place == nil {
+		return nil, fmt.Errorf("core: optimizer needs a topology and a placement")
+	}
+	if opts.Alpha == 0 {
+		opts.Alpha = partition.DefaultAlpha
+	}
+	if opts.Alpha < 1 {
+		return nil, fmt.Errorf("core: alpha %f < 1", opts.Alpha)
+	}
+	return &Optimizer{topo: topo, place: place, opts: opts}, nil
+}
+
+// ComputeTables builds the key graph from the statistics, partitions it
+// across servers, and derives one routing table per operator named in the
+// statistics. Keys absent from the tables keep hash routing (§3.3).
+func (o *Optimizer) ComputeTables(stats []engine.PairStat) (map[string]*routing.Table, *Plan, error) {
+	o.version++
+	plan := &Plan{Version: o.version, Imbalance: 1}
+
+	g := keygraph.New()
+	for _, st := range stats {
+		if o.place.Parallelism(st.FromOp) == 0 {
+			return nil, nil, fmt.Errorf("core: statistics mention unknown operator %q", st.FromOp)
+		}
+		if o.place.Parallelism(st.ToOp) == 0 {
+			return nil, nil, fmt.Errorf("core: statistics mention unknown operator %q", st.ToOp)
+		}
+		g.AddPairs(st.FromOp, st.ToOp, st.Pairs, o.opts.MaxEdges)
+	}
+	plan.Keys = g.NumVertices()
+	plan.Edges = g.NumEdges()
+	if g.NumVertices() == 0 {
+		// Nothing observed: empty tables, pure hash routing.
+		return map[string]*routing.Table{}, plan, nil
+	}
+
+	ids, weights, adjRaw := g.CSR()
+	adj := make([][]partition.Adj, len(adjRaw))
+	for i, list := range adjRaw {
+		conv := make([]partition.Adj, len(list))
+		for j, a := range list {
+			conv[j] = partition.Adj{To: a.To, Weight: a.Weight}
+		}
+		adj[i] = conv
+	}
+	popts := partition.Options{
+		K:            o.place.Servers(),
+		Alpha:        o.opts.Alpha,
+		Seed:         o.opts.Seed,
+		CoarsenTo:    o.opts.CoarsenTo,
+		RefinePasses: o.opts.RefinePasses,
+	}
+	pg := &partition.Graph{Weights: weights, Adj: adj}
+	var (
+		res *partition.Result
+		err error
+	)
+	if o.opts.RackAware && o.place.Racks() > 1 {
+		res, err = partition.Hierarchical(pg, o.place.RackAssignment(), popts)
+	} else {
+		res, err = partition.Partition(pg, popts)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: partition key graph: %w", err)
+	}
+	if tw := g.TotalEdgeWeight(); tw > 0 {
+		plan.ExpectedLocality = 1 - float64(res.CutWeight)/float64(tw)
+	}
+	plan.Imbalance = res.Imbalance
+
+	tables := make(map[string]*routing.Table)
+	for i, id := range ids {
+		server := res.Parts[i]
+		inst, ok := o.instanceOn(id.Op, server, id.Key)
+		if !ok {
+			// No instance of this operator on the chosen server (only
+			// possible with sparse placements): leave the key to hash
+			// fallback.
+			continue
+		}
+		table := tables[id.Op]
+		if table == nil {
+			table = &routing.Table{Version: o.version, Assign: make(map[string]int)}
+			tables[id.Op] = table
+		}
+		table.Assign[id.Key] = inst
+	}
+	return tables, plan, nil
+}
+
+// instanceOn picks the instance of op on the given server that should own
+// key. When several instances are co-located the key hash spreads keys
+// among them.
+func (o *Optimizer) instanceOn(op string, server int, key string) (int, bool) {
+	insts := o.place.InstancesOn(op, server)
+	if len(insts) == 0 {
+		return 0, false
+	}
+	return insts[routing.HashKey(key, len(insts))], true
+}
+
+// Version returns the last computed configuration version.
+func (o *Optimizer) Version() uint64 { return o.version }

@@ -1,0 +1,278 @@
+package engine
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/locastream/locastream/internal/cluster"
+	"github.com/locastream/locastream/internal/routing"
+	"github.com/locastream/locastream/internal/topology"
+)
+
+// chainTopology builds a three-operator stateful chain A -> B -> C with
+// fields grouping on every hop (field 0, 1, 2 respectively).
+func chainTopology(t testing.TB, parallelism int) (*topology.Topology, *cluster.Placement) {
+	t.Helper()
+	topo, err := topology.NewBuilder("chain3").
+		AddOperator(topology.Operator{Name: "A", Parallelism: parallelism, Stateful: true,
+			New: func() topology.Processor { return topology.NewCounter(0) }}).
+		AddOperator(topology.Operator{Name: "B", Parallelism: parallelism, Stateful: true,
+			New: func() topology.Processor { return topology.NewCounter(1) }}).
+		AddOperator(topology.Operator{Name: "C", Parallelism: parallelism, Stateful: true,
+			New: func() topology.Processor { return topology.NewCounter(2) }}).
+		Connect("A", "B", topology.Fields, 1).
+		Connect("B", "C", topology.Fields, 2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	place, err := cluster.NewRoundRobin(topo, parallelism)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, place
+}
+
+func newChainLive(t testing.TB, parallelism int) *Live {
+	t.Helper()
+	topo, place := chainTopology(t, parallelism)
+	policies, err := NewPolicies(topo, place, FieldsTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSourcePolicy(topo, place, topology.Fields, FieldsTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := NewLive(LiveConfig{
+		Topology:       topo,
+		Placement:      place,
+		Policies:       policies,
+		SourcePolicy:   src,
+		SourceKeyField: 0,
+		SketchCapacity: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(live.Stop)
+	return live
+}
+
+func TestChainPairStatsBothHops(t *testing.T) {
+	live := newChainLive(t, 2)
+	for i := 0; i < 100; i++ {
+		_ = live.Inject(topology.Tuple{Values: []string{"a1", "b1", "c1"}})
+	}
+	live.Drain()
+	stats := live.CollectPairStats()
+	if len(stats) != 2 {
+		t.Fatalf("stats bundles = %d, want 2 (A->B and B->C)", len(stats))
+	}
+	if stats[0].FromOp != "A" || stats[0].ToOp != "B" {
+		t.Fatalf("stats[0] = %s->%s", stats[0].FromOp, stats[0].ToOp)
+	}
+	if stats[1].FromOp != "B" || stats[1].ToOp != "C" {
+		t.Fatalf("stats[1] = %s->%s", stats[1].FromOp, stats[1].ToOp)
+	}
+	if stats[0].Pairs[0].Count != 100 || stats[1].Pairs[0].Count != 100 {
+		t.Fatalf("pair counts = %d/%d", stats[0].Pairs[0].Count, stats[1].Pairs[0].Count)
+	}
+}
+
+func TestChainReconfigureAllThreeOperators(t *testing.T) {
+	const parallelism = 3
+	live := newChainLive(t, parallelism)
+
+	inject := func(n int) {
+		for i := 0; i < n; i++ {
+			k := strconv.Itoa(i % 9)
+			_ = live.Inject(topology.Tuple{Values: []string{"a" + k, "b" + k, "c" + k}})
+		}
+		live.Drain()
+	}
+	inject(900)
+
+	// Move every key of every operator to instance (i+1) mod p.
+	tables := map[string]*routing.Table{}
+	moves := map[string][]KeyMove{}
+	for opIdx, op := range []string{"A", "B", "C"} {
+		prefix := []string{"a", "b", "c"}[opIdx]
+		assign := map[string]int{}
+		for i := 0; i < 9; i++ {
+			key := prefix + strconv.Itoa(i)
+			to := (routing.SaltedHashKey(op, key, parallelism) + 1) % parallelism
+			assign[key] = to
+			moves[op] = append(moves[op], KeyMove{
+				Key:  key,
+				From: routing.SaltedHashKey(op, key, parallelism),
+				To:   to,
+			})
+		}
+		tables[op] = &routing.Table{Version: 1, Assign: assign}
+	}
+	if err := live.Reconfigure(ReconfigPlan{Tables: tables, Moves: moves}); err != nil {
+		t.Fatal(err)
+	}
+
+	// All three operators keep exact totals across migration.
+	for _, op := range []string{"A", "B", "C"} {
+		var total uint64
+		for i := 0; i < parallelism; i++ {
+			_ = live.ProcessorState(op, i, func(p topology.Processor) {
+				total += p.(*topology.Counter).TotalCount()
+			})
+		}
+		if total != 900 {
+			t.Fatalf("%s total = %d, want 900", op, total)
+		}
+	}
+
+	// Post-reconfiguration, each key lives exactly where its table says.
+	inject(900)
+	for opIdx, op := range []string{"A", "B", "C"} {
+		prefix := []string{"a", "b", "c"}[opIdx]
+		for i := 0; i < 9; i++ {
+			key := prefix + strconv.Itoa(i)
+			inst := tables[op].Assign[key]
+			var cnt uint64
+			_ = live.ProcessorState(op, inst, func(p topology.Processor) {
+				cnt = p.(*topology.Counter).Count(key)
+			})
+			if cnt != 200 {
+				t.Errorf("%s[%d].Count(%s) = %d, want 200", op, inst, key, cnt)
+			}
+		}
+	}
+}
+
+func TestDiamondPropagationOrder(t *testing.T) {
+	// A feeds B and C (stateless), which both feed stateful D. D must
+	// wait for propagates from every instance of both B and C before
+	// migrating — exercised here simply by the reconfiguration
+	// completing and preserving state.
+	const parallelism = 2
+	topo, err := topology.NewBuilder("diamond").
+		AddOperator(topology.Operator{Name: "A", Parallelism: parallelism, Stateful: true,
+			New: func() topology.Processor { return topology.NewCounter(0) }}).
+		AddOperator(topology.Operator{Name: "B", Parallelism: parallelism,
+			New: topology.Passthrough}).
+		AddOperator(topology.Operator{Name: "C", Parallelism: parallelism,
+			New: topology.Passthrough}).
+		AddOperator(topology.Operator{Name: "D", Parallelism: parallelism, Stateful: true,
+			New: func() topology.Processor { return topology.NewCounter(1) }}).
+		Connect("A", "B", topology.LocalOrShuffle, 0).
+		Connect("A", "C", topology.LocalOrShuffle, 0).
+		Connect("B", "D", topology.Fields, 1).
+		Connect("C", "D", topology.Fields, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	place, err := cluster.NewRoundRobin(topo, parallelism)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies, err := NewPolicies(topo, place, FieldsTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSourcePolicy(topo, place, topology.Fields, FieldsTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := NewLive(LiveConfig{
+		Topology: topo, Placement: place, Policies: policies,
+		SourcePolicy: src, SketchCapacity: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Stop()
+
+	const n = 400
+	for i := 0; i < n; i++ {
+		k := strconv.Itoa(i % 4)
+		_ = live.Inject(topology.Tuple{Values: []string{"a" + k, "d" + k}})
+	}
+	live.Drain()
+
+	// Each injected tuple reaches D twice (via B and via C).
+	moves := map[string][]KeyMove{}
+	assign := map[string]int{}
+	for i := 0; i < 4; i++ {
+		key := "d" + strconv.Itoa(i)
+		from := routing.SaltedHashKey("D", key, parallelism)
+		assign[key] = (from + 1) % parallelism
+		moves["D"] = append(moves["D"], KeyMove{Key: key, From: from, To: (from + 1) % parallelism})
+	}
+	if err := live.Reconfigure(ReconfigPlan{
+		Tables: map[string]*routing.Table{"D": {Version: 1, Assign: assign}},
+		Moves:  moves,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var total uint64
+	for i := 0; i < parallelism; i++ {
+		_ = live.ProcessorState("D", i, func(p topology.Processor) {
+			total += p.(*topology.Counter).TotalCount()
+		})
+	}
+	if total != 2*n {
+		t.Fatalf("D total = %d, want %d (each tuple arrives via B and C)", total, 2*n)
+	}
+	for i := 0; i < 4; i++ {
+		key := "d" + strconv.Itoa(i)
+		var cnt uint64
+		_ = live.ProcessorState("D", assign[key], func(p topology.Processor) {
+			cnt = p.(*topology.Counter).Count(key)
+		})
+		if cnt != 2*n/4 {
+			t.Errorf("D[%d].Count(%s) = %d, want %d", assign[key], key, cnt, 2*n/4)
+		}
+	}
+}
+
+func TestChainSimOptimizerEndToEnd(t *testing.T) {
+	// The merged key graph must co-locate triples (a_k, b_k, c_k) across
+	// the whole chain, driving both hops local.
+	const parallelism = 4
+	topo, place := chainTopology(t, parallelism)
+	policies, err := NewPolicies(topo, place, FieldsTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSourcePolicy(topo, place, topology.Fields, FieldsTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(SimConfig{
+		Topology: topo, Placement: place, Policies: policies,
+		SourcePolicy: src, SketchCapacity: 8192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inject := func() {
+		for i := 0; i < 4000; i++ {
+			k := strconv.Itoa(i % 16)
+			sim.Inject(topology.Tuple{Values: []string{"a" + k, "b" + k, "c" + k}})
+		}
+	}
+	inject()
+	stats := sim.PairStats(true)
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d bundles, want 2", len(stats))
+	}
+	// Both bundles feed a single partition via the optimizer path; here
+	// we verify through the sim-facing helper used by experiments: build
+	// tables via core? core depends on engine; avoid the import cycle by
+	// asserting on the statistics structure instead. The full end-to-end
+	// chain optimization is covered in core's tests.
+	for _, st := range stats {
+		if len(st.Pairs) != 16 {
+			t.Fatalf("%s->%s: %d pairs, want 16", st.FromOp, st.ToOp, len(st.Pairs))
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package engine executes topologies in two complementary modes.
+//
+// The simulation mode (Sim) replays tuples through the real routing
+// policies, processors and statistics sketches while charging costs to a
+// calibrated resource model (internal/simnet); it reproduces the paper's
+// saturation-throughput experiments deterministically and in milliseconds
+// instead of 30-minute cluster runs.
+//
+// The live mode (Live) runs one goroutine per operator instance with real
+// message passing and executes the online reconfiguration protocol of
+// §3.4 (Algorithm 1) — DAG-ordered propagation, state migration and
+// buffering — under genuine concurrency.
+package engine
+
+import (
+	"fmt"
+
+	"github.com/locastream/locastream/internal/cluster"
+	"github.com/locastream/locastream/internal/routing"
+	"github.com/locastream/locastream/internal/spacesaving"
+	"github.com/locastream/locastream/internal/topology"
+)
+
+// EdgeKey names a topology edge for policy and metric maps.
+func EdgeKey(from, to string) string { return from + "->" + to }
+
+// FieldsMode selects the concrete policy used for fields-grouped edges.
+type FieldsMode int
+
+const (
+	// FieldsHash is Storm's default: hash of the key (§2.2).
+	FieldsHash FieldsMode = iota + 1
+	// FieldsTable uses explicit routing tables with hash fallback, the
+	// paper's locality-aware approach (§3.3).
+	FieldsTable
+	// FieldsWorstCase always crosses the network (§4.2's lower bound).
+	FieldsWorstCase
+)
+
+// String names the mode as in the paper's figure legends.
+func (m FieldsMode) String() string {
+	switch m {
+	case FieldsHash:
+		return "hash-based"
+	case FieldsTable:
+		return "locality-aware"
+	case FieldsWorstCase:
+		return "worst-case"
+	default:
+		return fmt.Sprintf("FieldsMode(%d)", int(m))
+	}
+}
+
+// NewPolicies builds one routing policy per topology edge. Fields edges
+// use the given mode; shuffle and local-or-shuffle edges always use their
+// standard policies.
+func NewPolicies(t *topology.Topology, place *cluster.Placement, mode FieldsMode) (map[string]routing.Policy, error) {
+	out := make(map[string]routing.Policy, len(t.Edges()))
+	for _, e := range t.Edges() {
+		p, err := policyFor(e.Grouping, e.To, place, mode)
+		if err != nil {
+			return nil, fmt.Errorf("edge %s: %w", EdgeKey(e.From, e.To), err)
+		}
+		out[EdgeKey(e.From, e.To)] = p
+	}
+	return out, nil
+}
+
+// NewSourcePolicy builds the policy for the implicit edge from the
+// external source to the topology's source operator, using the given
+// grouping.
+func NewSourcePolicy(t *topology.Topology, place *cluster.Placement, g topology.Grouping, mode FieldsMode) (routing.Policy, error) {
+	return policyFor(g, t.Source(), place, mode)
+}
+
+func policyFor(g topology.Grouping, to string, place *cluster.Placement, mode FieldsMode) (routing.Policy, error) {
+	n := place.Parallelism(to)
+	if n < 1 {
+		return nil, fmt.Errorf("engine: operator %q has no placement", to)
+	}
+	switch g {
+	case topology.Shuffle:
+		return routing.NewShuffle(n), nil
+	case topology.LocalOrShuffle:
+		return routing.NewLocalOrShuffle(place.ServersOf(to), place.Servers()), nil
+	case topology.Fields:
+		switch mode {
+		case FieldsHash:
+			return routing.NewHashFields(n, to), nil
+		case FieldsTable:
+			return routing.NewTableFields(n, to), nil
+		case FieldsWorstCase:
+			return routing.NewWorstCase(place.ServersOf(to), place.Servers(), to), nil
+		default:
+			return nil, fmt.Errorf("engine: unknown fields mode %d", mode)
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown grouping %v", g)
+	}
+}
+
+// PairStat is the statistics bundle one operator pair contributes to the
+// optimizer: the most frequent (key into FromOp, key into ToOp)
+// associations observed since the last collection.
+type PairStat struct {
+	// FromOp is the operator whose input key is the pair's first
+	// element.
+	FromOp string
+	// ToOp is the downstream operator whose routing key is the second
+	// element.
+	ToOp string
+	// Pairs are the SpaceSaving counters, heaviest first.
+	Pairs []spacesaving.PairCounter
+}

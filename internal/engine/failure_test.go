@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+
+	"github.com/locastream/locastream/internal/cluster"
+	"github.com/locastream/locastream/internal/routing"
+	"github.com/locastream/locastream/internal/topology"
+)
+
+// corruptStateCounter snapshots garbage that its own RestoreKey rejects,
+// simulating incompatible state between processor versions.
+type corruptStateCounter struct {
+	*topology.Counter
+}
+
+func (c *corruptStateCounter) SnapshotKey(key string) ([]byte, bool) {
+	if _, ok := c.Counter.SnapshotKey(key); !ok {
+		return nil, false
+	}
+	return []byte("corrupt"), true
+}
+
+func (c *corruptStateCounter) RestoreKey(string, []byte) error {
+	return errors.New("corrupt state payload")
+}
+
+func TestMigrationSurvivesCorruptState(t *testing.T) {
+	// The paper delegates fault guarantees to the engine ("the guarantees
+	// are the ones provided by the streaming engine", §3.4): a failed
+	// state restore drops that key's state but must not wedge the
+	// protocol or the stream.
+	const parallelism = 2
+	topo, err := topology.NewBuilder("faulty").
+		AddOperator(topology.Operator{Name: "A", Parallelism: parallelism, Stateful: true,
+			New: func() topology.Processor {
+				return &corruptStateCounter{Counter: topology.NewCounter(0)}
+			}}).
+		AddOperator(topology.Operator{Name: "B", Parallelism: parallelism, Stateful: true,
+			New: func() topology.Processor { return topology.NewCounter(1) }}).
+		Connect("A", "B", topology.Fields, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	place, err := cluster.NewRoundRobin(topo, parallelism)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies, _ := NewPolicies(topo, place, FieldsTable)
+	src, _ := NewSourcePolicy(topo, place, topology.Fields, FieldsTable)
+	live, err := NewLive(LiveConfig{
+		Topology: topo, Placement: place, Policies: policies,
+		SourcePolicy: src, SketchCapacity: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Stop()
+
+	for i := 0; i < 200; i++ {
+		k := strconv.Itoa(i % 4)
+		_ = live.Inject(topology.Tuple{Values: []string{k, k + "'"}})
+	}
+	live.Drain()
+
+	// Force every A key to move; restores will all fail.
+	assign := map[string]int{}
+	moves := map[string][]KeyMove{}
+	for i := 0; i < 4; i++ {
+		k := strconv.Itoa(i)
+		from := routing.SaltedHashKey("A", k, parallelism)
+		assign[k] = (from + 1) % parallelism
+		moves["A"] = append(moves["A"], KeyMove{Key: k, From: from, To: (from + 1) % parallelism})
+	}
+	if err := live.Reconfigure(ReconfigPlan{
+		Tables: map[string]*routing.Table{"A": {Version: 1, Assign: assign}},
+		Moves:  moves,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stream must still flow and route by the new tables; migrated
+	// counts were dropped (corrupt) but new ones accumulate at the new
+	// owners.
+	for i := 0; i < 200; i++ {
+		k := strconv.Itoa(i % 4)
+		_ = live.Inject(topology.Tuple{Values: []string{k, k + "'"}})
+	}
+	live.Drain()
+	for i := 0; i < 4; i++ {
+		k := strconv.Itoa(i)
+		var cnt uint64
+		_ = live.ProcessorState("A", assign[k], func(p topology.Processor) {
+			cnt = p.(*corruptStateCounter).Count(k)
+		})
+		if cnt != 50 {
+			t.Errorf("A[%d].Count(%s) = %d, want 50 fresh counts", assign[k], k, cnt)
+		}
+	}
+	// B was untouched: 400 total.
+	if got := liveTotalCount(t, live, "B", parallelism); got != 400 {
+		t.Fatalf("B total = %d, want 400", got)
+	}
+}
+
+// splitter emits one tuple per character of field 1 — fan-out through
+// the protocol.
+func TestReconfigureWithFanOutOperator(t *testing.T) {
+	const parallelism = 2
+	topo, err := topology.NewBuilder("fanout").
+		AddOperator(topology.Operator{Name: "split", Parallelism: parallelism, Stateful: true,
+			New: func() topology.Processor {
+				return &fanOutCounter{Counter: topology.NewCounter(0)}
+			}}).
+		AddOperator(topology.Operator{Name: "chars", Parallelism: parallelism, Stateful: true,
+			New: func() topology.Processor { return topology.NewCounter(1) }}).
+		Connect("split", "chars", topology.Fields, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	place, _ := cluster.NewRoundRobin(topo, parallelism)
+	policies, _ := NewPolicies(topo, place, FieldsTable)
+	src, _ := NewSourcePolicy(topo, place, topology.Fields, FieldsTable)
+	live, err := NewLive(LiveConfig{
+		Topology: topo, Placement: place, Policies: policies,
+		SourcePolicy: src, SketchCapacity: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Stop()
+
+	for i := 0; i < 300; i++ {
+		_ = live.Inject(topology.Tuple{Values: []string{"k" + strconv.Itoa(i%3), "xyz"}})
+	}
+	live.Drain()
+	if err := live.Reconfigure(ReconfigPlan{}); err != nil {
+		t.Fatal(err)
+	}
+	// 300 inputs x 3 characters each.
+	if got := liveTotalCount(t, live, "chars", parallelism); got != 900 {
+		t.Fatalf("chars total = %d, want 900", got)
+	}
+}
+
+// fanOutCounter counts its key then emits one tuple per character of
+// field 1.
+type fanOutCounter struct {
+	*topology.Counter
+}
+
+func (f *fanOutCounter) Process(t topology.Tuple, emit topology.Emit) {
+	f.Counter.Process(t, func(topology.Tuple) {})
+	for _, r := range t.Field(1) {
+		emit(topology.Tuple{Values: []string{t.Field(0), string(r)}})
+	}
+}

@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/locastream/locastream/internal/topology"
+)
+
+// TestStopReleasesGoroutines starts and stops several engines (with and
+// without TCP transport) and verifies the goroutine count returns to the
+// baseline — every executor, transport reader and acceptor must exit.
+func TestStopReleasesGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	for round := 0; round < 3; round++ {
+		for _, tcp := range []bool{false, true} {
+			topo, place := paperTopology(t, 3)
+			policies, _ := NewPolicies(topo, place, FieldsHash)
+			src, _ := NewSourcePolicy(topo, place, topology.Fields, FieldsHash)
+			live, err := NewLive(LiveConfig{
+				Topology: topo, Placement: place, Policies: policies,
+				SourcePolicy: src, SketchCapacity: 64, TCPTransport: tcp,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 100; i++ {
+				_ = live.Inject(topology.Tuple{Values: []string{"a", "b"}})
+			}
+			live.Stop()
+		}
+	}
+
+	// Allow exiting goroutines to be reaped.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}

@@ -1,0 +1,755 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/locastream/locastream/internal/cluster"
+	"github.com/locastream/locastream/internal/metrics"
+	"github.com/locastream/locastream/internal/routing"
+	"github.com/locastream/locastream/internal/spacesaving"
+	"github.com/locastream/locastream/internal/state"
+	"github.com/locastream/locastream/internal/topology"
+	"github.com/locastream/locastream/internal/transport"
+)
+
+// KeyMove records one key changing owner instance during a
+// reconfiguration.
+type KeyMove struct {
+	Key  string
+	From int
+	To   int
+}
+
+// ReconfigPlan is the deployable output of the optimizer: the new routing
+// tables per recipient operator plus, for every stateful operator, the
+// keys whose owner changes (the migration workload).
+type ReconfigPlan struct {
+	Tables map[string]*routing.Table
+	Moves  map[string][]KeyMove
+}
+
+// LiveConfig configures a concurrent engine.
+type LiveConfig struct {
+	// Topology is the validated application DAG.
+	Topology *topology.Topology
+	// Placement assigns instances to servers.
+	Placement *cluster.Placement
+	// Policies maps EdgeKey(from, to) to the edge's routing policy.
+	Policies map[string]routing.Policy
+	// SourcePolicy routes injected tuples to the source operator.
+	SourcePolicy routing.Policy
+	// SourceGrouping is the grouping of the implicit source hop; the
+	// zero value means Fields.
+	SourceGrouping topology.Grouping
+	// SourceKeyField is the field used as key on the source hop (Fields
+	// grouping only).
+	SourceKeyField int
+	// SketchCapacity bounds per-instance pair sketches (0 disables
+	// instrumentation).
+	SketchCapacity int
+	// MaxInFlight blocks Inject while this many externally injected
+	// tuples are unprocessed (0 means unlimited). Internal forwards are
+	// never blocked, which keeps the reconfiguration protocol
+	// deadlock-free.
+	MaxInFlight int
+	// TCPTransport routes every cross-server message (tuples, state
+	// migrations, propagation markers) through real localhost TCP
+	// connections, one per server pair, exercising serialization and the
+	// kernel network path. Same-server messages stay in memory — exactly
+	// the asymmetry the paper exploits.
+	TCPTransport bool
+}
+
+// Live executes a topology with one goroutine per operator instance and
+// real message passing, including the online reconfiguration protocol of
+// §3.4. Create with NewLive, stop with Stop.
+type Live struct {
+	cfg   LiveConfig
+	topo  *topology.Topology
+	place *cluster.Placement
+
+	execs map[string][]*executor
+	all   []*executor
+
+	inflight *inflightCounter
+	wg       sync.WaitGroup
+	stopped  atomic.Bool
+
+	trafficMu sync.Mutex
+	traffic   map[string]*metrics.Traffic
+
+	fabric *transport.Fabric
+
+	srcSeq atomic.Uint64
+}
+
+// message is the single envelope exchanged between executors and with the
+// engine/manager, covering data tuples and the protocol messages of
+// Algorithm 1.
+type message struct {
+	kind msgKind
+
+	// data
+	tuple topology.Tuple
+	keyOp string // operator whose routing key last applied to the tuple
+	key   string // that key (used for buffering and instrumentation)
+
+	// get-metrics
+	statsReply chan []instPairStat
+
+	// inspect (state access from the executor goroutine)
+	inspectFn func(topology.Processor)
+
+	// send-reconfiguration
+	reconf *instReconfig
+	ack    chan struct{}
+
+	// migrate
+	migKey  string
+	migData []byte
+}
+
+type msgKind int
+
+const (
+	msgData msgKind = iota + 1
+	msgGetStats
+	msgReconf
+	msgPropagate
+	msgMigrate
+	msgInspect
+)
+
+// instPairStat is one executor's sketch snapshot for one operator pair.
+type instPairStat struct {
+	fromOp string
+	toOp   string
+	pairs  []spacesaving.PairCounter
+}
+
+// instReconfig is the §3.4 reconfiguration payload for one instance:
+// "reconfiguration_router, reconfiguration_send, reconfiguration_receive".
+type instReconfig struct {
+	tables map[string]*routing.Table // recipient op -> new table
+	send   map[string]int            // key -> recipient sibling instance
+	recv   map[string]int            // key -> sender sibling instance
+	done   *sync.WaitGroup           // counted down once migration completes
+}
+
+// NewLive validates cfg and starts one goroutine per instance.
+func NewLive(cfg LiveConfig) (*Live, error) {
+	if cfg.Topology == nil || cfg.Placement == nil {
+		return nil, errors.New("engine: live needs a topology and a placement")
+	}
+	if cfg.SourcePolicy == nil {
+		return nil, errors.New("engine: live needs a source policy")
+	}
+	for _, e := range cfg.Topology.Edges() {
+		if cfg.Policies[EdgeKey(e.From, e.To)] == nil {
+			return nil, fmt.Errorf("engine: no policy for edge %s", EdgeKey(e.From, e.To))
+		}
+	}
+
+	l := &Live{
+		cfg:      cfg,
+		topo:     cfg.Topology,
+		place:    cfg.Placement,
+		execs:    make(map[string][]*executor),
+		inflight: newInflightCounter(cfg.MaxInFlight),
+		traffic:  make(map[string]*metrics.Traffic),
+	}
+	for _, e := range cfg.Topology.Edges() {
+		l.traffic[EdgeKey(e.From, e.To)] = &metrics.Traffic{}
+	}
+
+	for _, op := range cfg.Topology.Operators() {
+		// Propagation fan-in: the source operator is triggered by the
+		// manager (one PROPAGATE); the others by every predecessor
+		// instance.
+		needed := 1
+		if preds := cfg.Topology.Predecessors(op.Name); len(preds) > 0 {
+			needed = 0
+			for _, p := range preds {
+				needed += cfg.Placement.Parallelism(p)
+			}
+		}
+		insts := make([]*executor, op.Parallelism)
+		for i := range insts {
+			insts[i] = &executor{
+				eng:              l,
+				op:               cfg.Topology.Operator(op.Name),
+				inst:             i,
+				server:           cfg.Placement.ServerOf(op.Name, i),
+				proc:             op.New(),
+				box:              newMailbox(),
+				outEdges:         cfg.Topology.OutEdges(op.Name),
+				sketches:         make(map[[2]string]*spacesaving.PairSketch),
+				buf:              state.NewBuffer(),
+				propagatesNeeded: needed,
+			}
+		}
+		l.execs[op.Name] = insts
+		l.all = append(l.all, insts...)
+	}
+	if cfg.TCPTransport {
+		fabric, err := transport.NewFabric(cfg.Placement.Servers(), func(_ int, msg transport.Message) {
+			l.deliverWire(msg)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("engine: start transport: %w", err)
+		}
+		l.fabric = fabric
+	}
+	for _, ex := range l.all {
+		l.wg.Add(1)
+		go ex.run()
+	}
+	return l, nil
+}
+
+// deliverWire converts a transport message back into an engine message
+// and enqueues it at the addressed instance.
+func (l *Live) deliverWire(msg transport.Message) {
+	insts := l.execs[msg.To.Op]
+	if msg.To.Instance < 0 || msg.To.Instance >= len(insts) {
+		return // corrupt address; drop
+	}
+	box := insts[msg.To.Instance].box
+	switch msg.Kind {
+	case transport.KindData:
+		box.put(message{
+			kind:  msgData,
+			tuple: topology.Tuple{Values: msg.Values, Padding: msg.Padding},
+			keyOp: msg.KeyOp,
+			key:   msg.Key,
+		})
+	case transport.KindMigrate:
+		box.put(message{kind: msgMigrate, migKey: msg.MigKey, migData: msg.MigData})
+	case transport.KindPropagate:
+		box.put(message{kind: msgPropagate})
+	}
+}
+
+// send routes a data/migrate/propagate message to an instance, over TCP
+// when the recipient lives on a different server and a fabric is
+// attached. Transport failures (only possible during shutdown) fall back
+// to direct delivery.
+func (l *Live) send(toOp string, toInst, fromServer int, msg message) {
+	toServer := l.place.ServerOf(toOp, toInst)
+	if l.fabric != nil && fromServer >= 0 && toServer >= 0 && toServer != fromServer {
+		wire := transport.Message{To: transport.Addr{Op: toOp, Instance: toInst}}
+		switch msg.kind {
+		case msgData:
+			wire.Kind = transport.KindData
+			wire.Values = msg.tuple.Values
+			wire.Padding = msg.tuple.Padding
+			wire.KeyOp = msg.keyOp
+			wire.Key = msg.key
+		case msgMigrate:
+			wire.Kind = transport.KindMigrate
+			wire.MigKey = msg.migKey
+			wire.MigData = msg.migData
+		case msgPropagate:
+			wire.Kind = transport.KindPropagate
+		default:
+			l.execs[toOp][toInst].box.put(msg)
+			return
+		}
+		if err := l.fabric.Send(fromServer, toServer, wire); err == nil {
+			return
+		}
+	}
+	l.execs[toOp][toInst].box.put(msg)
+}
+
+// Inject routes one external tuple into the topology. It blocks when
+// MaxInFlight is configured and reached, providing source backpressure.
+// Injecting into a stopped engine returns an error.
+func (l *Live) Inject(t topology.Tuple) error {
+	if l.stopped.Load() {
+		return errors.New("engine: inject on stopped engine")
+	}
+	srcOp := l.topo.Source()
+	keyOp, key := "", ""
+	if l.cfg.SourceGrouping == 0 || l.cfg.SourceGrouping == topology.Fields {
+		key = t.Field(l.cfg.SourceKeyField)
+		keyOp = srcOp
+	}
+	inst := l.cfg.SourcePolicy.Route(key, -1, l.srcSeq.Add(1))
+	l.inflight.incExternal()
+	l.execs[srcOp][inst].box.put(message{kind: msgData, tuple: t, keyOp: keyOp, key: key})
+	return nil
+}
+
+// Drain blocks until every injected tuple has been fully processed
+// (tuples buffered while awaiting migrated state are excluded; they are
+// flushed by the in-progress reconfiguration).
+func (l *Live) Drain() { l.inflight.waitZero() }
+
+// Stop drains outstanding work, terminates all executors and waits for
+// them to exit. Stop is idempotent.
+func (l *Live) Stop() {
+	if l.stopped.Swap(true) {
+		return
+	}
+	l.Drain()
+	for _, ex := range l.all {
+		ex.box.close()
+	}
+	l.wg.Wait()
+	if l.fabric != nil {
+		l.fabric.Close()
+	}
+}
+
+// CollectPairStats performs steps 1-2 of Algorithm 1: every instance
+// reports (and resets) its pair sketches; the results are merged per
+// operator pair.
+func (l *Live) CollectPairStats() []PairStat {
+	replies := make([]chan []instPairStat, len(l.all))
+	for i, ex := range l.all {
+		replies[i] = make(chan []instPairStat, 1)
+		ex.box.put(message{kind: msgGetStats, statsReply: replies[i]})
+	}
+	merged := make(map[[2]string]*spacesaving.PairSketch)
+	for _, ch := range replies {
+		for _, st := range <-ch {
+			id := [2]string{st.fromOp, st.toOp}
+			sk := merged[id]
+			if sk == nil {
+				sk = spacesaving.NewPairs(maxInt(l.cfg.SketchCapacity, len(st.pairs)) * maxInt(1, len(l.all)))
+				merged[id] = sk
+			}
+			for _, p := range st.pairs {
+				sk.AddWeighted(p.In, p.Out, p.Count)
+			}
+		}
+	}
+	ids := make([][2]string, 0, len(merged))
+	for id := range merged {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i][0] != ids[j][0] {
+			return ids[i][0] < ids[j][0]
+		}
+		return ids[i][1] < ids[j][1]
+	})
+	out := make([]PairStat, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, PairStat{FromOp: id[0], ToOp: id[1], Pairs: merged[id].Counters()})
+	}
+	return out
+}
+
+// Reconfigure deploys a new configuration with the protocol of §3.4:
+// reconfiguration messages to every instance (3), acknowledgements (4),
+// DAG-ordered propagation (5) and state migration with buffering (6). It
+// returns once every instance has propagated and received all awaited
+// state. The data stream keeps flowing during the call.
+func (l *Live) Reconfigure(plan ReconfigPlan) error {
+	if l.stopped.Load() {
+		return errors.New("engine: reconfigure on stopped engine")
+	}
+	var done sync.WaitGroup
+
+	// Step 3: build and send per-instance reconfiguration messages.
+	acks := make([]chan struct{}, 0, len(l.all))
+	for _, opName := range l.topo.Order() {
+		insts := l.execs[opName]
+		sendLists, recvLists := movesByInstance(plan.Moves[opName], len(insts))
+		for i, ex := range insts {
+			rc := &instReconfig{
+				tables: tablesForSender(l.topo, opName, plan.Tables),
+				send:   sendLists[i],
+				recv:   recvLists[i],
+				done:   &done,
+			}
+			done.Add(1)
+			ack := make(chan struct{}, 1)
+			acks = append(acks, ack)
+			ex.box.put(message{kind: msgReconf, reconf: rc, ack: ack})
+		}
+	}
+	// Step 4: wait for all acknowledgements. After this point every
+	// instance has armed its migration buffer, so tuples routed with the
+	// new tables can never be processed before their state arrives.
+	for _, ack := range acks {
+		<-ack
+	}
+
+	// The manager-side router for the external source hop switches now,
+	// before the first PROPAGATE, mirroring the manager triggering the
+	// first PO.
+	if table, ok := plan.Tables[l.topo.Source()]; ok {
+		if tf, ok := l.cfg.SourcePolicy.(*routing.TableFields); ok {
+			tf.Update(table)
+		}
+	}
+
+	// Step 5: trigger the operators with no predecessors.
+	for _, opName := range l.topo.Order() {
+		if len(l.topo.Predecessors(opName)) == 0 {
+			for _, ex := range l.execs[opName] {
+				ex.box.put(message{kind: msgPropagate})
+			}
+		}
+	}
+
+	// Step 6 happens inside the executors; wait for full completion.
+	done.Wait()
+	return nil
+}
+
+// tablesForSender selects the new tables relevant to an instance of op:
+// one per fields-grouped out-edge.
+func tablesForSender(t *topology.Topology, op string, tables map[string]*routing.Table) map[string]*routing.Table {
+	out := make(map[string]*routing.Table)
+	for _, e := range t.OutEdges(op) {
+		if e.Grouping != topology.Fields {
+			continue
+		}
+		if table, ok := tables[e.To]; ok {
+			out[e.To] = table
+		}
+	}
+	return out
+}
+
+// movesByInstance splits an operator's key moves into per-instance send
+// and receive lists.
+func movesByInstance(moves []KeyMove, instances int) (send, recv []map[string]int) {
+	send = make([]map[string]int, instances)
+	recv = make([]map[string]int, instances)
+	for i := 0; i < instances; i++ {
+		send[i] = make(map[string]int)
+		recv[i] = make(map[string]int)
+	}
+	for _, m := range moves {
+		if m.From < 0 || m.From >= instances || m.To < 0 || m.To >= instances || m.From == m.To {
+			continue
+		}
+		send[m.From][m.Key] = m.To
+		recv[m.To][m.Key] = m.From
+	}
+	return send, recv
+}
+
+// Traffic returns the accumulated traffic of one edge.
+func (l *Live) Traffic(from, to string) metrics.Traffic {
+	l.trafficMu.Lock()
+	defer l.trafficMu.Unlock()
+	if tr := l.traffic[EdgeKey(from, to)]; tr != nil {
+		return *tr
+	}
+	return metrics.Traffic{}
+}
+
+// FieldsTraffic aggregates traffic over every fields-grouped edge.
+func (l *Live) FieldsTraffic() metrics.Traffic {
+	l.trafficMu.Lock()
+	defer l.trafficMu.Unlock()
+	var agg metrics.Traffic
+	for _, e := range l.topo.FieldsEdges() {
+		agg.Add(*l.traffic[EdgeKey(e.From, e.To)])
+	}
+	return agg
+}
+
+// Loads returns tuples processed per instance of op.
+func (l *Live) Loads(op string) []uint64 {
+	insts := l.execs[op]
+	out := make([]uint64, len(insts))
+	for i, ex := range insts {
+		out[i] = ex.processed.Load()
+	}
+	return out
+}
+
+// ProcessorState runs fn inside the executor goroutine of (op, inst),
+// giving safe access to the processor's state. It blocks until fn has
+// run. It returns an error for unknown instances.
+func (l *Live) ProcessorState(op string, inst int, fn func(topology.Processor)) error {
+	insts := l.execs[op]
+	if inst < 0 || inst >= len(insts) {
+		return fmt.Errorf("engine: unknown instance %s[%d]", op, inst)
+	}
+	doneCh := make(chan struct{})
+	insts[inst].box.put(message{kind: msgInspect, inspectFn: func(p topology.Processor) {
+		fn(p)
+		close(doneCh)
+	}})
+	<-doneCh
+	return nil
+}
+
+func (l *Live) recordTraffic(edge string, sameServer, sameRack bool, size int) {
+	l.trafficMu.Lock()
+	if tr := l.traffic[edge]; tr != nil {
+		tr.RecordLevel(sameServer, sameRack, size)
+	}
+	l.trafficMu.Unlock()
+}
+
+// --- executor ---------------------------------------------------------------
+
+// executor runs one operator instance: it owns the processor, the pair
+// sketches and the migration buffer, and implements the instance side of
+// Algorithm 1.
+type executor struct {
+	eng      *Live
+	op       *topology.Operator
+	inst     int
+	server   int
+	proc     topology.Processor
+	box      *mailbox
+	outEdges []topology.Edge
+
+	sketches map[[2]string]*spacesaving.PairSketch
+	buf      *state.Buffer
+	seq      uint64
+
+	pendingReconf    *instReconfig
+	propagatesSeen   int
+	propagatesNeeded int
+	propagated       bool
+
+	processed atomic.Uint64
+}
+
+func (e *executor) run() {
+	defer e.eng.wg.Done()
+	for {
+		msg, ok := e.box.get()
+		if !ok {
+			return
+		}
+		switch msg.kind {
+		case msgData:
+			e.onData(msg)
+		case msgGetStats:
+			e.onGetStats(msg)
+		case msgReconf:
+			e.onReconf(msg)
+		case msgPropagate:
+			e.onPropagate()
+		case msgMigrate:
+			e.onMigrate(msg)
+		case msgInspect:
+			if msg.inspectFn != nil {
+				msg.inspectFn(e.proc)
+			}
+		}
+	}
+}
+
+func (e *executor) onData(msg message) {
+	// Buffer tuples for keys whose state has not arrived yet (§3.4).
+	if msg.keyOp == e.op.Name && e.buf.Pending(msg.key) {
+		e.buf.Hold(msg.key, msg.tuple)
+		e.eng.inflight.dec()
+		return
+	}
+	e.process(msg.tuple, msg.keyOp, msg.key)
+	e.eng.inflight.dec()
+}
+
+// process runs the operator logic on one tuple and forwards emissions.
+func (e *executor) process(t topology.Tuple, keyOp, key string) {
+	e.processed.Add(1)
+	e.proc.Process(t, func(out topology.Tuple) {
+		for _, edge := range e.outEdges {
+			e.forward(edge, keyOp, key, out)
+		}
+	})
+}
+
+func (e *executor) forward(edge topology.Edge, keyOp, key string, out topology.Tuple) {
+	nextKeyOp, nextKey := keyOp, key
+	routeKey := ""
+	if edge.Grouping == topology.Fields {
+		routeKey = out.Field(edge.KeyField)
+		if e.eng.cfg.SketchCapacity > 0 && keyOp != "" {
+			id := [2]string{keyOp, edge.To}
+			sk := e.sketches[id]
+			if sk == nil {
+				sk = spacesaving.NewPairs(e.eng.cfg.SketchCapacity)
+				e.sketches[id] = sk
+			}
+			sk.Add(key, routeKey)
+		}
+		nextKeyOp, nextKey = edge.To, routeKey
+	}
+	e.seq++
+	policy := e.eng.cfg.Policies[EdgeKey(edge.From, edge.To)]
+	target := policy.Route(routeKey, e.server, e.seq)
+	targetServer := e.eng.place.ServerOf(edge.To, target)
+	sameServer := targetServer == e.server
+	sameRack := sameServer || e.eng.place.RackOf(targetServer) == e.eng.place.RackOf(e.server)
+	e.eng.recordTraffic(EdgeKey(edge.From, edge.To), sameServer, sameRack, out.Size())
+	e.eng.inflight.incInternal()
+	e.eng.send(edge.To, target, e.server, message{
+		kind: msgData, tuple: out, keyOp: nextKeyOp, key: nextKey,
+	})
+}
+
+func (e *executor) onGetStats(msg message) {
+	stats := make([]instPairStat, 0, len(e.sketches))
+	for id, sk := range e.sketches {
+		stats = append(stats, instPairStat{fromOp: id[0], toOp: id[1], pairs: sk.Counters()})
+		sk.Reset()
+	}
+	msg.statsReply <- stats
+}
+
+func (e *executor) onReconf(msg message) {
+	e.pendingReconf = msg.reconf
+	e.propagated = false
+	e.propagatesSeen = 0
+	// Arm the migration buffer before acknowledging: once the manager
+	// has every ACK, any instance may route with the new tables, and
+	// tuples for moved keys must be buffered until their state arrives.
+	keys := make([]string, 0, len(msg.reconf.recv))
+	for k := range msg.reconf.recv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.buf.Expect(keys)
+	msg.ack <- struct{}{}
+}
+
+func (e *executor) onPropagate() {
+	e.propagatesSeen++
+	if e.pendingReconf == nil || e.propagated || e.propagatesSeen < e.propagatesNeeded {
+		return
+	}
+	rc := e.pendingReconf
+	// update_routing: install the new tables on this instance's
+	// fields-grouped out-edges. Shared policy objects make this
+	// idempotent across sibling instances.
+	for toOp, table := range rc.tables {
+		for _, edge := range e.outEdges {
+			if edge.To != toOp || edge.Grouping != topology.Fields {
+				continue
+			}
+			if tf, ok := e.eng.cfg.Policies[EdgeKey(edge.From, edge.To)].(*routing.TableFields); ok {
+				tf.Update(table)
+			}
+		}
+	}
+	// Migrate outgoing state. A record is sent for every planned key —
+	// with nil payload when the key has no state — so recipients always
+	// clear their pending markers.
+	if len(rc.send) > 0 {
+		keys := make([]string, 0, len(rc.send))
+		for k := range rc.send {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		keyed, _ := e.proc.(topology.Keyed)
+		for _, k := range keys {
+			var data []byte
+			if keyed != nil {
+				if snap, ok := keyed.SnapshotKey(k); ok {
+					data = snap
+					keyed.DeleteKey(k)
+				}
+			}
+			e.eng.send(e.op.Name, rc.send[k], e.server, message{
+				kind: msgMigrate, migKey: k, migData: data,
+			})
+		}
+	}
+	// Forward the propagation wave to every successor instance.
+	for _, succ := range e.eng.topo.Successors(e.op.Name) {
+		for i := range e.eng.execs[succ] {
+			e.eng.send(succ, i, e.server, message{kind: msgPropagate})
+		}
+	}
+	e.propagated = true
+	e.propagatesSeen = 0
+	e.maybeFinishReconf()
+}
+
+func (e *executor) onMigrate(msg message) {
+	if msg.migData != nil {
+		if keyed, ok := e.proc.(topology.Keyed); ok {
+			// Restore failures indicate incompatible processor versions;
+			// the engine surfaces them as a panic in tests via the
+			// processor itself. Here the state is dropped and processing
+			// continues, matching the at-most-once semantics of the
+			// underlying engine ("the guarantees are the ones provided
+			// by the streaming engine", §3.4).
+			_ = keyed.RestoreKey(msg.migKey, msg.migData)
+		}
+	}
+	for _, t := range e.buf.Arrive(msg.migKey) {
+		e.process(t, e.op.Name, msg.migKey)
+	}
+	e.maybeFinishReconf()
+}
+
+// maybeFinishReconf reports completion once this instance has propagated
+// and holds no pending keys.
+func (e *executor) maybeFinishReconf() {
+	if e.pendingReconf == nil || !e.propagated || e.buf.PendingCount() > 0 {
+		return
+	}
+	e.pendingReconf.done.Done()
+	e.pendingReconf = nil
+	e.propagated = false
+}
+
+// --- in-flight accounting -----------------------------------------------------
+
+// inflightCounter tracks unprocessed tuples. External injections block at
+// the configured high-water mark; internal forwards never block (the
+// protocol's liveness depends on executors always being able to send).
+type inflightCounter struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int64
+	max  int64
+}
+
+func newInflightCounter(max int) *inflightCounter {
+	c := &inflightCounter{max: int64(max)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *inflightCounter) incExternal() {
+	c.mu.Lock()
+	for c.max > 0 && c.n >= c.max {
+		c.cond.Wait()
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *inflightCounter) incInternal() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *inflightCounter) dec() {
+	c.mu.Lock()
+	c.n--
+	if c.n <= 0 || c.n < c.max {
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+func (c *inflightCounter) waitZero() {
+	c.mu.Lock()
+	for c.n > 0 {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}

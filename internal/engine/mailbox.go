@@ -1,0 +1,70 @@
+package engine
+
+import "sync"
+
+// mailbox is an unbounded FIFO queue feeding one executor goroutine.
+//
+// Unlike a bounded channel, an unbounded mailbox cannot deadlock when
+// sibling instances exchange MIGRATE messages while their queues are full
+// of data (the classic distributed-cycle hazard of the reconfiguration
+// protocol). Storm's executors similarly rely on queues with very large
+// effective capacity; callers that need flow control bound the number of
+// in-flight tuples at the source instead (see Live.MaxInFlight).
+type mailbox struct {
+	mu     sync.Mutex
+	nonEmp *sync.Cond
+	items  []message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.nonEmp = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues a message. Messages put after close are dropped.
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	if !m.closed {
+		m.items = append(m.items, msg)
+		m.nonEmp.Signal()
+	}
+	m.mu.Unlock()
+}
+
+// get blocks until a message is available or the mailbox is closed
+// (ok == false).
+func (m *mailbox) get() (message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.items) == 0 && !m.closed {
+		m.nonEmp.Wait()
+	}
+	if len(m.items) == 0 {
+		return message{}, false
+	}
+	msg := m.items[0]
+	// Avoid retaining tuple payloads in the backing array.
+	m.items[0] = message{}
+	m.items = m.items[1:]
+	if len(m.items) == 0 {
+		m.items = nil // release the backing array
+	}
+	return msg, true
+}
+
+// close wakes the executor and makes it exit once the queue drains.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.nonEmp.Broadcast()
+	m.mu.Unlock()
+}
+
+// len reports the current queue length.
+func (m *mailbox) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items)
+}

@@ -1,0 +1,412 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"github.com/locastream/locastream/internal/cluster"
+	"github.com/locastream/locastream/internal/routing"
+	"github.com/locastream/locastream/internal/simnet"
+	"github.com/locastream/locastream/internal/topology"
+)
+
+// paperTopology builds the evaluation application of §4.1: two stateful
+// counting operators A and B, fields-routed by the first and second tuple
+// field respectively.
+func paperTopology(t testing.TB, parallelism int) (*topology.Topology, *cluster.Placement) {
+	t.Helper()
+	topo, err := topology.NewBuilder("eval").
+		AddOperator(topology.Operator{
+			Name: "A", Parallelism: parallelism, Stateful: true,
+			New: func() topology.Processor { return topology.NewCounter(0) },
+		}).
+		AddOperator(topology.Operator{
+			Name: "B", Parallelism: parallelism, Stateful: true,
+			New: func() topology.Processor { return topology.NewCounter(1) },
+		}).
+		Connect("A", "B", topology.Fields, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	place, err := cluster.NewRoundRobin(topo, parallelism)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, place
+}
+
+func newSim(t testing.TB, parallelism int, mode FieldsMode) *Sim {
+	t.Helper()
+	topo, place := paperTopology(t, parallelism)
+	policies, err := NewPolicies(topo, place, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSourcePolicy(topo, place, topology.Fields, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(SimConfig{
+		Topology:       topo,
+		Placement:      place,
+		Model:          simnet.Default10G(),
+		Policies:       policies,
+		SourcePolicy:   src,
+		SourceKeyField: 0,
+		SketchCapacity: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// identityTables routes key "i" to instance i for both operators.
+func identityTables(parallelism int) map[string]*routing.Table {
+	assign := make(map[string]int, parallelism)
+	for i := 0; i < parallelism; i++ {
+		assign[strconv.Itoa(i)] = i
+	}
+	return map[string]*routing.Table{
+		"A": {Version: 1, Assign: assign},
+		"B": {Version: 1, Assign: assign},
+	}
+}
+
+func injectSynthetic(s *Sim, n, parallelism int, locality float64, padding int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		a := rng.Intn(parallelism)
+		b := a
+		if rng.Float64() >= locality {
+			b = (a + 1 + rng.Intn(parallelism-1)) % parallelism
+		}
+		s.Inject(topology.Tuple{
+			Values:  []string{strconv.Itoa(a), strconv.Itoa(b)},
+			Padding: padding,
+		})
+	}
+}
+
+func TestSimValidation(t *testing.T) {
+	topo, place := paperTopology(t, 2)
+	policies, _ := NewPolicies(topo, place, FieldsHash)
+	src, _ := NewSourcePolicy(topo, place, topology.Fields, FieldsHash)
+
+	if _, err := NewSim(SimConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewSim(SimConfig{Topology: topo, Placement: place, Policies: policies}); err == nil {
+		t.Error("missing source policy accepted")
+	}
+	if _, err := NewSim(SimConfig{Topology: topo, Placement: place, SourcePolicy: src}); err == nil {
+		t.Error("missing edge policy accepted")
+	}
+}
+
+func TestSimFullLocalityNoNetwork(t *testing.T) {
+	sim := newSim(t, 4, FieldsTable)
+	sim.ApplyTables(identityTables(4))
+	injectSynthetic(sim, 4000, 4, 1.0, 1000, 1)
+
+	tr := sim.FieldsTraffic()
+	if tr.RemoteTuples != 0 {
+		t.Fatalf("remote tuples = %d, want 0 at 100%% locality", tr.RemoteTuples)
+	}
+	if got := tr.Locality(); got != 1.0 {
+		t.Fatalf("locality = %f, want 1", got)
+	}
+	if _, label := sim.Bottleneck(); label == "idle" {
+		t.Fatal("no resource usage recorded")
+	}
+}
+
+func TestSimHashLocalityMatchesRandom(t *testing.T) {
+	// With n servers, hash routing gives ~1/n locality (§4.3 observes
+	// 16.6% for n=6).
+	const n = 6
+	sim := newSim(t, n, FieldsHash)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 30000; i++ {
+		sim.Inject(topology.Tuple{Values: []string{
+			fmt.Sprintf("loc%d", rng.Intn(500)),
+			fmt.Sprintf("tag%d", rng.Intn(500)),
+		}})
+	}
+	got := sim.FieldsTraffic().Locality()
+	if math.Abs(got-1.0/n) > 0.03 {
+		t.Fatalf("hash locality = %f, want ~%f", got, 1.0/n)
+	}
+}
+
+func TestSimWorstCaseZeroLocality(t *testing.T) {
+	sim := newSim(t, 3, FieldsWorstCase)
+	injectSynthetic(sim, 3000, 3, 1.0, 0, 3)
+	tr := sim.FieldsTraffic()
+	if tr.LocalTuples != 0 {
+		t.Fatalf("local tuples = %d, want 0 in worst case", tr.LocalTuples)
+	}
+}
+
+func TestSimLocalityAwareBeatsHash(t *testing.T) {
+	const (
+		n       = 6
+		padding = 8192
+		tuples  = 6000
+	)
+	aware := newSim(t, n, FieldsTable)
+	aware.ApplyTables(identityTables(n))
+	injectSynthetic(aware, tuples, n, 1.0, padding, 4)
+
+	hash := newSim(t, n, FieldsHash)
+	injectSynthetic(hash, tuples, n, 1.0, padding, 4)
+
+	ta := aware.ThroughputPerSec()
+	th := hash.ThroughputPerSec()
+	if ta <= th {
+		t.Fatalf("locality-aware %.0f <= hash %.0f tuples/s", ta, th)
+	}
+	if ta/th < 1.5 {
+		t.Errorf("gain %.2fx, want >= 1.5x at 8kB padding", ta/th)
+	}
+}
+
+func TestSimThroughputScalesWithParallelism(t *testing.T) {
+	// At 100% locality the paper reports linear scaling (Fig. 7d-f).
+	prev := 0.0
+	for _, n := range []int{1, 2, 4} {
+		sim := newSim(t, n, FieldsTable)
+		sim.ApplyTables(identityTables(n))
+		injectSynthetic(sim, 2000*n, n, 1.0, 4096, 5)
+		tp := sim.ThroughputPerSec()
+		if tp <= prev {
+			t.Fatalf("throughput %.0f at n=%d not higher than %.0f", tp, n, prev)
+		}
+		prev = tp
+	}
+}
+
+func TestSimCountsPreserved(t *testing.T) {
+	// Every injected tuple must be counted exactly once by each
+	// operator, whatever the routing.
+	sim := newSim(t, 3, FieldsHash)
+	injectSynthetic(sim, 999, 3, 0.7, 0, 6)
+
+	var totalA, totalB uint64
+	for i := 0; i < 3; i++ {
+		a, ok := sim.Processor("A", i).(*topology.Counter)
+		if !ok {
+			t.Fatal("processor A is not a Counter")
+		}
+		totalA += a.TotalCount()
+		b := sim.Processor("B", i).(*topology.Counter)
+		totalB += b.TotalCount()
+	}
+	if totalA != 999 || totalB != 999 {
+		t.Fatalf("counts A=%d B=%d, want 999 each", totalA, totalB)
+	}
+	if sim.Processor("A", 99) != nil || sim.Processor("zzz", 0) != nil {
+		t.Fatal("invalid Processor lookups should return nil")
+	}
+}
+
+func TestSimSameKeySameInstance(t *testing.T) {
+	// Fields grouping consistency: all tuples with key k reach the same
+	// B instance, so exactly one B instance has a nonzero count for k.
+	sim := newSim(t, 4, FieldsHash)
+	for i := 0; i < 100; i++ {
+		sim.Inject(topology.Tuple{Values: []string{fmt.Sprintf("a%d", i%7), "hot"}})
+	}
+	owners := 0
+	for i := 0; i < 4; i++ {
+		if sim.Processor("B", i).(*topology.Counter).Count("hot") > 0 {
+			owners++
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("key 'hot' counted on %d instances, want 1", owners)
+	}
+}
+
+func TestSimPairStats(t *testing.T) {
+	sim := newSim(t, 2, FieldsHash)
+	for i := 0; i < 50; i++ {
+		sim.Inject(topology.Tuple{Values: []string{"Asia", "#java"}})
+	}
+	for i := 0; i < 20; i++ {
+		sim.Inject(topology.Tuple{Values: []string{"Oceania", "#python"}})
+	}
+	stats := sim.PairStats(false)
+	if len(stats) != 1 {
+		t.Fatalf("PairStats returned %d bundles, want 1", len(stats))
+	}
+	st := stats[0]
+	if st.FromOp != "A" || st.ToOp != "B" {
+		t.Fatalf("pair ops = %s->%s, want A->B", st.FromOp, st.ToOp)
+	}
+	if len(st.Pairs) != 2 {
+		t.Fatalf("got %d pairs, want 2", len(st.Pairs))
+	}
+	if st.Pairs[0].In != "Asia" || st.Pairs[0].Out != "#java" || st.Pairs[0].Count != 50 {
+		t.Fatalf("top pair = %+v", st.Pairs[0])
+	}
+
+	// Reset semantics.
+	stats = sim.PairStats(true)
+	if stats[0].Pairs[0].Count != 50 {
+		t.Fatal("snapshot before reset lost data")
+	}
+	stats = sim.PairStats(false)
+	if len(stats[0].Pairs) != 0 {
+		t.Fatalf("sketches not reset: %+v", stats[0].Pairs)
+	}
+}
+
+func TestSimSketchDisabled(t *testing.T) {
+	topo, place := paperTopology(t, 2)
+	policies, _ := NewPolicies(topo, place, FieldsHash)
+	src, _ := NewSourcePolicy(topo, place, topology.Fields, FieldsHash)
+	sim, err := NewSim(SimConfig{
+		Topology: topo, Placement: place, Model: simnet.Default10G(),
+		Policies: policies, SourcePolicy: src,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Inject(topology.Tuple{Values: []string{"a", "b"}})
+	if got := sim.PairStats(false); len(got) != 0 {
+		t.Fatalf("instrumentation should be disabled, got %d bundles", len(got))
+	}
+}
+
+func TestSimLoadsAndWindowReset(t *testing.T) {
+	sim := newSim(t, 2, FieldsHash)
+	injectSynthetic(sim, 100, 2, 0.5, 0, 7)
+	loads := sim.Loads("A")
+	if len(loads) != 2 || loads[0]+loads[1] != 100 {
+		t.Fatalf("Loads(A) = %v, want sum 100", loads)
+	}
+	if sim.Injected() != 100 {
+		t.Fatalf("Injected() = %d", sim.Injected())
+	}
+
+	sim.ResetWindow()
+	if sim.Injected() != 0 {
+		t.Fatal("Injected not reset")
+	}
+	if l := sim.Loads("A"); l[0]+l[1] != 0 {
+		t.Fatal("loads not reset")
+	}
+	if tr := sim.FieldsTraffic(); tr.Total() != 0 {
+		t.Fatal("traffic not reset")
+	}
+	if tp := sim.ThroughputPerSec(); tp != 0 {
+		t.Fatalf("throughput after reset = %f", tp)
+	}
+	// Operator state must survive the window reset.
+	var total uint64
+	for i := 0; i < 2; i++ {
+		total += sim.Processor("A", i).(*topology.Counter).TotalCount()
+	}
+	if total != 100 {
+		t.Fatalf("operator state lost on window reset: %d", total)
+	}
+}
+
+func TestSimInjectAll(t *testing.T) {
+	sim := newSim(t, 2, FieldsHash)
+	i := 0
+	sim.InjectAll(func() (topology.Tuple, bool) {
+		if i >= 10 {
+			return topology.Tuple{}, false
+		}
+		i++
+		return topology.Tuple{Values: []string{"a", "b"}}, true
+	})
+	if sim.Injected() != 10 {
+		t.Fatalf("Injected() = %d, want 10", sim.Injected())
+	}
+}
+
+func TestSimTrafficPerEdge(t *testing.T) {
+	sim := newSim(t, 2, FieldsHash)
+	injectSynthetic(sim, 50, 2, 1.0, 0, 8)
+	tr := sim.Traffic("A", "B")
+	if tr.Total() != 50 {
+		t.Fatalf("edge traffic total = %d, want 50", tr.Total())
+	}
+	if unknown := sim.Traffic("X", "Y"); unknown.Total() != 0 {
+		t.Fatal("unknown edge should report zero traffic")
+	}
+}
+
+func TestSimChargeSourceHop(t *testing.T) {
+	topo, place := paperTopology(t, 2)
+	policies, _ := NewPolicies(topo, place, FieldsHash)
+	src, _ := NewSourcePolicy(topo, place, topology.Fields, FieldsHash)
+	sim, err := NewSim(SimConfig{
+		Topology: topo, Placement: place, Model: simnet.Default10G(),
+		Policies: policies, SourcePolicy: src, ChargeSourceHop: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Inject(topology.Tuple{Values: []string{"a", "b"}, Padding: 10000})
+	free := newSim(t, 2, FieldsHash)
+	free.Inject(topology.Tuple{Values: []string{"a", "b"}, Padding: 10000})
+
+	chargedBusy, _ := sim.Bottleneck()
+	freeBusy, _ := free.Bottleneck()
+	if chargedBusy <= freeBusy {
+		t.Fatalf("charged source hop busy %.0f <= free %.0f", chargedBusy, freeBusy)
+	}
+}
+
+func TestFieldsModeString(t *testing.T) {
+	if FieldsHash.String() != "hash-based" ||
+		FieldsTable.String() != "locality-aware" ||
+		FieldsWorstCase.String() != "worst-case" {
+		t.Fatal("mode names wrong")
+	}
+	if FieldsMode(9).String() == "" {
+		t.Fatal("unknown mode should still format")
+	}
+}
+
+func TestNewPoliciesGroupings(t *testing.T) {
+	topo, err := topology.NewBuilder("mixed").
+		AddOperator(topology.Operator{Name: "A", Parallelism: 2, New: topology.Passthrough}).
+		AddOperator(topology.Operator{Name: "B", Parallelism: 2, New: topology.Passthrough}).
+		AddOperator(topology.Operator{Name: "C", Parallelism: 2, New: topology.Passthrough}).
+		AddOperator(topology.Operator{Name: "D", Parallelism: 2, Stateful: true,
+			New: func() topology.Processor { return topology.NewCounter(0) }}).
+		Connect("A", "B", topology.Shuffle, 0).
+		Connect("B", "C", topology.LocalOrShuffle, 0).
+		Connect("C", "D", topology.Fields, 0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	place, _ := cluster.NewRoundRobin(topo, 2)
+	policies, err := NewPolicies(topo, place, FieldsTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := policies[EdgeKey("A", "B")].(*routing.Shuffle); !ok {
+		t.Error("A->B should be shuffle")
+	}
+	if _, ok := policies[EdgeKey("B", "C")].(*routing.LocalOrShuffle); !ok {
+		t.Error("B->C should be local-or-shuffle")
+	}
+	if _, ok := policies[EdgeKey("C", "D")].(*routing.TableFields); !ok {
+		t.Error("C->D should be table fields")
+	}
+
+	if _, err := NewPolicies(topo, place, FieldsMode(99)); err == nil {
+		t.Error("invalid mode accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import "testing"
+
+// smokeScale makes the ablation smoke tests fast; the shape-sensitive
+// assertions live in the dedicated tests above.
+const smokeScale = Scale(0.02)
+
+func TestAblationsRunAndProduceSeries(t *testing.T) {
+	figs, err := AllAblations(smokeScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 5 {
+		t.Fatalf("%d ablations, want 5", len(figs))
+	}
+	for _, fig := range figs {
+		if len(fig.Series) == 0 {
+			t.Errorf("%s: no series", fig.ID)
+		}
+		for _, s := range fig.Series {
+			if len(s.Points) == 0 {
+				t.Errorf("%s/%s: no points", fig.ID, s.Label)
+			}
+			for _, p := range s.Points {
+				if p.Y < 0 {
+					t.Errorf("%s/%s: negative value %f", fig.ID, s.Label, p.Y)
+				}
+			}
+		}
+	}
+}
+
+func TestAblationRefinementNeverWorse(t *testing.T) {
+	fig, err := AblationRefinement(smokeScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRef := seriesByLabel(t, fig, "multilevel+FM").Sorted()
+	withoutRef := seriesByLabel(t, fig, "greedy-only").Sorted()
+	for i := range withRef {
+		// Allow small noise; refinement should not lose much and usually
+		// wins clearly.
+		if withRef[i].Y+0.1 < withoutRef[i].Y {
+			t.Errorf("parallelism %.0f: FM %.3f clearly below greedy %.3f",
+				withRef[i].X, withRef[i].Y, withoutRef[i].Y)
+		}
+	}
+}
+
+func TestFigureByIDCoversAblations(t *testing.T) {
+	for _, id := range []string{
+		"ablation-refinement", "ablation-sketch", "ablation-alpha",
+		"ablation-period", "ablation-rack",
+	} {
+		figs, err := FigureByID(id, smokeScale)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(figs) != 1 {
+			t.Fatalf("%s: %d figures", id, len(figs))
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package experiments regenerates every figure of the evaluation section
+// of Caneill et al. (Middleware'16). Each FigureN function returns the
+// series the corresponding paper figure plots; cmd/benchpaper renders
+// them as text and bench_test.go wraps them as benchmarks.
+//
+// Absolute throughput values come from the calibrated cost model in
+// internal/simnet, not from the authors' HPE testbed; the comparisons
+// (who wins, by what factor, where the curves bend) are the reproduced
+// result. EXPERIMENTS.md records measured-vs-paper values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+
+	"github.com/locastream/locastream/internal/cluster"
+	"github.com/locastream/locastream/internal/core"
+	"github.com/locastream/locastream/internal/engine"
+	"github.com/locastream/locastream/internal/metrics"
+	"github.com/locastream/locastream/internal/routing"
+	"github.com/locastream/locastream/internal/simnet"
+	"github.com/locastream/locastream/internal/topology"
+)
+
+// Figure is one reproduced plot: labelled series over a shared x-axis.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []metrics.Series
+}
+
+// Render writes the figure as an aligned text table, one row per x value
+// and one column per series.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(tw, "\t%s", s.Label)
+	}
+	fmt.Fprintln(tw)
+
+	// Collect the union of x values in order.
+	seen := make(map[float64]bool)
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Sorted() {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sortFloats(xs)
+	for _, x := range xs {
+		fmt.Fprintf(tw, "%s", trimFloat(x))
+		for _, s := range f.Series {
+			y, ok := valueAt(s, x)
+			if ok {
+				fmt.Fprintf(tw, "\t%s", trimFloat(y))
+			} else {
+				fmt.Fprintf(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func valueAt(s metrics.Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Scale globally shrinks or grows experiment sizes: 1.0 is the default
+// used by cmd/benchpaper; tests and quick benchmarks use smaller values.
+type Scale float64
+
+// tuples scales a tuple budget, keeping at least min.
+func (s Scale) tuples(base, min int) int {
+	n := int(float64(base) * float64(s))
+	if n < min {
+		return min
+	}
+	return n
+}
+
+// evalApp builds the paper's evaluation application (§4.1): source →
+// A (counts field 0) → B (counts field 1), both stateful, fields-grouped,
+// with parallelism instances on as many servers.
+func evalApp(parallelism int) (*topology.Topology, *cluster.Placement, error) {
+	topo, err := topology.NewBuilder("eval").
+		AddOperator(topology.Operator{
+			Name: "A", Parallelism: parallelism, Stateful: true,
+			New: func() topology.Processor { return topology.NewCounter(0) },
+		}).
+		AddOperator(topology.Operator{
+			Name: "B", Parallelism: parallelism, Stateful: true,
+			New: func() topology.Processor { return topology.NewCounter(1) },
+		}).
+		Connect("A", "B", topology.Fields, 1).
+		Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	place, err := cluster.NewRoundRobin(topo, parallelism)
+	if err != nil {
+		return nil, nil, err
+	}
+	return topo, place, nil
+}
+
+// newEvalSim builds a simulator for the evaluation application.
+func newEvalSim(parallelism int, mode engine.FieldsMode, model simnet.Model, sketchCap int) (*engine.Sim, error) {
+	topo, place, err := evalApp(parallelism)
+	if err != nil {
+		return nil, err
+	}
+	policies, err := engine.NewPolicies(topo, place, mode)
+	if err != nil {
+		return nil, err
+	}
+	src, err := engine.NewSourcePolicy(topo, place, topology.Fields, mode)
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewSim(engine.SimConfig{
+		Topology:       topo,
+		Placement:      place,
+		Model:          model,
+		Policies:       policies,
+		SourcePolicy:   src,
+		SourceKeyField: 0,
+		SketchCapacity: sketchCap,
+	})
+}
+
+// newEvalOptimizer builds an optimizer for the evaluation application.
+func newEvalOptimizer(parallelism int, opts core.OptimizerOptions) (*core.Optimizer, *cluster.Placement, error) {
+	topo, place, err := evalApp(parallelism)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt, err := core.NewOptimizer(topo, place, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return opt, place, nil
+}
+
+// identityRoutingTables converts the synthetic identity mapping into
+// routing tables for ops A and B.
+func identityRoutingTables(n int) map[string]*routing.Table {
+	assign := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		assign[strconv.Itoa(i)] = i
+	}
+	return map[string]*routing.Table{
+		"A": {Version: 1, Assign: assign},
+		"B": {Version: 1, Assign: assign},
+	}
+}
+
+// serverLoads sums per-instance loads of both operators per server for
+// the evaluation app (instance i of each op lives on server i).
+func serverLoads(sim *engine.Sim, parallelism int) []uint64 {
+	loads := make([]uint64, parallelism)
+	for _, op := range []string{"A", "B"} {
+		for i, l := range sim.Loads(op) {
+			loads[i] += l
+		}
+	}
+	return loads
+}

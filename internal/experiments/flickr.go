@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/locastream/locastream/internal/core"
+	"github.com/locastream/locastream/internal/engine"
+	"github.com/locastream/locastream/internal/metrics"
+	"github.com/locastream/locastream/internal/simnet"
+	"github.com/locastream/locastream/internal/workload"
+)
+
+// flickrRun executes the §4.4 protocol-validation experiment: 30
+// one-minute windows, optionally reconfiguring after windows 10 and 20,
+// returning the throughput (Ktuples/s) of every window.
+func flickrRun(parallelism, padding int, model simnet.Model, windowTuples int, reconfigure bool) ([]float64, error) {
+	mode := engine.FieldsHash
+	sketch := 0
+	if reconfigure {
+		mode = engine.FieldsTable
+		sketch = twitterSketchCapacity
+	}
+	sim, err := newEvalSim(parallelism, mode, model, sketch)
+	if err != nil {
+		return nil, err
+	}
+	opt, _, err := newEvalOptimizer(parallelism, core.OptimizerOptions{Seed: 13, MaxEdges: 1 << 20})
+	if err != nil {
+		return nil, err
+	}
+	cfg := workload.DefaultFlickrConfig()
+	cfg.Padding = padding
+	gen := workload.NewFlickr(cfg)
+
+	const windows = 30
+	out := make([]float64, 0, windows)
+	for w := 0; w < windows; w++ {
+		sim.ResetWindow()
+		sim.InjectAll(workload.Take(gen, windowTuples))
+		out = append(out, sim.ThroughputPerSec()/1000)
+		if reconfigure && (w+1)%10 == 0 && w+1 < windows {
+			tables, _, err := opt.ComputeTables(sim.PairStats(true))
+			if err != nil {
+				return nil, err
+			}
+			sim.ApplyTables(tables)
+		}
+	}
+	return out, nil
+}
+
+// Figure13 reproduces "Evolution of the throughput with or without
+// reconfiguration, for a parallelism of 6, different padding sizes and
+// two types of network bandwidth": panels over {10 Gb/s, 1 Gb/s} ×
+// {4 kB, 8 kB, 12 kB}, 30 minutes, reconfiguration every 10 minutes.
+func Figure13(scale Scale) ([]Figure, error) {
+	const parallelism = 6
+	windowTuples := scale.tuples(15000, 800)
+	networks := []struct {
+		name  string
+		model simnet.Model
+	}{
+		{name: "10Gb/s", model: simnet.Default10G()},
+		{name: "1Gb/s", model: simnet.Default1G()},
+	}
+
+	var figs []Figure
+	panel := 'a'
+	for _, net := range networks {
+		for _, padding := range []int{4096, 8192, 12288} {
+			fig := Figure{
+				ID:     fmt.Sprintf("fig13%c", panel),
+				Title:  fmt.Sprintf("throughput over time (network=%s, padding=%d)", net.name, padding),
+				XLabel: "minute",
+				YLabel: "Ktuples/s",
+			}
+			for _, reconf := range []bool{true, false} {
+				label := "w/o reconfiguration"
+				if reconf {
+					label = "w/ reconfiguration"
+				}
+				tps, err := flickrRun(parallelism, padding, net.model, windowTuples, reconf)
+				if err != nil {
+					return nil, err
+				}
+				s := metrics.Series{Label: label}
+				for minute, tp := range tps {
+					s.Append(float64(minute+1), tp)
+				}
+				fig.Series = append(fig.Series, s)
+			}
+			figs = append(figs, fig)
+			panel++
+		}
+	}
+	return figs, nil
+}
+
+// Figure14 reproduces "Average throughput for different parallelisms, and
+// a padding of 4kB (on the 1Gb/s network). With reconfiguration, the
+// average is measured after the first reconfiguration."
+func Figure14(scale Scale) (Figure, error) {
+	windowTuples := scale.tuples(15000, 800)
+	fig := Figure{
+		ID:     "fig14",
+		Title:  "average throughput vs parallelism (padding=4kB, 1Gb/s)",
+		XLabel: "parallelism",
+		YLabel: "Ktuples/s",
+	}
+	with := metrics.Series{Label: "w/ reconfiguration"}
+	without := metrics.Series{Label: "w/o reconfiguration"}
+	for parallelism := 2; parallelism <= 6; parallelism++ {
+		tps, err := flickrRun(parallelism, 4096, simnet.Default1G(), windowTuples, true)
+		if err != nil {
+			return Figure{}, err
+		}
+		with.Append(float64(parallelism), mean(tps[10:]))
+
+		tps, err = flickrRun(parallelism, 4096, simnet.Default1G(), windowTuples, false)
+		if err != nil {
+			return Figure{}, err
+		}
+		without.Append(float64(parallelism), mean(tps))
+	}
+	fig.Series = append(fig.Series, with, without)
+	return fig, nil
+}
+
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}

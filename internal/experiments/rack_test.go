@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+func TestAblationRackAwareImprovesRackLocality(t *testing.T) {
+	fig, err := AblationRackAware(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := seriesByLabel(t, fig, "flat")
+	aware := seriesByLabel(t, fig, "rack-aware")
+	if len(flat.Points) != 3 || len(aware.Points) != 3 {
+		t.Fatalf("points = %d/%d, want 3 each", len(flat.Points), len(aware.Points))
+	}
+	// Metric 3 is rack locality: hierarchical partitioning must not be
+	// worse than flat (it optimizes exactly this quantity).
+	flatRack := flat.Sorted()[2].Y
+	awareRack := aware.Sorted()[2].Y
+	if awareRack+0.02 < flatRack {
+		t.Errorf("rack-aware rack locality %.3f clearly below flat %.3f", awareRack, flatRack)
+	}
+	// Server locality (metric 2) is in [0,1].
+	for _, s := range fig.Series {
+		pts := s.Sorted()
+		if pts[1].Y < 0 || pts[1].Y > 1 || pts[2].Y < 0 || pts[2].Y > 1 {
+			t.Errorf("series %s: locality metrics out of range: %+v", s.Label, pts)
+		}
+		if pts[2].Y < pts[1].Y {
+			t.Errorf("series %s: rack locality %.3f below server locality %.3f",
+				s.Label, pts[2].Y, pts[1].Y)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/locastream/locastream/internal/core"
+	"github.com/locastream/locastream/internal/engine"
+	"github.com/locastream/locastream/internal/metrics"
+	"github.com/locastream/locastream/internal/simnet"
+	"github.com/locastream/locastream/internal/workload"
+)
+
+// Figure10 reproduces the workload characterization "Occurrences of the
+// hashtag #nevertrump in different states in the USA": the same hashtag
+// correlates with different locations at different times, which is the
+// motivation for online reoptimization (§4.3).
+//
+// The paper plots the authors' Twitter crawl; we sample an equivalent
+// moving-correlation process: each state has a burst of activity for the
+// tracked hashtag centered on a different day (Florida around March 3rd,
+// Virginia around the 9th, Texas around the 11th — the 2016 primary
+// calendar), on top of background noise.
+func Figure10(scale Scale) (Figure, error) {
+	tweetsPerDay := scale.tuples(40000, 2000)
+	rng := rand.New(rand.NewSource(10))
+	states := []struct {
+		name string
+		peak float64 // day of the activity burst
+		amp  float64 // peak probability amplitude
+	}{
+		{name: "Florida", peak: 3, amp: 0.009},
+		{name: "Virginia", peak: 9, amp: 0.010},
+		{name: "Texas", peak: 11, amp: 0.008},
+	}
+	fig := Figure{
+		ID:     "fig10",
+		Title:  "occurrences of one hashtag per state over days (moving correlation)",
+		XLabel: "day",
+		YLabel: "frequency/day",
+	}
+	for _, st := range states {
+		s := metrics.Series{Label: st.name}
+		for day := 2; day <= 13; day++ {
+			// Burst + background; sampled, not analytic, so the series
+			// is as noisy as real data.
+			p := 0.0004 + st.amp*math.Exp(-0.5*sq(float64(day)-st.peak))
+			count := 0
+			for i := 0; i < tweetsPerDay; i++ {
+				if rng.Float64() < p {
+					count++
+				}
+			}
+			s.Append(float64(day), float64(count))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+func sq(x float64) float64 { return x * x }
+
+// twitterSketchCapacity is large enough to make pair statistics
+// effectively exact at experiment scale (the paper finds 1e6 edges / a
+// few MB per POI sufficient).
+const twitterSketchCapacity = 1 << 16
+
+// Figure11 reproduces "Locality and load balance obtained after
+// reconfiguration with a parallelism of 6, and period of one week":
+// (a) locality over 25 weeks and (b) load balance, for online (weekly
+// reconfiguration), offline (one reconfiguration after week 1) and
+// hash-based routing.
+func Figure11(scale Scale) ([]Figure, error) {
+	return figure11WithPeriod(scale, 25, 1)
+}
+
+// figure11WithPeriod also powers the reconfiguration-period ablation.
+func figure11WithPeriod(scale Scale, weeks, period int) ([]Figure, error) {
+	const parallelism = 6
+	weekTuples := scale.tuples(50000, 2500)
+
+	type strategy struct {
+		name   string
+		mode   engine.FieldsMode
+		online bool // reconfigure every period weeks; false: only once
+	}
+	strategies := []strategy{
+		{name: "online", mode: engine.FieldsTable, online: true},
+		{name: "offline", mode: engine.FieldsTable, online: false},
+		{name: "hash-based", mode: engine.FieldsHash},
+	}
+
+	locFig := Figure{
+		ID: "fig11a", Title: "locality over weeks (parallelism=6)",
+		XLabel: "week", YLabel: "locality",
+	}
+	balFig := Figure{
+		ID: "fig11b", Title: "load balance over weeks (parallelism=6)",
+		XLabel: "week", YLabel: "max/avg",
+	}
+
+	for _, strat := range strategies {
+		sim, err := newEvalSim(parallelism, strat.mode, simnet.Default10G(), twitterSketchCapacity)
+		if err != nil {
+			return nil, err
+		}
+		opt, _, err := newEvalOptimizer(parallelism, core.OptimizerOptions{Seed: 11, MaxEdges: 1 << 20})
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.NewTwitter(workload.DefaultTwitterConfig())
+
+		locSeries := metrics.Series{Label: strat.name}
+		balSeries := metrics.Series{Label: strat.name}
+		reconfigured := false
+		for week := 0; week < weeks; week++ {
+			sim.ResetWindow()
+			sim.InjectAll(workload.Take(gen, weekTuples))
+			locSeries.Append(float64(week), sim.FieldsTraffic().Locality())
+			balSeries.Append(float64(week), metrics.Imbalance(serverLoads(sim, parallelism)))
+
+			if strat.mode == engine.FieldsTable {
+				due := strat.online && (week+1)%period == 0
+				if !strat.online && !reconfigured {
+					due = true
+				}
+				if due {
+					tables, _, err := opt.ComputeTables(sim.PairStats(true))
+					if err != nil {
+						return nil, err
+					}
+					sim.ApplyTables(tables)
+					reconfigured = true
+				} else {
+					// Statistics windows reset weekly regardless, so the
+					// next reconfiguration only sees recent data.
+					sim.PairStats(true)
+				}
+			}
+			gen.NextWeek()
+		}
+		locFig.Series = append(locFig.Series, locSeries)
+		balFig.Series = append(balFig.Series, balSeries)
+	}
+	return []Figure{locFig, balFig}, nil
+}
+
+// Figure12 reproduces "Locality achieved when varying number of
+// considered edges, for different parallelisms": the quality/capacity
+// trade-off of bounded statistics collection.
+func Figure12(scale Scale) (Figure, error) {
+	weekTuples := scale.tuples(60000, 3000)
+	fig := Figure{
+		ID: "fig12", Title: "locality vs number of considered edges",
+		XLabel: "edges", YLabel: "locality",
+	}
+	budgets := []int{10, 32, 100, 316, 1000, 3162, 10000, 31623, 100000}
+
+	for parallelism := 2; parallelism <= 6; parallelism++ {
+		series := metrics.Series{Label: fmt.Sprintf("%d", parallelism)}
+
+		// Week 1: collect (effectively exact) pair statistics under hash
+		// routing.
+		statsSim, err := newEvalSim(parallelism, engine.FieldsHash, simnet.Default10G(), twitterSketchCapacity)
+		if err != nil {
+			return Figure{}, err
+		}
+		gen := workload.NewTwitter(workload.DefaultTwitterConfig())
+		statsSim.InjectAll(workload.Take(gen, weekTuples))
+		stats := statsSim.PairStats(false)
+		gen.NextWeek()
+
+		for _, budget := range budgets {
+			opt, _, err := newEvalOptimizer(parallelism, core.OptimizerOptions{
+				Seed: 12, MaxEdges: budget,
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			tables, _, err := opt.ComputeTables(stats)
+			if err != nil {
+				return Figure{}, err
+			}
+
+			// Measure achieved locality on the following week's data.
+			measure, err := newEvalSim(parallelism, engine.FieldsTable, simnet.Default10G(), 0)
+			if err != nil {
+				return Figure{}, err
+			}
+			measure.ApplyTables(tables)
+			week2 := workload.NewTwitter(workload.DefaultTwitterConfig())
+			for i := 0; i < weekTuples; i++ { // fast-forward week 1
+				week2.Next()
+			}
+			week2.NextWeek()
+			measure.InjectAll(workload.Take(week2, weekTuples))
+			series.Append(float64(budget), measure.FieldsTraffic().Locality())
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}

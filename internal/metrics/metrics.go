@@ -1,0 +1,156 @@
+// Package metrics defines the measurements reported by the paper's
+// evaluation: stream locality (fraction of tuples passed in memory), load
+// balance (most-loaded instance vs average), and throughput series.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Traffic accumulates local/remote tuple counts and byte volumes for one
+// stream edge. The zero value is ready to use. Not safe for concurrent
+// use; the live engine aggregates per-executor copies.
+type Traffic struct {
+	LocalTuples  uint64
+	RemoteTuples uint64
+	LocalBytes   uint64
+	RemoteBytes  uint64
+	// RackTuples/RackBytes count the subset of remote transfers that
+	// stayed within the sender's rack (hierarchical locality extension);
+	// they are included in RemoteTuples/RemoteBytes.
+	RackTuples uint64
+	RackBytes  uint64
+}
+
+// Record adds one tuple transfer.
+func (t *Traffic) Record(local bool, size int) {
+	t.RecordLevel(local, local, size)
+}
+
+// RecordLevel adds one transfer with rack detail: sameServer transfers
+// are local; sameRack transfers are remote but stay inside the rack.
+func (t *Traffic) RecordLevel(sameServer, sameRack bool, size int) {
+	switch {
+	case sameServer:
+		t.LocalTuples++
+		t.LocalBytes += uint64(size)
+	case sameRack:
+		t.RemoteTuples++
+		t.RemoteBytes += uint64(size)
+		t.RackTuples++
+		t.RackBytes += uint64(size)
+	default:
+		t.RemoteTuples++
+		t.RemoteBytes += uint64(size)
+	}
+}
+
+// Add folds other into t.
+func (t *Traffic) Add(other Traffic) {
+	t.LocalTuples += other.LocalTuples
+	t.RemoteTuples += other.RemoteTuples
+	t.LocalBytes += other.LocalBytes
+	t.RemoteBytes += other.RemoteBytes
+	t.RackTuples += other.RackTuples
+	t.RackBytes += other.RackBytes
+}
+
+// Total returns the number of transfers recorded.
+func (t Traffic) Total() uint64 { return t.LocalTuples + t.RemoteTuples }
+
+// Locality returns the fraction of transfers that stayed in memory
+// (0 when nothing was recorded).
+func (t Traffic) Locality() float64 {
+	total := t.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(t.LocalTuples) / float64(total)
+}
+
+// RackLocality returns the fraction of transfers that stayed on one
+// server or inside one rack.
+func (t Traffic) RackLocality() float64 {
+	total := t.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(t.LocalTuples+t.RackTuples) / float64(total)
+}
+
+// String formats the traffic for experiment logs.
+func (t Traffic) String() string {
+	return fmt.Sprintf("local=%d remote=%d locality=%.3f", t.LocalTuples, t.RemoteTuples, t.Locality())
+}
+
+// Imbalance returns max(loads)/avg(loads), the paper's load-balance
+// measure (Fig. 11b); 1.0 is perfect balance. Zero-total or empty loads
+// report 1.0.
+func Imbalance(loads []uint64) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	var total, max uint64
+	for _, l := range loads {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	avg := float64(total) / float64(len(loads))
+	return float64(max) / avg
+}
+
+// Series is a labelled sequence of (x, y) measurements, the unit the
+// experiment harness prints for every figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one measurement.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// Sorted returns the points ordered by X.
+func (s Series) Sorted() []Point {
+	out := append([]Point(nil), s.Points...)
+	sort.Slice(out, func(i, j int) bool { return out[i].X < out[j].X })
+	return out
+}
+
+// ThroughputMeter counts processed tuples over externally supplied time
+// windows; used by the live engine. Safe for concurrent use.
+type ThroughputMeter struct {
+	mu    sync.Mutex
+	count uint64
+}
+
+// Inc records n processed tuples.
+func (m *ThroughputMeter) Inc(n uint64) {
+	m.mu.Lock()
+	m.count += n
+	m.mu.Unlock()
+}
+
+// Snapshot returns the count accumulated since the previous Snapshot and
+// resets it.
+func (m *ThroughputMeter) Snapshot() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.count
+	m.count = 0
+	return c
+}

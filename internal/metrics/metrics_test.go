@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrafficRecordAndLocality(t *testing.T) {
+	var tr Traffic
+	if tr.Locality() != 0 {
+		t.Fatal("empty traffic locality should be 0")
+	}
+	tr.Record(true, 100)
+	tr.Record(true, 50)
+	tr.Record(false, 200)
+	if tr.LocalTuples != 2 || tr.RemoteTuples != 1 {
+		t.Fatalf("tuples = %d/%d", tr.LocalTuples, tr.RemoteTuples)
+	}
+	if tr.LocalBytes != 150 || tr.RemoteBytes != 200 {
+		t.Fatalf("bytes = %d/%d", tr.LocalBytes, tr.RemoteBytes)
+	}
+	if got := tr.Locality(); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("Locality() = %f", got)
+	}
+	if tr.Total() != 3 {
+		t.Fatalf("Total() = %d", tr.Total())
+	}
+	if !strings.Contains(tr.String(), "locality=0.667") {
+		t.Fatalf("String() = %q", tr.String())
+	}
+}
+
+func TestTrafficAdd(t *testing.T) {
+	a := Traffic{LocalTuples: 1, RemoteTuples: 2, LocalBytes: 10, RemoteBytes: 20}
+	b := Traffic{LocalTuples: 3, RemoteTuples: 4, LocalBytes: 30, RemoteBytes: 40}
+	a.Add(b)
+	if a.LocalTuples != 4 || a.RemoteTuples != 6 || a.LocalBytes != 40 || a.RemoteBytes != 60 {
+		t.Fatalf("Add result %+v", a)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	tests := []struct {
+		name  string
+		loads []uint64
+		want  float64
+	}{
+		{"empty", nil, 1},
+		{"all zero", []uint64{0, 0}, 1},
+		{"perfect", []uint64{5, 5, 5}, 1},
+		{"skewed", []uint64{9, 1, 2}, 9.0 / 4.0},
+		{"single", []uint64{7}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Imbalance(tt.loads); math.Abs(got-tt.want) > 1e-9 {
+				t.Fatalf("Imbalance(%v) = %f, want %f", tt.loads, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPropertyImbalanceAtLeastOne(t *testing.T) {
+	f := func(loads []uint64) bool {
+		return Imbalance(loads) >= 1.0-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesSorted(t *testing.T) {
+	s := Series{Label: "x"}
+	s.Append(3, 30)
+	s.Append(1, 10)
+	s.Append(2, 20)
+	pts := s.Sorted()
+	if pts[0].X != 1 || pts[1].X != 2 || pts[2].X != 3 {
+		t.Fatalf("Sorted() = %v", pts)
+	}
+	// Original order preserved in Points.
+	if s.Points[0].X != 3 {
+		t.Fatal("Sorted mutated the series")
+	}
+}
+
+func TestThroughputMeter(t *testing.T) {
+	var m ThroughputMeter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.Inc(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Snapshot(); got != 800 {
+		t.Fatalf("Snapshot() = %d, want 800", got)
+	}
+	if got := m.Snapshot(); got != 0 {
+		t.Fatalf("second Snapshot() = %d, want 0", got)
+	}
+}

@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecordLevelRackAccounting(t *testing.T) {
+	var tr Traffic
+	tr.RecordLevel(true, true, 10)   // same server
+	tr.RecordLevel(false, true, 20)  // same rack, different server
+	tr.RecordLevel(false, false, 30) // cross rack
+
+	if tr.LocalTuples != 1 || tr.RemoteTuples != 2 || tr.RackTuples != 1 {
+		t.Fatalf("counts = %d/%d/%d", tr.LocalTuples, tr.RemoteTuples, tr.RackTuples)
+	}
+	if tr.RackBytes != 20 || tr.RemoteBytes != 50 {
+		t.Fatalf("bytes = rack %d remote %d", tr.RackBytes, tr.RemoteBytes)
+	}
+	if got := tr.Locality(); math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Fatalf("Locality() = %f", got)
+	}
+	if got := tr.RackLocality(); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("RackLocality() = %f", got)
+	}
+}
+
+func TestRackLocalityEmpty(t *testing.T) {
+	var tr Traffic
+	if tr.RackLocality() != 0 {
+		t.Fatal("empty traffic rack locality should be 0")
+	}
+}
+
+func TestAddIncludesRackFields(t *testing.T) {
+	a := Traffic{RackTuples: 1, RackBytes: 10}
+	a.Add(Traffic{RackTuples: 2, RackBytes: 20})
+	if a.RackTuples != 3 || a.RackBytes != 30 {
+		t.Fatalf("Add rack fields = %d/%d", a.RackTuples, a.RackBytes)
+	}
+}

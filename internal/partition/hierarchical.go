@@ -1,0 +1,134 @@
+package partition
+
+import (
+	"fmt"
+)
+
+// Hierarchical performs the two-level partitioning sketched in the
+// paper's conclusion ("Instead of having a binary model in which keys are
+// co-located or not, distances between servers can be taken into account
+// to leverage rack locality"): the graph is first split across racks —
+// minimizing inter-rack traffic, the expensive kind — and each rack's
+// induced subgraph is then split across that rack's servers.
+//
+// rackOf maps every server (part index of the final result) to its rack.
+// The final Result assigns vertices to servers; CutWeight counts all
+// inter-server edges as usual. Use CutBetweenRacks to weigh the two
+// levels separately.
+func Hierarchical(g *Graph, rackOf []int, opts Options) (*Result, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	servers := len(rackOf)
+	if servers < 1 {
+		return nil, fmt.Errorf("partition: hierarchical needs at least one server")
+	}
+	racks := 0
+	for s, r := range rackOf {
+		if r < 0 {
+			return nil, fmt.Errorf("partition: server %d has negative rack %d", s, r)
+		}
+		if r+1 > racks {
+			racks = r + 1
+		}
+	}
+	serversInRack := make([][]int, racks)
+	for s, r := range rackOf {
+		serversInRack[r] = append(serversInRack[r], s)
+	}
+	for r, list := range serversInRack {
+		if len(list) == 0 {
+			return nil, fmt.Errorf("partition: rack %d has no servers", r)
+		}
+	}
+	if racks == 1 {
+		// Degenerate: plain partitioning over the single rack's servers.
+		res, err := Partition(g, withK(opts, servers))
+		if err != nil {
+			return nil, err
+		}
+		remapped := make([]int, len(res.Parts))
+		for v, p := range res.Parts {
+			remapped[v] = serversInRack[0][p]
+		}
+		return summarize(g, remapped, servers), nil
+	}
+
+	// Level 1: partition across racks, each rack weighted by its server
+	// count so larger racks receive proportionally more keys.
+	fractions := make([]float64, racks)
+	for r, list := range serversInRack {
+		fractions[r] = float64(len(list)) / float64(servers)
+	}
+	rackOpts := withK(opts, racks)
+	rackOpts.TargetFractions = fractions
+	rackRes, err := Partition(g, rackOpts)
+	if err != nil {
+		return nil, fmt.Errorf("partition racks: %w", err)
+	}
+
+	// Level 2: partition each rack's induced subgraph across its servers.
+	parts := make([]int, g.NumVertices())
+	for r := 0; r < racks; r++ {
+		sub, toGlobal := induced(g, rackRes.Parts, r)
+		if sub.NumVertices() == 0 {
+			continue
+		}
+		subOpts := withK(opts, len(serversInRack[r]))
+		subOpts.Seed = opts.Seed + int64(r) + 1
+		subRes, err := Partition(sub, subOpts)
+		if err != nil {
+			return nil, fmt.Errorf("partition rack %d: %w", r, err)
+		}
+		for sv, p := range subRes.Parts {
+			parts[toGlobal[sv]] = serversInRack[r][p]
+		}
+	}
+	return summarize(g, parts, servers), nil
+}
+
+// CutBetweenRacks measures the weight of edges crossing racks for an
+// assignment of vertices to servers.
+func CutBetweenRacks(g *Graph, parts, rackOf []int) uint64 {
+	var cut uint64
+	for u, list := range g.Adj {
+		for _, a := range list {
+			if a.To > u && rackOf[parts[a.To]] != rackOf[parts[u]] {
+				cut += a.Weight
+			}
+		}
+	}
+	return cut
+}
+
+func withK(opts Options, k int) Options {
+	opts.K = k
+	opts.TargetFractions = nil
+	return opts
+}
+
+// induced extracts the subgraph of vertices assigned to part p, returning
+// it along with the mapping from subgraph indices to original indices.
+func induced(g *Graph, parts []int, p int) (*Graph, []int) {
+	var toGlobal []int
+	toLocal := make(map[int]int)
+	for v, pv := range parts {
+		if pv == p {
+			toLocal[v] = len(toGlobal)
+			toGlobal = append(toGlobal, v)
+		}
+	}
+	sub := &Graph{
+		Weights: make([]uint64, len(toGlobal)),
+		Adj:     make([][]Adj, len(toGlobal)),
+	}
+	for lv, gv := range toGlobal {
+		sub.Weights[lv] = g.Weights[gv]
+		for _, a := range g.Adj[gv] {
+			if la, ok := toLocal[a.To]; ok {
+				sub.Adj[lv] = append(sub.Adj[lv], Adj{To: la, Weight: a.Weight})
+			}
+		}
+	}
+	return sub, toGlobal
+}

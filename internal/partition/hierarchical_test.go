@@ -1,0 +1,125 @@
+package partition
+
+import (
+	"testing"
+)
+
+func TestHierarchicalValidation(t *testing.T) {
+	g := pathGraph(8)
+	if _, err := Hierarchical(g, nil, Options{}); err == nil {
+		t.Error("no servers accepted")
+	}
+	if _, err := Hierarchical(g, []int{0, -1}, Options{}); err == nil {
+		t.Error("negative rack accepted")
+	}
+	if _, err := Hierarchical(g, []int{0, 2}, Options{}); err == nil {
+		t.Error("empty rack accepted")
+	}
+	if _, err := Hierarchical(nil, []int{0}, Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestHierarchicalSingleRackEqualsFlat(t *testing.T) {
+	g := clustersGraph(2, 8, 50, 1)
+	res, err := Hierarchical(g, []int{0, 0}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, g, res, 2)
+	if res.CutWeight != 1 {
+		t.Fatalf("CutWeight = %d, want 1", res.CutWeight)
+	}
+}
+
+func TestHierarchicalPrefersIntraRackCut(t *testing.T) {
+	// Four clusters with a chain of light links; 4 servers in 2 racks.
+	// Any 4-way split cuts 3 light edges; the hierarchical split must put
+	// at most 1 of those cuts between racks (the flat partitioner gives
+	// no such guarantee).
+	g := clustersGraph(4, 6, 100, 1)
+	rackOf := []int{0, 0, 1, 1}
+	res, err := Hierarchical(g, rackOf, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, g, res, 4)
+	if res.CutWeight != 3 {
+		t.Fatalf("CutWeight = %d, want 3 (inter-cluster edges)", res.CutWeight)
+	}
+	interRack := CutBetweenRacks(g, res.Parts, rackOf)
+	if interRack > 1 {
+		t.Fatalf("inter-rack cut = %d, want <= 1", interRack)
+	}
+	// Each cluster stays whole on one server.
+	for c := 0; c < 4; c++ {
+		p := res.Parts[c*6]
+		for i := 1; i < 6; i++ {
+			if res.Parts[c*6+i] != p {
+				t.Fatalf("cluster %d split", c)
+			}
+		}
+	}
+}
+
+func TestHierarchicalUnequalRacks(t *testing.T) {
+	// 3 servers: rack 0 has two, rack 1 has one. 30 isolated unit
+	// vertices must split roughly 2:1 across racks.
+	n := 30
+	g := &Graph{Weights: make([]uint64, n), Adj: make([][]Adj, n)}
+	for i := range g.Weights {
+		g.Weights[i] = 1
+	}
+	rackOf := []int{0, 0, 1}
+	res, err := Hierarchical(g, rackOf, Options{Seed: 5, Alpha: 1.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, g, res, 3)
+	rackLoad := make([]uint64, 2)
+	for _, p := range res.Parts {
+		rackLoad[rackOf[p]] += 1
+	}
+	if rackLoad[0] < 18 || rackLoad[0] > 22 {
+		t.Fatalf("rack 0 load = %d, want ~20 of 30", rackLoad[0])
+	}
+}
+
+func TestTargetFractionsValidation(t *testing.T) {
+	g := pathGraph(4)
+	if _, err := Partition(g, Options{K: 2, TargetFractions: []float64{1.0}}); err == nil {
+		t.Error("wrong-length fractions accepted")
+	}
+	if _, err := Partition(g, Options{K: 2, TargetFractions: []float64{1.0, 0}}); err == nil {
+		t.Error("zero fraction accepted")
+	}
+}
+
+func TestTargetFractionsHonoured(t *testing.T) {
+	n := 40
+	g := &Graph{Weights: make([]uint64, n), Adj: make([][]Adj, n)}
+	for i := range g.Weights {
+		g.Weights[i] = 1
+	}
+	res, err := Partition(g, Options{
+		K: 2, Alpha: 1.03, Seed: 2,
+		TargetFractions: []float64{0.75, 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, g, res, 2)
+	if res.PartWeights[0] < 28 || res.PartWeights[0] > 31 {
+		t.Fatalf("part 0 weight = %d, want ~30 of 40", res.PartWeights[0])
+	}
+}
+
+func TestCutBetweenRacks(t *testing.T) {
+	g := pathGraph(4)
+	parts := []int{0, 1, 2, 3}
+	rackOf := []int{0, 0, 1, 1}
+	// Edges: 0-1 (same rack), 1-2 (cross), 2-3 (same rack).
+	if got := CutBetweenRacks(g, parts, rackOf); got != 1 {
+		t.Fatalf("CutBetweenRacks = %d, want 1", got)
+	}
+}

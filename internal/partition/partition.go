@@ -1,0 +1,648 @@
+// Package partition implements a multilevel k-way graph partitioner in the
+// spirit of Metis (Karypis & Kumar, SIAM J. Sci. Comput. 1998), which the
+// reproduced paper uses to split the bipartite key graph across servers.
+//
+// The algorithm follows the classic three phases:
+//
+//  1. Coarsening: repeated heavy-edge matching collapses matched vertex
+//     pairs until the graph is small.
+//  2. Initial partitioning: greedy balanced assignment of the coarse
+//     vertices in descending weight order, preferring the part with the
+//     strongest connection.
+//  3. Uncoarsening: the partition is projected back level by level and
+//     improved with Fiduccia–Mattheyses-style boundary refinement under
+//     the balance constraint load(part) <= alpha * total / k.
+//
+// The partitioner is deterministic for a fixed Options.Seed.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Adj is one adjacency entry of the input graph.
+type Adj struct {
+	// To is the neighbour vertex index.
+	To int
+	// Weight is the edge weight (co-occurrence count).
+	Weight uint64
+}
+
+// Graph is the partitioner input: a symmetric weighted graph in adjacency
+// list form. Adj[u] must contain an entry {v, w} exactly when Adj[v]
+// contains {u, w}. Parallel entries to the same neighbour are allowed and
+// treated additively.
+type Graph struct {
+	// Weights holds one non-negative weight per vertex.
+	Weights []uint64
+	// Adj holds the adjacency list of each vertex.
+	Adj [][]Adj
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.Weights) }
+
+// TotalWeight returns the sum of vertex weights.
+func (g *Graph) TotalWeight() uint64 {
+	var t uint64
+	for _, w := range g.Weights {
+		t += w
+	}
+	return t
+}
+
+// Options configures Partition.
+type Options struct {
+	// K is the number of parts (servers). Must be >= 1.
+	K int
+	// Alpha is the imbalance bound: every part's vertex weight must stay
+	// below Alpha * total / K whenever feasible. Values < 1 are raised
+	// to 1. The paper uses Metis' default of 1.03.
+	Alpha float64
+	// Seed makes tie-breaking deterministic.
+	Seed int64
+	// CoarsenTo stops coarsening when the graph has at most this many
+	// vertices. Zero selects max(64, 16*K).
+	CoarsenTo int
+	// RefinePasses bounds the number of refinement sweeps per level.
+	// Zero selects 8; negative values disable refinement entirely
+	// (useful for ablations).
+	RefinePasses int
+	// TargetFractions optionally sets unequal part sizes: part p may
+	// hold up to Alpha * total * TargetFractions[p] vertex weight. nil
+	// means uniform (1/K each). Must have length K and sum to ~1.
+	TargetFractions []float64
+}
+
+// DefaultAlpha is the balance bound used by the paper (Metis default).
+const DefaultAlpha = 1.03
+
+// Result is the output of Partition.
+type Result struct {
+	// Parts assigns each input vertex to a part in [0, K).
+	Parts []int
+	// CutWeight is the total weight of edges whose endpoints are in
+	// different parts.
+	CutWeight uint64
+	// PartWeights is the vertex weight of each part.
+	PartWeights []uint64
+	// Imbalance is max(PartWeights) / (total/K); 1.0 is perfect.
+	Imbalance float64
+}
+
+// ErrBadGraph reports a malformed input graph.
+var ErrBadGraph = errors.New("partition: malformed graph")
+
+// Partition splits g into opts.K parts minimizing edge cut under the
+// balance constraint.
+func Partition(g *Graph, opts Options) (*Result, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	if opts.K < 1 {
+		return nil, fmt.Errorf("partition: K = %d, want >= 1", opts.K)
+	}
+	if opts.TargetFractions != nil {
+		if len(opts.TargetFractions) != opts.K {
+			return nil, fmt.Errorf("partition: %d target fractions for K = %d",
+				len(opts.TargetFractions), opts.K)
+		}
+		for p, f := range opts.TargetFractions {
+			if f <= 0 {
+				return nil, fmt.Errorf("partition: target fraction %f for part %d", f, p)
+			}
+		}
+	}
+	if opts.Alpha < 1 {
+		opts.Alpha = 1
+	}
+	if opts.CoarsenTo <= 0 {
+		opts.CoarsenTo = 16 * opts.K
+		if opts.CoarsenTo < 64 {
+			opts.CoarsenTo = 64
+		}
+	}
+	switch {
+	case opts.RefinePasses == 0:
+		opts.RefinePasses = 8
+	case opts.RefinePasses < 0:
+		opts.RefinePasses = 0
+	}
+
+	n := g.NumVertices()
+	if n == 0 {
+		return &Result{Parts: []int{}, PartWeights: make([]uint64, opts.K), Imbalance: 0}, nil
+	}
+	if opts.K == 1 {
+		parts := make([]int, n)
+		return summarize(g, parts, 1), nil
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Phase 1: coarsen.
+	levels := []*level{{g: normalize(g)}}
+	for levels[len(levels)-1].g.NumVertices() > opts.CoarsenTo {
+		cur := levels[len(levels)-1]
+		next, ok := coarsen(cur.g, rng)
+		if !ok {
+			break // no further shrink possible
+		}
+		cur.coarseMap = next.fineToCoarse
+		levels = append(levels, &level{g: next.g})
+	}
+
+	// Phase 2: initial partition of the coarsest level.
+	coarse := levels[len(levels)-1]
+	parts := initialPartition(coarse.g, opts, rng)
+
+	// Phase 3: refine and project back.
+	parts = refine(coarse.g, parts, opts)
+	for i := len(levels) - 2; i >= 0; i-- {
+		lvl := levels[i]
+		fineParts := make([]int, lvl.g.NumVertices())
+		for v := range fineParts {
+			fineParts[v] = parts[lvl.coarseMap[v]]
+		}
+		parts = refine(lvl.g, fineParts, opts)
+	}
+
+	return summarize(g, parts, opts.K), nil
+}
+
+type level struct {
+	g         *Graph
+	coarseMap []int // fine vertex -> coarse vertex at the next level
+}
+
+func validate(g *Graph) error {
+	if g == nil {
+		return fmt.Errorf("%w: nil graph", ErrBadGraph)
+	}
+	if len(g.Adj) != len(g.Weights) {
+		return fmt.Errorf("%w: %d weights but %d adjacency lists", ErrBadGraph, len(g.Weights), len(g.Adj))
+	}
+	n := len(g.Weights)
+	for u, list := range g.Adj {
+		for _, a := range list {
+			if a.To < 0 || a.To >= n {
+				return fmt.Errorf("%w: vertex %d has neighbour %d out of range", ErrBadGraph, u, a.To)
+			}
+			if a.To == u {
+				return fmt.Errorf("%w: vertex %d has a self-loop", ErrBadGraph, u)
+			}
+		}
+	}
+	return nil
+}
+
+// normalize merges parallel adjacency entries so downstream code can
+// assume at most one entry per neighbour.
+func normalize(g *Graph) *Graph {
+	out := &Graph{
+		Weights: append([]uint64(nil), g.Weights...),
+		Adj:     make([][]Adj, len(g.Adj)),
+	}
+	for u, list := range g.Adj {
+		if len(list) == 0 {
+			continue
+		}
+		m := make(map[int]uint64, len(list))
+		for _, a := range list {
+			m[a.To] += a.Weight
+		}
+		merged := make([]Adj, 0, len(m))
+		for to, w := range m {
+			merged = append(merged, Adj{To: to, Weight: w})
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i].To < merged[j].To })
+		out.Adj[u] = merged
+	}
+	return out
+}
+
+type coarseResult struct {
+	g            *Graph
+	fineToCoarse []int
+}
+
+// coarsen performs one level of heavy-edge matching. Returns ok == false
+// when the graph cannot shrink (no edges left or matching degenerate).
+func coarsen(g *Graph, rng *rand.Rand) (coarseResult, bool) {
+	n := g.NumVertices()
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	// Visit vertices in random order; match each unmatched vertex with
+	// its heaviest unmatched neighbour.
+	order := rng.Perm(n)
+	matched := 0
+	for _, u := range order {
+		if match[u] != -1 {
+			continue
+		}
+		best, bestW := -1, uint64(0)
+		for _, a := range g.Adj[u] {
+			if match[a.To] == -1 && a.To != u && a.Weight >= bestW {
+				if a.Weight > bestW || best == -1 || a.To < best {
+					best, bestW = a.To, a.Weight
+				}
+			}
+		}
+		if best != -1 {
+			match[u] = best
+			match[best] = u
+			matched += 2
+		}
+	}
+	if matched == 0 {
+		return coarseResult{}, false
+	}
+
+	fineToCoarse := make([]int, n)
+	coarseCount := 0
+	for u := 0; u < n; u++ {
+		if match[u] == -1 || match[u] > u {
+			fineToCoarse[u] = coarseCount
+			coarseCount++
+		}
+	}
+	for u := 0; u < n; u++ {
+		if match[u] != -1 && match[u] < u {
+			fineToCoarse[u] = fineToCoarse[match[u]]
+		}
+	}
+	if coarseCount >= n {
+		return coarseResult{}, false
+	}
+
+	cg := &Graph{
+		Weights: make([]uint64, coarseCount),
+		Adj:     make([][]Adj, coarseCount),
+	}
+	edgeAcc := make([]map[int]uint64, coarseCount)
+	for u := 0; u < n; u++ {
+		cu := fineToCoarse[u]
+		cg.Weights[cu] += g.Weights[u]
+		for _, a := range g.Adj[u] {
+			cv := fineToCoarse[a.To]
+			if cu == cv {
+				continue
+			}
+			if edgeAcc[cu] == nil {
+				edgeAcc[cu] = make(map[int]uint64)
+			}
+			edgeAcc[cu][cv] += a.Weight
+		}
+	}
+	for cu, m := range edgeAcc {
+		list := make([]Adj, 0, len(m))
+		for cv, w := range m {
+			list = append(list, Adj{To: cv, Weight: w})
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].To < list[j].To })
+		cg.Adj[cu] = list
+	}
+	return coarseResult{g: cg, fineToCoarse: fineToCoarse}, true
+}
+
+// initialPartition assigns coarse vertices greedily: descending weight
+// order, each vertex goes to the part with the strongest existing
+// connection among parts that stay under the cap, falling back to the
+// lightest part.
+func initialPartition(g *Graph, opts Options, rng *rand.Rand) []int {
+	n := g.NumVertices()
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = -1
+	}
+	loads := make([]uint64, opts.K)
+	caps := capsFor(g.TotalWeight(), opts)
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Shuffle first so equal-weight ties are seed-dependent but
+	// deterministic, then stable sort by descending weight.
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	sort.SliceStable(order, func(i, j int) bool {
+		return g.Weights[order[i]] > g.Weights[order[j]]
+	})
+
+	gain := make([]uint64, opts.K)
+	for _, u := range order {
+		for p := range gain {
+			gain[p] = 0
+		}
+		for _, a := range g.Adj[u] {
+			if pv := parts[a.To]; pv >= 0 {
+				gain[pv] += a.Weight
+			}
+		}
+		best := -1
+		var bestGain uint64
+		for p := 0; p < opts.K; p++ {
+			if loads[p]+g.Weights[u] > caps[p] {
+				continue
+			}
+			if best == -1 || gain[p] > bestGain ||
+				(gain[p] == bestGain && loads[p] < loads[best]) {
+				best, bestGain = p, gain[p]
+			}
+		}
+		if best == -1 {
+			// Nothing fits under the cap (a single huge vertex);
+			// place on the lightest part.
+			best = 0
+			for p := 1; p < opts.K; p++ {
+				if loads[p] < loads[best] {
+					best = p
+				}
+			}
+		}
+		parts[u] = best
+		loads[best] += g.Weights[u]
+	}
+	return parts
+}
+
+// refine improves parts with Fiduccia–Mattheyses passes: within a pass
+// every vertex may move once (possibly with negative gain) and the best
+// prefix of the move sequence is kept. Moves must respect the balance cap
+// except when they drain an overloaded part.
+func refine(g *Graph, parts []int, opts Options) []int {
+	loads := make([]uint64, opts.K)
+	for v, p := range parts {
+		loads[p] += g.Weights[v]
+	}
+	caps := capsFor(g.TotalWeight(), opts)
+
+	for pass := 0; pass < opts.RefinePasses; pass++ {
+		if fmPass(g, parts, loads, caps, opts.K) == 0 {
+			break
+		}
+	}
+
+	// Balance repair: if any part exceeds the cap (possible right after
+	// projection), move its lowest-connectivity boundary vertices out.
+	rebalance(g, parts, loads, caps, opts.K)
+	return parts
+}
+
+// fmMove records one applied tentative move for possible rollback.
+type fmMove struct {
+	v        int
+	from, to int
+}
+
+// fmPass runs one FM sweep and returns the kept cut improvement (0 when
+// the pass achieved nothing and refinement should stop).
+func fmPass(g *Graph, parts []int, loads []uint64, caps []uint64, k int) int64 {
+	n := g.NumVertices()
+	locked := make([]bool, n)
+	conn := make([]uint64, k)
+
+	// Tentative moves may overshoot the cap by one maximum vertex weight
+	// (the classic FM tolerance); rebalance repairs any kept overshoot.
+	var maxW uint64
+	for _, w := range g.Weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+
+	// bestMove computes the most attractive target part for v under the
+	// balance constraint; ok is false when v has no feasible move.
+	bestMove := func(v int) (to int, gain int64, ok bool) {
+		if len(g.Adj[v]) == 0 {
+			return 0, 0, false
+		}
+		from := parts[v]
+		for p := range conn {
+			conn[p] = 0
+		}
+		for _, a := range g.Adj[v] {
+			conn[parts[a.To]] += a.Weight
+		}
+		to = -1
+		for p := 0; p < k; p++ {
+			if p == from {
+				continue
+			}
+			if loads[p]+g.Weights[v] > caps[p]+maxW && loads[from] <= caps[from] {
+				continue
+			}
+			gp := int64(conn[p]) - int64(conn[from])
+			if to == -1 || gp > gain || (gp == gain && loads[p] < loads[to]) {
+				to, gain = p, gp
+			}
+		}
+		return to, gain, to != -1
+	}
+
+	h := &moveHeap{}
+	stamp := make([]uint64, n)
+	push := func(v int) {
+		if locked[v] {
+			return
+		}
+		if to, gain, ok := bestMove(v); ok {
+			stamp[v]++
+			h.push(moveCand{v: v, to: to, gain: gain, stamp: stamp[v]})
+		}
+	}
+	for v := 0; v < n; v++ {
+		push(v)
+	}
+
+	var (
+		moves        []fmMove
+		cum, bestCum int64
+		bestLen      int
+		budget       = n
+	)
+	for budget > 0 && h.len() > 0 {
+		c := h.pop()
+		if locked[c.v] || c.stamp != stamp[c.v] {
+			continue
+		}
+		to, gain, ok := bestMove(c.v)
+		if !ok {
+			continue
+		}
+		if gain != c.gain || to != c.to {
+			stamp[c.v]++
+			h.push(moveCand{v: c.v, to: to, gain: gain, stamp: stamp[c.v]})
+			continue
+		}
+		// Apply the tentative move and lock the vertex.
+		from := parts[c.v]
+		parts[c.v] = to
+		loads[from] -= g.Weights[c.v]
+		loads[to] += g.Weights[c.v]
+		locked[c.v] = true
+		moves = append(moves, fmMove{v: c.v, from: from, to: to})
+		cum += gain
+		if cum > bestCum {
+			bestCum, bestLen = cum, len(moves)
+		}
+		budget--
+		// Neighbours' gains changed; refresh their candidates.
+		for _, a := range g.Adj[c.v] {
+			push(a.To)
+		}
+	}
+
+	// Roll back every move after the best prefix.
+	for i := len(moves) - 1; i >= bestLen; i-- {
+		m := moves[i]
+		parts[m.v] = m.from
+		loads[m.to] -= g.Weights[m.v]
+		loads[m.from] += g.Weights[m.v]
+	}
+	return bestCum
+}
+
+// moveCand is a prioritized tentative move.
+type moveCand struct {
+	v     int
+	to    int
+	gain  int64
+	stamp uint64
+}
+
+// moveHeap is a max-heap of candidates by gain (lazy deletion via stamp).
+type moveHeap struct {
+	items []moveCand
+}
+
+func (h *moveHeap) len() int { return len(h.items) }
+
+func (h *moveHeap) push(c moveCand) {
+	h.items = append(h.items, c)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].gain >= h.items[i].gain {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *moveHeap) pop() moveCand {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < last && h.items[l].gain > h.items[largest].gain {
+			largest = l
+		}
+		if r < last && h.items[r].gain > h.items[largest].gain {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+	return top
+}
+
+// rebalance moves vertices from overloaded parts to the lightest feasible
+// part, choosing moves that lose the least connectivity first.
+func rebalance(g *Graph, parts []int, loads []uint64, caps []uint64, k int) {
+	for p := 0; p < k; p++ {
+		guard := 0
+		for loads[p] > caps[p] && guard < g.NumVertices() {
+			guard++
+			// Pick the vertex in p whose move costs the least cut.
+			bestV, bestTo := -1, -1
+			bestCost := int64(1<<62 - 1)
+			for v := 0; v < g.NumVertices(); v++ {
+				if parts[v] != p {
+					continue
+				}
+				var internal uint64
+				ext := make([]uint64, k)
+				for _, a := range g.Adj[v] {
+					if parts[a.To] == p {
+						internal += a.Weight
+					} else {
+						ext[parts[a.To]] += a.Weight
+					}
+				}
+				for q := 0; q < k; q++ {
+					if q == p || loads[q]+g.Weights[v] > caps[q] {
+						continue
+					}
+					cost := int64(internal) - int64(ext[q])
+					if cost < bestCost || (cost == bestCost && bestV == -1) {
+						bestV, bestTo, bestCost = v, q, cost
+					}
+				}
+			}
+			if bestV == -1 {
+				break // no feasible move; accept the imbalance
+			}
+			loads[p] -= g.Weights[bestV]
+			loads[bestTo] += g.Weights[bestV]
+			parts[bestV] = bestTo
+		}
+	}
+}
+
+// capsFor computes the per-part weight limits, honouring unequal target
+// fractions when configured.
+func capsFor(total uint64, opts Options) []uint64 {
+	caps := make([]uint64, opts.K)
+	for p := range caps {
+		frac := 1.0 / float64(opts.K)
+		if opts.TargetFractions != nil {
+			frac = opts.TargetFractions[p]
+		}
+		c := uint64(opts.Alpha * float64(total) * frac)
+		if c == 0 {
+			c = 1
+		}
+		caps[p] = c
+	}
+	return caps
+}
+
+// summarize computes the result statistics for a final assignment.
+func summarize(g *Graph, parts []int, k int) *Result {
+	res := &Result{Parts: parts, PartWeights: make([]uint64, k)}
+	for v, p := range parts {
+		res.PartWeights[p] += g.Weights[v]
+	}
+	for u, list := range g.Adj {
+		for _, a := range list {
+			if a.To > u && parts[a.To] != parts[u] {
+				res.CutWeight += a.Weight
+			}
+		}
+	}
+	total := g.TotalWeight()
+	if total > 0 {
+		var max uint64
+		for _, w := range res.PartWeights {
+			if w > max {
+				max = w
+			}
+		}
+		res.Imbalance = float64(max) * float64(k) / float64(total)
+	}
+	return res
+}

@@ -1,0 +1,111 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteForceBestCut exhaustively finds the minimum cut over all balanced
+// 2-way assignments of a tiny graph. Balance: both parts must stay under
+// alpha * total / 2.
+func bruteForceBestCut(g *Graph, alpha float64) uint64 {
+	n := g.NumVertices()
+	total := g.TotalWeight()
+	capacity := uint64(alpha * float64(total) / 2)
+	if capacity == 0 {
+		capacity = 1
+	}
+	best := ^uint64(0)
+	for mask := 0; mask < 1<<n; mask++ {
+		var w0, w1 uint64
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				w1 += g.Weights[v]
+			} else {
+				w0 += g.Weights[v]
+			}
+		}
+		if w0 > capacity || w1 > capacity {
+			continue
+		}
+		var cut uint64
+		for u, list := range g.Adj {
+			for _, a := range list {
+				if a.To > u && (mask>>u)&1 != (mask>>a.To)&1 {
+					cut += a.Weight
+				}
+			}
+		}
+		if cut < best {
+			best = cut
+		}
+	}
+	return best
+}
+
+// TestPartitionNearOptimalOnTinyGraphs compares the multilevel heuristic
+// against the exhaustive optimum on random 10-vertex graphs. Heuristics
+// cannot guarantee optimality, but on graphs this small the FM refinement
+// should land within a small factor of the best balanced cut in the vast
+// majority of cases.
+func TestPartitionNearOptimalOnTinyGraphs(t *testing.T) {
+	const (
+		trials    = 60
+		n         = 10
+		alpha     = 1.3
+		tolerance = 2.0 // heuristic cut may be at most 2x optimum
+	)
+	rng := rand.New(rand.NewSource(99))
+	over := 0
+	for trial := 0; trial < trials; trial++ {
+		g := &Graph{Weights: make([]uint64, n), Adj: make([][]Adj, n)}
+		for i := range g.Weights {
+			g.Weights[i] = uint64(rng.Intn(3) + 1)
+		}
+		for e := 0; e < 14; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			w := uint64(rng.Intn(9) + 1)
+			g.Adj[u] = append(g.Adj[u], Adj{To: v, Weight: w})
+			g.Adj[v] = append(g.Adj[v], Adj{To: u, Weight: w})
+		}
+		optimal := bruteForceBestCut(g, alpha)
+		res, err := Partition(g, Options{K: 2, Alpha: alpha, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if optimal == ^uint64(0) {
+			continue // no balanced assignment exists at this alpha
+		}
+		if float64(res.CutWeight) > tolerance*float64(optimal)+0.5 {
+			over++
+			t.Logf("trial %d: heuristic %d vs optimal %d", trial, res.CutWeight, optimal)
+		}
+	}
+	// Allow a small number of unlucky instances.
+	if over > trials/10 {
+		t.Fatalf("%d/%d trials exceeded %.1fx of the optimal cut", over, trials, tolerance)
+	}
+}
+
+// TestPartitionExactOnSeparableGraphs checks that when the optimum is
+// obviously zero (two disconnected balanced halves) the heuristic finds
+// it every time.
+func TestPartitionExactOnSeparableGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		half := rng.Intn(5) + 3
+		g := clustersGraph(2, half, uint64(rng.Intn(50)+1), 0)
+		// clustersGraph with external weight 0 adds zero-weight bridge
+		// edges; the optimal balanced cut weight is 0.
+		res, err := Partition(g, Options{K: 2, Alpha: 1.03, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CutWeight != 0 {
+			t.Fatalf("trial %d: cut %d on separable graph", trial, res.CutWeight)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package routing implements the stream routing policies of §2.2 and the
+// explicit routing tables of §3.3 of Caneill et al. (Middleware'16).
+//
+// A Policy decides, for every tuple crossing one edge of the topology,
+// which instance of the recipient operator receives it. Policies see the
+// routing key (for fields grouping), the sender's server (for locality)
+// and a per-sender sequence number (for round-robin).
+package routing
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// Policy selects a recipient instance for a tuple.
+type Policy interface {
+	// Route returns the recipient instance index in [0, instances) for
+	// the given routing key, sent from senderServer. seq is a per-sender
+	// monotonically increasing sequence number.
+	Route(key string, senderServer int, seq uint64) int
+	// Name identifies the policy in logs and experiment output.
+	Name() string
+}
+
+// HashKey is the deterministic hash used by fields grouping (FNV-1a with
+// an avalanche finalizer), the default policy of Storm's fields grouping
+// in the paper.
+func HashKey(key string, instances int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(fmix32(h.Sum32()) % uint32(instances))
+}
+
+// SaltedHashKey hashes a key for one specific recipient operator. The
+// salt (the operator name) reproduces Storm's behaviour where each
+// operator's task indices map to servers independently: the same key
+// value routed to two different operators lands on uncorrelated
+// instances, so hash-based fields grouping achieves only ~1/n locality
+// even on perfectly correlated data (§4.3 measures 16.6% for n = 6).
+func SaltedHashKey(salt, key string, instances int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(salt))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(key))
+	return int(fmix32(h.Sum32()) % uint32(instances))
+}
+
+// fmix32 is MurmurHash3's 32-bit finalizer. Raw FNV-1a has weak low
+// bits: per input byte the low k bits evolve as a permutation of the low
+// k bits of the state, so two hashes that start from different salts can
+// NEVER collide modulo a power of two — the opposite of the "random but
+// deterministic" assignment fields grouping needs. The avalanche mix
+// makes every output bit depend on every state bit before the modulo.
+func fmix32(h uint32) uint32 {
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+// --- shuffle --------------------------------------------------------------
+
+// Shuffle routes round-robin over all instances (stateless recipients
+// only). Safe for concurrent use.
+type Shuffle struct {
+	instances int
+	next      atomic.Uint64
+}
+
+// NewShuffle returns a shuffle policy over instances recipients.
+func NewShuffle(instances int) *Shuffle {
+	return &Shuffle{instances: instances}
+}
+
+// Route ignores the key and cycles through instances.
+func (s *Shuffle) Route(string, int, uint64) int {
+	return int(s.next.Add(1) % uint64(s.instances))
+}
+
+// Name returns "shuffle".
+func (s *Shuffle) Name() string { return "shuffle" }
+
+// --- local-or-shuffle ------------------------------------------------------
+
+// LocalOrShuffle prefers an instance co-located with the sender and falls
+// back to round-robin. Safe for concurrent use.
+type LocalOrShuffle struct {
+	serverOf []int   // instance -> server
+	local    [][]int // server -> co-located instances
+	servers  int
+	next     atomic.Uint64
+}
+
+// NewLocalOrShuffle builds the policy from the recipient placement:
+// serverOf[i] is the server hosting instance i.
+func NewLocalOrShuffle(serverOf []int, servers int) *LocalOrShuffle {
+	local := make([][]int, servers)
+	for i, s := range serverOf {
+		if s >= 0 && s < servers {
+			local[s] = append(local[s], i)
+		}
+	}
+	return &LocalOrShuffle{
+		serverOf: append([]int(nil), serverOf...),
+		local:    local,
+		servers:  servers,
+	}
+}
+
+// Route picks a co-located instance when one exists, cycling among
+// several; otherwise it shuffles over all instances.
+func (l *LocalOrShuffle) Route(_ string, senderServer int, _ uint64) int {
+	n := l.next.Add(1)
+	if senderServer >= 0 && senderServer < l.servers {
+		if co := l.local[senderServer]; len(co) > 0 {
+			return co[int(n)%len(co)]
+		}
+	}
+	return int(n % uint64(len(l.serverOf)))
+}
+
+// Name returns "local-or-shuffle".
+func (l *LocalOrShuffle) Name() string { return "local-or-shuffle" }
+
+// --- fields (hash) ----------------------------------------------------------
+
+// HashFields is the default fields grouping: deterministic hash of the
+// key, salted with the recipient operator's name. Stateless and safe for
+// concurrent use.
+type HashFields struct {
+	instances int
+	salt      string
+}
+
+// NewHashFields returns hash-based fields grouping over instances of the
+// operator named salt.
+func NewHashFields(instances int, salt string) *HashFields {
+	return &HashFields{instances: instances, salt: salt}
+}
+
+// Route hashes the key.
+func (h *HashFields) Route(key string, _ int, _ uint64) int {
+	return SaltedHashKey(h.salt, key, h.instances)
+}
+
+// Name returns "hash-fields".
+func (h *HashFields) Name() string { return "hash-fields" }
+
+// --- fields (routing table) --------------------------------------------------
+
+// Table is an explicit key -> instance assignment with a version number,
+// produced by the locality optimizer.
+type Table struct {
+	// Version increases with every reconfiguration.
+	Version uint64
+	// Assign maps keys to recipient instance indices.
+	Assign map[string]int
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	if t == nil {
+		return nil
+	}
+	cp := &Table{Version: t.Version, Assign: make(map[string]int, len(t.Assign))}
+	for k, v := range t.Assign {
+		cp.Assign[k] = v
+	}
+	return cp
+}
+
+// TableFields routes keys through an explicit routing table, falling back
+// to hash-based routing for unknown keys (§3.3: "When a key is not
+// present in the routing table, it falls back to the standard hash-based
+// routing policy"). The table can be swapped atomically while routing,
+// which is how online reconfiguration updates senders. Safe for
+// concurrent use.
+type TableFields struct {
+	instances int
+	salt      string
+
+	mu    sync.RWMutex
+	table *Table
+}
+
+// NewTableFields returns table-based fields grouping for the operator
+// named salt, with an initially empty table (every key falls back to
+// hashing).
+func NewTableFields(instances int, salt string) *TableFields {
+	return &TableFields{instances: instances, salt: salt, table: &Table{Assign: map[string]int{}}}
+}
+
+// Route consults the table and falls back to the hash for missing keys.
+// Table entries outside [0, instances) are ignored defensively.
+func (t *TableFields) Route(key string, _ int, _ uint64) int {
+	t.mu.RLock()
+	idx, ok := t.table.Assign[key]
+	t.mu.RUnlock()
+	if ok && idx >= 0 && idx < t.instances {
+		return idx
+	}
+	return SaltedHashKey(t.salt, key, t.instances)
+}
+
+// Update atomically installs a new routing table. A nil table resets to
+// pure hashing.
+func (t *TableFields) Update(table *Table) {
+	if table == nil {
+		table = &Table{Assign: map[string]int{}}
+	}
+	t.mu.Lock()
+	t.table = table.Clone()
+	t.mu.Unlock()
+}
+
+// Snapshot returns a copy of the current table.
+func (t *TableFields) Snapshot() *Table {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.table.Clone()
+}
+
+// Version returns the version of the installed table.
+func (t *TableFields) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.table.Version
+}
+
+// Name returns "table-fields".
+func (t *TableFields) Name() string { return "table-fields" }
+
+// --- worst case ---------------------------------------------------------------
+
+// WorstCase deterministically routes every key to an instance on a server
+// other than the sender's whenever one exists (§4.2's lower bound: "tuples
+// ... are always routed through the network"). Keys are still routed
+// deterministically, so stateful consistency is preserved per sender
+// server; it is only used by the synthetic benchmarks.
+type WorstCase struct {
+	serverOf []int
+	servers  int
+	salt     string
+}
+
+// NewWorstCase builds the policy from the recipient placement for the
+// operator named salt.
+func NewWorstCase(serverOf []int, servers int, salt string) *WorstCase {
+	return &WorstCase{serverOf: append([]int(nil), serverOf...), servers: servers, salt: salt}
+}
+
+// Route hashes the key over the instances not hosted on the sender's
+// server; with a single server it degrades to plain hashing.
+func (w *WorstCase) Route(key string, senderServer int, _ uint64) int {
+	remote := make([]int, 0, len(w.serverOf))
+	for i, s := range w.serverOf {
+		if s != senderServer {
+			remote = append(remote, i)
+		}
+	}
+	if len(remote) == 0 {
+		return SaltedHashKey(w.salt, key, len(w.serverOf))
+	}
+	return remote[SaltedHashKey(w.salt, key, len(remote))]
+}
+
+// Name returns "worst-case".
+func (w *WorstCase) Name() string { return "worst-case" }
+
+var (
+	_ Policy = (*Shuffle)(nil)
+	_ Policy = (*LocalOrShuffle)(nil)
+	_ Policy = (*HashFields)(nil)
+	_ Policy = (*TableFields)(nil)
+	_ Policy = (*WorstCase)(nil)
+)

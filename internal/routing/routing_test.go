@@ -1,0 +1,300 @@
+package routing
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashKeyDeterministicAndInRange(t *testing.T) {
+	f := func(key string, nRaw uint8) bool {
+		n := int(nRaw)%16 + 1
+		a := HashKey(key, n)
+		b := HashKey(key, n)
+		return a == b && a >= 0 && a < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleRoundRobinBalanced(t *testing.T) {
+	s := NewShuffle(4)
+	counts := make([]int, 4)
+	for i := 0; i < 400; i++ {
+		counts[s.Route("ignored", 0, uint64(i))]++
+	}
+	for i, c := range counts {
+		if c != 100 {
+			t.Errorf("instance %d received %d, want 100", i, c)
+		}
+	}
+	if s.Name() != "shuffle" {
+		t.Errorf("Name() = %q", s.Name())
+	}
+}
+
+func TestShuffleConcurrentSafe(t *testing.T) {
+	s := NewShuffle(3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if idx := s.Route("", 0, 0); idx < 0 || idx >= 3 {
+					t.Errorf("Route out of range: %d", idx)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestLocalOrShufflePrefersLocal(t *testing.T) {
+	// Instances 0,1,2 on servers 0,1,2.
+	l := NewLocalOrShuffle([]int{0, 1, 2}, 3)
+	for sender := 0; sender < 3; sender++ {
+		for i := 0; i < 10; i++ {
+			if got := l.Route("", sender, 0); got != sender {
+				t.Errorf("sender %d routed to instance %d, want local %d", sender, got, sender)
+			}
+		}
+	}
+}
+
+func TestLocalOrShuffleCyclesLocalInstances(t *testing.T) {
+	// Two instances on server 0.
+	l := NewLocalOrShuffle([]int{0, 0, 1}, 2)
+	seen := make(map[int]int)
+	for i := 0; i < 100; i++ {
+		seen[l.Route("", 0, 0)]++
+	}
+	if seen[2] != 0 {
+		t.Errorf("remote instance 2 selected %d times, want 0", seen[2])
+	}
+	if seen[0] == 0 || seen[1] == 0 {
+		t.Errorf("local instances unevenly used: %v", seen)
+	}
+}
+
+func TestLocalOrShuffleFallsBackWhenNoLocal(t *testing.T) {
+	// No instance on server 2.
+	l := NewLocalOrShuffle([]int{0, 1}, 3)
+	seen := make(map[int]bool)
+	for i := 0; i < 50; i++ {
+		idx := l.Route("", 2, 0)
+		if idx < 0 || idx > 1 {
+			t.Fatalf("Route = %d out of range", idx)
+		}
+		seen[idx] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Error("fallback shuffle should use all instances")
+	}
+	// Unknown sender server also falls back.
+	if idx := l.Route("", -1, 0); idx < 0 || idx > 1 {
+		t.Fatalf("Route(-1) = %d out of range", idx)
+	}
+}
+
+func TestHashFieldsStable(t *testing.T) {
+	h := NewHashFields(5, "B")
+	for _, key := range []string{"Asia", "#java", "", "x"} {
+		first := h.Route(key, 0, 0)
+		for i := 0; i < 5; i++ {
+			if h.Route(key, i, uint64(i)) != first {
+				t.Errorf("key %q not routed deterministically", key)
+			}
+		}
+	}
+}
+
+func TestTableFieldsRoutesAndFallsBack(t *testing.T) {
+	tf := NewTableFields(4, "B")
+	tf.Update(&Table{Version: 1, Assign: map[string]int{"Asia": 2, "Oceania": 0}})
+
+	if got := tf.Route("Asia", 0, 0); got != 2 {
+		t.Errorf("Route(Asia) = %d, want 2", got)
+	}
+	if got := tf.Route("Oceania", 3, 9); got != 0 {
+		t.Errorf("Route(Oceania) = %d, want 0", got)
+	}
+	if got, want := tf.Route("Unknown", 0, 0), SaltedHashKey("B", "Unknown", 4); got != want {
+		t.Errorf("Route(Unknown) = %d, want hash fallback %d", got, want)
+	}
+	if tf.Version() != 1 {
+		t.Errorf("Version() = %d, want 1", tf.Version())
+	}
+}
+
+func TestTableFieldsIgnoresInvalidEntries(t *testing.T) {
+	tf := NewTableFields(2, "B")
+	tf.Update(&Table{Version: 1, Assign: map[string]int{"bad": 9, "neg": -1}})
+	if got, want := tf.Route("bad", 0, 0), SaltedHashKey("B", "bad", 2); got != want {
+		t.Errorf("Route(bad) = %d, want hash fallback %d", got, want)
+	}
+	if got, want := tf.Route("neg", 0, 0), SaltedHashKey("B", "neg", 2); got != want {
+		t.Errorf("Route(neg) = %d, want hash fallback %d", got, want)
+	}
+}
+
+func TestTableFieldsUpdateIsolation(t *testing.T) {
+	tf := NewTableFields(4, "B")
+	table := &Table{Version: 1, Assign: map[string]int{"k": 1}}
+	tf.Update(table)
+	table.Assign["k"] = 3 // caller mutation must not affect the policy
+	if got := tf.Route("k", 0, 0); got != 1 {
+		t.Errorf("Route(k) = %d, want 1 (table not copied)", got)
+	}
+	snap := tf.Snapshot()
+	snap.Assign["k"] = 2 // snapshot mutation must not affect the policy
+	if got := tf.Route("k", 0, 0); got != 1 {
+		t.Errorf("Route(k) = %d after snapshot mutation, want 1", got)
+	}
+}
+
+func TestTableFieldsNilUpdateResets(t *testing.T) {
+	tf := NewTableFields(4, "B")
+	tf.Update(&Table{Version: 3, Assign: map[string]int{"k": 2}})
+	tf.Update(nil)
+	if got, want := tf.Route("k", 0, 0), SaltedHashKey("B", "k", 4); got != want {
+		t.Errorf("Route(k) = %d, want hash %d after reset", got, want)
+	}
+}
+
+func TestTableFieldsConcurrentRouteAndUpdate(t *testing.T) {
+	tf := NewTableFields(4, "B")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := uint64(0); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+				tf.Update(&Table{Version: v, Assign: map[string]int{"k": int(v % 4)}})
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if idx := tf.Route("k", 0, 0); idx < 0 || idx >= 4 {
+					t.Errorf("Route = %d out of range", idx)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				_ = tf.Route("k", 0, 0)
+			}
+		}()
+	}
+	// Let routers run against the updater briefly, then stop.
+	for i := 0; i < 1000; i++ {
+		_ = tf.Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestWorstCaseAlwaysRemote(t *testing.T) {
+	w := NewWorstCase([]int{0, 1, 2}, 3, "B")
+	for sender := 0; sender < 3; sender++ {
+		for k := 0; k < 50; k++ {
+			idx := w.Route(fmt.Sprintf("key%d", k), sender, 0)
+			if idx == sender {
+				t.Errorf("sender %d: key routed locally to %d", sender, idx)
+			}
+		}
+	}
+}
+
+func TestWorstCaseDeterministicPerSender(t *testing.T) {
+	w := NewWorstCase([]int{0, 1, 2}, 3, "B")
+	for k := 0; k < 20; k++ {
+		key := fmt.Sprintf("key%d", k)
+		first := w.Route(key, 1, 0)
+		for i := 0; i < 5; i++ {
+			if w.Route(key, 1, uint64(i)) != first {
+				t.Errorf("key %q not deterministic for fixed sender", key)
+			}
+		}
+	}
+}
+
+func TestWorstCaseSingleServerDegradesToHash(t *testing.T) {
+	w := NewWorstCase([]int{0, 0}, 1, "B")
+	if got, want := w.Route("k", 0, 0), SaltedHashKey("B", "k", 2); got != want {
+		t.Errorf("Route = %d, want hash %d", got, want)
+	}
+}
+
+func TestTableClone(t *testing.T) {
+	var nilTable *Table
+	if nilTable.Clone() != nil {
+		t.Error("nil Clone should be nil")
+	}
+	orig := &Table{Version: 2, Assign: map[string]int{"a": 1}}
+	cp := orig.Clone()
+	cp.Assign["a"] = 9
+	if orig.Assign["a"] != 1 {
+		t.Error("Clone shares the assign map")
+	}
+}
+
+func TestSaltedHashDistribution(t *testing.T) {
+	// The salted hash must spread many keys roughly uniformly over the
+	// instances (it is the load-balance baseline of the paper's Fig. 11b).
+	const n, keys = 6, 60000
+	counts := make([]int, n)
+	for i := 0; i < keys; i++ {
+		counts[SaltedHashKey("B", fmt.Sprintf("key-%d", i), n)]++
+	}
+	want := keys / n
+	for inst, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("instance %d got %d keys, want %d±10%%", inst, c, want)
+		}
+	}
+}
+
+func TestSaltsDecorrelate(t *testing.T) {
+	// Different salts must route the same key independently: the
+	// agreement rate over many keys should be ~1/n, not ~1.
+	const n, keys = 4, 20000
+	agree := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if SaltedHashKey("A", k, n) == SaltedHashKey("B", k, n) {
+			agree++
+		}
+	}
+	rate := float64(agree) / keys
+	if rate > 0.30 || rate < 0.20 {
+		t.Errorf("salt agreement rate = %.3f, want ~0.25", rate)
+	}
+}
+
+func TestPropertySaltedHashInRange(t *testing.T) {
+	f := func(salt, key string, nRaw uint8) bool {
+		n := int(nRaw)%16 + 1
+		idx := SaltedHashKey(salt, key, n)
+		return idx >= 0 && idx < n && idx == SaltedHashKey(salt, key, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package simnet is the calibrated cost model that substitutes for the
+// paper's physical testbed (8 HPE ProLiant servers on a 10 Gb/s — or
+// throttled 1 Gb/s — network). It models the three costs that shape the
+// paper's throughput results:
+//
+//   - per-tuple CPU service time at every operator instance,
+//   - cheap in-memory handoff between co-located instances ("only an
+//     address in memory is transmitted from a thread to another", §2.2),
+//   - expensive remote transfer: serialization/deserialization CPU on
+//     both ends plus NIC transmission time proportional to tuple size.
+//
+// A Usage ledger accumulates busy time per resource (each POI's CPU
+// thread, each server's NIC in either direction). Under saturation — the
+// paper's benchmarks run the source as fast as possible — steady-state
+// throughput is the tuple count divided by the busiest resource's total
+// service demand, which reproduces the network-bottleneck behaviour the
+// paper measures without requiring wall-clock-scale runs.
+package simnet
+
+import "fmt"
+
+// Model holds the calibrated cost constants. All CPU costs are in
+// nanoseconds; bandwidth in bytes per second.
+type Model struct {
+	// CPUPerTupleNs is the base processing cost of one tuple at one
+	// operator instance.
+	CPUPerTupleNs float64
+	// LocalHandoffNs is the sender-side cost of passing a tuple to a
+	// co-located instance (a pointer enqueue).
+	LocalHandoffNs float64
+	// RemoteFixedNs is the fixed per-message CPU overhead of a remote
+	// send (framing, syscalls), charged on both sender and receiver.
+	RemoteFixedNs float64
+	// SerializeNsPerByte is the sender CPU cost per payload byte.
+	SerializeNsPerByte float64
+	// DeserializeNsPerByte is the receiver CPU cost per payload byte.
+	DeserializeNsPerByte float64
+	// BandwidthBytesPerSec is the full-duplex NIC bandwidth of every
+	// server.
+	BandwidthBytesPerSec float64
+	// InterRackFactor multiplies NIC transmission time for transfers
+	// crossing racks (hierarchical network extension). Values <= 1 mean
+	// a flat network.
+	InterRackFactor float64
+}
+
+// Default10G returns the model calibrated for the paper's 10 Gb/s
+// testbed. The constants were chosen so that single-server throughput and
+// the hash/locality-aware gap match the order of magnitude of Fig. 7.
+func Default10G() Model {
+	return Model{
+		CPUPerTupleNs:        9000, // ~111 Ktuples/s per instance
+		LocalHandoffNs:       300,
+		RemoteFixedNs:        3000,
+		SerializeNsPerByte:   1.0,
+		DeserializeNsPerByte: 1.0,
+		BandwidthBytesPerSec: 1.25e9, // 10 Gb/s
+	}
+}
+
+// Default1G returns the model for the throttled 1 Gb/s configuration of
+// §4.4.
+func Default1G() Model {
+	m := Default10G()
+	m.BandwidthBytesPerSec = 1.25e8 // 1 Gb/s
+	return m
+}
+
+// NICNsPerByte converts the bandwidth to a per-byte transmission time.
+func (m Model) NICNsPerByte() float64 {
+	if m.BandwidthBytesPerSec <= 0 {
+		return 0
+	}
+	return 1e9 / m.BandwidthBytesPerSec
+}
+
+// InterRackNsPerByte is the per-byte time of transfers crossing racks.
+func (m Model) InterRackNsPerByte() float64 {
+	f := m.InterRackFactor
+	if f < 1 {
+		f = 1
+	}
+	return m.NICNsPerByte() * f
+}
+
+// POI identifies one operator instance's CPU resource.
+type POI struct {
+	Op       string
+	Instance int
+}
+
+// String returns e.g. "B[2]".
+func (p POI) String() string { return fmt.Sprintf("%s[%d]", p.Op, p.Instance) }
+
+// Usage accumulates busy nanoseconds per resource. The zero value is not
+// usable; call NewUsage.
+type Usage struct {
+	servers  int
+	cpuNs    map[POI]float64
+	nicOutNs []float64
+	nicInNs  []float64
+}
+
+// NewUsage returns a ledger for a cluster of the given size.
+func NewUsage(servers int) *Usage {
+	return &Usage{
+		servers:  servers,
+		cpuNs:    make(map[POI]float64),
+		nicOutNs: make([]float64, servers),
+		nicInNs:  make([]float64, servers),
+	}
+}
+
+// AddCPU charges ns of CPU to one instance.
+func (u *Usage) AddCPU(p POI, ns float64) { u.cpuNs[p] += ns }
+
+// AddNICOut charges ns of egress NIC time to a server.
+func (u *Usage) AddNICOut(server int, ns float64) {
+	if server >= 0 && server < u.servers {
+		u.nicOutNs[server] += ns
+	}
+}
+
+// AddNICIn charges ns of ingress NIC time to a server.
+func (u *Usage) AddNICIn(server int, ns float64) {
+	if server >= 0 && server < u.servers {
+		u.nicInNs[server] += ns
+	}
+}
+
+// CPU returns the busy time of one instance.
+func (u *Usage) CPU(p POI) float64 { return u.cpuNs[p] }
+
+// MaxBusyNs returns the busy time of the bottleneck resource and a label
+// describing it. An idle ledger reports (0, "idle").
+func (u *Usage) MaxBusyNs() (float64, string) {
+	best, label := 0.0, "idle"
+	for p, ns := range u.cpuNs {
+		if ns > best {
+			best, label = ns, "cpu:"+p.String()
+		}
+	}
+	for s, ns := range u.nicOutNs {
+		if ns > best {
+			best, label = ns, fmt.Sprintf("nic-out:%d", s)
+		}
+	}
+	for s, ns := range u.nicInNs {
+		if ns > best {
+			best, label = ns, fmt.Sprintf("nic-in:%d", s)
+		}
+	}
+	return best, label
+}
+
+// ThroughputPerSec converts the ledger into a saturation throughput for
+// the given number of tuples (0 when nothing was charged).
+func (u *Usage) ThroughputPerSec(tuples uint64) float64 {
+	busy, _ := u.MaxBusyNs()
+	if busy <= 0 {
+		return 0
+	}
+	return float64(tuples) / busy * 1e9
+}
+
+// Reset clears all accumulated busy time.
+func (u *Usage) Reset() {
+	u.cpuNs = make(map[POI]float64)
+	for i := range u.nicOutNs {
+		u.nicOutNs[i] = 0
+	}
+	for i := range u.nicInNs {
+		u.nicInNs[i] = 0
+	}
+}

@@ -1,0 +1,103 @@
+package simnet
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestModelDefaults(t *testing.T) {
+	m10 := Default10G()
+	m1 := Default1G()
+	if m1.BandwidthBytesPerSec*10 != m10.BandwidthBytesPerSec {
+		t.Fatalf("1G bandwidth %f should be a tenth of 10G %f",
+			m1.BandwidthBytesPerSec, m10.BandwidthBytesPerSec)
+	}
+	if m10.CPUPerTupleNs <= 0 || m10.RemoteFixedNs <= 0 {
+		t.Fatal("default model has non-positive costs")
+	}
+}
+
+func TestNICNsPerByte(t *testing.T) {
+	m := Model{BandwidthBytesPerSec: 1e9}
+	if got := m.NICNsPerByte(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("NICNsPerByte = %f, want 1", got)
+	}
+	var zero Model
+	if zero.NICNsPerByte() != 0 {
+		t.Fatal("zero bandwidth should report 0 ns/byte")
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	u := NewUsage(2)
+	a := POI{Op: "A", Instance: 0}
+	b := POI{Op: "B", Instance: 1}
+	u.AddCPU(a, 100)
+	u.AddCPU(a, 50)
+	u.AddCPU(b, 60)
+	u.AddNICOut(0, 40)
+	u.AddNICIn(1, 30)
+
+	if got := u.CPU(a); got != 150 {
+		t.Fatalf("CPU(a) = %f", got)
+	}
+	busy, label := u.MaxBusyNs()
+	if busy != 150 || label != "cpu:A[0]" {
+		t.Fatalf("MaxBusyNs = %f %q", busy, label)
+	}
+}
+
+func TestUsageNICBottleneck(t *testing.T) {
+	u := NewUsage(2)
+	u.AddCPU(POI{Op: "A", Instance: 0}, 10)
+	u.AddNICOut(1, 500)
+	_, label := u.MaxBusyNs()
+	if !strings.HasPrefix(label, "nic-out:") {
+		t.Fatalf("bottleneck label = %q, want nic-out", label)
+	}
+	u.AddNICIn(0, 900)
+	_, label = u.MaxBusyNs()
+	if !strings.HasPrefix(label, "nic-in:") {
+		t.Fatalf("bottleneck label = %q, want nic-in", label)
+	}
+}
+
+func TestUsageIgnoresInvalidServer(t *testing.T) {
+	u := NewUsage(1)
+	u.AddNICOut(-1, 100)
+	u.AddNICOut(5, 100)
+	u.AddNICIn(-1, 100)
+	u.AddNICIn(5, 100)
+	if busy, _ := u.MaxBusyNs(); busy != 0 {
+		t.Fatalf("invalid server charges were recorded: %f", busy)
+	}
+}
+
+func TestThroughputPerSec(t *testing.T) {
+	u := NewUsage(1)
+	if u.ThroughputPerSec(100) != 0 {
+		t.Fatal("idle ledger should report 0 throughput")
+	}
+	u.AddCPU(POI{Op: "A", Instance: 0}, 1e9) // one second busy
+	if got := u.ThroughputPerSec(100); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("ThroughputPerSec = %f, want 100", got)
+	}
+}
+
+func TestUsageReset(t *testing.T) {
+	u := NewUsage(2)
+	u.AddCPU(POI{Op: "A", Instance: 0}, 10)
+	u.AddNICOut(0, 10)
+	u.AddNICIn(1, 10)
+	u.Reset()
+	if busy, label := u.MaxBusyNs(); busy != 0 || label != "idle" {
+		t.Fatalf("after reset: %f %q", busy, label)
+	}
+}
+
+func TestPOIString(t *testing.T) {
+	if got := (POI{Op: "B", Instance: 2}).String(); got != "B[2]" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,98 @@
+package spacesaving
+
+import "strconv"
+
+// EncodePair packs two routing keys into a single sketch item using a
+// length-prefixed encoding that is unambiguous for arbitrary key bytes.
+func EncodePair(in, out string) string {
+	return strconv.Itoa(len(in)) + ":" + in + out
+}
+
+// DecodePair is the inverse of EncodePair. ok is false when item is not a
+// valid encoded pair.
+func DecodePair(item string) (in, out string, ok bool) {
+	colon := -1
+	for i := 0; i < len(item); i++ {
+		if item[i] == ':' {
+			colon = i
+			break
+		}
+		if item[i] < '0' || item[i] > '9' {
+			return "", "", false
+		}
+	}
+	if colon <= 0 {
+		return "", "", false
+	}
+	n, err := strconv.Atoi(item[:colon])
+	if err != nil || n < 0 || colon+1+n > len(item) {
+		return "", "", false
+	}
+	return item[colon+1 : colon+1+n], item[colon+1+n:], true
+}
+
+// PairCounter reports one (input key, output key) association and its
+// estimated co-occurrence count.
+type PairCounter struct {
+	In    string
+	Out   string
+	Count uint64
+	Error uint64
+}
+
+// PairSketch tracks the most frequent (input key, output key) pairs seen
+// by a stateful operator instance, as required by §3.2 of the paper. It is
+// a thin typed wrapper over Sketch.
+type PairSketch struct {
+	s *Sketch
+}
+
+// NewPairs returns a pair sketch monitoring at most capacity pairs.
+func NewPairs(capacity int) *PairSketch {
+	return &PairSketch{s: New(capacity)}
+}
+
+// Add records a co-occurrence of the in and out keys.
+func (p *PairSketch) Add(in, out string) { p.s.Add(EncodePair(in, out)) }
+
+// AddWeighted records weight co-occurrences of the in and out keys.
+func (p *PairSketch) AddWeighted(in, out string, weight uint64) {
+	p.s.AddWeighted(EncodePair(in, out), weight)
+}
+
+// Len returns the number of monitored pairs.
+func (p *PairSketch) Len() int { return p.s.Len() }
+
+// Capacity returns the maximum number of monitored pairs.
+func (p *PairSketch) Capacity() int { return p.s.Capacity() }
+
+// Observed returns the total number of pairs offered.
+func (p *PairSketch) Observed() uint64 { return p.s.Observed() }
+
+// Top returns up to k pairs by descending estimated count.
+func (p *PairSketch) Top(k int) []PairCounter {
+	raw := p.s.Top(k)
+	out := make([]PairCounter, 0, len(raw))
+	for _, c := range raw {
+		in, o, ok := DecodePair(c.Item)
+		if !ok {
+			continue
+		}
+		out = append(out, PairCounter{In: in, Out: o, Count: c.Count, Error: c.Error})
+	}
+	return out
+}
+
+// Counters returns every monitored pair by descending estimated count.
+func (p *PairSketch) Counters() []PairCounter { return p.Top(p.s.Len()) }
+
+// Reset discards all pair counters.
+func (p *PairSketch) Reset() { p.s.Reset() }
+
+// Merge folds other into p; other is left unchanged.
+func (p *PairSketch) Merge(other *PairSketch) {
+	if other == nil {
+		return
+	}
+	p.s.Merge(other.s)
+}

@@ -1,0 +1,105 @@
+package spacesaving
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodePairRoundTrip(t *testing.T) {
+	tests := []struct{ in, out string }{
+		{"Asia", "#java"},
+		{"", ""},
+		{"a\x1fb", "c"},
+		{"\x1f", "\x1f\x1f"},
+		{"plain", "keys"},
+	}
+	for _, tt := range tests {
+		enc := EncodePair(tt.in, tt.out)
+		in, out, ok := DecodePair(enc)
+		if !ok || in != tt.in || out != tt.out {
+			t.Errorf("round trip (%q,%q) -> %q -> (%q,%q,%v)", tt.in, tt.out, enc, in, out, ok)
+		}
+	}
+}
+
+func TestDecodePairInvalid(t *testing.T) {
+	for _, give := range []string{"", "abc", ":rest", "12", "99:short", "-1:x", "1x:ab"} {
+		if in, out, ok := DecodePair(give); ok {
+			t.Errorf("DecodePair(%q) = (%q,%q,true), want invalid", give, in, out)
+		}
+	}
+}
+
+func TestPropertyEncodeDecodePair(t *testing.T) {
+	f := func(in, out string) bool {
+		gotIn, gotOut, ok := DecodePair(EncodePair(in, out))
+		return ok && gotIn == in && gotOut == out
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairSketchBasics(t *testing.T) {
+	p := NewPairs(10)
+	p.Add("Asia", "#java")
+	p.Add("Asia", "#java")
+	p.Add("Asia", "#ruby")
+	p.AddWeighted("Oceania", "#python", 5)
+
+	if p.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", p.Len())
+	}
+	if p.Observed() != 8 {
+		t.Fatalf("Observed() = %d, want 8", p.Observed())
+	}
+	top := p.Top(2)
+	if top[0].In != "Oceania" || top[0].Out != "#python" || top[0].Count != 5 {
+		t.Fatalf("Top[0] = %+v, want Oceania/#python count 5", top[0])
+	}
+	if top[1].In != "Asia" || top[1].Out != "#java" || top[1].Count != 2 {
+		t.Fatalf("Top[1] = %+v, want Asia/#java count 2", top[1])
+	}
+}
+
+func TestPairSketchMergeAndReset(t *testing.T) {
+	a := NewPairs(10)
+	b := NewPairs(10)
+	a.Add("x", "y")
+	b.Add("x", "y")
+	b.Add("u", "v")
+	a.Merge(b)
+	if a.Observed() != 3 {
+		t.Fatalf("Observed() = %d, want 3", a.Observed())
+	}
+	cs := a.Counters()
+	if len(cs) != 2 || cs[0].Count != 2 {
+		t.Fatalf("Counters() = %+v, want x/y count 2 first", cs)
+	}
+	a.Merge(nil)
+	a.Reset()
+	if a.Len() != 0 || a.Observed() != 0 {
+		t.Fatalf("after Reset: Len=%d Observed=%d", a.Len(), a.Observed())
+	}
+}
+
+func TestPairSketchEvictionKeepsFrequent(t *testing.T) {
+	// Capacity must comfortably exceed the churn of the one-off tail
+	// (200 distinct pairs over 8 counters keeps the min count below
+	// Europe's true frequency of 50).
+	p := NewPairs(8)
+	for i := 0; i < 100; i++ {
+		p.Add("Asia", "#scala")
+	}
+	for i := 0; i < 50; i++ {
+		p.Add("Europe", "#go")
+	}
+	for i := 0; i < 200; i++ {
+		// Long tail of one-off pairs.
+		p.Add("loc", "#tag"+string(rune('a'+i%26))+string(rune('a'+i/26)))
+	}
+	top := p.Top(2)
+	if top[0].In != "Asia" || top[1].In != "Europe" {
+		t.Fatalf("Top(2) = %+v, want Asia then Europe pairs", top)
+	}
+}

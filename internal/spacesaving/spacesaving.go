@@ -1,0 +1,311 @@
+// Package spacesaving implements the SpaceSaving algorithm of Metwally,
+// Agrawal and El Abbadi ("Efficient Computation of Frequent and Top-k
+// Elements in Data Streams", ICDT 2005).
+//
+// SpaceSaving maintains an approximate list of the most frequent items of
+// a stream using a bounded number of counters. When an unmonitored item
+// arrives and all counters are in use, the item with the minimum count is
+// evicted and its counter (plus one) is inherited by the newcomer; the
+// inherited amount is remembered as the estimation error of the new item.
+//
+// The implementation uses the "stream summary" layout from the paper: a
+// doubly linked list of buckets in strictly increasing count order, where
+// each bucket holds the items sharing that exact count. All operations are
+// O(1) amortized per stream element.
+//
+// The paper reproduced by this repository (Caneill et al., Middleware'16,
+// §3.2) uses SpaceSaving to track the most frequent pairs of consecutive
+// routing keys with a bounded memory budget per operator instance.
+package spacesaving
+
+import (
+	"sort"
+)
+
+// Counter is the externally visible record for one monitored item.
+type Counter struct {
+	// Item is the monitored stream element.
+	Item string
+	// Count is the estimated frequency of Item. It never underestimates
+	// the true frequency and overestimates it by at most Error.
+	Count uint64
+	// Error is the maximum overestimation of Count, i.e. the count
+	// inherited when Item took over an evicted counter.
+	Error uint64
+}
+
+// bucket groups all items that currently share the same count value.
+// Buckets form a doubly linked list in strictly increasing count order.
+type bucket struct {
+	count      uint64
+	prev, next *bucket
+	head       *node // any node of the bucket's item list
+	size       int
+}
+
+// node is one monitored item. Nodes belonging to the same bucket form a
+// circular doubly linked list.
+type node struct {
+	item       string
+	err        uint64
+	b          *bucket
+	prev, next *node
+}
+
+// Sketch is a SpaceSaving stream summary with a fixed capacity of
+// monitored items. The zero value is not usable; call New.
+//
+// Sketch is not safe for concurrent use; callers synchronize externally
+// (in this repository each operator instance owns its sketch).
+type Sketch struct {
+	capacity int
+	items    map[string]*node
+	min      *bucket // bucket with the smallest count, or nil when empty
+	observed uint64  // total stream elements offered
+}
+
+// New returns a sketch that monitors at most capacity distinct items.
+// capacity must be at least 1; smaller values are raised to 1.
+func New(capacity int) *Sketch {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Sketch{
+		capacity: capacity,
+		items:    make(map[string]*node, capacity),
+	}
+}
+
+// Capacity returns the maximum number of monitored items.
+func (s *Sketch) Capacity() int { return s.capacity }
+
+// Len returns the number of currently monitored items.
+func (s *Sketch) Len() int { return len(s.items) }
+
+// Observed returns the total weight offered to the sketch.
+func (s *Sketch) Observed() uint64 { return s.observed }
+
+// Add records one occurrence of item.
+func (s *Sketch) Add(item string) { s.AddWeighted(item, 1) }
+
+// AddWeighted records weight occurrences of item. Zero weights are
+// ignored.
+func (s *Sketch) AddWeighted(item string, weight uint64) {
+	if weight == 0 {
+		return
+	}
+	s.observed += weight
+
+	if n, ok := s.items[item]; ok {
+		s.increment(n, weight)
+		return
+	}
+	if len(s.items) < s.capacity {
+		n := &node{item: item}
+		s.items[item] = n
+		s.attach(n, weight)
+		return
+	}
+	// Evict a minimum-count item: the newcomer inherits min+weight and
+	// records min as its error bound.
+	victim := s.min.head
+	minCount := s.min.count
+	delete(s.items, victim.item)
+	s.detach(victim)
+	victim.item = item
+	victim.err = minCount
+	s.items[item] = victim
+	s.attach(victim, minCount+weight)
+}
+
+// Count returns the estimated frequency of item and whether the item is
+// currently monitored. Unmonitored items report the sketch's minimum
+// count as the upper bound of their true frequency, with ok == false.
+func (s *Sketch) Count(item string) (count uint64, ok bool) {
+	if n, found := s.items[item]; found {
+		return n.b.count, true
+	}
+	if s.min != nil {
+		return s.min.count, false
+	}
+	return 0, false
+}
+
+// Error returns the estimation error recorded for item (0 when the item
+// is not monitored).
+func (s *Sketch) Error(item string) uint64 {
+	if n, ok := s.items[item]; ok {
+		return n.err
+	}
+	return 0
+}
+
+// GuaranteedCount returns the lower bound Count - Error for item.
+func (s *Sketch) GuaranteedCount(item string) uint64 {
+	n, ok := s.items[item]
+	if !ok {
+		return 0
+	}
+	return n.b.count - n.err
+}
+
+// Top returns up to k counters ordered by descending estimated count.
+// Ties are broken by ascending item string so results are deterministic.
+func (s *Sketch) Top(k int) []Counter {
+	all := s.Counters()
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// Counters returns every monitored counter, ordered by descending count
+// then ascending item.
+func (s *Sketch) Counters() []Counter {
+	out := make([]Counter, 0, len(s.items))
+	for b := s.maxBucket(); b != nil; b = b.prev {
+		n := b.head
+		for i := 0; i < b.size; i++ {
+			out = append(out, Counter{Item: n.item, Count: b.count, Error: n.err})
+			n = n.next
+		}
+	}
+	// Buckets yield descending counts already; order items inside each
+	// count deterministically.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// Reset discards all counters and statistics. The paper's protocol resets
+// sketches after every routing reconfiguration so that only recent data
+// informs the next optimization (§3.2).
+func (s *Sketch) Reset() {
+	s.items = make(map[string]*node, s.capacity)
+	s.min = nil
+	s.observed = 0
+}
+
+// Merge folds the counters of other into s (used when a single logical
+// statistic is assembled from several operator threads). other is left
+// unchanged.
+func (s *Sketch) Merge(other *Sketch) {
+	if other == nil {
+		return
+	}
+	for _, c := range other.Counters() {
+		// Preserve total weight accounting: AddWeighted bumps observed.
+		s.AddWeighted(c.Item, c.Count)
+		s.observed -= c.Count
+	}
+	s.observed += other.observed
+}
+
+// --- internal linked-structure maintenance -------------------------------
+
+// increment moves n from its current bucket to the bucket holding
+// count+weight, creating it if needed.
+func (s *Sketch) increment(n *node, weight uint64) {
+	oldB := n.b
+	target := oldB.count + weight
+	hint := oldB
+	s.detach(n)
+	if oldB.size == 0 {
+		// oldB was unlinked; its predecessor (still a live list member)
+		// is the closest valid starting point.
+		hint = oldB.prev
+	}
+	s.insertWithHint(n, target, hint)
+}
+
+// attach inserts a brand-new node with the given count starting the
+// search from the minimum bucket.
+func (s *Sketch) attach(n *node, count uint64) {
+	s.insertWithHint(n, count, nil)
+}
+
+// insertWithHint places n into the bucket with exactly count, searching
+// forward from hint (or from the minimum bucket when hint is nil).
+func (s *Sketch) insertWithHint(n *node, count uint64, hint *bucket) {
+	cur := hint
+	if cur == nil {
+		cur = s.min
+	}
+	var prev *bucket
+	if cur != nil {
+		prev = cur.prev
+	}
+	for cur != nil && cur.count < count {
+		prev = cur
+		cur = cur.next
+	}
+	if cur != nil && cur.count == count {
+		s.addToBucket(cur, n)
+		return
+	}
+	nb := &bucket{count: count, prev: prev, next: cur}
+	if prev != nil {
+		prev.next = nb
+	} else {
+		s.min = nb
+	}
+	if cur != nil {
+		cur.prev = nb
+	}
+	s.addToBucket(nb, n)
+}
+
+func (s *Sketch) addToBucket(b *bucket, n *node) {
+	n.b = b
+	if b.head == nil {
+		n.prev, n.next = n, n
+		b.head = n
+	} else {
+		tail := b.head.prev
+		n.prev, n.next = tail, b.head
+		tail.next = n
+		b.head.prev = n
+	}
+	b.size++
+}
+
+// detach removes n from its bucket, deleting the bucket when it empties.
+func (s *Sketch) detach(n *node) {
+	b := n.b
+	if b.size == 1 {
+		b.head = nil
+	} else {
+		n.prev.next = n.next
+		n.next.prev = n.prev
+		if b.head == n {
+			b.head = n.next
+		}
+	}
+	b.size--
+	n.prev, n.next, n.b = nil, nil, nil
+	if b.size == 0 {
+		if b.prev != nil {
+			b.prev.next = b.next
+		} else {
+			s.min = b.next
+		}
+		if b.next != nil {
+			b.next.prev = b.prev
+		}
+	}
+}
+
+func (s *Sketch) maxBucket() *bucket {
+	b := s.min
+	if b == nil {
+		return nil
+	}
+	for b.next != nil {
+		b = b.next
+	}
+	return b
+}

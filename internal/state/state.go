@@ -1,0 +1,123 @@
+// Package state provides the key-state migration machinery used by the
+// online reconfiguration protocol (§3.4 of Caneill et al.,
+// Middleware'16): extracting and installing per-key operator state, and
+// buffering tuples that arrive for a key whose state has not been
+// received yet ("tuples are buffered and are only processed once the
+// state of their key is received").
+package state
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/locastream/locastream/internal/topology"
+)
+
+// Extract snapshots the state of the given keys from a keyed processor.
+// Keys without state are returned with nil data so the recipient can
+// still clear its pending marker (the protocol sends one migration record
+// per planned key, with or without payload).
+func Extract(p topology.Keyed, keys []string) map[string][]byte {
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		if data, ok := p.SnapshotKey(k); ok {
+			out[k] = data
+			p.DeleteKey(k)
+		} else {
+			out[k] = nil
+		}
+	}
+	return out
+}
+
+// Install restores migrated state into a keyed processor. Nil payloads
+// mark keys that had no state at the sender and are skipped.
+func Install(p topology.Keyed, states map[string][]byte) error {
+	keys := make([]string, 0, len(states))
+	for k := range states {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		data := states[k]
+		if data == nil {
+			continue
+		}
+		if err := p.RestoreKey(k, data); err != nil {
+			return fmt.Errorf("install state for key %q: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// Buffer holds tuples whose key state is expected from another instance.
+// It is not safe for concurrent use; each executor owns one.
+type Buffer struct {
+	pending map[string][]topology.Tuple
+}
+
+// NewBuffer returns an empty migration buffer.
+func NewBuffer() *Buffer {
+	return &Buffer{pending: make(map[string][]topology.Tuple)}
+}
+
+// Expect marks keys whose state is in flight. Tuples for those keys must
+// be buffered until Arrive is called.
+func (b *Buffer) Expect(keys []string) {
+	for _, k := range keys {
+		if _, ok := b.pending[k]; !ok {
+			b.pending[k] = nil
+		}
+	}
+}
+
+// Pending reports whether key is awaiting state.
+func (b *Buffer) Pending(key string) bool {
+	_, ok := b.pending[key]
+	return ok
+}
+
+// PendingCount returns the number of keys still awaiting state.
+func (b *Buffer) PendingCount() int { return len(b.pending) }
+
+// BufferedCount returns the total number of buffered tuples.
+func (b *Buffer) BufferedCount() int {
+	n := 0
+	for _, ts := range b.pending {
+		n += len(ts)
+	}
+	return n
+}
+
+// Hold stores a tuple for a pending key. It reports whether the key was
+// pending (false means the caller should process the tuple normally).
+func (b *Buffer) Hold(key string, t topology.Tuple) bool {
+	ts, ok := b.pending[key]
+	if !ok {
+		return false
+	}
+	b.pending[key] = append(ts, t)
+	return true
+}
+
+// Arrive clears the pending marker for key and returns the tuples held
+// for it, in arrival order.
+func (b *Buffer) Arrive(key string) []topology.Tuple {
+	ts, ok := b.pending[key]
+	if !ok {
+		return nil
+	}
+	delete(b.pending, key)
+	return ts
+}
+
+// PendingKeys returns the sorted keys still awaiting state (for tests and
+// debugging).
+func (b *Buffer) PendingKeys() []string {
+	keys := make([]string, 0, len(b.pending))
+	for k := range b.pending {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,122 @@
+package state
+
+import (
+	"testing"
+
+	"github.com/locastream/locastream/internal/topology"
+)
+
+func tupleFor(key string) topology.Tuple {
+	return topology.Tuple{Values: []string{key}}
+}
+
+func TestExtractAndInstall(t *testing.T) {
+	src := topology.NewCounter(0)
+	for i := 0; i < 3; i++ {
+		src.Process(tupleFor("a"), func(topology.Tuple) {})
+	}
+	src.Process(tupleFor("b"), func(topology.Tuple) {})
+
+	states := Extract(src, []string{"a", "missing"})
+	if len(states) != 2 {
+		t.Fatalf("Extract returned %d entries, want 2", len(states))
+	}
+	if states["a"] == nil {
+		t.Fatal("state for a missing")
+	}
+	if states["missing"] != nil {
+		t.Fatal("state for missing key should be nil")
+	}
+	// Extract must remove migrated state from the source.
+	if src.Count("a") != 0 {
+		t.Fatalf("source still has count %d for a", src.Count("a"))
+	}
+	if src.Count("b") != 1 {
+		t.Fatal("unrelated key b was touched")
+	}
+
+	dst := topology.NewCounter(0)
+	if err := Install(dst, states); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Count("a") != 3 {
+		t.Fatalf("dst count a = %d, want 3", dst.Count("a"))
+	}
+	if dst.Count("missing") != 0 {
+		t.Fatal("nil payload should not create state")
+	}
+}
+
+func TestInstallBadPayload(t *testing.T) {
+	dst := topology.NewCounter(0)
+	err := Install(dst, map[string][]byte{"k": {1, 2}})
+	if err == nil {
+		t.Fatal("Install accepted malformed payload")
+	}
+}
+
+func TestBufferLifecycle(t *testing.T) {
+	b := NewBuffer()
+	if b.Pending("k") {
+		t.Fatal("fresh buffer has pending key")
+	}
+	if b.Hold("k", tupleFor("k")) {
+		t.Fatal("Hold succeeded for non-pending key")
+	}
+
+	b.Expect([]string{"k", "j"})
+	if !b.Pending("k") || !b.Pending("j") {
+		t.Fatal("Expect did not mark keys")
+	}
+	if b.PendingCount() != 2 {
+		t.Fatalf("PendingCount = %d, want 2", b.PendingCount())
+	}
+
+	if !b.Hold("k", tupleFor("k")) {
+		t.Fatal("Hold failed for pending key")
+	}
+	if !b.Hold("k", tupleFor("k")) {
+		t.Fatal("second Hold failed")
+	}
+	if b.BufferedCount() != 2 {
+		t.Fatalf("BufferedCount = %d, want 2", b.BufferedCount())
+	}
+
+	held := b.Arrive("k")
+	if len(held) != 2 {
+		t.Fatalf("Arrive returned %d tuples, want 2", len(held))
+	}
+	if b.Pending("k") {
+		t.Fatal("key still pending after Arrive")
+	}
+	// j arrives with no buffered tuples.
+	if held := b.Arrive("j"); held != nil {
+		t.Fatalf("Arrive(j) = %v, want nil", held)
+	}
+	if b.PendingCount() != 0 {
+		t.Fatal("buffer not empty at end")
+	}
+	// Arriving for an unknown key is a no-op.
+	if held := b.Arrive("zzz"); held != nil {
+		t.Fatal("Arrive on unknown key returned tuples")
+	}
+}
+
+func TestBufferExpectIdempotent(t *testing.T) {
+	b := NewBuffer()
+	b.Expect([]string{"k"})
+	b.Hold("k", tupleFor("k"))
+	b.Expect([]string{"k"}) // must not clear buffered tuples
+	if got := len(b.Arrive("k")); got != 1 {
+		t.Fatalf("Arrive returned %d tuples, want 1", got)
+	}
+}
+
+func TestBufferPendingKeysSorted(t *testing.T) {
+	b := NewBuffer()
+	b.Expect([]string{"z", "a", "m"})
+	keys := b.PendingKeys()
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "m" || keys[2] != "z" {
+		t.Fatalf("PendingKeys() = %v", keys)
+	}
+}

@@ -1,0 +1,102 @@
+package topology
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Counter is a stateful processor that counts occurrences of the key in
+// the configured tuple field and forwards tuples unchanged. It is the
+// operator used throughout the paper's evaluation ("computes statistics
+// based on the first field of the tuples by counting the number of
+// occurrences of its different values", §4.1).
+//
+// Counter implements Keyed: per-key counts can be snapshotted and
+// restored during state migration.
+type Counter struct {
+	// KeyField is the tuple field counted.
+	KeyField int
+	counts   map[string]uint64
+}
+
+var _ Keyed = (*Counter)(nil)
+
+// NewCounter returns a Counter over the given tuple field.
+func NewCounter(keyField int) *Counter {
+	return &Counter{KeyField: keyField, counts: make(map[string]uint64)}
+}
+
+// Process increments the count of the tuple's key and forwards the tuple.
+func (c *Counter) Process(t Tuple, emit Emit) {
+	c.counts[t.Field(c.KeyField)]++
+	emit(t)
+}
+
+// Count returns the current count for key.
+func (c *Counter) Count(key string) uint64 { return c.counts[key] }
+
+// SnapshotKey serializes the count of one key.
+func (c *Counter) SnapshotKey(key string) ([]byte, bool) {
+	v, ok := c.counts[key]
+	if !ok {
+		return nil, false
+	}
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, v)
+	return buf, true
+}
+
+// RestoreKey installs a migrated count; an existing count is added to,
+// which makes restore idempotent only per migration (the protocol deletes
+// before resending).
+func (c *Counter) RestoreKey(key string, data []byte) error {
+	if len(data) != 8 {
+		return fmt.Errorf("counter: state for %q has %d bytes, want 8", key, len(data))
+	}
+	c.counts[key] += binary.BigEndian.Uint64(data)
+	return nil
+}
+
+// DeleteKey drops the count of a migrated-away key.
+func (c *Counter) DeleteKey(key string) { delete(c.counts, key) }
+
+// StateKeys lists all keys with a count, sorted.
+func (c *Counter) StateKeys() []string {
+	keys := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TotalCount returns the sum of all per-key counts (useful in tests to
+// assert that migration lost nothing).
+func (c *Counter) TotalCount() uint64 {
+	var total uint64
+	for _, v := range c.counts {
+		total += v
+	}
+	return total
+}
+
+// MapFunc is a stateless processor applying fn to each tuple.
+func MapFunc(fn func(Tuple) Tuple) Processor {
+	return ProcessorFunc(func(t Tuple, emit Emit) { emit(fn(t)) })
+}
+
+// FlatMapFunc is a stateless processor that may emit any number of tuples
+// per input.
+func FlatMapFunc(fn func(Tuple) []Tuple) Processor {
+	return ProcessorFunc(func(t Tuple, emit Emit) {
+		for _, out := range fn(t) {
+			emit(out)
+		}
+	})
+}
+
+// Passthrough forwards tuples unchanged.
+func Passthrough() Processor {
+	return ProcessorFunc(func(t Tuple, emit Emit) { emit(t) })
+}

@@ -1,0 +1,113 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func collect(p Processor, tuples ...Tuple) []Tuple {
+	var out []Tuple
+	for _, t := range tuples {
+		p.Process(t, func(o Tuple) { out = append(out, o) })
+	}
+	return out
+}
+
+func TestCounterCountsAndForwards(t *testing.T) {
+	c := NewCounter(0)
+	in := []Tuple{
+		{Values: []string{"a", "x"}},
+		{Values: []string{"a", "y"}},
+		{Values: []string{"b", "z"}},
+	}
+	out := collect(c, in...)
+	if len(out) != 3 {
+		t.Fatalf("forwarded %d tuples, want 3", len(out))
+	}
+	if c.Count("a") != 2 || c.Count("b") != 1 || c.Count("missing") != 0 {
+		t.Fatalf("counts: a=%d b=%d", c.Count("a"), c.Count("b"))
+	}
+	if c.TotalCount() != 3 {
+		t.Fatalf("TotalCount() = %d, want 3", c.TotalCount())
+	}
+}
+
+func TestCounterSnapshotRestoreRoundTrip(t *testing.T) {
+	c := NewCounter(0)
+	for i := 0; i < 5; i++ {
+		c.Process(Tuple{Values: []string{"k"}}, func(Tuple) {})
+	}
+	data, ok := c.SnapshotKey("k")
+	if !ok {
+		t.Fatal("SnapshotKey(k) missing")
+	}
+	if _, ok := c.SnapshotKey("absent"); ok {
+		t.Fatal("SnapshotKey(absent) should be missing")
+	}
+
+	dst := NewCounter(0)
+	if err := dst.RestoreKey("k", data); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Count("k") != 5 {
+		t.Fatalf("restored count = %d, want 5", dst.Count("k"))
+	}
+
+	c.DeleteKey("k")
+	if c.Count("k") != 0 {
+		t.Fatal("DeleteKey did not remove state")
+	}
+}
+
+func TestCounterRestoreBadData(t *testing.T) {
+	c := NewCounter(0)
+	if err := c.RestoreKey("k", []byte{1, 2, 3}); err == nil {
+		t.Fatal("RestoreKey accepted short data")
+	}
+}
+
+func TestCounterStateKeysSorted(t *testing.T) {
+	c := NewCounter(0)
+	for _, k := range []string{"z", "a", "m"} {
+		c.Process(Tuple{Values: []string{k}}, func(Tuple) {})
+	}
+	keys := c.StateKeys()
+	if strings.Join(keys, ",") != "a,m,z" {
+		t.Fatalf("StateKeys() = %v, want sorted", keys)
+	}
+}
+
+func TestMapFunc(t *testing.T) {
+	lower := MapFunc(func(tu Tuple) Tuple {
+		vals := make([]string, len(tu.Values))
+		for i, v := range tu.Values {
+			vals[i] = strings.ToLower(v)
+		}
+		return Tuple{Values: vals, Padding: tu.Padding}
+	})
+	out := collect(lower, Tuple{Values: []string{"HeLLo"}})
+	if len(out) != 1 || out[0].Values[0] != "hello" {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestFlatMapFunc(t *testing.T) {
+	split := FlatMapFunc(func(tu Tuple) []Tuple {
+		var outs []Tuple
+		for _, w := range strings.Fields(tu.Field(0)) {
+			outs = append(outs, Tuple{Values: []string{w}})
+		}
+		return outs
+	})
+	out := collect(split, Tuple{Values: []string{"the quick fox"}})
+	if len(out) != 3 || out[2].Field(0) != "fox" {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestPassthrough(t *testing.T) {
+	out := collect(Passthrough(), Tuple{Values: []string{"x"}, Padding: 7})
+	if len(out) != 1 || out[0].Padding != 7 {
+		t.Fatalf("out = %+v", out)
+	}
+}

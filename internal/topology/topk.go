@@ -1,0 +1,143 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"github.com/locastream/locastream/internal/spacesaving"
+)
+
+// TopK is a stateful processor implementing the paper's motivating
+// application (§3.2): per routing key (e.g. a region), it maintains an
+// approximate top-k of a second field (e.g. hashtags) with a bounded
+// SpaceSaving sketch, "generating statistics about topics trending in
+// geographical regions".
+//
+// TopK implements Keyed with non-trivial state: a whole sketch per key is
+// serialized and merged during migration, exercising the reconfiguration
+// protocol far beyond simple counters.
+type TopK struct {
+	// KeyField is the field holding the routing key (the "region").
+	KeyField int
+	// ValueField is the field ranked per key (the "hashtag").
+	ValueField int
+	// K is how many top entries Top reports.
+	K int
+	// SketchCapacity bounds each per-key sketch.
+	SketchCapacity int
+
+	perKey map[string]*spacesaving.Sketch
+}
+
+var _ Keyed = (*TopK)(nil)
+
+// NewTopK builds a trending-topics operator.
+func NewTopK(keyField, valueField, k, sketchCapacity int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	if sketchCapacity < k {
+		sketchCapacity = 8 * k
+	}
+	return &TopK{
+		KeyField:       keyField,
+		ValueField:     valueField,
+		K:              k,
+		SketchCapacity: sketchCapacity,
+		perKey:         make(map[string]*spacesaving.Sketch),
+	}
+}
+
+// Process records the tuple's value under its key and forwards the tuple.
+func (t *TopK) Process(tu Tuple, emit Emit) {
+	key := tu.Field(t.KeyField)
+	sk := t.perKey[key]
+	if sk == nil {
+		sk = spacesaving.New(t.SketchCapacity)
+		t.perKey[key] = sk
+	}
+	sk.Add(tu.Field(t.ValueField))
+	emit(tu)
+}
+
+// Top returns the current top-k values for key, heaviest first.
+func (t *TopK) Top(key string) []spacesaving.Counter {
+	sk := t.perKey[key]
+	if sk == nil {
+		return nil
+	}
+	return sk.Top(t.K)
+}
+
+// Observed returns how many values were recorded for key.
+func (t *TopK) Observed(key string) uint64 {
+	sk := t.perKey[key]
+	if sk == nil {
+		return 0
+	}
+	return sk.Observed()
+}
+
+// topKState is the wire form of one key's sketch.
+type topKState struct {
+	Observed uint64             `json:"observed"`
+	Counters []topKStateCounter `json:"counters"`
+}
+
+type topKStateCounter struct {
+	Item  string `json:"item"`
+	Count uint64 `json:"count"`
+}
+
+// SnapshotKey serializes the sketch of one key.
+func (t *TopK) SnapshotKey(key string) ([]byte, bool) {
+	sk := t.perKey[key]
+	if sk == nil {
+		return nil, false
+	}
+	st := topKState{Observed: sk.Observed()}
+	for _, c := range sk.Counters() {
+		st.Counters = append(st.Counters, topKStateCounter{Item: c.Item, Count: c.Count})
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		// Marshalling strings and integers cannot fail; treat as absent
+		// state defensively.
+		return nil, false
+	}
+	return data, true
+}
+
+// RestoreKey merges migrated sketch state for a key.
+func (t *TopK) RestoreKey(key string, data []byte) error {
+	var st topKState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("topk: decode state for %q: %w", key, err)
+	}
+	sk := t.perKey[key]
+	if sk == nil {
+		sk = spacesaving.New(t.SketchCapacity)
+		t.perKey[key] = sk
+	}
+	// Merging re-adds the monitored counters; weight already evicted at
+	// the sender is lost, which matches SpaceSaving's approximation
+	// contract (estimates never undercount monitored items).
+	for _, c := range st.Counters {
+		sk.AddWeighted(c.Item, c.Count)
+	}
+	return nil
+}
+
+// DeleteKey drops the sketch of a migrated-away key.
+func (t *TopK) DeleteKey(key string) { delete(t.perKey, key) }
+
+// StateKeys lists every key with a sketch, sorted.
+func (t *TopK) StateKeys() []string {
+	keys := make([]string, 0, len(t.perKey))
+	for k := range t.perKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,113 @@
+package topology
+
+import (
+	"testing"
+)
+
+func feedTopK(t *TopK, key, value string, n int) {
+	for i := 0; i < n; i++ {
+		t.Process(Tuple{Values: []string{key, value}}, func(Tuple) {})
+	}
+}
+
+func TestTopKRanksPerKey(t *testing.T) {
+	tk := NewTopK(0, 1, 2, 64)
+	feedTopK(tk, "Asia", "#java", 30)
+	feedTopK(tk, "Asia", "#ruby", 20)
+	feedTopK(tk, "Asia", "#go", 5)
+	feedTopK(tk, "Europe", "#rust", 7)
+
+	top := tk.Top("Asia")
+	if len(top) != 2 {
+		t.Fatalf("Top(Asia) = %d entries, want K=2", len(top))
+	}
+	if top[0].Item != "#java" || top[0].Count != 30 {
+		t.Fatalf("Top(Asia)[0] = %+v", top[0])
+	}
+	if top[1].Item != "#ruby" {
+		t.Fatalf("Top(Asia)[1] = %+v", top[1])
+	}
+	if got := tk.Top("Europe"); len(got) != 1 || got[0].Item != "#rust" {
+		t.Fatalf("Top(Europe) = %+v", got)
+	}
+	if tk.Top("Mars") != nil {
+		t.Fatal("unknown key should report nil")
+	}
+	if tk.Observed("Asia") != 55 || tk.Observed("Mars") != 0 {
+		t.Fatalf("Observed = %d/%d", tk.Observed("Asia"), tk.Observed("Mars"))
+	}
+}
+
+func TestTopKForwardsTuples(t *testing.T) {
+	tk := NewTopK(0, 1, 3, 0)
+	var out []Tuple
+	tk.Process(Tuple{Values: []string{"k", "v"}, Padding: 9}, func(tu Tuple) {
+		out = append(out, tu)
+	})
+	if len(out) != 1 || out[0].Padding != 9 {
+		t.Fatalf("forwarded = %+v", out)
+	}
+}
+
+func TestTopKClamping(t *testing.T) {
+	tk := NewTopK(0, 1, 0, 0)
+	if tk.K != 1 {
+		t.Fatalf("K = %d, want clamp to 1", tk.K)
+	}
+	if tk.SketchCapacity < tk.K {
+		t.Fatalf("capacity %d < K", tk.SketchCapacity)
+	}
+}
+
+func TestTopKSnapshotRestoreRoundTrip(t *testing.T) {
+	src := NewTopK(0, 1, 2, 64)
+	feedTopK(src, "Asia", "#java", 30)
+	feedTopK(src, "Asia", "#ruby", 20)
+	feedTopK(src, "Europe", "#rust", 7)
+
+	data, ok := src.SnapshotKey("Asia")
+	if !ok {
+		t.Fatal("SnapshotKey(Asia) missing")
+	}
+	if _, ok := src.SnapshotKey("Mars"); ok {
+		t.Fatal("SnapshotKey(Mars) should be absent")
+	}
+	src.DeleteKey("Asia")
+	if src.Top("Asia") != nil {
+		t.Fatal("DeleteKey left state behind")
+	}
+	if src.Top("Europe") == nil {
+		t.Fatal("DeleteKey removed unrelated key")
+	}
+
+	dst := NewTopK(0, 1, 2, 64)
+	feedTopK(dst, "Asia", "#java", 3) // pre-existing partial state merges
+	if err := dst.RestoreKey("Asia", data); err != nil {
+		t.Fatal(err)
+	}
+	top := dst.Top("Asia")
+	if top[0].Item != "#java" || top[0].Count != 33 {
+		t.Fatalf("merged top = %+v, want #java 33", top[0])
+	}
+	if top[1].Item != "#ruby" || top[1].Count != 20 {
+		t.Fatalf("merged second = %+v", top[1])
+	}
+}
+
+func TestTopKRestoreBadData(t *testing.T) {
+	tk := NewTopK(0, 1, 2, 64)
+	if err := tk.RestoreKey("k", []byte("{not json")); err == nil {
+		t.Fatal("bad payload accepted")
+	}
+}
+
+func TestTopKStateKeysSorted(t *testing.T) {
+	tk := NewTopK(0, 1, 2, 64)
+	for _, k := range []string{"z", "a", "m"} {
+		feedTopK(tk, k, "#v", 1)
+	}
+	keys := tk.StateKeys()
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "z" {
+		t.Fatalf("StateKeys = %v", keys)
+	}
+}

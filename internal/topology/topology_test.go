@@ -1,0 +1,330 @@
+package topology
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func opNamed(name string, parallelism int, stateful bool) Operator {
+	return Operator{
+		Name:        name,
+		Parallelism: parallelism,
+		Stateful:    stateful,
+		New:         Passthrough,
+	}
+}
+
+func buildChain(t *testing.T) *Topology {
+	t.Helper()
+	topo, err := NewBuilder("chain").
+		AddOperator(opNamed("A", 2, false)).
+		AddOperator(opNamed("B", 2, true)).
+		AddOperator(opNamed("C", 3, true)).
+		Connect("A", "B", Fields, 0).
+		Connect("B", "C", Fields, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestBuildValidChain(t *testing.T) {
+	topo := buildChain(t)
+	if topo.Name() != "chain" {
+		t.Errorf("Name() = %q", topo.Name())
+	}
+	if topo.Source() != "A" {
+		t.Errorf("Source() = %q, want A (first added)", topo.Source())
+	}
+	order := topo.Order()
+	if len(order) != 3 || order[0] != "A" || order[1] != "B" || order[2] != "C" {
+		t.Errorf("Order() = %v", order)
+	}
+	if got := topo.Operator("B"); got == nil || !got.Stateful {
+		t.Error("Operator(B) missing or not stateful")
+	}
+	if got := topo.Operator("nope"); got != nil {
+		t.Error("Operator(nope) should be nil")
+	}
+	if n := len(topo.FieldsEdges()); n != 2 {
+		t.Errorf("FieldsEdges() = %d, want 2", n)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		build   func() (*Topology, error)
+		wantSub string
+	}{
+		{
+			name:    "no operators",
+			build:   func() (*Topology, error) { return NewBuilder("t").Build() },
+			wantSub: "no operators",
+		},
+		{
+			name: "duplicate operator",
+			build: func() (*Topology, error) {
+				return NewBuilder("t").
+					AddOperator(opNamed("A", 1, false)).
+					AddOperator(opNamed("A", 1, false)).
+					Build()
+			},
+			wantSub: "duplicate",
+		},
+		{
+			name: "zero parallelism",
+			build: func() (*Topology, error) {
+				return NewBuilder("t").AddOperator(opNamed("A", 0, false)).Build()
+			},
+			wantSub: "parallelism",
+		},
+		{
+			name: "missing factory",
+			build: func() (*Topology, error) {
+				return NewBuilder("t").AddOperator(Operator{Name: "A", Parallelism: 1}).Build()
+			},
+			wantSub: "factory",
+		},
+		{
+			name: "empty name",
+			build: func() (*Topology, error) {
+				return NewBuilder("t").AddOperator(opNamed("", 1, false)).Build()
+			},
+			wantSub: "empty name",
+		},
+		{
+			name: "edge to unknown",
+			build: func() (*Topology, error) {
+				return NewBuilder("t").
+					AddOperator(opNamed("A", 1, false)).
+					Connect("A", "B", Shuffle, 0).
+					Build()
+			},
+			wantSub: "unknown",
+		},
+		{
+			name: "edge from unknown",
+			build: func() (*Topology, error) {
+				return NewBuilder("t").
+					AddOperator(opNamed("A", 1, false)).
+					Connect("X", "A", Shuffle, 0).
+					Build()
+			},
+			wantSub: "unknown",
+		},
+		{
+			name: "self edge",
+			build: func() (*Topology, error) {
+				return NewBuilder("t").
+					AddOperator(opNamed("A", 1, false)).
+					Connect("A", "A", Shuffle, 0).
+					Build()
+			},
+			wantSub: "self-edge",
+		},
+		{
+			name: "stateful without fields",
+			build: func() (*Topology, error) {
+				return NewBuilder("t").
+					AddOperator(opNamed("A", 1, false)).
+					AddOperator(opNamed("B", 1, true)).
+					Connect("A", "B", Shuffle, 0).
+					Build()
+			},
+			wantSub: "requires fields",
+		},
+		{
+			name: "negative key field",
+			build: func() (*Topology, error) {
+				return NewBuilder("t").
+					AddOperator(opNamed("A", 1, false)).
+					AddOperator(opNamed("B", 1, true)).
+					Connect("A", "B", Fields, -1).
+					Build()
+			},
+			wantSub: "negative key field",
+		},
+		{
+			name: "invalid grouping",
+			build: func() (*Topology, error) {
+				return NewBuilder("t").
+					AddOperator(opNamed("A", 1, false)).
+					AddOperator(opNamed("B", 1, false)).
+					Connect("A", "B", Grouping(0), 0).
+					Build()
+			},
+			wantSub: "invalid grouping",
+		},
+		{
+			name: "cycle",
+			build: func() (*Topology, error) {
+				return NewBuilder("t").
+					AddOperator(opNamed("A", 1, false)).
+					AddOperator(opNamed("B", 1, false)).
+					Connect("A", "B", Shuffle, 0).
+					Connect("B", "A", Shuffle, 0).
+					Build()
+			},
+			wantSub: "cycle",
+		},
+		{
+			name: "unreachable operator",
+			build: func() (*Topology, error) {
+				return NewBuilder("t").
+					AddOperator(opNamed("A", 1, false)).
+					AddOperator(opNamed("B", 1, false)).
+					Build()
+			},
+			wantSub: "unreachable",
+		},
+		{
+			name: "bad source",
+			build: func() (*Topology, error) {
+				return NewBuilder("t").
+					AddOperator(opNamed("A", 1, false)).
+					SetSource("missing").
+					Build()
+			},
+			wantSub: "source",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := tt.build()
+			if err == nil {
+				t.Fatal("Build() succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestDiamondDAG(t *testing.T) {
+	topo, err := NewBuilder("diamond").
+		AddOperator(opNamed("A", 1, false)).
+		AddOperator(opNamed("B", 1, false)).
+		AddOperator(opNamed("C", 1, false)).
+		AddOperator(opNamed("D", 1, true)).
+		Connect("A", "B", Shuffle, 0).
+		Connect("A", "C", Shuffle, 0).
+		Connect("B", "D", Fields, 0).
+		Connect("C", "D", Fields, 0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := topo.Order()
+	pos := make(map[string]int)
+	for i, name := range order {
+		pos[name] = i
+	}
+	if !(pos["A"] < pos["B"] && pos["A"] < pos["C"] && pos["B"] < pos["D"] && pos["C"] < pos["D"]) {
+		t.Errorf("Order() = %v not topological", order)
+	}
+	if got := topo.Predecessors("D"); len(got) != 2 || got[0] != "B" || got[1] != "C" {
+		t.Errorf("Predecessors(D) = %v", got)
+	}
+	if got := topo.Successors("A"); len(got) != 2 || got[0] != "B" || got[1] != "C" {
+		t.Errorf("Successors(A) = %v", got)
+	}
+	if got := topo.InEdges("D"); len(got) != 2 {
+		t.Errorf("InEdges(D) = %v", got)
+	}
+	if got := topo.OutEdges("A"); len(got) != 2 {
+		t.Errorf("OutEdges(A) = %v", got)
+	}
+}
+
+func TestTupleSizeAndField(t *testing.T) {
+	tu := Tuple{Values: []string{"Asia", "#go"}, Padding: 100}
+	if got := tu.Size(); got != 16+100+4+3 {
+		t.Errorf("Size() = %d, want %d", got, 16+100+7)
+	}
+	if tu.Field(0) != "Asia" || tu.Field(1) != "#go" {
+		t.Error("Field() wrong values")
+	}
+	if tu.Field(2) != "" || tu.Field(-1) != "" {
+		t.Error("out-of-range Field() should be empty")
+	}
+}
+
+func TestGroupingString(t *testing.T) {
+	if Shuffle.String() != "shuffle" ||
+		LocalOrShuffle.String() != "local-or-shuffle" ||
+		Fields.String() != "fields" {
+		t.Error("grouping names wrong")
+	}
+	if !strings.Contains(Grouping(42).String(), "42") {
+		t.Error("unknown grouping should include its number")
+	}
+}
+
+func TestTopologyImmutability(t *testing.T) {
+	topo := buildChain(t)
+	edges := topo.Edges()
+	edges[0].From = "HACK"
+	if topo.Edges()[0].From == "HACK" {
+		t.Error("Edges() exposes internal slice")
+	}
+	order := topo.Order()
+	order[0] = "HACK"
+	if topo.Order()[0] == "HACK" {
+		t.Error("Order() exposes internal slice")
+	}
+}
+
+func TestBuilderFirstErrorWins(t *testing.T) {
+	_, err := NewBuilder("t").
+		AddOperator(opNamed("", 0, false)). // two problems at once
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "empty name") {
+		t.Fatalf("err = %v, want empty-name error first", err)
+	}
+}
+
+func TestPropertyTopologicalOrder(t *testing.T) {
+	// Property: for random DAGs (edges only forward in label order, so
+	// acyclic and reachable by construction), Order() lists every
+	// operator before all of its successors.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%6 + 2
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder("prop")
+		names := make([]string, n)
+		for i := 0; i < n; i++ {
+			names[i] = string(rune('A' + i))
+			b.AddOperator(opNamed(names[i], 1, false))
+		}
+		for i := 1; i < n; i++ {
+			// Ensure reachability: at least one in-edge from an earlier op.
+			from := rng.Intn(i)
+			b.Connect(names[from], names[i], Shuffle, 0)
+			if rng.Intn(2) == 0 && from != i-1 {
+				b.Connect(names[i-1], names[i], Shuffle, 0)
+			}
+		}
+		topo, err := b.Build()
+		if err != nil {
+			return false
+		}
+		pos := make(map[string]int)
+		for idx, name := range topo.Order() {
+			pos[name] = idx
+		}
+		for _, e := range topo.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+// Package transport moves engine messages between servers over real TCP
+// connections. The live engine keeps every operator instance in one
+// process (like a single Storm worker per server), but with a Fabric
+// attached, every cross-server tuple, state migration and propagation
+// marker is gob-encoded, written to a localhost socket, read back and
+// decoded — exercising the serialization and kernel network path that
+// makes remote transfers expensive in the paper's measurements.
+//
+// One Node is created per simulated server. Each ordered pair of nodes
+// shares one TCP connection, so messages between two servers are
+// delivered in FIFO order — the ordering assumption the reconfiguration
+// protocol's correctness argument relies on (§3.4).
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Kind distinguishes wire message types.
+type Kind byte
+
+// Wire message kinds.
+const (
+	KindData Kind = iota + 1
+	KindMigrate
+	KindPropagate
+)
+
+// Addr identifies a recipient operator instance.
+type Addr struct {
+	Op       string
+	Instance int
+}
+
+// Message is the wire form of one engine message.
+type Message struct {
+	Kind Kind
+	To   Addr
+
+	// KindData
+	Values  []string
+	Padding int
+	KeyOp   string
+	Key     string
+
+	// KindMigrate
+	MigKey  string
+	MigData []byte
+}
+
+// Handler consumes messages received by a node. It is called from the
+// per-connection reader goroutines and must be safe for concurrent use.
+type Handler func(Message)
+
+// Node is one server's endpoint: a listener plus one outgoing connection
+// per peer.
+type Node struct {
+	id      int
+	ln      net.Listener
+	handler Handler
+
+	mu      sync.Mutex
+	peers   map[int]*peerConn
+	inbound []net.Conn
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// peerConn serializes writes to one peer.
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// NewNode starts a node listening on an ephemeral localhost port.
+// handler receives every inbound message.
+func NewNode(id int, handler Handler) (*Node, error) {
+	if handler == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	n := &Node{id: id, ln: ln, handler: handler, peers: make(map[int]*peerConn)}
+	n.wg.Add(1)
+	go n.accept()
+	return n, nil
+}
+
+// ID returns the node's server id.
+func (n *Node) ID() int { return n.id }
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Connect dials every peer in the map (peer id -> address). Peers may be
+// connected before they have connected back; each direction uses its own
+// connection.
+func (n *Node) Connect(peers map[int]string) error {
+	for id, addr := range peers {
+		if id == n.id {
+			continue
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("transport: dial peer %d: %w", id, err)
+		}
+		n.mu.Lock()
+		n.peers[id] = &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
+		n.mu.Unlock()
+	}
+	return nil
+}
+
+// Send encodes msg to the given peer. Messages between the same pair of
+// nodes are delivered in order.
+func (n *Node) Send(peer int, msg Message) error {
+	n.mu.Lock()
+	pc := n.peers[peer]
+	n.mu.Unlock()
+	if pc == nil {
+		return fmt.Errorf("transport: node %d has no connection to peer %d", n.id, peer)
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if err := pc.enc.Encode(msg); err != nil {
+		return fmt.Errorf("transport: send to %d: %w", peer, err)
+	}
+	return nil
+}
+
+func (n *Node) accept() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.inbound = append(n.inbound, conn)
+		n.wg.Add(1)
+		n.mu.Unlock()
+		go n.serve(conn)
+	}
+}
+
+func (n *Node) serve(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			return // connection closed (or peer gone)
+		}
+		n.handler(msg)
+	}
+}
+
+// Close stops accepting, closes every outgoing connection and waits for
+// the reader goroutines to exit. Idempotent.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	peers := n.peers
+	inbound := n.inbound
+	n.peers = make(map[int]*peerConn)
+	n.inbound = nil
+	n.mu.Unlock()
+
+	_ = n.ln.Close()
+	for _, pc := range peers {
+		_ = pc.conn.Close()
+	}
+	for _, conn := range inbound {
+		_ = conn.Close()
+	}
+	n.wg.Wait()
+}
+
+// Fabric is a fully connected set of nodes, one per server.
+type Fabric struct {
+	nodes []*Node
+}
+
+// NewFabric starts servers nodes and fully connects them. handler
+// receives every message, along with the id of the receiving server.
+func NewFabric(servers int, handler func(server int, msg Message)) (*Fabric, error) {
+	if servers < 1 {
+		return nil, errors.New("transport: fabric needs at least one server")
+	}
+	f := &Fabric{nodes: make([]*Node, servers)}
+	addrs := make(map[int]string, servers)
+	for i := 0; i < servers; i++ {
+		id := i
+		node, err := NewNode(id, func(msg Message) { handler(id, msg) })
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.nodes[i] = node
+		addrs[i] = node.Addr()
+	}
+	for _, node := range f.nodes {
+		if err := node.Connect(addrs); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Send routes msg from one server to another.
+func (f *Fabric) Send(from, to int, msg Message) error {
+	if from < 0 || from >= len(f.nodes) {
+		return fmt.Errorf("transport: invalid sender %d", from)
+	}
+	return f.nodes[from].Send(to, msg)
+}
+
+// Servers returns the number of nodes.
+func (f *Fabric) Servers() int { return len(f.nodes) }
+
+// Close shuts every node down.
+func (f *Fabric) Close() {
+	for _, node := range f.nodes {
+		if node != nil {
+			node.Close()
+		}
+	}
+}

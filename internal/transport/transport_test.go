@@ -1,0 +1,195 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNodeValidation(t *testing.T) {
+	if _, err := NewNode(0, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestFabricValidation(t *testing.T) {
+	if _, err := NewFabric(0, func(int, Message) {}); err == nil {
+		t.Fatal("0 servers accepted")
+	}
+}
+
+func collectFabric(t *testing.T, servers int) (*Fabric, func() []Message, *sync.WaitGroup) {
+	t.Helper()
+	var (
+		mu  sync.Mutex
+		got []Message
+		wg  sync.WaitGroup
+	)
+	f, err := NewFabric(servers, func(server int, msg Message) {
+		mu.Lock()
+		got = append(got, msg)
+		mu.Unlock()
+		wg.Done()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	snapshot := func() []Message {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]Message(nil), got...)
+	}
+	return f, snapshot, &wg
+}
+
+func TestFabricDeliversAllKinds(t *testing.T) {
+	f, snapshot, wg := collectFabric(t, 2)
+
+	wg.Add(3)
+	msgs := []Message{
+		{Kind: KindData, To: Addr{Op: "B", Instance: 1},
+			Values: []string{"Asia", "#go"}, Padding: 64, KeyOp: "A", Key: "Asia"},
+		{Kind: KindMigrate, To: Addr{Op: "B", Instance: 0},
+			MigKey: "k", MigData: []byte{1, 2, 3}},
+		{Kind: KindPropagate, To: Addr{Op: "B", Instance: 1}},
+	}
+	for _, m := range msgs {
+		if err := f.Send(0, 1, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitGroupWithin(t, wg, 5*time.Second)
+
+	got := snapshot()
+	if len(got) != 3 {
+		t.Fatalf("received %d messages", len(got))
+	}
+	// FIFO per pair: order preserved.
+	if got[0].Kind != KindData || got[1].Kind != KindMigrate || got[2].Kind != KindPropagate {
+		t.Fatalf("order = %v %v %v", got[0].Kind, got[1].Kind, got[2].Kind)
+	}
+	if got[0].Values[0] != "Asia" || got[0].Padding != 64 || got[0].KeyOp != "A" {
+		t.Fatalf("data payload = %+v", got[0])
+	}
+	if string(got[1].MigData) != "\x01\x02\x03" || got[1].MigKey != "k" {
+		t.Fatalf("migrate payload = %+v", got[1])
+	}
+}
+
+func TestFabricFIFOUnderLoad(t *testing.T) {
+	const n = 5000
+	var (
+		mu   sync.Mutex
+		keys []string
+		wg   sync.WaitGroup
+	)
+	f, err := NewFabric(2, func(_ int, msg Message) {
+		mu.Lock()
+		keys = append(keys, msg.Key)
+		mu.Unlock()
+		wg.Done()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		if err := f.Send(0, 1, Message{Kind: KindData, Key: fmt.Sprintf("%08d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitGroupWithin(t, &wg, 10*time.Second)
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("FIFO violated at %d: %s before %s", i, keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestFabricConcurrentSenders(t *testing.T) {
+	const senders, per = 4, 500
+	var wg sync.WaitGroup
+	var count sync.WaitGroup
+	count.Add(senders * per)
+	f, err := NewFabric(3, func(int, Message) { count.Done() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := f.Send(s%3, (s+1)%3, Message{Kind: KindData, Key: "k"}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	waitGroupWithin(t, &count, 10*time.Second)
+}
+
+func TestLargePayload(t *testing.T) {
+	var wg sync.WaitGroup
+	var got Message
+	f, err := NewFabric(2, func(_ int, msg Message) {
+		got = msg
+		wg.Done()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	wg.Add(1)
+	big := []byte(strings.Repeat("x", 1<<20))
+	if err := f.Send(1, 0, Message{Kind: KindMigrate, MigKey: "big", MigData: big}); err != nil {
+		t.Fatal(err)
+	}
+	waitGroupWithin(t, &wg, 5*time.Second)
+	if len(got.MigData) != 1<<20 {
+		t.Fatalf("payload size = %d", len(got.MigData))
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	f, _, _ := collectFabric(t, 2)
+	if err := f.Send(-1, 0, Message{}); err == nil {
+		t.Error("invalid sender accepted")
+	}
+	if err := f.Send(0, 9, Message{}); err == nil {
+		t.Error("unknown peer accepted")
+	}
+}
+
+func TestCloseIdempotentAndSendAfterClose(t *testing.T) {
+	f, _, _ := collectFabric(t, 2)
+	f.Close()
+	f.Close() // must not panic or hang
+	if err := f.Send(0, 1, Message{Kind: KindData}); err == nil {
+		t.Error("send after close should fail")
+	}
+}
+
+func waitGroupWithin(t *testing.T, wg *sync.WaitGroup, d time.Duration) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatal("timed out waiting for deliveries")
+	}
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/locastream/locastream/internal/topology"
+)
+
+// FlickrConfig parameterizes the stable photo-metadata generator. The
+// paper streams (tag, country) records from the Flickr 100M dataset,
+// which "represents a stable workload as there is no temporal
+// information" (§4.4).
+type FlickrConfig struct {
+	// Tags is the size of the user-tag vocabulary.
+	Tags int
+	// Countries is the number of distinct countries (the dataset maps
+	// geolocations to countries via OpenStreetMap).
+	Countries int
+	// TagSkew and CountrySkew are Zipf exponents (> 1).
+	TagSkew     float64
+	CountrySkew float64
+	// Correlation is the probability that a photo's country is drawn
+	// from the tag's affine country set (tags like "eiffeltower" are
+	// strongly tied to one country) rather than the global mix.
+	Correlation float64
+	// AffineCountries is how many countries each tag is tied to.
+	AffineCountries int
+	// Padding is the tuple payload size in bytes.
+	Padding int
+	// Seed makes the stream deterministic.
+	Seed int64
+}
+
+// DefaultFlickrConfig mirrors the experiment scale.
+func DefaultFlickrConfig() FlickrConfig {
+	return FlickrConfig{
+		Tags:            5000,
+		Countries:       150,
+		TagSkew:         1.1,
+		CountrySkew:     1.1,
+		Correlation:     0.8,
+		AffineCountries: 3,
+		Seed:            1,
+	}
+}
+
+// Flickr generates (tag, country) tuples with a fixed correlation
+// structure. Not safe for concurrent use.
+type Flickr struct {
+	cfg FlickrConfig
+	rng *rand.Rand
+
+	tagZipf     *rand.Zipf
+	countryZipf *rand.Zipf
+	affine      [][]string // tag index -> preferred countries
+}
+
+var _ Generator = (*Flickr)(nil)
+
+// NewFlickr returns a stable generator.
+func NewFlickr(cfg FlickrConfig) *Flickr {
+	if cfg.Tags < 1 {
+		cfg.Tags = 1
+	}
+	if cfg.Countries < 1 {
+		cfg.Countries = 1
+	}
+	if cfg.AffineCountries < 1 {
+		cfg.AffineCountries = 1
+	}
+	if cfg.TagSkew <= 1 {
+		cfg.TagSkew = 1.1
+	}
+	if cfg.CountrySkew <= 1 {
+		cfg.CountrySkew = 1.1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Flickr{
+		cfg: cfg,
+		rng: rng,
+		// The Zipf offset (v = 6) softens the head of the distribution:
+		// real country/tag popularity is skewed, but no single key is half
+		// of the stream — a single un-splittable hot key would cap
+		// throughput at every parallelism and mask the locality effect.
+		tagZipf:     rand.NewZipf(rng, cfg.TagSkew, 6, uint64(cfg.Tags-1)),
+		countryZipf: rand.NewZipf(rng, cfg.CountrySkew, 6, uint64(cfg.Countries-1)),
+	}
+	f.affine = make([][]string, cfg.Tags)
+	for t := range f.affine {
+		set := make([]string, cfg.AffineCountries)
+		for i := range set {
+			set[i] = countryName(int(f.countryZipf.Uint64()))
+		}
+		f.affine[t] = set
+	}
+	return f
+}
+
+// Next returns the next (tag, country) tuple.
+func (f *Flickr) Next() topology.Tuple {
+	tag := int(f.tagZipf.Uint64())
+	var country string
+	if f.rng.Float64() < f.cfg.Correlation {
+		set := f.affine[tag]
+		country = set[f.rng.Intn(len(set))]
+	} else {
+		country = countryName(int(f.countryZipf.Uint64()))
+	}
+	return topology.Tuple{
+		Values:  []string{fmt.Sprintf("tag%d", tag), country},
+		Padding: f.cfg.Padding,
+	}
+}
+
+// SetPadding changes the payload size of subsequently generated tuples
+// (the Fig. 13 sweep varies padding over the same dataset).
+func (f *Flickr) SetPadding(padding int) { f.cfg.Padding = padding }
+
+func countryName(i int) string { return fmt.Sprintf("country%d", i) }

@@ -1,0 +1,102 @@
+// Package workload generates the three workloads of the paper's
+// evaluation (§4):
+//
+//   - Synthetic: (i, j, padding) tuples with an exact locality parameter
+//     (§4.2, Figs. 7-9).
+//   - Twitter: (location, hashtag) pairs with Zipfian popularity,
+//     location-conditioned hashtag affinities that drift over weeks,
+//     flash events, and a stream of never-seen-before hashtags — the
+//     dynamics that make online reoptimization necessary (§4.3,
+//     Figs. 10-12). This generator substitutes for the authors' 173M-pair
+//     proprietary Twitter crawl.
+//   - Flickr: stable (tag, country) pairs with fixed correlation,
+//     substituting for the Yahoo-gated Flickr 100M dataset (§4.4,
+//     Figs. 13-14).
+//
+// All generators are deterministic for a fixed seed.
+package workload
+
+import (
+	"math/rand"
+	"strconv"
+
+	"github.com/locastream/locastream/internal/topology"
+)
+
+// Generator produces an unbounded stream of tuples.
+type Generator interface {
+	// Next returns the next tuple of the stream.
+	Next() topology.Tuple
+}
+
+// Take returns a func suitable for engine.Sim.InjectAll that stops after
+// n tuples.
+func Take(g Generator, n int) func() (topology.Tuple, bool) {
+	remaining := n
+	return func() (topology.Tuple, bool) {
+		if remaining <= 0 {
+			return topology.Tuple{}, false
+		}
+		remaining--
+		return g.Next(), true
+	}
+}
+
+// --- synthetic ---------------------------------------------------------------
+
+// Synthetic implements the §4.2 workload: tuples carry two integer fields
+// in [0, N) plus padding; with probability Locality the two fields are
+// equal, so a routing table mapping key i to instance i keeps the tuple
+// on one server.
+type Synthetic struct {
+	// N is the number of distinct key values (the experiment's
+	// parallelism).
+	N int
+	// Locality is the probability that both fields match.
+	Locality float64
+	// Padding is the extra payload size in bytes.
+	Padding int
+
+	rng *rand.Rand
+}
+
+var _ Generator = (*Synthetic)(nil)
+
+// NewSynthetic returns a synthetic generator. n must be >= 1.
+func NewSynthetic(n int, locality float64, padding int, seed int64) *Synthetic {
+	if n < 1 {
+		n = 1
+	}
+	if locality < 0 {
+		locality = 0
+	}
+	if locality > 1 {
+		locality = 1
+	}
+	return &Synthetic{N: n, Locality: locality, Padding: padding, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next (i, j, padding) tuple.
+func (s *Synthetic) Next() topology.Tuple {
+	i := s.rng.Intn(s.N)
+	j := i
+	if s.N > 1 && s.rng.Float64() >= s.Locality {
+		j = (i + 1 + s.rng.Intn(s.N-1)) % s.N
+	}
+	return topology.Tuple{
+		Values:  []string{strconv.Itoa(i), strconv.Itoa(j)},
+		Padding: s.Padding,
+	}
+}
+
+// IdentityTables returns the §4.2 "locality-aware" routing tables for the
+// synthetic workload: key "i" maps to instance i for both operators.
+// These are exactly the tables the optimizer converges to when fed the
+// generator's statistics.
+func IdentityTables(n int, firstOp, secondOp string, version uint64) map[string]map[string]int {
+	assign := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		assign[strconv.Itoa(i)] = i
+	}
+	return map[string]map[string]int{firstOp: assign, secondOp: assign}
+}

@@ -1,0 +1,335 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntheticLocalityParameter(t *testing.T) {
+	for _, locality := range []float64{0, 0.6, 0.8, 1.0} {
+		g := NewSynthetic(6, locality, 0, 42)
+		matches := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			tu := g.Next()
+			if tu.Values[0] == tu.Values[1] {
+				matches++
+			}
+		}
+		got := float64(matches) / n
+		if math.Abs(got-locality) > 0.02 {
+			t.Errorf("locality param %.2f: measured %.3f", locality, got)
+		}
+	}
+}
+
+func TestSyntheticKeyRange(t *testing.T) {
+	g := NewSynthetic(4, 0.5, 128, 7)
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		tu := g.Next()
+		seen[tu.Values[0]] = true
+		if tu.Padding != 128 {
+			t.Fatalf("padding = %d", tu.Padding)
+		}
+		if len(tu.Values) != 2 {
+			t.Fatalf("values = %v", tu.Values)
+		}
+	}
+	for _, k := range []string{"0", "1", "2", "3"} {
+		if !seen[k] {
+			t.Errorf("key %s never generated", k)
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("saw %d distinct keys, want 4", len(seen))
+	}
+}
+
+func TestSyntheticClamping(t *testing.T) {
+	g := NewSynthetic(0, -1, 0, 1)
+	tu := g.Next()
+	if tu.Values[0] != "0" {
+		t.Fatalf("n<1 should clamp to 1, got %v", tu.Values)
+	}
+	g2 := NewSynthetic(3, 2.0, 0, 1)
+	for i := 0; i < 100; i++ {
+		tu := g2.Next()
+		if tu.Values[0] != tu.Values[1] {
+			t.Fatal("locality > 1 should clamp to 1 (always equal)")
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := NewSynthetic(5, 0.7, 10, 99)
+	b := NewSynthetic(5, 0.7, 10, 99)
+	for i := 0; i < 100; i++ {
+		ta, tb := a.Next(), b.Next()
+		if ta.Values[0] != tb.Values[0] || ta.Values[1] != tb.Values[1] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestPropertySyntheticLocalityOneAlwaysMatches(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%8 + 1
+		g := NewSynthetic(n, 1.0, 0, seed)
+		for i := 0; i < 50; i++ {
+			tu := g.Next()
+			if tu.Values[0] != tu.Values[1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTake(t *testing.T) {
+	g := NewSynthetic(2, 1, 0, 1)
+	next := Take(g, 3)
+	for i := 0; i < 3; i++ {
+		if _, ok := next(); !ok {
+			t.Fatalf("Take exhausted at %d", i)
+		}
+	}
+	if _, ok := next(); ok {
+		t.Fatal("Take did not stop after n")
+	}
+}
+
+func TestIdentityTables(t *testing.T) {
+	tables := IdentityTables(3, "A", "B", 1)
+	if len(tables) != 2 {
+		t.Fatalf("tables = %v", tables)
+	}
+	for _, op := range []string{"A", "B"} {
+		for i := 0; i < 3; i++ {
+			if tables[op][itoa(i)] != i {
+				t.Fatalf("%s[%d] = %d", op, i, tables[op][itoa(i)])
+			}
+		}
+	}
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+func TestTwitterBasicShape(t *testing.T) {
+	tw := NewTwitter(DefaultTwitterConfig())
+	locs := make(map[string]int)
+	tags := make(map[string]int)
+	for i := 0; i < 20000; i++ {
+		tu := tw.Next()
+		if len(tu.Values) != 2 {
+			t.Fatalf("values = %v", tu.Values)
+		}
+		locs[tu.Values[0]]++
+		tags[tu.Values[1]]++
+	}
+	if len(locs) < 10 {
+		t.Errorf("only %d locations seen", len(locs))
+	}
+	if len(tags) < 50 {
+		t.Errorf("only %d hashtags seen", len(tags))
+	}
+	// Zipf skew: the most popular location should dominate.
+	max := 0
+	for _, c := range locs {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/20000 < 0.05 {
+		t.Errorf("top location only %.3f of stream; expected Zipf skew", float64(max)/20000)
+	}
+}
+
+func TestTwitterCorrelationCreatesHeavyPairs(t *testing.T) {
+	cfg := DefaultTwitterConfig()
+	cfg.Correlation = 0.95
+	cfg.FlashWeight = 0
+	tw := NewTwitter(cfg)
+	pairs := make(map[[2]string]int)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		tu := tw.Next()
+		pairs[[2]string{tu.Values[0], tu.Values[1]}]++
+	}
+	max := 0
+	for _, c := range pairs {
+		if c > max {
+			max = c
+		}
+	}
+	// With strong correlation the top pair must far exceed the uniform
+	// expectation.
+	if max < n/200 {
+		t.Errorf("top pair count %d too small for correlated stream", max)
+	}
+}
+
+func TestTwitterDriftChangesAffinities(t *testing.T) {
+	cfg := DefaultTwitterConfig()
+	cfg.DriftPerWeek = 1.0 // full re-roll
+	tw := NewTwitter(cfg)
+
+	topPair := func() [2]string {
+		counts := make(map[[2]string]int)
+		for i := 0; i < 5000; i++ {
+			tu := tw.Next()
+			counts[[2]string{tu.Values[0], tu.Values[1]}]++
+		}
+		var best [2]string
+		max := 0
+		for p, c := range counts {
+			if c > max {
+				best, max = p, c
+			}
+		}
+		return best
+	}
+
+	week0 := topPair()
+	tw.NextWeek()
+	if tw.Week() != 1 {
+		t.Fatalf("Week() = %d", tw.Week())
+	}
+	week1 := topPair()
+	if week0 == week1 {
+		t.Error("full drift did not change the dominant pair (flaky only with astronomically small probability)")
+	}
+}
+
+func TestTwitterNewTagsAppear(t *testing.T) {
+	cfg := DefaultTwitterConfig()
+	cfg.NewTagsPerWeek = 500
+	tw := NewTwitter(cfg)
+	tw.NextWeek()
+	found := false
+	for i := 0; i < 50000 && !found; i++ {
+		tu := tw.Next()
+		if len(tu.Values[1]) > 3 && tu.Values[1][:3] == "#w1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no week-1 hashtags in the stream after NextWeek")
+	}
+}
+
+func TestTwitterFlashes(t *testing.T) {
+	cfg := DefaultTwitterConfig()
+	cfg.FlashEvents = 3
+	cfg.FlashWeight = 0.5
+	tw := NewTwitter(cfg)
+	if got := len(tw.Flashes()); got != 3 {
+		t.Fatalf("Flashes() = %d, want 3", got)
+	}
+	flashTuples := 0
+	for i := 0; i < 2000; i++ {
+		tu := tw.Next()
+		if len(tu.Values[1]) > 7 && tu.Values[1][:7] == "#flash_" {
+			flashTuples++
+		}
+	}
+	if flashTuples < 500 {
+		t.Errorf("flash tuples = %d, want roughly half of 2000", flashTuples)
+	}
+}
+
+func TestTwitterDeterministic(t *testing.T) {
+	a := NewTwitter(DefaultTwitterConfig())
+	b := NewTwitter(DefaultTwitterConfig())
+	for i := 0; i < 500; i++ {
+		ta, tb := a.Next(), b.Next()
+		if ta.Values[0] != tb.Values[0] || ta.Values[1] != tb.Values[1] {
+			t.Fatal("same config produced different streams")
+		}
+	}
+}
+
+func TestFlickrStableCorrelation(t *testing.T) {
+	f := NewFlickr(DefaultFlickrConfig())
+	// For a fixed tag, the country distribution must concentrate on the
+	// affine set (at most AffineCountries + noise distinct countries
+	// dominate).
+	counts := make(map[string]map[string]int)
+	for i := 0; i < 50000; i++ {
+		tu := f.Next()
+		if counts[tu.Values[0]] == nil {
+			counts[tu.Values[0]] = make(map[string]int)
+		}
+		counts[tu.Values[0]][tu.Values[1]]++
+	}
+	// Pick the most frequent tag.
+	bestTag, max := "", 0
+	for tag, cs := range counts {
+		total := 0
+		for _, c := range cs {
+			total += c
+		}
+		if total > max {
+			bestTag, max = tag, total
+		}
+	}
+	cs := counts[bestTag]
+	cfg := DefaultFlickrConfig()
+	top := topN(cs, cfg.AffineCountries)
+	if float64(top)/float64(max) < 0.6 {
+		t.Errorf("top-%d countries cover %.2f of tag %s, want >= 0.6 (correlation 0.8)",
+			cfg.AffineCountries, float64(top)/float64(max), bestTag)
+	}
+}
+
+func topN(cs map[string]int, n int) int {
+	var vals []int
+	for _, c := range cs {
+		vals = append(vals, c)
+	}
+	// insertion sort descending (tiny n)
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] > vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	total := 0
+	for i := 0; i < n && i < len(vals); i++ {
+		total += vals[i]
+	}
+	return total
+}
+
+func TestFlickrDeterministicAndPadding(t *testing.T) {
+	a := NewFlickr(DefaultFlickrConfig())
+	b := NewFlickr(DefaultFlickrConfig())
+	for i := 0; i < 200; i++ {
+		ta, tb := a.Next(), b.Next()
+		if ta.Values[0] != tb.Values[0] || ta.Values[1] != tb.Values[1] {
+			t.Fatal("same config produced different streams")
+		}
+	}
+	a.SetPadding(4096)
+	if tu := a.Next(); tu.Padding != 4096 {
+		t.Fatalf("padding = %d after SetPadding", tu.Padding)
+	}
+}
+
+func TestGeneratorsClampDegenerateConfigs(t *testing.T) {
+	tw := NewTwitter(TwitterConfig{Seed: 1})
+	for i := 0; i < 10; i++ {
+		if tu := tw.Next(); len(tu.Values) != 2 {
+			t.Fatal("degenerate twitter config broke")
+		}
+	}
+	f := NewFlickr(FlickrConfig{Seed: 1})
+	for i := 0; i < 10; i++ {
+		if tu := f.Next(); len(tu.Values) != 2 {
+			t.Fatal("degenerate flickr config broke")
+		}
+	}
+}

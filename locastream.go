@@ -1,0 +1,104 @@
+// Package locastream is a locality-aware stream processing library: a Go
+// implementation of "Locality-Aware Routing in Stateful Streaming
+// Applications" (Caneill, El Rheddane, Leroy, De Palma — Middleware
+// 2016).
+//
+// Applications are directed acyclic graphs of operators replicated into
+// parallel instances across servers. Stateful operators are fed through
+// fields grouping (all tuples with the same key reach the same
+// instance). locastream instruments those operators with SpaceSaving
+// sketches, periodically builds the bipartite graph of correlated keys,
+// partitions it under a load-balance bound, and installs the resulting
+// routing tables online — migrating per-key state between instances
+// without stopping the stream.
+//
+// Two execution backends share all of that machinery:
+//
+//   - App (NewApp) runs the topology with one goroutine per operator
+//     instance and executes the full reconfiguration protocol with real
+//     message passing.
+//   - Simulation (NewSimulation) replays tuples through the same routing
+//     layer against a calibrated cluster cost model, reproducing the
+//     paper's saturation-throughput experiments deterministically.
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package locastream
+
+import (
+	"github.com/locastream/locastream/internal/metrics"
+	"github.com/locastream/locastream/internal/topology"
+)
+
+// Tuple is one unit of streaming data: named string fields plus an
+// optional padding size standing in for payload bytes.
+type Tuple = topology.Tuple
+
+// Emit passes a produced tuple downstream.
+type Emit = topology.Emit
+
+// Processor is the user logic of one operator instance.
+type Processor = topology.Processor
+
+// Keyed is implemented by stateful processors whose per-key state can be
+// migrated during reconfiguration.
+type Keyed = topology.Keyed
+
+// ProcessorFunc adapts a function to Processor (stateless operators).
+type ProcessorFunc = topology.ProcessorFunc
+
+// Operator describes one processing operator of the DAG.
+type Operator = topology.Operator
+
+// Grouping selects the routing policy of an edge.
+type Grouping = topology.Grouping
+
+// Edge routing policies (§2.2 of the paper).
+const (
+	// Shuffle distributes tuples round-robin (stateless recipients).
+	Shuffle = topology.Shuffle
+	// LocalOrShuffle prefers a co-located recipient instance.
+	LocalOrShuffle = topology.LocalOrShuffle
+	// Fields routes by key; required for stateful recipients.
+	Fields = topology.Fields
+)
+
+// Topology is a validated application DAG. Build one with NewTopology.
+type Topology = topology.Topology
+
+// TopologyBuilder assembles a Topology.
+type TopologyBuilder = topology.Builder
+
+// NewTopology starts building an application DAG with the given name.
+// The first operator added receives the external stream.
+func NewTopology(name string) *TopologyBuilder { return topology.NewBuilder(name) }
+
+// NewCounter returns a stateful processor counting key occurrences of the
+// given tuple field — the operator used throughout the paper's
+// evaluation. It implements Keyed, so its state migrates transparently.
+func NewCounter(keyField int) *topology.Counter { return topology.NewCounter(keyField) }
+
+// NewTopK returns a stateful trending-topics processor: per routing key
+// (keyField, e.g. a region) it maintains an approximate top-k of
+// valueField (e.g. hashtags) in a bounded SpaceSaving sketch — the
+// paper's motivating application. Its per-key sketches migrate during
+// reconfiguration.
+func NewTopK(keyField, valueField, k, sketchCapacity int) *topology.TopK {
+	return topology.NewTopK(keyField, valueField, k, sketchCapacity)
+}
+
+// MapFunc wraps a 1:1 tuple transformation as a stateless processor.
+func MapFunc(fn func(Tuple) Tuple) Processor { return topology.MapFunc(fn) }
+
+// FlatMapFunc wraps a 1:N tuple transformation as a stateless processor.
+func FlatMapFunc(fn func(Tuple) []Tuple) Processor { return topology.FlatMapFunc(fn) }
+
+// Passthrough forwards tuples unchanged.
+func Passthrough() Processor { return topology.Passthrough() }
+
+// Traffic summarizes local/remote transfers on stream edges. Locality()
+// is the paper's headline metric: the fraction of fields-grouped
+// transfers that stayed in memory.
+type Traffic = metrics.Traffic
+
+// Imbalance returns max/avg over per-instance loads (1.0 is perfect).
+func Imbalance(loads []uint64) float64 { return metrics.Imbalance(loads) }

@@ -1,0 +1,372 @@
+package locastream_test
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	locastream "github.com/locastream/locastream"
+)
+
+// geoTopology is the paper's running example: route by region, then by
+// hashtag, counting both.
+func geoTopology(t testing.TB, parallelism int) *locastream.Topology {
+	t.Helper()
+	topo, err := locastream.NewTopology("geo-trends").
+		AddOperator(locastream.Operator{
+			Name: "regions", Parallelism: parallelism, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(0) },
+		}).
+		AddOperator(locastream.Operator{
+			Name: "hashtags", Parallelism: parallelism, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(1) },
+		}).
+		Connect("regions", "hashtags", locastream.Fields, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestAppEndToEnd(t *testing.T) {
+	topo := geoTopology(t, 4)
+	app, err := locastream.NewApp(topo,
+		locastream.WithServers(4),
+		locastream.WithOptimizer(1.03, 0, 42),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	if app.Servers() != 4 {
+		t.Fatalf("Servers() = %d", app.Servers())
+	}
+
+	inject := func(n int) {
+		for i := 0; i < n; i++ {
+			region := "region" + strconv.Itoa(i%12)
+			tag := "#tag" + strconv.Itoa(i%12)
+			if err := app.Inject(locastream.Tuple{Values: []string{region, tag}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		app.Drain()
+	}
+
+	inject(2400)
+	before := app.Locality()
+
+	plan, err := app.Reconfigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ExpectedLocality < 0.99 {
+		t.Fatalf("ExpectedLocality = %f, want ~1 for perfectly correlated keys", plan.ExpectedLocality)
+	}
+
+	preTraffic := app.FieldsTraffic()
+	inject(2400)
+	post := app.FieldsTraffic()
+	post.LocalTuples -= preTraffic.LocalTuples
+	post.RemoteTuples -= preTraffic.RemoteTuples
+	if post.Locality() != 1.0 {
+		t.Fatalf("post-reconfiguration locality = %f (before: %f)", post.Locality(), before)
+	}
+
+	// No tuples lost across migration.
+	var total uint64
+	for i := 0; i < 4; i++ {
+		if err := app.ProcessorState("hashtags", i, func(p locastream.Processor) {
+			total += p.(interface{ TotalCount() uint64 }).TotalCount()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != 4800 {
+		t.Fatalf("hashtags total = %d, want 4800", total)
+	}
+
+	loads := app.Loads("regions")
+	var sum uint64
+	for _, l := range loads {
+		sum += l
+	}
+	if sum != 4800 {
+		t.Fatalf("Loads sum = %d", sum)
+	}
+}
+
+func TestAppAutoReconfigure(t *testing.T) {
+	topo := geoTopology(t, 2)
+	app, err := locastream.NewApp(topo,
+		locastream.WithServers(2),
+		locastream.WithAutoReconfigure(20*time.Millisecond),
+		locastream.WithOptimizer(0, 0, 7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	deadline := time.After(5 * time.Second)
+	for app.Locality() < 0.9 {
+		select {
+		case <-deadline:
+			t.Fatalf("auto-reconfiguration never optimized: locality %f", app.Locality())
+		default:
+		}
+		for i := 0; i < 200; i++ {
+			k := strconv.Itoa(i % 8)
+			_ = app.Inject(locastream.Tuple{Values: []string{"r" + k, "#" + k}})
+		}
+		app.Drain()
+		time.Sleep(5 * time.Millisecond)
+		// Measure only the most recent batch: reset by snapshotting is
+		// not exposed, so rely on convergence of cumulative locality
+		// being above 0.9 eventually is too slow; instead check the
+		// traffic trend via a fresh window of injections after the first
+		// reconfigurations have happened.
+		if app.FieldsTraffic().Total() > 100000 {
+			t.Fatal("auto reconfigure did not converge within traffic budget")
+		}
+	}
+}
+
+func TestAppStopIdempotent(t *testing.T) {
+	topo := geoTopology(t, 2)
+	app, err := locastream.NewApp(topo,
+		locastream.WithServers(2),
+		locastream.WithAutoReconfigure(time.Hour),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Stop()
+	app.Stop()
+	if err := app.Inject(locastream.Tuple{Values: []string{"a", "b"}}); err == nil {
+		t.Fatal("Inject after Stop should fail")
+	}
+}
+
+func TestAppConfigStore(t *testing.T) {
+	dir := t.TempDir()
+	topo := geoTopology(t, 2)
+	app, err := locastream.NewApp(topo,
+		locastream.WithServers(2),
+		locastream.WithConfigStore(locastream.NewFileConfigStore(dir)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+	for i := 0; i < 100; i++ {
+		_ = app.Inject(locastream.Tuple{Values: []string{"r" + strconv.Itoa(i%4), "#x"}})
+	}
+	app.Drain()
+	if _, err := app.Reconfigure(); err != nil {
+		t.Fatal(err)
+	}
+	version, tables, ok, err := locastream.NewFileConfigStore(dir).Load()
+	if err != nil || !ok {
+		t.Fatalf("Load: %v %v", ok, err)
+	}
+	if version != 1 || len(tables) == 0 {
+		t.Fatalf("stored: v%d %v", version, tables)
+	}
+}
+
+func TestAppOptionValidation(t *testing.T) {
+	if _, err := locastream.NewApp(nil); err == nil {
+		t.Error("nil topology accepted")
+	}
+	topo := geoTopology(t, 2)
+	if _, err := locastream.NewApp(topo, locastream.WithServers(0)); err == nil {
+		t.Error("0 servers accepted")
+	}
+	if _, err := locastream.NewApp(topo,
+		locastream.WithServers(2),
+		locastream.WithPlacement(map[string][]int{"regions": {0, 1}}),
+	); err == nil {
+		t.Error("incomplete explicit placement accepted")
+	}
+	if _, err := locastream.NewApp(topo,
+		locastream.WithServers(2),
+		locastream.WithOptimizer(0.5, 0, 0),
+	); err == nil {
+		t.Error("alpha < 1 accepted")
+	}
+}
+
+func TestSimulationThroughputAndReoptimize(t *testing.T) {
+	topo := geoTopology(t, 6)
+	sim, err := locastream.NewSimulation(topo,
+		locastream.WithServers(6),
+		locastream.WithCostModel(locastream.Model10G()),
+		locastream.WithOptimizer(0, 0, 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inject := func(n int) {
+		for i := 0; i < n; i++ {
+			k := strconv.Itoa(i % 24)
+			sim.Inject(locastream.Tuple{
+				Values:  []string{"r" + k, "#" + k},
+				Padding: 8192,
+			})
+		}
+	}
+	inject(6000)
+	hashLocality := sim.Locality()
+	hashThroughput := sim.ThroughputPerSec()
+	if hashLocality > 0.5 {
+		t.Fatalf("pre-optimization locality = %f, want ~1/6", hashLocality)
+	}
+
+	plan, err := sim.Reoptimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ExpectedLocality < 0.99 {
+		t.Fatalf("plan locality %f", plan.ExpectedLocality)
+	}
+	sim.NextWindow()
+	inject(6000)
+	if sim.Locality() != 1.0 {
+		t.Fatalf("post-optimization locality = %f", sim.Locality())
+	}
+	if sim.ThroughputPerSec() <= hashThroughput {
+		t.Fatalf("optimized throughput %.0f <= hash %.0f",
+			sim.ThroughputPerSec(), hashThroughput)
+	}
+	if _, label := sim.Bottleneck(); label == "idle" {
+		t.Fatal("no bottleneck reported")
+	}
+}
+
+func TestSimulationExplicitTables(t *testing.T) {
+	topo := geoTopology(t, 3)
+	sim, err := locastream.NewSimulation(topo, locastream.WithServers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := map[string]int{}
+	for i := 0; i < 3; i++ {
+		assign["k"+strconv.Itoa(i)] = i
+	}
+	sim.SetRoutingTable("regions", assign)
+	tagAssign := map[string]int{}
+	for i := 0; i < 3; i++ {
+		tagAssign["#k"+strconv.Itoa(i)] = i
+	}
+	sim.SetRoutingTable("hashtags", tagAssign)
+	for i := 0; i < 300; i++ {
+		k := strconv.Itoa(i % 3)
+		sim.Inject(locastream.Tuple{Values: []string{"k" + k, "#k" + k}})
+	}
+	if sim.Locality() != 1.0 {
+		t.Fatalf("explicit identity tables locality = %f", sim.Locality())
+	}
+	if sim.Servers() != 3 {
+		t.Fatalf("Servers() = %d", sim.Servers())
+	}
+	loads := sim.Loads("regions")
+	if len(loads) != 3 || loads[0] != 100 {
+		t.Fatalf("Loads = %v", loads)
+	}
+	if p := sim.Processor("regions", 0); p == nil {
+		t.Fatal("Processor lookup failed")
+	}
+}
+
+func TestPublicWordcountPipeline(t *testing.T) {
+	// The §2.1 wordcount: extract words (stateless), lowercase
+	// (stateless, local-or-shuffle), count (stateful, fields).
+	topo, err := locastream.NewTopology("wordcount").
+		AddOperator(locastream.Operator{
+			Name: "extract", Parallelism: 2,
+			New: func() locastream.Processor {
+				return locastream.FlatMapFunc(func(t locastream.Tuple) []locastream.Tuple {
+					var out []locastream.Tuple
+					for _, w := range strings.Fields(t.Field(0)) {
+						out = append(out, locastream.Tuple{Values: []string{w}})
+					}
+					return out
+				})
+			},
+		}).
+		AddOperator(locastream.Operator{
+			Name: "lower", Parallelism: 2,
+			New: func() locastream.Processor {
+				return locastream.MapFunc(func(t locastream.Tuple) locastream.Tuple {
+					return locastream.Tuple{Values: []string{strings.ToLower(t.Field(0))}}
+				})
+			},
+		}).
+		AddOperator(locastream.Operator{
+			Name: "count", Parallelism: 2, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(0) },
+		}).
+		Connect("extract", "lower", locastream.LocalOrShuffle, 0).
+		Connect("lower", "count", locastream.Fields, 0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := locastream.NewApp(topo,
+		locastream.WithServers(2),
+		locastream.WithSourceGrouping(locastream.Shuffle, 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	for i := 0; i < 100; i++ {
+		_ = app.Inject(locastream.Tuple{Values: []string{"The quick FOX jumps the fox"}})
+	}
+	app.Drain()
+
+	var foxCount, theCount uint64
+	for i := 0; i < 2; i++ {
+		_ = app.ProcessorState("count", i, func(p locastream.Processor) {
+			c := p.(interface{ Count(string) uint64 })
+			foxCount += c.Count("fox")
+			theCount += c.Count("the")
+		})
+	}
+	if foxCount != 200 || theCount != 200 {
+		t.Fatalf("fox=%d the=%d, want 200 each", foxCount, theCount)
+	}
+
+	// local-or-shuffle keeps extract->lower entirely local.
+	if tr := app.Traffic("extract", "lower"); tr.RemoteTuples != 0 {
+		t.Fatalf("extract->lower remote tuples = %d, want 0", tr.RemoteTuples)
+	}
+}
+
+func TestImbalanceExported(t *testing.T) {
+	if got := locastream.Imbalance([]uint64{2, 2}); got != 1.0 {
+		t.Fatalf("Imbalance = %f", got)
+	}
+}
+
+func ExampleNewTopology() {
+	topo, err := locastream.NewTopology("example").
+		AddOperator(locastream.Operator{
+			Name: "count", Parallelism: 2, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(0) },
+		}).
+		Build()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(topo.Name(), topo.Source())
+	// Output: example count
+}

@@ -1,0 +1,116 @@
+package locastream_test
+
+import (
+	"strconv"
+	"testing"
+
+	locastream "github.com/locastream/locastream"
+)
+
+func TestSimulationWorstCaseOption(t *testing.T) {
+	topo := geoTopology(t, 3)
+	sim, err := locastream.NewSimulation(topo,
+		locastream.WithServers(3),
+		locastream.WithWorstCaseRouting(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		k := strconv.Itoa(i % 3)
+		sim.Inject(locastream.Tuple{Values: []string{k, k}})
+	}
+	if tr := sim.FieldsTraffic(); tr.LocalTuples != 0 {
+		t.Fatalf("worst-case produced %d local tuples", tr.LocalTuples)
+	}
+}
+
+func TestSimulationSketchDisabledMeansNoOptimization(t *testing.T) {
+	topo := geoTopology(t, 2)
+	sim, err := locastream.NewSimulation(topo,
+		locastream.WithServers(2),
+		locastream.WithSketchCapacity(0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		k := strconv.Itoa(i % 4)
+		sim.Inject(locastream.Tuple{Values: []string{k, "#" + k}})
+	}
+	plan, err := sim.Reoptimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Keys != 0 {
+		t.Fatalf("plan saw %d keys with instrumentation disabled", plan.Keys)
+	}
+}
+
+func TestSimulationExplicitPlacementOption(t *testing.T) {
+	topo := geoTopology(t, 2)
+	sim, err := locastream.NewSimulation(topo,
+		locastream.WithServers(2),
+		locastream.WithPlacement(map[string][]int{
+			"regions":  {0, 1},
+			"hashtags": {1, 0}, // crossed on purpose
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Servers() != 2 {
+		t.Fatalf("Servers() = %d", sim.Servers())
+	}
+	sim.Inject(locastream.Tuple{Values: []string{"a", "b"}})
+	if sim.FieldsTraffic().Total() != 1 {
+		t.Fatal("tuple did not traverse the fields edge")
+	}
+}
+
+func TestSimulationNilTopology(t *testing.T) {
+	if _, err := locastream.NewSimulation(nil); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+}
+
+func TestSimulationRackLocalityDefaultSingleRack(t *testing.T) {
+	topo := geoTopology(t, 2)
+	sim, err := locastream.NewSimulation(topo, locastream.WithServers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		k := strconv.Itoa(i % 4)
+		sim.Inject(locastream.Tuple{Values: []string{k, "#" + k}})
+	}
+	// A single rack means every transfer is rack-local.
+	if got := sim.RackLocality(); got != 1.0 {
+		t.Fatalf("RackLocality = %f, want 1 with a single rack", got)
+	}
+}
+
+func TestSimulationChargedSourceHop(t *testing.T) {
+	build := func(charged bool) *locastream.Simulation {
+		topo := geoTopology(t, 2)
+		opts := []locastream.Option{locastream.WithServers(2)}
+		if charged {
+			opts = append(opts, locastream.WithChargedSourceHop())
+		}
+		sim, err := locastream.NewSimulation(topo, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	free := build(false)
+	charged := build(true)
+	tuple := locastream.Tuple{Values: []string{"a", "b"}, Padding: 10000}
+	free.Inject(tuple)
+	charged.Inject(tuple)
+	freeBusy, _ := free.Bottleneck()
+	chargedBusy, _ := charged.Bottleneck()
+	if chargedBusy <= freeBusy {
+		t.Fatalf("charged source hop busy %.0f <= free %.0f", chargedBusy, freeBusy)
+	}
+}

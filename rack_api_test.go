@@ -1,0 +1,138 @@
+package locastream_test
+
+import (
+	"strconv"
+	"testing"
+
+	locastream "github.com/locastream/locastream"
+)
+
+func TestAppWithRacksAndRackAwareOptimizer(t *testing.T) {
+	topo := geoTopology(t, 4)
+	app, err := locastream.NewApp(topo,
+		locastream.WithServers(4),
+		locastream.WithRacks([]int{0, 0, 1, 1}),
+		locastream.WithRackAwareOptimizer(),
+		locastream.WithOptimizer(1.03, 0, 17),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	for i := 0; i < 2000; i++ {
+		k := strconv.Itoa(i % 16)
+		if err := app.Inject(locastream.Tuple{Values: []string{"r" + k, "#" + k}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app.Drain()
+	if _, err := app.Reconfigure(); err != nil {
+		t.Fatal(err)
+	}
+
+	pre := app.FieldsTraffic()
+	for i := 0; i < 2000; i++ {
+		k := strconv.Itoa(i % 16)
+		_ = app.Inject(locastream.Tuple{Values: []string{"r" + k, "#" + k}})
+	}
+	app.Drain()
+	post := app.FieldsTraffic()
+	post.LocalTuples -= pre.LocalTuples
+	post.RemoteTuples -= pre.RemoteTuples
+	post.RackTuples -= pre.RackTuples
+
+	if post.Locality() != 1.0 {
+		t.Fatalf("post-reconfiguration locality = %f", post.Locality())
+	}
+	if got := post.RackLocality(); got < post.Locality() {
+		t.Fatalf("rack locality %f below server locality %f", got, post.Locality())
+	}
+	if app.RackLocality() <= 0 {
+		t.Fatal("cumulative rack locality not reported")
+	}
+}
+
+func TestAppWithRacksValidation(t *testing.T) {
+	topo := geoTopology(t, 2)
+	if _, err := locastream.NewApp(topo,
+		locastream.WithServers(2),
+		locastream.WithRacks([]int{0}), // wrong length
+	); err == nil {
+		t.Fatal("bad rack assignment accepted")
+	}
+}
+
+func TestAppReconfigureIfWorthwhile(t *testing.T) {
+	topo := geoTopology(t, 3)
+	app, err := locastream.NewApp(topo,
+		locastream.WithServers(3),
+		locastream.WithOptimizer(0, 0, 5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	for i := 0; i < 3000; i++ {
+		k := strconv.Itoa(i % 12)
+		_ = app.Inject(locastream.Tuple{Values: []string{"r" + k, "#" + k}})
+	}
+	app.Drain()
+
+	plan, impact, deployed, err := app.ReconfigureIfWorthwhile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deployed {
+		t.Fatalf("correlated workload not deployed: %+v", impact)
+	}
+	if plan.ExpectedLocality < 0.99 {
+		t.Fatalf("plan locality %f", plan.ExpectedLocality)
+	}
+	if impact.CandidateLocality <= impact.CurrentLocality {
+		t.Fatalf("impact did not predict improvement: %+v", impact)
+	}
+
+	// An empty statistics window must be skipped.
+	_, impact, deployed, err = app.ReconfigureIfWorthwhile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deployed {
+		t.Fatalf("empty window deployed: %+v", impact)
+	}
+}
+
+func TestAppWithTCPTransport(t *testing.T) {
+	topo := geoTopology(t, 3)
+	app, err := locastream.NewApp(topo,
+		locastream.WithServers(3),
+		locastream.WithTCPTransport(),
+		locastream.WithOptimizer(0, 0, 7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	for i := 0; i < 1500; i++ {
+		k := strconv.Itoa(i % 9)
+		if err := app.Inject(locastream.Tuple{Values: []string{"r" + k, "#" + k}, Padding: 128}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app.Drain()
+	if _, err := app.Reconfigure(); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for i := 0; i < 3; i++ {
+		_ = app.ProcessorState("hashtags", i, func(p locastream.Processor) {
+			total += p.(interface{ TotalCount() uint64 }).TotalCount()
+		})
+	}
+	if total != 1500 {
+		t.Fatalf("hashtags total over TCP = %d, want 1500", total)
+	}
+}

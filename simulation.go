@@ -1,0 +1,130 @@
+package locastream
+
+import (
+	"fmt"
+
+	"github.com/locastream/locastream/internal/cluster"
+	"github.com/locastream/locastream/internal/core"
+	"github.com/locastream/locastream/internal/engine"
+	"github.com/locastream/locastream/internal/routing"
+	"github.com/locastream/locastream/internal/topology"
+)
+
+// Simulation replays tuples through the real routing layer, processors
+// and statistics sketches while charging a calibrated cluster cost model,
+// reproducing the paper's saturation-throughput methodology without a
+// physical testbed. It is single-threaded and deterministic.
+type Simulation struct {
+	topo  *Topology
+	place *cluster.Placement
+	sim   *engine.Sim
+	opt   *core.Optimizer
+}
+
+// NewSimulation builds a simulation of the topology deployed per opts.
+func NewSimulation(topo *Topology, opts ...Option) (*Simulation, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	if topo == nil {
+		return nil, fmt.Errorf("locastream: nil topology")
+	}
+	place, err := buildPlacement(topo, o)
+	if err != nil {
+		return nil, err
+	}
+	mode := fieldsMode(o)
+	policies, err := engine.NewPolicies(topo, place, mode)
+	if err != nil {
+		return nil, err
+	}
+	src, err := engine.NewSourcePolicy(topo, place, o.sourceGrouping, mode)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := engine.NewSim(engine.SimConfig{
+		Topology:        topo,
+		Placement:       place,
+		Model:           o.model,
+		Policies:        policies,
+		SourcePolicy:    src,
+		SourceGrouping:  o.sourceGrouping,
+		SourceKeyField:  o.sourceKeyField,
+		SketchCapacity:  o.sketchCapacity,
+		ChargeSourceHop: o.chargeSource,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opt, err := core.NewOptimizer(topo, place, o.optimizer)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{topo: topo, place: place, sim: sim, opt: opt}, nil
+}
+
+// Inject processes one tuple through the whole DAG.
+func (s *Simulation) Inject(t Tuple) { s.sim.Inject(t) }
+
+// InjectAll injects tuples from gen until it reports done.
+func (s *Simulation) InjectAll(gen func() (Tuple, bool)) {
+	s.sim.InjectAll(func() (topology.Tuple, bool) { return gen() })
+}
+
+// Reoptimize collects the statistics gathered since the last call
+// (resetting the sketches), computes new routing tables and installs
+// them — the simulation counterpart of App.Reconfigure (state migration
+// is instantaneous in simulated time, matching the paper's observation
+// that deploying a configuration "is extremely fast", §4.4).
+func (s *Simulation) Reoptimize() (*Plan, error) {
+	tables, plan, err := s.opt.ComputeTables(s.sim.PairStats(true))
+	if err != nil {
+		return nil, err
+	}
+	s.sim.ApplyTables(tables)
+	return plan, nil
+}
+
+// SetRoutingTable installs an explicit key→instance table for one
+// operator (e.g. the synthetic identity tables of §4.2).
+func (s *Simulation) SetRoutingTable(op string, assign map[string]int) {
+	s.sim.ApplyTables(map[string]*routing.Table{
+		op: {Version: 1, Assign: assign},
+	})
+}
+
+// ThroughputPerSec returns the saturation throughput of the current
+// measurement window (tuples per second of simulated time).
+func (s *Simulation) ThroughputPerSec() float64 { return s.sim.ThroughputPerSec() }
+
+// Bottleneck names the busiest simulated resource of the window.
+func (s *Simulation) Bottleneck() (busyNs float64, label string) { return s.sim.Bottleneck() }
+
+// Locality returns the fraction of fields-grouped transfers that stayed
+// local in the current window.
+func (s *Simulation) Locality() float64 { return s.sim.FieldsTraffic().Locality() }
+
+// FieldsTraffic returns the aggregated fields-grouping traffic counters
+// of the current window.
+func (s *Simulation) FieldsTraffic() Traffic { return s.sim.FieldsTraffic() }
+
+// RackLocality returns the fraction of fields-grouped transfers that
+// stayed on one server or inside one rack in the current window.
+func (s *Simulation) RackLocality() float64 { return s.sim.FieldsTraffic().RackLocality() }
+
+// Loads returns tuples received per instance of op in the current
+// window.
+func (s *Simulation) Loads(op string) []uint64 { return s.sim.Loads(op) }
+
+// Processor exposes instance inst of op for state inspection.
+func (s *Simulation) Processor(op string, inst int) Processor {
+	return s.sim.Processor(op, inst)
+}
+
+// NextWindow starts a new measurement window: usage, traffic and load
+// counters reset; operator state and statistics sketches persist.
+func (s *Simulation) NextWindow() { s.sim.ResetWindow() }
+
+// Servers returns the number of simulated servers.
+func (s *Simulation) Servers() int { return s.place.Servers() }

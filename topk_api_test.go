@@ -1,0 +1,119 @@
+package locastream_test
+
+import (
+	"strconv"
+	"testing"
+
+	locastream "github.com/locastream/locastream"
+	"github.com/locastream/locastream/internal/spacesaving"
+)
+
+// trendingTopology is the paper's motivating application end to end:
+// route by region to a TopK of hashtags per region, then by hashtag to a
+// global hashtag counter.
+func trendingTopology(t testing.TB, parallelism int) *locastream.Topology {
+	t.Helper()
+	topo, err := locastream.NewTopology("trending").
+		AddOperator(locastream.Operator{
+			Name: "regions", Parallelism: parallelism, Stateful: true,
+			New: func() locastream.Processor {
+				return locastream.NewTopK(0 /* region */, 1 /* hashtag */, 3, 128)
+			},
+		}).
+		AddOperator(locastream.Operator{
+			Name: "hashtags", Parallelism: parallelism, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(1) },
+		}).
+		Connect("regions", "hashtags", locastream.Fields, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestTopKStateMigratesThroughProtocol(t *testing.T) {
+	const parallelism = 4
+	topo := trendingTopology(t, parallelism)
+	app, err := locastream.NewApp(topo,
+		locastream.WithServers(parallelism),
+		locastream.WithOptimizer(0, 0, 23),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	// Region r_i tweets mostly about #t_i: strong correlation.
+	inject := func(n int) {
+		for i := 0; i < n; i++ {
+			region := "r" + strconv.Itoa(i%8)
+			tag := "#t" + strconv.Itoa(i%8)
+			if i%5 == 0 {
+				tag = "#noise" + strconv.Itoa(i%3)
+			}
+			if err := app.Inject(locastream.Tuple{Values: []string{region, tag}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		app.Drain()
+	}
+	inject(4000)
+
+	// Capture each region's top tag before migration.
+	topBefore := make(map[string]spacesaving.Counter)
+	observedBefore := make(map[string]uint64)
+	for inst := 0; inst < parallelism; inst++ {
+		_ = app.ProcessorState("regions", inst, func(p locastream.Processor) {
+			tk := p.(interface {
+				StateKeys() []string
+				Top(string) []spacesaving.Counter
+				Observed(string) uint64
+			})
+			for _, region := range tk.StateKeys() {
+				topBefore[region] = tk.Top(region)[0]
+				observedBefore[region] = tk.Observed(region)
+			}
+		})
+	}
+	if len(topBefore) != 8 {
+		t.Fatalf("%d regions with state before migration, want 8", len(topBefore))
+	}
+
+	if _, err := app.Reconfigure(); err != nil {
+		t.Fatal(err)
+	}
+
+	// After migration: every region exists exactly once, with the same
+	// top tag and total observations.
+	seen := make(map[string]int)
+	for inst := 0; inst < parallelism; inst++ {
+		_ = app.ProcessorState("regions", inst, func(p locastream.Processor) {
+			tk := p.(interface {
+				StateKeys() []string
+				Top(string) []spacesaving.Counter
+				Observed(string) uint64
+			})
+			for _, region := range tk.StateKeys() {
+				seen[region]++
+				got := tk.Top(region)[0]
+				want := topBefore[region]
+				if got.Item != want.Item || got.Count != want.Count {
+					t.Errorf("region %s: top = %+v after migration, want %+v", region, got, want)
+				}
+				if tk.Observed(region) != observedBefore[region] {
+					t.Errorf("region %s: observed %d, want %d",
+						region, tk.Observed(region), observedBefore[region])
+				}
+			}
+		})
+	}
+	if len(seen) != 8 {
+		t.Fatalf("%d regions after migration, want 8", len(seen))
+	}
+	for region, n := range seen {
+		if n != 1 {
+			t.Errorf("region %s present on %d instances", region, n)
+		}
+	}
+}

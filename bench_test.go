@@ -147,14 +147,26 @@ func BenchmarkLivePipeline(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer app.Stop()
+	tuples := benchPipelineTuples(64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		k := strconv.Itoa(i % 64)
-		if err := app.Inject(locastream.Tuple{Values: []string{k, "#" + k}}); err != nil {
+		if err := app.Inject(tuples[i%len(tuples)]); err != nil {
 			b.Fatal(err)
 		}
 	}
 	app.Drain()
+}
+
+// benchPipelineTuples prebuilds the injected tuples so pipeline
+// benchmarks measure the engine, not per-iteration key formatting.
+func benchPipelineTuples(n int) []locastream.Tuple {
+	tuples := make([]locastream.Tuple, n)
+	for i := range tuples {
+		k := strconv.Itoa(i)
+		tuples[i] = locastream.Tuple{Values: []string{k, "#" + k}}
+	}
+	return tuples
 }
 
 // BenchmarkReconfiguration measures one full protocol round (collect,
@@ -228,10 +240,11 @@ func BenchmarkLivePipelineTCP(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer app.Stop()
+	tuples := benchPipelineTuples(64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		k := strconv.Itoa(i % 64)
-		if err := app.Inject(locastream.Tuple{Values: []string{k, "#" + k}}); err != nil {
+		if err := app.Inject(tuples[i%len(tuples)]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -79,9 +79,6 @@ type Live struct {
 	wg       sync.WaitGroup
 	stopped  atomic.Bool
 
-	trafficMu sync.Mutex
-	traffic   map[string]*metrics.Traffic
-
 	fabric *transport.Fabric
 
 	srcSeq atomic.Uint64
@@ -111,6 +108,10 @@ type message struct {
 	// migrate
 	migKey  string
 	migData []byte
+	// migHasData marks a snapshot as present even when it is empty; gob
+	// drops a zero-length migData on the wire, so the payload alone
+	// cannot distinguish "no state" from "empty state".
+	migHasData bool
 }
 
 type msgKind int
@@ -160,10 +161,6 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 		place:    cfg.Placement,
 		execs:    make(map[string][]*executor),
 		inflight: newInflightCounter(cfg.MaxInFlight),
-		traffic:  make(map[string]*metrics.Traffic),
-	}
-	for _, e := range cfg.Topology.Edges() {
-		l.traffic[EdgeKey(e.From, e.To)] = &metrics.Traffic{}
 	}
 
 	for _, op := range cfg.Topology.Operators() {
@@ -186,14 +183,20 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 				server:           cfg.Placement.ServerOf(op.Name, i),
 				proc:             op.New(),
 				box:              newMailbox(),
-				outEdges:         cfg.Topology.OutEdges(op.Name),
 				sketches:         make(map[[2]string]*spacesaving.PairSketch),
 				buf:              state.NewBuffer(),
 				propagatesNeeded: needed,
 			}
+			insts[i].emitFn = insts[i].emit
 		}
 		l.execs[op.Name] = insts
 		l.all = append(l.all, insts...)
+	}
+	// Resolve every executor's out-edges once, now that all recipient
+	// executors exist: the per-tuple forward path then runs without map
+	// lookups, string building or engine-global locks.
+	for _, ex := range l.all {
+		ex.edges = l.resolveEdges(ex)
 	}
 	if cfg.TCPTransport {
 		fabric, err := transport.NewFabric(cfg.Placement.Servers(), func(_ int, msg transport.Message) {
@@ -228,10 +231,35 @@ func (l *Live) deliverWire(msg transport.Message) {
 			key:   msg.Key,
 		})
 	case transport.KindMigrate:
-		box.put(message{kind: msgMigrate, migKey: msg.MigKey, migData: msg.MigData})
+		box.put(message{kind: msgMigrate, migKey: msg.MigKey, migData: msg.MigData, migHasData: msg.MigHasData})
 	case transport.KindPropagate:
 		box.put(message{kind: msgPropagate})
 	}
+}
+
+// sendWire encodes msg for the TCP fabric and reports whether it was
+// handed to the transport; false means the caller must deliver directly
+// (unencodable kind, or transport failure during shutdown).
+func (l *Live) sendWire(toOp string, toInst, fromServer, toServer int, msg message) bool {
+	wire := transport.Message{To: transport.Addr{Op: toOp, Instance: toInst}}
+	switch msg.kind {
+	case msgData:
+		wire.Kind = transport.KindData
+		wire.Values = msg.tuple.Values
+		wire.Padding = msg.tuple.Padding
+		wire.KeyOp = msg.keyOp
+		wire.Key = msg.key
+	case msgMigrate:
+		wire.Kind = transport.KindMigrate
+		wire.MigKey = msg.migKey
+		wire.MigData = msg.migData
+		wire.MigHasData = msg.migHasData
+	case msgPropagate:
+		wire.Kind = transport.KindPropagate
+	default:
+		return false
+	}
+	return l.fabric.Send(fromServer, toServer, wire) == nil
 }
 
 // send routes a data/migrate/propagate message to an instance, over TCP
@@ -240,28 +268,9 @@ func (l *Live) deliverWire(msg transport.Message) {
 // to direct delivery.
 func (l *Live) send(toOp string, toInst, fromServer int, msg message) {
 	toServer := l.place.ServerOf(toOp, toInst)
-	if l.fabric != nil && fromServer >= 0 && toServer >= 0 && toServer != fromServer {
-		wire := transport.Message{To: transport.Addr{Op: toOp, Instance: toInst}}
-		switch msg.kind {
-		case msgData:
-			wire.Kind = transport.KindData
-			wire.Values = msg.tuple.Values
-			wire.Padding = msg.tuple.Padding
-			wire.KeyOp = msg.keyOp
-			wire.Key = msg.key
-		case msgMigrate:
-			wire.Kind = transport.KindMigrate
-			wire.MigKey = msg.migKey
-			wire.MigData = msg.migData
-		case msgPropagate:
-			wire.Kind = transport.KindPropagate
-		default:
-			l.execs[toOp][toInst].box.put(msg)
-			return
-		}
-		if err := l.fabric.Send(fromServer, toServer, wire); err == nil {
-			return
-		}
+	if l.fabric != nil && fromServer >= 0 && toServer >= 0 && toServer != fromServer &&
+		l.sendWire(toOp, toInst, fromServer, toServer, msg) {
+		return
 	}
 	l.execs[toOp][toInst].box.put(msg)
 }
@@ -281,7 +290,14 @@ func (l *Live) Inject(t topology.Tuple) error {
 	}
 	inst := l.cfg.SourcePolicy.Route(key, -1, l.srcSeq.Add(1))
 	l.inflight.incExternal()
-	l.execs[srcOp][inst].box.put(message{kind: msgData, tuple: t, keyOp: keyOp, key: key})
+	// A concurrent Stop may close the mailbox between the stopped check
+	// above and the enqueue; the rejected put must roll the in-flight
+	// counter back, or Drain/waitZero would wait forever on a tuple that
+	// was never accepted.
+	if !l.execs[srcOp][inst].box.put(message{kind: msgData, tuple: t, keyOp: keyOp, key: key}) {
+		l.inflight.dec()
+		return errors.New("engine: inject on stopped engine")
+	}
 	return nil
 }
 
@@ -315,18 +331,34 @@ func (l *Live) CollectPairStats() []PairStat {
 		replies[i] = make(chan []instPairStat, 1)
 		ex.box.put(message{kind: msgGetStats, statsReply: replies[i]})
 	}
-	merged := make(map[[2]string]*spacesaving.PairSketch)
+	stats := make([]instPairStat, 0, len(l.all))
 	for _, ch := range replies {
-		for _, st := range <-ch {
-			id := [2]string{st.fromOp, st.toOp}
-			sk := merged[id]
-			if sk == nil {
-				sk = spacesaving.NewPairs(maxInt(l.cfg.SketchCapacity, len(st.pairs)) * maxInt(1, len(l.all)))
-				merged[id] = sk
-			}
-			for _, p := range st.pairs {
-				sk.AddWeighted(p.In, p.Out, p.Count)
-			}
+		stats = append(stats, <-ch...)
+	}
+	return mergePairStats(stats, l.cfg.SketchCapacity, func(op string) int {
+		return len(l.execs[op])
+	})
+}
+
+// mergePairStats folds per-instance sketch snapshots into one sketch per
+// operator pair. The merged capacity is derived only from the configured
+// per-instance capacity and the parallelism of the reporting operator —
+// never from the size of whichever snapshot happens to be folded first —
+// so the merged sketch has room for every possible contribution, never
+// evicts, and the result is independent of reply order.
+func mergePairStats(stats []instPairStat, sketchCap int, parallelism func(op string) int) []PairStat {
+	merged := make(map[[2]string]*spacesaving.PairSketch)
+	for _, st := range stats {
+		id := [2]string{st.fromOp, st.toOp}
+		sk := merged[id]
+		if sk == nil {
+			// The (from, to) pair sketch lives on from's instances, each
+			// bounded by sketchCap counters.
+			sk = spacesaving.NewPairs(maxInt(1, sketchCap) * maxInt(1, parallelism(st.fromOp)))
+			merged[id] = sk
+		}
+		for _, p := range st.pairs {
+			sk.AddWeighted(p.In, p.Out, p.Count)
 		}
 	}
 	ids := make([][2]string, 0, len(merged))
@@ -439,23 +471,37 @@ func movesByInstance(moves []KeyMove, instances int) (send, recv []map[string]in
 	return send, recv
 }
 
-// Traffic returns the accumulated traffic of one edge.
+// Traffic returns the accumulated traffic of one edge, aggregated over
+// the per-executor accumulators (each guarded by its own, uncontended
+// lock — the engine takes no global lock on the data path).
 func (l *Live) Traffic(from, to string) metrics.Traffic {
-	l.trafficMu.Lock()
-	defer l.trafficMu.Unlock()
-	if tr := l.traffic[EdgeKey(from, to)]; tr != nil {
-		return *tr
+	key := EdgeKey(from, to)
+	var agg metrics.Traffic
+	for _, ex := range l.all {
+		for _, re := range ex.edges {
+			if re.key != key {
+				continue
+			}
+			re.mu.Lock()
+			agg.Add(re.traffic)
+			re.mu.Unlock()
+		}
 	}
-	return metrics.Traffic{}
+	return agg
 }
 
 // FieldsTraffic aggregates traffic over every fields-grouped edge.
 func (l *Live) FieldsTraffic() metrics.Traffic {
-	l.trafficMu.Lock()
-	defer l.trafficMu.Unlock()
 	var agg metrics.Traffic
-	for _, e := range l.topo.FieldsEdges() {
-		agg.Add(*l.traffic[EdgeKey(e.From, e.To)])
+	for _, ex := range l.all {
+		for _, re := range ex.edges {
+			if re.grouping != topology.Fields {
+				continue
+			}
+			re.mu.Lock()
+			agg.Add(re.traffic)
+			re.mu.Unlock()
+		}
 	}
 	return agg
 }
@@ -487,31 +533,86 @@ func (l *Live) ProcessorState(op string, inst int, fn func(topology.Processor)) 
 	return nil
 }
 
-func (l *Live) recordTraffic(edge string, sameServer, sameRack bool, size int) {
-	l.trafficMu.Lock()
-	if tr := l.traffic[edge]; tr != nil {
-		tr.RecordLevel(sameServer, sameRack, size)
-	}
-	l.trafficMu.Unlock()
+// --- executor ---------------------------------------------------------------
+
+// resolvedEdge is one out-edge of one executor, fully resolved at
+// construction: the routing policy, the recipient executors, the
+// recipient servers and their locality relative to the sender, and a
+// private traffic accumulator. With everything precomputed, the per-tuple
+// forward path performs no map lookups, builds no strings and takes no
+// lock shared with any other executor.
+type resolvedEdge struct {
+	key      string // EdgeKey(from, to)
+	to       string
+	grouping topology.Grouping
+	keyField int
+	policy   routing.Policy
+
+	targets    []*executor // recipient instance -> executor
+	server     []int       // recipient instance -> hosting server
+	sameServer []bool      // recipient instance co-located with the sender
+	sameRack   []bool      // recipient instance within the sender's rack
+
+	// traffic is written only by the owning executor; mu is therefore
+	// uncontended on the hot path and exists so Traffic()/FieldsTraffic()
+	// can read a consistent snapshot concurrently.
+	mu      sync.Mutex
+	traffic metrics.Traffic
 }
 
-// --- executor ---------------------------------------------------------------
+// resolveEdges precomputes e's out-edges against the placement and the
+// policy map.
+func (l *Live) resolveEdges(e *executor) []*resolvedEdge {
+	edges := l.topo.OutEdges(e.op.Name)
+	out := make([]*resolvedEdge, len(edges))
+	for i, edge := range edges {
+		targets := l.execs[edge.To]
+		re := &resolvedEdge{
+			key:        EdgeKey(edge.From, edge.To),
+			to:         edge.To,
+			grouping:   edge.Grouping,
+			keyField:   edge.KeyField,
+			policy:     l.cfg.Policies[EdgeKey(edge.From, edge.To)],
+			targets:    targets,
+			server:     make([]int, len(targets)),
+			sameServer: make([]bool, len(targets)),
+			sameRack:   make([]bool, len(targets)),
+		}
+		for j := range targets {
+			s := l.place.ServerOf(edge.To, j)
+			re.server[j] = s
+			re.sameServer[j] = s == e.server
+			re.sameRack[j] = re.sameServer[j] ||
+				l.place.RackOf(s) == l.place.RackOf(e.server)
+		}
+		out[i] = re
+	}
+	return out
+}
 
 // executor runs one operator instance: it owns the processor, the pair
 // sketches and the migration buffer, and implements the instance side of
 // Algorithm 1.
 type executor struct {
-	eng      *Live
-	op       *topology.Operator
-	inst     int
-	server   int
-	proc     topology.Processor
-	box      *mailbox
-	outEdges []topology.Edge
+	eng    *Live
+	op     *topology.Operator
+	inst   int
+	server int
+	proc   topology.Processor
+	box    *mailbox
+	edges  []*resolvedEdge
 
 	sketches map[[2]string]*spacesaving.PairSketch
 	buf      *state.Buffer
 	seq      uint64
+
+	// emitFn is the emit callback handed to the processor, bound once at
+	// construction so process() allocates no closure per tuple. The
+	// routing context it needs is staged in emitKeyOp/emitKey (safe:
+	// process never re-enters on one executor goroutine).
+	emitFn    topology.Emit
+	emitKeyOp string
+	emitKey   string
 
 	pendingReconf    *instReconfig
 	propagatesSeen   int
@@ -523,26 +624,37 @@ type executor struct {
 
 func (e *executor) run() {
 	defer e.eng.wg.Done()
+	var buf []message
 	for {
-		msg, ok := e.box.get()
+		batch, ok := e.box.getBatch(buf)
 		if !ok {
 			return
 		}
-		switch msg.kind {
-		case msgData:
-			e.onData(msg)
-		case msgGetStats:
-			e.onGetStats(msg)
-		case msgReconf:
-			e.onReconf(msg)
-		case msgPropagate:
-			e.onPropagate()
-		case msgMigrate:
-			e.onMigrate(msg)
-		case msgInspect:
-			if msg.inspectFn != nil {
-				msg.inspectFn(e.proc)
-			}
+		for i := range batch {
+			e.dispatch(batch[i])
+			// Drop payload references before the slice is recycled as the
+			// mailbox's next backing array.
+			batch[i] = message{}
+		}
+		buf = batch
+	}
+}
+
+func (e *executor) dispatch(msg message) {
+	switch msg.kind {
+	case msgData:
+		e.onData(msg)
+	case msgGetStats:
+		e.onGetStats(msg)
+	case msgReconf:
+		e.onReconf(msg)
+	case msgPropagate:
+		e.onPropagate()
+	case msgMigrate:
+		e.onMigrate(msg)
+	case msgInspect:
+		if msg.inspectFn != nil {
+			msg.inspectFn(e.proc)
 		}
 	}
 }
@@ -561,20 +673,30 @@ func (e *executor) onData(msg message) {
 // process runs the operator logic on one tuple and forwards emissions.
 func (e *executor) process(t topology.Tuple, keyOp, key string) {
 	e.processed.Add(1)
-	e.proc.Process(t, func(out topology.Tuple) {
-		for _, edge := range e.outEdges {
-			e.forward(edge, keyOp, key, out)
-		}
-	})
+	e.emitKeyOp, e.emitKey = keyOp, key
+	e.proc.Process(t, e.emitFn)
 }
 
-func (e *executor) forward(edge topology.Edge, keyOp, key string, out topology.Tuple) {
+// emit forwards one emitted tuple across every out-edge; it is bound into
+// emitFn once so the hot path never allocates a closure.
+func (e *executor) emit(out topology.Tuple) {
+	for _, re := range e.edges {
+		e.forward(re, e.emitKeyOp, e.emitKey, out)
+	}
+}
+
+// forward routes one emitted tuple across one resolved out-edge. This is
+// the engine's hot path: everything it touches is either executor-local
+// (sketches, seq, the edge's traffic accumulator) or immutable after
+// construction (policy pointer, target tables), so concurrent executors
+// never contend and no per-tuple allocation occurs in the steady state.
+func (e *executor) forward(re *resolvedEdge, keyOp, key string, out topology.Tuple) {
 	nextKeyOp, nextKey := keyOp, key
 	routeKey := ""
-	if edge.Grouping == topology.Fields {
-		routeKey = out.Field(edge.KeyField)
+	if re.grouping == topology.Fields {
+		routeKey = out.Field(re.keyField)
 		if e.eng.cfg.SketchCapacity > 0 && keyOp != "" {
-			id := [2]string{keyOp, edge.To}
+			id := [2]string{keyOp, re.to}
 			sk := e.sketches[id]
 			if sk == nil {
 				sk = spacesaving.NewPairs(e.eng.cfg.SketchCapacity)
@@ -582,19 +704,20 @@ func (e *executor) forward(edge topology.Edge, keyOp, key string, out topology.T
 			}
 			sk.Add(key, routeKey)
 		}
-		nextKeyOp, nextKey = edge.To, routeKey
+		nextKeyOp, nextKey = re.to, routeKey
 	}
 	e.seq++
-	policy := e.eng.cfg.Policies[EdgeKey(edge.From, edge.To)]
-	target := policy.Route(routeKey, e.server, e.seq)
-	targetServer := e.eng.place.ServerOf(edge.To, target)
-	sameServer := targetServer == e.server
-	sameRack := sameServer || e.eng.place.RackOf(targetServer) == e.eng.place.RackOf(e.server)
-	e.eng.recordTraffic(EdgeKey(edge.From, edge.To), sameServer, sameRack, out.Size())
+	target := re.policy.Route(routeKey, e.server, e.seq)
+	re.mu.Lock()
+	re.traffic.RecordLevel(re.sameServer[target], re.sameRack[target], out.Size())
+	re.mu.Unlock()
 	e.eng.inflight.incInternal()
-	e.eng.send(edge.To, target, e.server, message{
-		kind: msgData, tuple: out, keyOp: nextKeyOp, key: nextKey,
-	})
+	msg := message{kind: msgData, tuple: out, keyOp: nextKeyOp, key: nextKey}
+	if !re.sameServer[target] && e.eng.fabric != nil &&
+		e.eng.sendWire(re.to, target, e.server, re.server[target], msg) {
+		return
+	}
+	re.targets[target].box.put(msg)
 }
 
 func (e *executor) onGetStats(msg message) {
@@ -632,18 +755,20 @@ func (e *executor) onPropagate() {
 	// fields-grouped out-edges. Shared policy objects make this
 	// idempotent across sibling instances.
 	for toOp, table := range rc.tables {
-		for _, edge := range e.outEdges {
-			if edge.To != toOp || edge.Grouping != topology.Fields {
+		for _, re := range e.edges {
+			if re.to != toOp || re.grouping != topology.Fields {
 				continue
 			}
-			if tf, ok := e.eng.cfg.Policies[EdgeKey(edge.From, edge.To)].(*routing.TableFields); ok {
+			if tf, ok := re.policy.(*routing.TableFields); ok {
 				tf.Update(table)
 			}
 		}
 	}
 	// Migrate outgoing state. A record is sent for every planned key —
-	// with nil payload when the key has no state — so recipients always
-	// clear their pending markers.
+	// flagged hasData only when a snapshot exists — so recipients always
+	// clear their pending markers. The explicit flag (not payload
+	// nil-ness) is what survives the wire: gob delivers an empty snapshot
+	// as nil, so local and TCP delivery must agree on the flag instead.
 	if len(rc.send) > 0 {
 		keys := make([]string, 0, len(rc.send))
 		for k := range rc.send {
@@ -653,14 +778,15 @@ func (e *executor) onPropagate() {
 		keyed, _ := e.proc.(topology.Keyed)
 		for _, k := range keys {
 			var data []byte
+			hasData := false
 			if keyed != nil {
 				if snap, ok := keyed.SnapshotKey(k); ok {
-					data = snap
+					data, hasData = snap, true
 					keyed.DeleteKey(k)
 				}
 			}
 			e.eng.send(e.op.Name, rc.send[k], e.server, message{
-				kind: msgMigrate, migKey: k, migData: data,
+				kind: msgMigrate, migKey: k, migData: data, migHasData: hasData,
 			})
 		}
 	}
@@ -676,7 +802,7 @@ func (e *executor) onPropagate() {
 }
 
 func (e *executor) onMigrate(msg message) {
-	if msg.migData != nil {
+	if msg.migHasData {
 		if keyed, ok := e.proc.(topology.Keyed); ok {
 			// Restore failures indicate incompatible processor versions;
 			// the engine surfaces them as a panic in tests via the
@@ -709,11 +835,21 @@ func (e *executor) maybeFinishReconf() {
 // inflightCounter tracks unprocessed tuples. External injections block at
 // the configured high-water mark; internal forwards never block (the
 // protocol's liveness depends on executors always being able to send).
+//
+// The counter is a plain atomic: the inc/dec pair every forwarded tuple
+// pays is lock-free, and the mutex/condvar is touched only when a waiter
+// (a blocked Inject or Drain) is actually parked. Go atomics are
+// sequentially consistent, so the ordering argument is simple: a waiter
+// registers in waiters (under mu) before re-checking n; a decrementer
+// updates n before reading waiters. Whichever ran second sees the other's
+// write, so either the waiter never parks or the decrementer broadcasts.
 type inflightCounter struct {
+	n       atomic.Int64
+	waiters atomic.Int32
+	max     int64
+
 	mu   sync.Mutex
 	cond *sync.Cond
-	n    int64
-	max  int64
 }
 
 func newInflightCounter(max int) *inflightCounter {
@@ -722,34 +858,54 @@ func newInflightCounter(max int) *inflightCounter {
 	return c
 }
 
+// incExternal increments, blocking while the high-water mark is reached.
+// The CAS keeps the bound exact under concurrent injectors.
 func (c *inflightCounter) incExternal() {
-	c.mu.Lock()
-	for c.max > 0 && c.n >= c.max {
-		c.cond.Wait()
+	if c.max <= 0 {
+		c.n.Add(1)
+		return
 	}
-	c.n++
-	c.mu.Unlock()
+	for {
+		cur := c.n.Load()
+		if cur >= c.max {
+			c.mu.Lock()
+			c.waiters.Add(1)
+			for c.n.Load() >= c.max {
+				c.cond.Wait()
+			}
+			c.waiters.Add(-1)
+			c.mu.Unlock()
+			continue
+		}
+		if c.n.CompareAndSwap(cur, cur+1) {
+			return
+		}
+	}
 }
 
-func (c *inflightCounter) incInternal() {
-	c.mu.Lock()
-	c.n++
-	c.mu.Unlock()
-}
+func (c *inflightCounter) incInternal() { c.n.Add(1) }
 
 func (c *inflightCounter) dec() {
-	c.mu.Lock()
-	c.n--
-	if c.n <= 0 || c.n < c.max {
-		c.cond.Broadcast()
+	v := c.n.Add(-1)
+	if c.waiters.Load() == 0 {
+		return
 	}
-	c.mu.Unlock()
+	if v <= 0 || (c.max > 0 && v < c.max) {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
 }
 
 func (c *inflightCounter) waitZero() {
+	if c.n.Load() <= 0 {
+		return
+	}
 	c.mu.Lock()
-	for c.n > 0 {
+	c.waiters.Add(1)
+	for c.n.Load() > 0 {
 		c.cond.Wait()
 	}
+	c.waiters.Add(-1)
 	c.mu.Unlock()
 }

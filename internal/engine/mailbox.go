@@ -10,6 +10,12 @@ import "sync"
 // protocol). Storm's executors similarly rely on queues with very large
 // effective capacity; callers that need flow control bound the number of
 // in-flight tuples at the source instead (see Live.MaxInFlight).
+//
+// Consumers drain in batches: getBatch hands the whole queued slice to
+// the executor and installs a recycled buffer for producers to append to,
+// so the executor takes one lock per burst of messages instead of one per
+// message, and the two backing arrays are reused indefinitely (no
+// steady-state allocation).
 type mailbox struct {
 	mu     sync.Mutex
 	nonEmp *sync.Cond
@@ -23,18 +29,49 @@ func newMailbox() *mailbox {
 	return m
 }
 
-// put enqueues a message. Messages put after close are dropped.
-func (m *mailbox) put(msg message) {
+// put enqueues a message and reports whether it was accepted; messages
+// put after close are dropped and reported as rejected so callers can
+// roll back any accounting tied to the message.
+func (m *mailbox) put(msg message) bool {
 	m.mu.Lock()
-	if !m.closed {
-		m.items = append(m.items, msg)
+	if m.closed {
+		m.mu.Unlock()
+		return false
+	}
+	wasEmpty := len(m.items) == 0
+	m.items = append(m.items, msg)
+	m.mu.Unlock()
+	// The executor can only be parked when it saw an empty queue, and the
+	// append above happened under the lock, so signalling outside the
+	// lock cannot lose a wakeup.
+	if wasEmpty {
 		m.nonEmp.Signal()
 	}
-	m.mu.Unlock()
+	return true
 }
 
-// get blocks until a message is available or the mailbox is closed
-// (ok == false).
+// getBatch blocks until at least one message is queued or the mailbox is
+// closed (ok == false once drained). It returns the entire queued slice
+// and installs buf (a previously returned, fully consumed batch) as the
+// new backing array, recycling allocations between producer and consumer.
+func (m *mailbox) getBatch(buf []message) (batch []message, ok bool) {
+	m.mu.Lock()
+	for len(m.items) == 0 && !m.closed {
+		m.nonEmp.Wait()
+	}
+	if len(m.items) == 0 {
+		m.mu.Unlock()
+		return nil, false
+	}
+	batch = m.items
+	m.items = buf[:0]
+	m.mu.Unlock()
+	return batch, true
+}
+
+// get dequeues a single message, blocking until one is available or the
+// mailbox is closed (ok == false). The executor hot path uses getBatch;
+// get remains for tests and single-message call sites.
 func (m *mailbox) get() (message, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -1,0 +1,242 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/locastream/locastream/internal/cluster"
+	"github.com/locastream/locastream/internal/routing"
+	"github.com/locastream/locastream/internal/spacesaving"
+	"github.com/locastream/locastream/internal/topology"
+)
+
+// presenceStore is a keyed processor whose per-key state is an
+// empty-but-present blob: SnapshotKey returns a non-nil zero-length
+// slice. Its presence (not its contents) is the state being migrated —
+// exactly the payload gob's zero-value elision destroys on the wire.
+type presenceStore struct {
+	data map[string][]byte
+}
+
+func newPresenceStore() *presenceStore {
+	return &presenceStore{data: make(map[string][]byte)}
+}
+
+func (p *presenceStore) Process(t topology.Tuple, _ topology.Emit) {
+	p.data[t.Field(0)] = []byte{}
+}
+
+func (p *presenceStore) SnapshotKey(k string) ([]byte, bool) {
+	d, ok := p.data[k]
+	return d, ok
+}
+
+func (p *presenceStore) RestoreKey(k string, d []byte) error {
+	if d == nil {
+		d = []byte{}
+	}
+	p.data[k] = d
+	return nil
+}
+
+func (p *presenceStore) DeleteKey(k string) { delete(p.data, k) }
+
+func (p *presenceStore) StateKeys() []string {
+	keys := make([]string, 0, len(p.data))
+	for k := range p.data {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+var _ topology.Keyed = (*presenceStore)(nil)
+
+// TestTCPMigrateEmptySnapshot moves a key whose snapshot is []byte{}
+// across servers over real TCP. gob omits zero-value fields, so without
+// an explicit has-data flag on the wire the receiver sees a nil payload
+// and skips the restore — state that survives same-server migration is
+// silently dropped by TCP migration.
+func TestTCPMigrateEmptySnapshot(t *testing.T) {
+	const parallelism = 2
+	topo, err := topology.NewBuilder("presence").
+		AddOperator(topology.Operator{Name: "S", Parallelism: parallelism, Stateful: true,
+			New: func() topology.Processor { return newPresenceStore() }}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	place, err := cluster.NewRoundRobin(topo, parallelism) // instance i on server i
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := routing.NewTableFields(parallelism, "S")
+	live, err := NewLive(LiveConfig{
+		Topology:     topo,
+		Placement:    place,
+		SourcePolicy: src,
+		TCPTransport: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Stop()
+
+	const key = "k"
+	from := routing.SaltedHashKey("S", key, parallelism) // empty table: hash fallback
+	to := 1 - from                                       // round-robin placement: a different server
+
+	if err := live.Inject(topology.Tuple{Values: []string{key}}); err != nil {
+		t.Fatal(err)
+	}
+	live.Drain()
+	_ = live.ProcessorState("S", from, func(p topology.Processor) {
+		if _, ok := p.(*presenceStore).SnapshotKey(key); !ok {
+			t.Errorf("instance %d has no state for %q before migration", from, key)
+		}
+	})
+
+	if err := live.Reconfigure(ReconfigPlan{
+		Tables: map[string]*routing.Table{"S": {Version: 1, Assign: map[string]int{key: to}}},
+		Moves:  map[string][]KeyMove{"S": {{Key: key, From: from, To: to}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var present bool
+	_ = live.ProcessorState("S", to, func(p topology.Processor) {
+		_, present = p.(*presenceStore).SnapshotKey(key)
+	})
+	if !present {
+		t.Fatalf("empty-but-present state for %q lost migrating %d -> %d over TCP", key, from, to)
+	}
+	_ = live.ProcessorState("S", from, func(p topology.Processor) {
+		if _, ok := p.(*presenceStore).SnapshotKey(key); ok {
+			t.Errorf("old owner %d still holds state for %q", from, key)
+		}
+	})
+}
+
+// TestInjectStopRaceDrainReturns races Inject against Stop and asserts
+// the in-flight accounting converges: an injection accepted by the
+// counter but rejected by a concurrently closed mailbox must be rolled
+// back, or Drain blocks forever on a tuple that never existed. Run under
+// -race in CI.
+func TestInjectStopRaceDrainReturns(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		live := newLive(t, 2, FieldsHash, 0)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 300; i++ {
+					// Errors are expected once the engine stops.
+					_ = live.Inject(topology.Tuple{Values: []string{"a", "b"}})
+				}
+			}()
+		}
+		close(start)
+		live.Stop()
+		wg.Wait()
+
+		done := make(chan struct{})
+		go func() {
+			live.Drain()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Drain hung after Inject raced Stop (leaked in-flight count)")
+		}
+	}
+}
+
+// TestInjectAfterMailboxCloseRollsBack pins the exact losing interleaving
+// of the race above, which is too narrow to hit reliably with goroutines:
+// an Inject that passes the stopped check before Stop flips it, but
+// reaches the mailbox after Stop closed it. The rejected put must roll
+// back the in-flight increment and surface an error — otherwise the
+// counter stays >0 forever and every later Drain hangs.
+func TestInjectAfterMailboxCloseRollsBack(t *testing.T) {
+	live := newLive(t, 2, FieldsHash, 0)
+	live.Stop()
+	// Reopen the gate: equivalent to an injector that loaded stopped ==
+	// false just before Stop swapped it. The mailboxes are already
+	// closed, so the put below is rejected.
+	live.stopped.Store(false)
+	if err := live.Inject(topology.Tuple{Values: []string{"a", "b"}}); err == nil {
+		t.Fatal("Inject into closed mailboxes reported success")
+	}
+	if n := live.inflight.n.Load(); n != 0 {
+		t.Fatalf("in-flight count = %d after rejected Inject, want 0", n)
+	}
+	done := make(chan struct{})
+	go func() {
+		live.Drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain hung on the in-flight count of a dropped injection")
+	}
+	live.stopped.Store(true) // restore for the deferred idempotent Stop
+}
+
+// TestMergePairStatsDeterministic merges the same per-instance sketch
+// snapshots in many shuffled orders and requires identical output: the
+// merged sketch must be sized from the configured capacity and the
+// reporting operator's parallelism, never from whichever snapshot arrives
+// first.
+func TestMergePairStatsDeterministic(t *testing.T) {
+	const sketchCap = 4
+	const instances = 3
+	parallelism := func(string) int { return instances }
+
+	// Three instances, each reporting at most sketchCap pairs, with more
+	// distinct pairs in total than any single snapshot holds.
+	var stats []instPairStat
+	for inst := 0; inst < instances; inst++ {
+		st := instPairStat{fromOp: "A", toOp: "B"}
+		for j := 0; j < sketchCap; j++ {
+			st.pairs = append(st.pairs, spacesaving.PairCounter{
+				In:    fmt.Sprintf("in%d-%d", inst, j),
+				Out:   fmt.Sprintf("out%d", j),
+				Count: uint64(100*inst + 10*j + 1),
+			})
+		}
+		stats = append(stats, st)
+		// A second operator pair reported by the same instances.
+		stats = append(stats, instPairStat{fromOp: "B", toOp: "C",
+			pairs: []spacesaving.PairCounter{{In: fmt.Sprintf("b%d", inst), Out: "c", Count: uint64(inst + 1)}}})
+	}
+
+	want := mergePairStats(append([]instPairStat(nil), stats...), sketchCap, parallelism)
+	if len(want) != 2 {
+		t.Fatalf("merged %d operator pairs, want 2", len(want))
+	}
+	// Exact merge: every distinct pair survives with its exact count.
+	if got := len(want[0].Pairs); got != instances*sketchCap {
+		t.Fatalf("A->B merged %d pairs, want %d (eviction in merge sketch)", got, instances*sketchCap)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		shuffled := append([]instPairStat(nil), stats...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		got := mergePairStats(shuffled, sketchCap, parallelism)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merged stats depend on reply order:\ngot  %+v\nwant %+v",
+				trial, got, want)
+		}
+	}
+}

@@ -11,7 +11,9 @@ import (
 
 // Traffic accumulates local/remote tuple counts and byte volumes for one
 // stream edge. The zero value is ready to use. Not safe for concurrent
-// use; the live engine aggregates per-executor copies.
+// use: each live-engine executor records into its own per-edge copy
+// under an uncontended per-edge lock, and readers fold the copies
+// together with Add on demand (Live.Traffic / Live.FieldsTraffic).
 type Traffic struct {
 	LocalTuples  uint64
 	RemoteTuples uint64

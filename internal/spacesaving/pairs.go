@@ -8,6 +8,14 @@ func EncodePair(in, out string) string {
 	return strconv.Itoa(len(in)) + ":" + in + out
 }
 
+// appendPair is EncodePair into a reusable byte buffer.
+func appendPair(buf []byte, in, out string) []byte {
+	buf = strconv.AppendInt(buf, int64(len(in)), 10)
+	buf = append(buf, ':')
+	buf = append(buf, in...)
+	return append(buf, out...)
+}
+
 // DecodePair is the inverse of EncodePair. ok is false when item is not a
 // valid encoded pair.
 func DecodePair(item string) (in, out string, ok bool) {
@@ -44,7 +52,8 @@ type PairCounter struct {
 // by a stateful operator instance, as required by §3.2 of the paper. It is
 // a thin typed wrapper over Sketch.
 type PairSketch struct {
-	s *Sketch
+	s   *Sketch
+	buf []byte // reusable encode buffer; makes Add allocation-free
 }
 
 // NewPairs returns a pair sketch monitoring at most capacity pairs.
@@ -53,11 +62,15 @@ func NewPairs(capacity int) *PairSketch {
 }
 
 // Add records a co-occurrence of the in and out keys.
-func (p *PairSketch) Add(in, out string) { p.s.Add(EncodePair(in, out)) }
+func (p *PairSketch) Add(in, out string) { p.AddWeighted(in, out, 1) }
 
-// AddWeighted records weight co-occurrences of the in and out keys.
+// AddWeighted records weight co-occurrences of the in and out keys. The
+// pair is encoded into a buffer owned by the sketch, so recording an
+// already monitored pair allocates nothing (PairSketch is single-owner
+// like Sketch, so the buffer needs no synchronization).
 func (p *PairSketch) AddWeighted(in, out string, weight uint64) {
-	p.s.AddWeighted(EncodePair(in, out), weight)
+	p.buf = appendPair(p.buf[:0], in, out)
+	p.s.AddBytesWeighted(p.buf, weight)
 }
 
 // Len returns the number of monitored pairs.

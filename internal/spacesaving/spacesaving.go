@@ -62,6 +62,7 @@ type Sketch struct {
 	items    map[string]*node
 	min      *bucket // bucket with the smallest count, or nil when empty
 	observed uint64  // total stream elements offered
+	free     *bucket // freelist of emptied buckets, chained via next
 }
 
 // New returns a sketch that monitors at most capacity distinct items.
@@ -100,14 +101,38 @@ func (s *Sketch) AddWeighted(item string, weight uint64) {
 		s.increment(n, weight)
 		return
 	}
+	s.insertNew(item, weight)
+}
+
+// AddBytesWeighted is AddWeighted for an item encoded in a reusable byte
+// buffer. Monitored items are incremented without any allocation (the
+// map lookup with an inline string conversion does not copy); the string
+// is materialized only when the item enters the sketch. This keeps
+// high-frequency instrumentation (the engine's per-tuple key-pair
+// counting) allocation-free in the steady state.
+func (s *Sketch) AddBytesWeighted(item []byte, weight uint64) {
+	if weight == 0 {
+		return
+	}
+	s.observed += weight
+
+	if n, ok := s.items[string(item)]; ok {
+		s.increment(n, weight)
+		return
+	}
+	s.insertNew(string(item), weight)
+}
+
+// insertNew admits an unmonitored item, evicting a minimum-count item
+// when the sketch is full: the newcomer inherits min+weight and records
+// min as its error bound.
+func (s *Sketch) insertNew(item string, weight uint64) {
 	if len(s.items) < s.capacity {
 		n := &node{item: item}
 		s.items[item] = n
 		s.attach(n, weight)
 		return
 	}
-	// Evict a minimum-count item: the newcomer inherits min+weight and
-	// records min as its error bound.
 	victim := s.min.head
 	minCount := s.min.count
 	delete(s.items, victim.item)
@@ -213,11 +238,14 @@ func (s *Sketch) increment(n *node, weight uint64) {
 	oldB := n.b
 	target := oldB.count + weight
 	hint := oldB
+	// Capture before detach: when n is oldB's last item, detach unlinks
+	// and recycles oldB, so its predecessor (still a live list member) is
+	// the closest valid starting point.
+	hintPrev := oldB.prev
+	willEmpty := oldB.size == 1
 	s.detach(n)
-	if oldB.size == 0 {
-		// oldB was unlinked; its predecessor (still a live list member)
-		// is the closest valid starting point.
-		hint = oldB.prev
+	if willEmpty {
+		hint = hintPrev
 	}
 	s.insertWithHint(n, target, hint)
 }
@@ -247,7 +275,8 @@ func (s *Sketch) insertWithHint(n *node, count uint64, hint *bucket) {
 		s.addToBucket(cur, n)
 		return
 	}
-	nb := &bucket{count: count, prev: prev, next: cur}
+	nb := s.newBucket()
+	nb.count, nb.prev, nb.next = count, prev, cur
 	if prev != nil {
 		prev.next = nb
 	} else {
@@ -296,7 +325,26 @@ func (s *Sketch) detach(n *node) {
 		if b.next != nil {
 			b.next.prev = b.prev
 		}
+		s.recycleBucket(b)
 	}
+}
+
+// newBucket pops a recycled bucket or allocates one. At most capacity+1
+// buckets are ever live, so the freelist — fed only by emptied buckets —
+// is bounded too; recycling keeps the per-increment bucket churn of a hot
+// sketch allocation-free.
+func (s *Sketch) newBucket() *bucket {
+	if b := s.free; b != nil {
+		s.free = b.next
+		b.next = nil
+		return b
+	}
+	return &bucket{}
+}
+
+func (s *Sketch) recycleBucket(b *bucket) {
+	*b = bucket{next: s.free}
+	s.free = b
 }
 
 func (s *Sketch) maxBucket() *bucket {

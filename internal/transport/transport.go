@@ -50,6 +50,11 @@ type Message struct {
 	// KindMigrate
 	MigKey  string
 	MigData []byte
+	// MigHasData distinguishes "no state for this key" from an
+	// empty-but-present snapshot: gob omits zero-value fields, so a
+	// non-nil empty MigData decodes as nil at the receiver and the two
+	// cases are indistinguishable from the payload alone.
+	MigHasData bool
 }
 
 // Handler consumes messages received by a node. It is called from the

@@ -1,0 +1,166 @@
+package locastream_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	locastream "github.com/locastream/locastream"
+)
+
+func injectGeo(t *testing.T, app *locastream.App, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		k := strconv.Itoa(i % 12)
+		if err := app.Inject(locastream.Tuple{Values: []string{"region" + k, "#tag" + k}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app.Drain()
+}
+
+func TestAutopilotClosesTheLoop(t *testing.T) {
+	dir := t.TempDir()
+	journalPath := filepath.Join(dir, "journal.jsonl")
+	topo := geoTopology(t, 4)
+	app, err := locastream.NewApp(topo,
+		locastream.WithServers(4),
+		locastream.WithConfigStore(locastream.NewFileConfigStore(filepath.Join(dir, "config"))),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	ap, err := app.NewAutopilot(locastream.AutopilotOptions{
+		CostPerKey:  1,
+		JournalPath: journalPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The workload is perfectly correlated; no manual Reconfigure is
+	// ever called — the autopilot alone converges the application.
+	injectGeo(t, app, 2400)
+	if d := ap.Tick(); d.Action != locastream.Deployed {
+		t.Fatalf("tick 1 = %s (%s), want deployed", d.Action, d.Reason)
+	}
+	injectGeo(t, app, 2400)
+	if d := ap.Tick(); d.Action != locastream.Skipped {
+		t.Fatalf("tick 2 = %s, want skipped (already optimal)", d.Action)
+	}
+
+	sigs := ap.Signals()
+	if len(sigs) != 2 || sigs[1].WindowLocality != 1.0 {
+		t.Fatalf("signals = %+v, want tick-2 window locality 1.0", sigs)
+	}
+	st := ap.Status()
+	if st.Deploys != 1 || st.Version == 0 {
+		t.Fatalf("status = %+v", st)
+	}
+	if got := ap.Decisions(0); len(got) != 2 {
+		t.Fatalf("journal = %+v", got)
+	}
+
+	// Introspection over HTTP.
+	rec := httptest.NewRecorder()
+	ap.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
+	var hst locastream.AutopilotStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &hst); err != nil {
+		t.Fatalf("GET /status: %v", err)
+	}
+	if hst.Deploys != 1 {
+		t.Fatalf("GET /status = %+v", hst)
+	}
+
+	// The JSONL journal holds both decisions.
+	if err := ap.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var actions []locastream.DecisionAction
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var d locastream.Decision
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatal(err)
+		}
+		actions = append(actions, d.Action)
+	}
+	if len(actions) != 2 || actions[0] != locastream.Deployed || actions[1] != locastream.Skipped {
+		t.Fatalf("journal file = %v", actions)
+	}
+
+	// A second application against the same store recovers the deployed
+	// configuration before its first tick.
+	app2, err := locastream.NewApp(geoTopology(t, 4),
+		locastream.WithServers(4),
+		locastream.WithConfigStore(locastream.NewFileConfigStore(filepath.Join(dir, "config"))),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app2.Stop()
+	ap2, err := app2.NewAutopilot(locastream.AutopilotOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := ap2.Status(); !st.Recovered {
+		t.Fatalf("second app status = %+v, want recovered", st)
+	}
+	injectGeo(t, app2, 2400)
+	if loc := app2.Locality(); loc != 1.0 {
+		t.Fatalf("locality after recovery = %f, want 1.0 with zero ticks", loc)
+	}
+}
+
+func TestStartAutopilotBackgroundLoop(t *testing.T) {
+	app, err := locastream.NewApp(geoTopology(t, 3), locastream.WithServers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	injectGeo(t, app, 1200)
+	ap, err := app.StartAutopilot(locastream.AutopilotOptions{Period: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for ap.Status().Deploys == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background autopilot never deployed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := ap.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if ap.Status().Running {
+		t.Fatal("still running after Stop")
+	}
+}
+
+func TestAutopilotRejectsAutoReconfigure(t *testing.T) {
+	app, err := locastream.NewApp(geoTopology(t, 2),
+		locastream.WithServers(2),
+		locastream.WithAutoReconfigure(time.Hour),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+	if _, err := app.NewAutopilot(locastream.AutopilotOptions{}); err == nil {
+		t.Fatal("autopilot accepted alongside WithAutoReconfigure")
+	}
+}

@@ -1,0 +1,134 @@
+// Command locactl runs the §4.2 synthetic workload under the autonomous
+// control plane: rounds of traffic are injected into a live application
+// and the controller alone decides when to reconfigure — the closed
+// measure→decide→migrate loop of the paper's online protocol, with the
+// decision journal printed as it grows.
+//
+// Halfway through the run the key correlation flips (field j becomes a
+// rotation of field i), demonstrating how the hysteresis settings —
+// confirmation windows and post-migration cooldown — govern whether and
+// when the controller chases the change.
+//
+// Usage:
+//
+//	locactl -servers 6 -rounds 8 -tuples 20000 -locality 0.9
+//	locactl -confirm 2 -cooldown 1 -flip 4 -journal decisions.jsonl
+//	locactl -serve :8080 -rounds 100
+//
+// With -serve the introspection API (/status, /snapshots, /journal,
+// /tables) is exposed over HTTP for the duration of the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+
+	locastream "github.com/locastream/locastream"
+	"github.com/locastream/locastream/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "locactl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		servers  = flag.Int("servers", 6, "cluster size (= parallelism of both operators)")
+		rounds   = flag.Int("rounds", 8, "statistics windows to run")
+		tuples   = flag.Int("tuples", 20000, "tuples injected per window")
+		locality = flag.Float64("locality", 0.9, "probability that a tuple's two keys are correlated")
+		padding  = flag.Int("padding", 0, "extra payload bytes per tuple")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		flip     = flag.Int("flip", 0, "rotate the key correlation from this round on (0 = never)")
+		cost     = flag.Float64("cost", 1, "migration cost per key (tuple transfers per window)")
+		minGain  = flag.Float64("mingain", 0, "minimum estimated locality gain to deploy")
+		confirm  = flag.Int("confirm", 1, "consecutive worthwhile windows required to deploy")
+		cooldown = flag.Int("cooldown", 0, "windows to skip after each deployment")
+		journal  = flag.String("journal", "", "append decisions to this JSONL file")
+		storeDir = flag.String("store", "", "persist configurations under this directory (enables recovery)")
+		serve    = flag.String("serve", "", "serve the introspection API on this address during the run")
+	)
+	flag.Parse()
+
+	topo, err := locastream.NewTopology("synthetic").
+		AddOperator(locastream.Operator{Name: "A", Parallelism: *servers, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(0) }}).
+		AddOperator(locastream.Operator{Name: "B", Parallelism: *servers, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(1) }}).
+		Connect("A", "B", locastream.Fields, 1).
+		Build()
+	if err != nil {
+		return err
+	}
+
+	opts := []locastream.Option{locastream.WithServers(*servers)}
+	if *storeDir != "" {
+		opts = append(opts, locastream.WithConfigStore(locastream.NewFileConfigStore(*storeDir)))
+	}
+	app, err := locastream.NewApp(topo, opts...)
+	if err != nil {
+		return err
+	}
+	defer app.Stop()
+
+	ap, err := app.NewAutopilot(locastream.AutopilotOptions{
+		CostPerKey:  *cost,
+		MinGain:     *minGain,
+		Confirm:     *confirm,
+		Cooldown:    *cooldown,
+		JournalPath: *journal,
+	})
+	if err != nil {
+		return err
+	}
+	defer ap.Stop()
+	if st := ap.Status(); st.Recovered {
+		fmt.Printf("recovered configuration v%d from %s\n", st.RecoveredVersion, *storeDir)
+	}
+
+	if *serve != "" {
+		srv := &http.Server{Addr: *serve, Handler: ap.Handler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "locactl: serve:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("introspection API on http://%s\n", *serve)
+	}
+
+	gen := workload.NewSynthetic(*servers, *locality, *padding, *seed)
+	for round := 1; round <= *rounds; round++ {
+		rot := 0
+		if *flip > 0 && round >= *flip {
+			rot = *servers / 2
+		}
+		for i := 0; i < *tuples; i++ {
+			t := gen.Next()
+			if rot != 0 {
+				j, _ := strconv.Atoi(t.Values[1])
+				t.Values[1] = strconv.Itoa((j + rot) % *servers)
+			}
+			if err := app.Inject(t); err != nil {
+				return err
+			}
+		}
+		app.Drain()
+		d := ap.Tick()
+		fmt.Printf("round %2d  %-9s streak=%d v%-3d window locality %.3f -> candidate %.3f  %s\n",
+			round, d.Action, d.Streak, d.Version,
+			d.Signals.WindowLocality, d.CandidateLocality, d.Reason)
+	}
+
+	st := ap.Status()
+	fmt.Printf("\n%d windows: %d deployed, %d skipped, %d in cooldown, %d errors; final locality %.3f (cumulative %.3f)\n",
+		st.Ticks, st.Deploys, st.Skips, st.Cooldowns, st.Errors,
+		st.SmoothedLocality, app.Locality())
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunEndToEnd drives the whole binary in-process: a short run must
+// converge, survive the correlation flip, and leave a JSONL journal and
+// a recoverable configuration behind.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "decisions.jsonl")
+	store := filepath.Join(dir, "config")
+
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs; flag.CommandLine = flag.NewFlagSet(oldArgs[0], flag.ExitOnError) }()
+	flag.CommandLine = flag.NewFlagSet("locactl", flag.ExitOnError)
+	os.Args = []string{"locactl",
+		"-servers", "4", "-rounds", "4", "-tuples", "4000",
+		"-locality", "1", "-flip", "3", "-confirm", "2",
+		"-journal", journal, "-store", store,
+	}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 4 {
+		t.Fatalf("journal holds %d decisions, want 4", lines)
+	}
+	if !strings.Contains(string(data), `"action":"deployed"`) {
+		t.Fatal("journal records no deployment")
+	}
+
+	if _, err := os.Stat(filepath.Join(store, "latest.json")); err != nil {
+		t.Fatalf("no deployed configuration persisted: %v", err)
+	}
+
+	// A second run against the same store starts from the recovered
+	// configuration.
+	flag.CommandLine = flag.NewFlagSet("locactl", flag.ExitOnError)
+	os.Args = []string{"locactl",
+		"-servers", "4", "-rounds", "1", "-tuples", "2000",
+		"-locality", "1", "-store", store,
+	}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -90,6 +90,11 @@ func run() error {
 		if err := store.Save(plan.Version, tables); err != nil {
 			return err
 		}
+		// An offline configuration is meant to be picked up at startup:
+		// mark it deployed so ConfigStore.Load returns it.
+		if err := store.MarkDeployed(plan.Version); err != nil {
+			return err
+		}
 		fmt.Fprintf(os.Stderr, "configuration written under %s\n", *outDir)
 	}
 	if *show {

@@ -1,0 +1,107 @@
+// Autopilot: the closed-loop control plane on the paper's running
+// example. Geo-tagged messages flow through region and hashtag counters,
+// and nobody ever calls Reconfigure — the autopilot measures each
+// statistics window, consults the impact estimator, and deploys new
+// routing tables only when the saved traffic amortizes the migration.
+// Halfway through, the region↔hashtag correlation shifts; with a
+// confirmation window of 2 the controller ignores a one-window blip but
+// follows a persistent change.
+//
+//	go run ./examples/autopilot
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+
+	locastream "github.com/locastream/locastream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		parallelism = 4
+		regions     = 12
+		perWindow   = 6000
+		windows     = 8
+	)
+
+	topo, err := locastream.NewTopology("geo-trends").
+		AddOperator(locastream.Operator{
+			Name: "regions", Parallelism: parallelism, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(0) },
+		}).
+		AddOperator(locastream.Operator{
+			Name: "hashtags", Parallelism: parallelism, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(1) },
+		}).
+		Connect("regions", "hashtags", locastream.Fields, 1).
+		Build()
+	if err != nil {
+		return err
+	}
+
+	app, err := locastream.NewApp(topo, locastream.WithServers(parallelism))
+	if err != nil {
+		return err
+	}
+	defer app.Stop()
+
+	// Manual ticks keep the demo deterministic; pass a Period and call
+	// StartAutopilot to run the same loop on a timer.
+	ap, err := app.NewAutopilot(locastream.AutopilotOptions{
+		CostPerKey: 1,
+		Confirm:    2,
+		Cooldown:   1,
+	})
+	if err != nil {
+		return err
+	}
+	defer ap.Stop()
+
+	rng := rand.New(rand.NewSource(7))
+	for w := 1; w <= windows; w++ {
+		// Each region tweets mostly its own hashtag; after window 4 the
+		// trending topics rotate to new regions.
+		shift := 0
+		if w > windows/2 {
+			shift = regions / 2
+		}
+		for i := 0; i < perWindow; i++ {
+			r := rng.Intn(regions)
+			tag := (r + shift) % regions
+			if rng.Intn(10) == 0 { // 10% noise
+				tag = rng.Intn(regions)
+			}
+			err := app.Inject(locastream.Tuple{Values: []string{
+				"region" + strconv.Itoa(r), "#tag" + strconv.Itoa(tag),
+			}})
+			if err != nil {
+				return err
+			}
+		}
+		app.Drain()
+
+		d := ap.Tick()
+		fmt.Printf("window %d: locality %.2f  %-9s %s\n",
+			w, d.Signals.WindowLocality, d.Action, d.Reason)
+	}
+
+	st := ap.Status()
+	fmt.Printf("\n%d windows, %d deployments, smoothed locality %.2f\n",
+		st.Ticks, st.Deploys, st.SmoothedLocality)
+	for _, d := range ap.Decisions(0) {
+		if d.Action == locastream.Deployed {
+			fmt.Printf("  deployed v%d at window %d: %d keys migrated\n",
+				d.Version, d.Seq, d.KeysToMigrate)
+		}
+	}
+	return nil
+}

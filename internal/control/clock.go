@@ -1,0 +1,117 @@
+package control
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time so the controller can be driven by real
+// tickers in production and by an injected clock in tests — every
+// controller test is deterministic and sleep-free.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// NewTicker returns a ticker firing every d.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker delivers periodic ticks until stopped.
+type Ticker interface {
+	// C returns the tick channel.
+	C() <-chan time.Time
+	// Stop releases the ticker's resources.
+	Stop()
+}
+
+// SystemClock returns the wall clock backed by the time package.
+func SystemClock() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+func (systemClock) NewTicker(d time.Duration) Ticker {
+	return &systemTicker{t: time.NewTicker(d)}
+}
+
+type systemTicker struct{ t *time.Ticker }
+
+func (s *systemTicker) C() <-chan time.Time { return s.t.C }
+func (s *systemTicker) Stop()               { s.t.Stop() }
+
+// ManualClock is a test clock: time moves only when Advance is called,
+// and each Advance delivers exactly one tick to every live ticker,
+// blocking until the receiver has accepted it — after Advance returns,
+// the tick is guaranteed to be in the consumer's hands. Safe for
+// concurrent use.
+type ManualClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	tickers []*manualTicker
+}
+
+// NewManualClock returns a manual clock starting at start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// NewTicker implements Clock; the period is ignored — ticks fire on
+// Advance.
+func (c *ManualClock) NewTicker(time.Duration) Ticker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &manualTicker{clock: c, ch: make(chan time.Time), quit: make(chan struct{})}
+	c.tickers = append(c.tickers, t)
+	return t
+}
+
+// Advance moves the clock by d and delivers one tick to every live
+// ticker.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	tickers := append([]*manualTicker(nil), c.tickers...)
+	c.mu.Unlock()
+	for _, t := range tickers {
+		t.deliver(now)
+	}
+}
+
+type manualTicker struct {
+	clock *ManualClock
+	ch    chan time.Time
+	quit  chan struct{}
+	once  sync.Once
+}
+
+func (t *manualTicker) C() <-chan time.Time { return t.ch }
+
+func (t *manualTicker) Stop() {
+	t.once.Do(func() { close(t.quit) })
+	c := t.clock
+	c.mu.Lock()
+	for i, other := range c.tickers {
+		if other == t {
+			c.tickers = append(c.tickers[:i], c.tickers[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+}
+
+// deliver blocks until the consumer receives the tick; a ticker stopped
+// concurrently drops it instead of blocking forever.
+func (t *manualTicker) deliver(now time.Time) {
+	select {
+	case t.ch <- now:
+	case <-t.quit:
+	}
+}

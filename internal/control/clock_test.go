@@ -1,0 +1,78 @@
+package control
+
+import (
+	"testing"
+	"time"
+)
+
+func TestManualClockAdvanceDeliversToEveryTicker(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0))
+	t1 := clock.NewTicker(time.Second)
+	t2 := clock.NewTicker(time.Minute) // period is irrelevant for a manual clock
+
+	got := make(chan time.Time, 2)
+	for _, tk := range []Ticker{t1, t2} {
+		go func(tk Ticker) { got <- <-tk.C() }(tk)
+	}
+	clock.Advance(3 * time.Second)
+	want := time.Unix(3, 0)
+	for i := 0; i < 2; i++ {
+		if now := <-got; !now.Equal(want) {
+			t.Fatalf("tick %d carried %v, want %v", i, now, want)
+		}
+	}
+	if !clock.Now().Equal(want) {
+		t.Fatalf("Now() = %v, want %v", clock.Now(), want)
+	}
+}
+
+func TestManualClockStoppedTickerDropsTicks(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0))
+	tk := clock.NewTicker(time.Second)
+	tk.Stop()
+	tk.Stop() // idempotent
+	// No receiver anywhere: Advance must not block on the stopped ticker.
+	done := make(chan struct{})
+	go func() {
+		clock.Advance(time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Advance blocked on a stopped ticker")
+	}
+}
+
+func TestManualClockStopDuringAdvance(t *testing.T) {
+	// A ticker stopped while an Advance is mid-delivery must unblock the
+	// delivery rather than deadlock — the shutdown race of a controller
+	// Stop concurrent with a clock Advance.
+	clock := NewManualClock(time.Unix(0, 0))
+	tk := clock.NewTicker(time.Second)
+	done := make(chan struct{})
+	go func() {
+		clock.Advance(time.Second)
+		close(done)
+	}()
+	tk.Stop()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Advance deadlocked against Stop")
+	}
+}
+
+func TestSystemClockTicks(t *testing.T) {
+	clock := SystemClock()
+	if clock.Now().IsZero() {
+		t.Fatal("system clock returned the zero time")
+	}
+	tk := clock.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("system ticker never fired")
+	}
+}

@@ -1,0 +1,56 @@
+package control
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the live-introspection API over the controller:
+//
+//	GET /status     controller state (ticks, deploys, streak, cooldown)
+//	GET /snapshots  the retained signal snapshots, oldest first
+//	GET /journal    the decision journal (?n=K limits to the last K)
+//	GET /tables     the deployed routing tables per operator
+//
+// Everything is served as JSON from in-memory state; requests never
+// touch the data path beyond the same atomics a Tick reads, so the
+// endpoint is safe to poll against a loaded engine.
+func (c *Controller) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, r, c.Status())
+	})
+	mux.HandleFunc("/snapshots", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, r, c.Snapshots())
+	})
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if raw := r.URL.Query().Get("n"); raw != "" {
+			parsed, err := strconv.Atoi(raw)
+			if err != nil || parsed < 0 {
+				http.Error(w, "invalid n", http.StatusBadRequest)
+				return
+			}
+			n = parsed
+		}
+		writeJSON(w, r, c.Journal().Recent(n))
+	})
+	mux.HandleFunc("/tables", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, r, c.Tables())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, r *http.Request, v interface{}) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encoding in-memory values cannot fail for these types; a broken
+	// connection mid-write surfaces to the client, not here.
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,117 @@
+package control
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func setupHTTP(t *testing.T) (*harness, *Controller, http.Handler) {
+	t.Helper()
+	h := newHarness(t, 3, nil)
+	c := newTestController(t, h, Options{CostPerKey: 1, Confirm: 1})
+	h.injectCorrelated(t, 1800, 9, 0)
+	c.Tick()
+	h.injectCorrelated(t, 1800, 9, 0)
+	c.Tick()
+	return h, c, c.Handler()
+}
+
+func getJSON(t *testing.T, handler http.Handler, path string, into interface{}) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", path, rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s Content-Type = %q", path, ct)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), into); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v\n%s", path, err, rec.Body.String())
+	}
+}
+
+func TestHandlerStatus(t *testing.T) {
+	_, c, handler := setupHTTP(t)
+	var st Status
+	getJSON(t, handler, "/status", &st)
+	if st.Ticks != 2 || st.Deploys != 1 {
+		t.Fatalf("/status = %+v, want 2 ticks and 1 deploy", st)
+	}
+	if st.Version != c.Status().Version {
+		t.Fatalf("/status version %d != controller %d", st.Version, c.Status().Version)
+	}
+	if st.LastDecision == nil || st.LastDecision.Action != ActionSkipped {
+		t.Fatalf("/status last decision = %+v", st.LastDecision)
+	}
+}
+
+func TestHandlerSnapshots(t *testing.T) {
+	_, _, handler := setupHTTP(t)
+	var snaps []Snapshot
+	getJSON(t, handler, "/snapshots", &snaps)
+	if len(snaps) != 2 || snaps[0].Seq != 1 || snaps[1].Seq != 2 {
+		t.Fatalf("/snapshots = %+v", snaps)
+	}
+	if snaps[0].WindowTraffic == 0 {
+		t.Fatal("/snapshots lost the traffic signal in JSON")
+	}
+	if snaps[1].WindowLocality != 1.0 {
+		t.Fatalf("/snapshots post-deploy locality = %f, want 1.0", snaps[1].WindowLocality)
+	}
+}
+
+func TestHandlerJournal(t *testing.T) {
+	_, _, handler := setupHTTP(t)
+	var all []Decision
+	getJSON(t, handler, "/journal", &all)
+	if len(all) != 2 || all[0].Action != ActionDeployed || all[1].Action != ActionSkipped {
+		t.Fatalf("/journal = %+v", all)
+	}
+	var last []Decision
+	getJSON(t, handler, "/journal?n=1", &last)
+	if len(last) != 1 || last[0].Seq != 2 {
+		t.Fatalf("/journal?n=1 = %+v", last)
+	}
+}
+
+func TestHandlerTables(t *testing.T) {
+	_, _, handler := setupHTTP(t)
+	var tables map[string]struct {
+		Version uint64            `json:"Version"`
+		Assign  map[string]uint32 `json:"Assign"`
+	}
+	getJSON(t, handler, "/tables", &tables)
+	if len(tables) != 2 {
+		t.Fatalf("/tables = %+v, want entries for A and B", tables)
+	}
+	for op, table := range tables {
+		if len(table.Assign) == 0 {
+			t.Fatalf("/tables[%s] has no assignments", op)
+		}
+	}
+}
+
+func TestHandlerRejectsBadRequests(t *testing.T) {
+	_, _, handler := setupHTTP(t)
+
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/status", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /status = %d, want 405", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/journal?n=bogus", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("GET /journal?n=bogus = %d, want 400", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/journal?n=-1", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("GET /journal?n=-1 = %d, want 400", rec.Code)
+	}
+}

@@ -1,0 +1,174 @@
+package control
+
+import (
+	"time"
+
+	"github.com/locastream/locastream/internal/engine"
+	"github.com/locastream/locastream/internal/metrics"
+)
+
+// Snapshot is one controller tick's view of the engine: the raw window
+// deltas since the previous tick plus the EWMA-smoothed series the
+// decision rules consume. Snapshots are kept in a bounded ring and served
+// by the introspection handler.
+type Snapshot struct {
+	// Seq is the tick number, starting at 1.
+	Seq int `json:"seq"`
+	// Time is the clock reading at collection.
+	Time time.Time `json:"time"`
+
+	// WindowTraffic is the number of fields-grouped transfers observed
+	// since the previous tick.
+	WindowTraffic uint64 `json:"window_traffic"`
+	// WindowLocality is the fraction of those transfers that stayed on
+	// one server (0 when the window saw no traffic).
+	WindowLocality float64 `json:"window_locality"`
+	// WindowRackLocality additionally counts transfers that stayed
+	// inside one rack.
+	WindowRackLocality float64 `json:"window_rack_locality"`
+	// SmoothedLocality is the EWMA of WindowLocality over non-empty
+	// windows.
+	SmoothedLocality float64 `json:"smoothed_locality"`
+
+	// MaxImbalance is the worst per-operator load imbalance
+	// (max/avg tuples processed per instance) over the window.
+	MaxImbalance float64 `json:"max_imbalance"`
+	// SmoothedImbalance is the EWMA of MaxImbalance.
+	SmoothedImbalance float64 `json:"smoothed_imbalance"`
+
+	// InFlight is the injected-but-unprocessed tuple count at collection
+	// time.
+	InFlight int64 `json:"in_flight"`
+	// WireDrops is the cumulative count of undeliverable transport
+	// messages; a healthy deployment keeps it at 0.
+	WireDrops uint64 `json:"wire_drops"`
+
+	// Loads is the cumulative per-instance tuple count per operator.
+	Loads map[string][]uint64 `json:"loads"`
+}
+
+// signals turns raw engine stats into windowed, smoothed snapshots. Not
+// safe for concurrent use; the controller serializes access.
+type signals struct {
+	prev    engine.Stats
+	havePrv bool
+	seq     int
+
+	locEWMA metrics.EWMA
+	imbEWMA metrics.EWMA
+}
+
+func newSignals(alpha float64) *signals {
+	return &signals{
+		locEWMA: metrics.EWMA{Alpha: alpha},
+		imbEWMA: metrics.EWMA{Alpha: alpha},
+	}
+}
+
+// collect reads one engine snapshot and derives the window view since the
+// previous call.
+func (s *signals) collect(st engine.Stats, now time.Time) Snapshot {
+	s.seq++
+	snap := Snapshot{
+		Seq:       s.seq,
+		Time:      now,
+		InFlight:  st.InFlight,
+		WireDrops: st.WireDrops,
+		Loads:     st.Loads,
+	}
+
+	window := st.Fields
+	if s.havePrv {
+		window = subTraffic(st.Fields, s.prev.Fields)
+	}
+	snap.WindowTraffic = window.Total()
+	if snap.WindowTraffic > 0 {
+		snap.WindowLocality = window.Locality()
+		snap.WindowRackLocality = window.RackLocality()
+		snap.SmoothedLocality = s.locEWMA.Observe(snap.WindowLocality)
+	} else {
+		// An idle window carries no locality information; hold the
+		// average instead of dragging it toward zero.
+		snap.SmoothedLocality = s.locEWMA.Value()
+	}
+
+	snap.MaxImbalance = 1
+	for op, loads := range st.Loads {
+		win := loads
+		if s.havePrv {
+			win = subLoads(loads, s.prev.Loads[op])
+		}
+		if im := metrics.Imbalance(win); im > snap.MaxImbalance {
+			snap.MaxImbalance = im
+		}
+	}
+	snap.SmoothedImbalance = s.imbEWMA.Observe(snap.MaxImbalance)
+
+	s.prev = st
+	s.havePrv = true
+	return snap
+}
+
+// subTraffic returns cur - prev per counter (the per-window view of the
+// engine's cumulative accumulators).
+func subTraffic(cur, prev metrics.Traffic) metrics.Traffic {
+	return metrics.Traffic{
+		LocalTuples:  cur.LocalTuples - prev.LocalTuples,
+		RemoteTuples: cur.RemoteTuples - prev.RemoteTuples,
+		LocalBytes:   cur.LocalBytes - prev.LocalBytes,
+		RemoteBytes:  cur.RemoteBytes - prev.RemoteBytes,
+		RackTuples:   cur.RackTuples - prev.RackTuples,
+		RackBytes:    cur.RackBytes - prev.RackBytes,
+	}
+}
+
+func subLoads(cur, prev []uint64) []uint64 {
+	out := make([]uint64, len(cur))
+	for i := range cur {
+		out[i] = cur[i]
+		if i < len(prev) && prev[i] <= cur[i] {
+			out[i] = cur[i] - prev[i]
+		}
+	}
+	return out
+}
+
+// snapRing is a bounded ring of snapshots, oldest first.
+type snapRing struct {
+	buf   []Snapshot
+	start int
+	n     int
+}
+
+func newSnapRing(capacity int) *snapRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &snapRing{buf: make([]Snapshot, capacity)}
+}
+
+func (r *snapRing) push(s Snapshot) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = s
+		r.n++
+		return
+	}
+	r.buf[r.start] = s
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+// all returns the retained snapshots, oldest first.
+func (r *snapRing) all() []Snapshot {
+	out := make([]Snapshot, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out
+}
+
+func (r *snapRing) last() (Snapshot, bool) {
+	if r.n == 0 {
+		return Snapshot{}, false
+	}
+	return r.buf[(r.start+r.n-1)%len(r.buf)], true
+}

@@ -14,32 +14,54 @@ import (
 	"github.com/locastream/locastream/internal/topology"
 )
 
-// ConfigStore persists routing configurations before deployment. The
-// paper's manager "saves all routing configurations to stable storage
-// before starting reconfiguration" for fault tolerance (§3.4).
+// ConfigStore persists routing configurations across manager restarts.
+// The paper's manager "saves all routing configurations to stable storage
+// before starting reconfiguration" for fault tolerance (§3.4); the store
+// therefore distinguishes a *saved* configuration (written before the
+// deployment starts) from a *deployed* one (marked only after every
+// instance acknowledged and migrated). Load returns the latest deployed
+// configuration, so restart recovery never resurrects a configuration
+// that failed to go live.
 type ConfigStore interface {
-	// Save persists one configuration version.
+	// Save persists one configuration version ahead of its deployment.
 	Save(version uint64, tables map[string]*routing.Table) error
-	// Load returns the highest saved version (ok == false when none).
+	// MarkDeployed records that a previously saved version went live. It
+	// is an error to mark a version that was never saved.
+	MarkDeployed(version uint64) error
+	// Load returns the highest version marked deployed (ok == false when
+	// none).
 	Load() (version uint64, tables map[string]*routing.Table, ok bool, err error)
 }
 
 // MemoryStore is an in-process ConfigStore, the default. Safe for
 // concurrent use.
 type MemoryStore struct {
-	mu      sync.Mutex
-	version uint64
-	tables  map[string]*routing.Table
-	saved   bool
+	mu       sync.Mutex
+	saved    map[uint64]map[string]*routing.Table
+	deployed uint64
+	live     bool
 }
 
 // Save implements ConfigStore.
 func (m *MemoryStore) Save(version uint64, tables map[string]*routing.Table) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.version = version
-	m.tables = cloneTables(tables)
-	m.saved = true
+	if m.saved == nil {
+		m.saved = make(map[uint64]map[string]*routing.Table)
+	}
+	m.saved[version] = cloneTables(tables)
+	return nil
+}
+
+// MarkDeployed implements ConfigStore.
+func (m *MemoryStore) MarkDeployed(version uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.saved[version]; !ok {
+		return fmt.Errorf("config store: version %d was never saved", version)
+	}
+	m.deployed = version
+	m.live = true
 	return nil
 }
 
@@ -47,10 +69,10 @@ func (m *MemoryStore) Save(version uint64, tables map[string]*routing.Table) err
 func (m *MemoryStore) Load() (uint64, map[string]*routing.Table, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if !m.saved {
+	if !m.live {
 		return 0, nil, false, nil
 	}
-	return m.version, cloneTables(m.tables), true, nil
+	return m.deployed, cloneTables(m.saved[m.deployed]), true, nil
 }
 
 // FileStore persists configurations as JSON files in a directory, one
@@ -65,7 +87,10 @@ type storedConfig struct {
 	Tables  map[string]map[string]int `json:"tables"`
 }
 
-// Save implements ConfigStore.
+// Save implements ConfigStore: it writes the version file but not the
+// "latest" pointer, which only MarkDeployed advances. A crash between the
+// two leaves "latest" at the previous deployed configuration — exactly
+// what a restarted manager must recover.
 func (f *FileStore) Save(version uint64, tables map[string]*routing.Table) error {
 	if err := os.MkdirAll(f.Dir, 0o755); err != nil {
 		return fmt.Errorf("config store: %w", err)
@@ -78,17 +103,30 @@ func (f *FileStore) Save(version uint64, tables map[string]*routing.Table) error
 	if err != nil {
 		return fmt.Errorf("config store: encode: %w", err)
 	}
-	path := filepath.Join(f.Dir, fmt.Sprintf("config-%06d.json", version))
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return fmt.Errorf("config store: %w", err)
-	}
-	// The "latest" pointer is written last so a crash mid-save never
-	// points at a missing file.
-	latest := filepath.Join(f.Dir, "latest.json")
-	if err := os.WriteFile(latest, data, 0o644); err != nil {
+	if err := os.WriteFile(f.versionPath(version), data, 0o644); err != nil {
 		return fmt.Errorf("config store: %w", err)
 	}
 	return nil
+}
+
+// MarkDeployed implements ConfigStore: it points "latest" at the saved
+// version file.
+func (f *FileStore) MarkDeployed(version uint64) error {
+	data, err := os.ReadFile(f.versionPath(version))
+	if os.IsNotExist(err) {
+		return fmt.Errorf("config store: version %d was never saved", version)
+	}
+	if err != nil {
+		return fmt.Errorf("config store: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(f.Dir, "latest.json"), data, 0o644); err != nil {
+		return fmt.Errorf("config store: %w", err)
+	}
+	return nil
+}
+
+func (f *FileStore) versionPath(version uint64) string {
+	return filepath.Join(f.Dir, fmt.Sprintf("config-%06d.json", version))
 }
 
 // Load implements ConfigStore.
@@ -160,47 +198,99 @@ func NewManager(eng *engine.Live, topo *topology.Topology, place *cluster.Placem
 	}, nil
 }
 
-// Reconfigure executes one full round of Algorithm 1: collect statistics
-// (resetting the sketches), compute new routing tables, persist them, and
-// deploy them online with state migration. It returns the optimizer's
-// plan for the new configuration.
-func (m *Manager) Reconfigure() (*Plan, error) {
+// Candidate is a computed-but-not-deployed configuration: the tables, the
+// optimizer's plan and the estimated impact of deploying it instead of
+// keeping the current configuration. The control plane evaluates
+// candidates against its hysteresis rules before committing to a deploy.
+type Candidate struct {
+	Tables map[string]*routing.Table
+	Plan   *Plan
+	Impact Impact
+}
+
+// Candidate runs the measurement half of Algorithm 1: collect statistics
+// (resetting the sketch window), compute candidate routing tables and
+// estimate the deployment impact — without deploying anything. The window
+// reset happens regardless of what the caller decides, so a skipped
+// candidate is re-evaluated on fresh data next round; this guards against
+// the "ephemeral correlations" the paper's conclusion warns about.
+func (m *Manager) Candidate() (*Candidate, error) {
 	stats := m.eng.CollectPairStats()
 	tables, plan, err := m.opt.ComputeTables(stats)
 	if err != nil {
 		return nil, err
 	}
-	if err := m.deploy(tables, plan); err != nil {
+	return &Candidate{
+		Tables: tables,
+		Plan:   plan,
+		Impact: m.opt.EstimateImpact(stats, m.tables, tables),
+	}, nil
+}
+
+// DeployCandidate persists and rolls out a previously computed candidate.
+func (m *Manager) DeployCandidate(c *Candidate) error {
+	return m.deploy(c.Tables, c.Plan)
+}
+
+// Reconfigure executes one full round of Algorithm 1: collect statistics
+// (resetting the sketches), compute new routing tables, persist them, and
+// deploy them online with state migration. It returns the optimizer's
+// plan for the new configuration.
+func (m *Manager) Reconfigure() (*Plan, error) {
+	c, err := m.Candidate()
+	if err != nil {
 		return nil, err
 	}
-	return plan, nil
+	if err := m.DeployCandidate(c); err != nil {
+		return nil, err
+	}
+	return c.Plan, nil
 }
 
 // ReconfigureIfWorthwhile computes a candidate configuration and deploys
 // it only when the impact estimator predicts the locality saving to
 // amortize the migration cost (costPerKey tuple transfers per migrated
 // key and statistics period). deployed reports the decision. Whatever the
-// decision, the statistics sketches restart a new window, so a skipped
-// reconfiguration is re-evaluated on fresh data next time — this guards
-// against the "ephemeral correlations" the paper's conclusion warns
-// about.
+// decision, the statistics sketches restart a new window (see Candidate).
 func (m *Manager) ReconfigureIfWorthwhile(costPerKey float64) (plan *Plan, impact Impact, deployed bool, err error) {
-	stats := m.eng.CollectPairStats()
-	tables, plan, err := m.opt.ComputeTables(stats)
+	c, err := m.Candidate()
 	if err != nil {
 		return nil, Impact{}, false, err
 	}
-	impact = m.opt.EstimateImpact(stats, m.tables, tables)
-	if !impact.Worthwhile(costPerKey) {
-		return plan, impact, false, nil
+	if !c.Impact.Worthwhile(costPerKey) {
+		return c.Plan, c.Impact, false, nil
 	}
-	if err := m.deploy(tables, plan); err != nil {
-		return nil, impact, false, err
+	if err := m.DeployCandidate(c); err != nil {
+		return nil, c.Impact, false, err
 	}
-	return plan, impact, true, nil
+	return c.Plan, c.Impact, true, nil
 }
 
-// deploy persists and rolls out a computed configuration.
+// Recover loads the latest deployed configuration from the store and
+// re-deploys it to the engine, completing the §3.4 fault-tolerance story:
+// a restarted manager resumes from the tables that were actually live,
+// not from a candidate that never finished deploying. There is no state
+// to migrate — a fresh engine starts empty — so the recovery is a pure
+// routing-table rollout. ok reports whether a configuration was found.
+func (m *Manager) Recover() (version uint64, ok bool, err error) {
+	version, tables, ok, err := m.store.Load()
+	if err != nil || !ok {
+		return 0, false, err
+	}
+	if err := m.eng.Reconfigure(engine.ReconfigPlan{Tables: tables}); err != nil {
+		return 0, false, fmt.Errorf("core: re-deploy recovered configuration: %w", err)
+	}
+	m.tables = tables
+	// Future candidates must supersede the recovered version.
+	m.opt.EnsureVersion(version)
+	return version, true, nil
+}
+
+// deploy persists and rolls out a computed configuration. The candidate
+// is saved to stable storage before the rollout starts (§3.4), but it
+// becomes the recovery target only after the engine accepted it: marking
+// it deployed first would let a restart resurrect a configuration that
+// never went live.
 func (m *Manager) deploy(tables map[string]*routing.Table, plan *Plan) error {
 	if err := m.store.Save(plan.Version, tables); err != nil {
 		return fmt.Errorf("core: persist configuration: %w", err)
@@ -219,6 +309,9 @@ func (m *Manager) deploy(tables map[string]*routing.Table, plan *Plan) error {
 		return err
 	}
 	m.tables = tables
+	if err := m.store.MarkDeployed(plan.Version); err != nil {
+		return fmt.Errorf("core: mark configuration deployed: %w", err)
+	}
 	return nil
 }
 

@@ -212,10 +212,57 @@ func TestMemoryStoreIsolation(t *testing.T) {
 	if err := store.Save(1, tables); err != nil {
 		t.Fatal(err)
 	}
+	if err := store.MarkDeployed(1); err != nil {
+		t.Fatal(err)
+	}
 	tables["A"].Assign["k"] = 9
 	_, loaded, _, _ := store.Load()
 	if loaded["A"].Assign["k"] != 1 {
 		t.Fatal("store shares table memory with caller")
+	}
+}
+
+func TestStoresLoadOnlyDeployedVersions(t *testing.T) {
+	stores := map[string]ConfigStore{
+		"memory": &MemoryStore{},
+		"file":   &FileStore{Dir: t.TempDir() + "/configs"},
+	}
+	for name, store := range stores {
+		t.Run(name, func(t *testing.T) {
+			tables := map[string]*routing.Table{"A": {Version: 1, Assign: map[string]int{"k": 0}}}
+			// A saved-but-never-deployed configuration must be invisible
+			// to recovery.
+			if err := store.Save(1, tables); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, ok, err := store.Load(); err != nil || ok {
+				t.Fatalf("Load after Save only = ok=%v err=%v, want invisible", ok, err)
+			}
+			if err := store.MarkDeployed(1); err != nil {
+				t.Fatal(err)
+			}
+			version, _, ok, err := store.Load()
+			if err != nil || !ok || version != 1 {
+				t.Fatalf("Load after MarkDeployed = v%d ok=%v err=%v", version, ok, err)
+			}
+			// A newer save does not move the recovery target until marked.
+			if err := store.Save(2, tables); err != nil {
+				t.Fatal(err)
+			}
+			if version, _, _, _ := store.Load(); version != 1 {
+				t.Fatalf("Load after unmarked Save = v%d, want 1", version)
+			}
+			if err := store.MarkDeployed(2); err != nil {
+				t.Fatal(err)
+			}
+			if version, _, _, _ := store.Load(); version != 2 {
+				t.Fatalf("Load = v%d, want 2", version)
+			}
+			// Marking an unsaved version is an error.
+			if err := store.MarkDeployed(99); err == nil {
+				t.Fatal("MarkDeployed(99) accepted an unsaved version")
+			}
+		})
 	}
 }
 
@@ -234,6 +281,9 @@ func TestFileStoreRoundTrip(t *testing.T) {
 	if err := store.Save(3, tables); err != nil {
 		t.Fatal(err)
 	}
+	if err := store.MarkDeployed(3); err != nil {
+		t.Fatal(err)
+	}
 	version, loaded, ok, err := store.Load()
 	if err != nil || !ok {
 		t.Fatalf("Load: %v %v", ok, err)
@@ -248,12 +298,182 @@ func TestFileStoreRoundTrip(t *testing.T) {
 		t.Fatalf("loaded B = %v", loaded["B"])
 	}
 
-	// A later save supersedes.
+	// A later deployed save supersedes.
 	if err := store.Save(4, map[string]*routing.Table{"A": {Version: 4, Assign: map[string]int{"x": 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.MarkDeployed(4); err != nil {
 		t.Fatal(err)
 	}
 	version, loaded, _, _ = store.Load()
 	if version != 4 || len(loaded) != 1 {
 		t.Fatalf("after second save: version %d tables %v", version, loaded)
+	}
+}
+
+func TestDeployFailureLeavesStoreAndTablesUntouched(t *testing.T) {
+	const parallelism = 3
+	live, topo, place := newLiveEval(t, parallelism)
+	store := &MemoryStore{}
+	mgr, err := NewManager(live, topo, place, ManagerOptions{
+		Optimizer: OptimizerOptions{Seed: 7},
+		Store:     store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First configuration deploys cleanly.
+	for i := 0; i < 900; i++ {
+		k := strconv.Itoa(i % 9)
+		_ = live.Inject(topology.Tuple{Values: []string{k, "t" + k}})
+	}
+	live.Drain()
+	if _, err := mgr.Reconfigure(); err != nil {
+		t.Fatal(err)
+	}
+	want := mgr.Tables()
+
+	// Second candidate is computed from a shifted workload, but the
+	// engine dies before the deployment: the failed version must be
+	// visible neither in the manager's tables nor as the store's
+	// recovery target.
+	for i := 0; i < 900; i++ {
+		k := strconv.Itoa(i % 9)
+		tag := fmt.Sprintf("t%d", (i+1)%9)
+		_ = live.Inject(topology.Tuple{Values: []string{k, tag}})
+	}
+	live.Drain()
+	cand, err := mgr.Candidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Stop()
+	if err := mgr.DeployCandidate(cand); err == nil {
+		t.Fatal("deploy to stopped engine succeeded")
+	}
+
+	got := mgr.Tables()
+	for op, table := range want {
+		if gt, ok := got[op]; !ok || gt.Version != table.Version {
+			t.Fatalf("tables changed after failed deploy: %v vs %v", got[op], table)
+		}
+	}
+	version, _, ok, err := store.Load()
+	if err != nil || !ok {
+		t.Fatalf("Load: ok=%v err=%v", ok, err)
+	}
+	if version != 1 {
+		t.Fatalf("recovery target = v%d after failed deploy, want v1", version)
+	}
+}
+
+func TestSkippedRoundResetsStatsWindow(t *testing.T) {
+	live, topo, place := newLiveEval(t, 3)
+	mgr, err := NewManager(live, topo, place, ManagerOptions{
+		Optimizer: OptimizerOptions{Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 900; i++ {
+		k := strconv.Itoa(i % 9)
+		_ = live.Inject(topology.Tuple{Values: []string{k, "t" + k}})
+	}
+	live.Drain()
+
+	// An absurd migration cost forces a skip...
+	_, impact, deployed, err := mgr.ReconfigureIfWorthwhile(1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deployed {
+		t.Fatalf("deployed despite cost 1e12/key: %+v", impact)
+	}
+	if impact.TrafficPerPeriod == 0 {
+		t.Fatal("no traffic observed; skip not exercised")
+	}
+	// ...but the statistics window must restart anyway: the sketches
+	// were reset by the collection, so a fresh collection sees nothing.
+	for _, st := range live.CollectPairStats() {
+		if len(st.Pairs) != 0 {
+			t.Fatalf("stats window not reset by skipped round: %+v", st)
+		}
+	}
+}
+
+func TestManagerRecoverRedeploysLastDeployedConfig(t *testing.T) {
+	const parallelism = 4
+	dir := t.TempDir()
+	store := &FileStore{Dir: dir}
+
+	inject := func(live *engine.Live, n int) {
+		for i := 0; i < n; i++ {
+			k := strconv.Itoa(i % 16)
+			_ = live.Inject(topology.Tuple{Values: []string{k, "t" + k}})
+		}
+		live.Drain()
+	}
+
+	// First life: deploy one optimized configuration, then die.
+	live1, topo, place := newLiveEval(t, parallelism)
+	mgr1, err := NewManager(live1, topo, place, ManagerOptions{
+		Optimizer: OptimizerOptions{Seed: 11}, Store: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inject(live1, 3200)
+	if _, err := mgr1.Reconfigure(); err != nil {
+		t.Fatal(err)
+	}
+	want := mgr1.Tables()
+	live1.Stop()
+
+	// Second life: a fresh engine and manager recover from the store.
+	live2, topo2, place2 := newLiveEval(t, parallelism)
+	mgr2, err := NewManager(live2, topo2, place2, ManagerOptions{
+		Optimizer: OptimizerOptions{Seed: 11}, Store: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	version, ok, err := mgr2.Recover()
+	if err != nil || !ok {
+		t.Fatalf("Recover: ok=%v err=%v", ok, err)
+	}
+	if version != 1 {
+		t.Fatalf("recovered version = %d, want 1", version)
+	}
+	got := mgr2.Tables()
+	for op, table := range want {
+		gt := got[op]
+		if gt == nil || len(gt.Assign) != len(table.Assign) {
+			t.Fatalf("recovered tables for %s = %v, want %v", op, gt, table)
+		}
+		for k, inst := range table.Assign {
+			if gt.Assign[k] != inst {
+				t.Fatalf("recovered %s[%q] = %d, want %d", op, k, gt.Assign[k], inst)
+			}
+		}
+	}
+
+	// The recovered tables are live: the correlated workload is 100%
+	// local with no further reconfiguration.
+	inject(live2, 3200)
+	if loc := live2.FieldsTraffic().Locality(); loc != 1.0 {
+		t.Fatalf("locality after recovery = %f, want 1.0", loc)
+	}
+	live2.Stop()
+}
+
+func TestManagerRecoverEmptyStore(t *testing.T) {
+	live, topo, place := newLiveEval(t, 2)
+	mgr, err := NewManager(live, topo, place, ManagerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := mgr.Recover(); ok || err != nil {
+		t.Fatalf("Recover on empty store = ok=%v err=%v", ok, err)
 	}
 }

@@ -168,3 +168,11 @@ func (o *Optimizer) instanceOn(op string, server int, key string) (int, bool) {
 
 // Version returns the last computed configuration version.
 func (o *Optimizer) Version() uint64 { return o.version }
+
+// EnsureVersion raises the version counter to at least v, so that
+// configurations computed after recovering version v supersede it.
+func (o *Optimizer) EnsureVersion(v uint64) {
+	if o.version < v {
+		o.version = v
+	}
+}

@@ -79,6 +79,13 @@ type Live struct {
 	wg       sync.WaitGroup
 	stopped  atomic.Bool
 
+	// wireDrops counts transport messages discarded because they could
+	// not be delivered to any executor (corrupt address or unknown
+	// kind). A non-zero value indicates wire corruption or a
+	// sender/receiver version mismatch; the TCP pipeline tests assert it
+	// stays zero.
+	wireDrops atomic.Uint64
+
 	fabric *transport.Fabric
 
 	srcSeq atomic.Uint64
@@ -219,7 +226,8 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 func (l *Live) deliverWire(msg transport.Message) {
 	insts := l.execs[msg.To.Op]
 	if msg.To.Instance < 0 || msg.To.Instance >= len(insts) {
-		return // corrupt address; drop
+		l.wireDrops.Add(1) // corrupt address; drop, but leave a trace
+		return
 	}
 	box := insts[msg.To.Instance].box
 	switch msg.Kind {
@@ -234,8 +242,14 @@ func (l *Live) deliverWire(msg transport.Message) {
 		box.put(message{kind: msgMigrate, migKey: msg.MigKey, migData: msg.MigData, migHasData: msg.MigHasData})
 	case transport.KindPropagate:
 		box.put(message{kind: msgPropagate})
+	default:
+		l.wireDrops.Add(1) // unknown kind (version mismatch); drop
 	}
 }
+
+// WireDrops returns the number of transport messages dropped because they
+// were undeliverable (corrupt address or unknown kind).
+func (l *Live) WireDrops() uint64 { return l.wireDrops.Load() }
 
 // sendWire encodes msg for the TCP fabric and reports whether it was
 // handed to the transport; false means the caller must deliver directly
@@ -322,17 +336,61 @@ func (l *Live) Stop() {
 	}
 }
 
+// Stats is a point-in-time aggregate of the engine's operational
+// signals, collected without stopping the stream: every field is read
+// from per-executor atomics or uncontended per-edge accumulators, so a
+// snapshot costs microseconds and can be taken on every controller tick.
+type Stats struct {
+	// Fields is the cumulative traffic over all fields-grouped edges.
+	Fields metrics.Traffic
+	// Loads maps each operator to tuples processed per instance
+	// (cumulative).
+	Loads map[string][]uint64
+	// InFlight is the number of injected-but-unprocessed tuples at the
+	// moment of the snapshot.
+	InFlight int64
+	// WireDrops is the cumulative count of undeliverable transport
+	// messages (see Live.WireDrops).
+	WireDrops uint64
+}
+
+// StatsSnapshot aggregates the engine's cheap operational signals. Unlike
+// CollectPairStats it does not touch the pair sketches, does not reset
+// any window and never blocks on executor mailboxes, so it is safe to
+// call at any frequency, including on a stopped engine.
+func (l *Live) StatsSnapshot() Stats {
+	st := Stats{
+		Fields:    l.FieldsTraffic(),
+		Loads:     make(map[string][]uint64, len(l.execs)),
+		InFlight:  l.inflight.n.Load(),
+		WireDrops: l.wireDrops.Load(),
+	}
+	for op := range l.execs {
+		st.Loads[op] = l.Loads(op)
+	}
+	return st
+}
+
 // CollectPairStats performs steps 1-2 of Algorithm 1: every instance
 // reports (and resets) its pair sketches; the results are merged per
-// operator pair.
+// operator pair. On a stopped engine the rejected requests are skipped,
+// so the call degrades to an empty report instead of blocking forever.
 func (l *Live) CollectPairStats() []PairStat {
 	replies := make([]chan []instPairStat, len(l.all))
 	for i, ex := range l.all {
-		replies[i] = make(chan []instPairStat, 1)
-		ex.box.put(message{kind: msgGetStats, statsReply: replies[i]})
+		reply := make(chan []instPairStat, 1)
+		// A closed mailbox rejects the request; the executor drains every
+		// accepted message before exiting, so an accepted request is
+		// always answered.
+		if ex.box.put(message{kind: msgGetStats, statsReply: reply}) {
+			replies[i] = reply
+		}
 	}
 	stats := make([]instPairStat, 0, len(l.all))
 	for _, ch := range replies {
+		if ch == nil {
+			continue
+		}
 		stats = append(stats, <-ch...)
 	}
 	return mergePairStats(stats, l.cfg.SketchCapacity, func(op string) int {

@@ -8,6 +8,7 @@ import (
 
 	"github.com/locastream/locastream/internal/routing"
 	"github.com/locastream/locastream/internal/topology"
+	"github.com/locastream/locastream/internal/transport"
 )
 
 func newTCPLive(t testing.TB, parallelism int, mode FieldsMode) *Live {
@@ -60,6 +61,16 @@ func TestTCPLiveProcessesAllTuples(t *testing.T) {
 	if tr := live.FieldsTraffic(); tr.RemoteTuples == 0 {
 		t.Fatal("no remote traffic recorded; transport untested")
 	}
+	assertNoWireDrops(t, live)
+}
+
+// assertNoWireDrops fails the test when any transport message was
+// silently discarded: a healthy pipeline must deliver every message.
+func assertNoWireDrops(t *testing.T, live *Live) {
+	t.Helper()
+	if n := live.StatsSnapshot().WireDrops; n != 0 {
+		t.Fatalf("WireDrops = %d, want 0 (transport silently discarded messages)", n)
+	}
 }
 
 func TestTCPLiveReconfigureMigratesState(t *testing.T) {
@@ -104,6 +115,7 @@ func TestTCPLiveReconfigureMigratesState(t *testing.T) {
 			t.Errorf("A[%d].Count(%s) = %d, want 100", inst, key, cnt)
 		}
 	}
+	assertNoWireDrops(t, live)
 }
 
 func TestTCPLiveReconfigureUnderTraffic(t *testing.T) {
@@ -141,5 +153,22 @@ func TestTCPLiveReconfigureUnderTraffic(t *testing.T) {
 
 	if got := liveTotalCount(t, live, "A", parallelism); got != total {
 		t.Fatalf("A total = %d, want %d (tuples lost over TCP during migration)", got, total)
+	}
+	assertNoWireDrops(t, live)
+}
+
+func TestWireDropsCountCorruptAddresses(t *testing.T) {
+	live := newTCPLive(t, 2, FieldsHash)
+	// Deliver messages with out-of-range instances and an unknown kind
+	// directly, as a corrupted or version-skewed peer would.
+	live.deliverWire(transport.Message{To: transport.Addr{Op: "A", Instance: 99}})
+	live.deliverWire(transport.Message{To: transport.Addr{Op: "A", Instance: -1}})
+	live.deliverWire(transport.Message{To: transport.Addr{Op: "ghost", Instance: 0}})
+	live.deliverWire(transport.Message{Kind: transport.Kind(255), To: transport.Addr{Op: "A", Instance: 0}})
+	if n := live.WireDrops(); n != 4 {
+		t.Fatalf("WireDrops = %d, want 4", n)
+	}
+	if n := live.StatsSnapshot().WireDrops; n != 4 {
+		t.Fatalf("StatsSnapshot().WireDrops = %d, want 4", n)
 	}
 }

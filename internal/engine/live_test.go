@@ -417,3 +417,57 @@ func TestMailboxConcurrent(t *testing.T) {
 		t.Fatalf("consumed %d, want %d", got, producers*perProducer)
 	}
 }
+
+func TestStatsSnapshot(t *testing.T) {
+	const parallelism = 3
+	live := newLive(t, parallelism, FieldsHash, 0)
+	const n = 900
+	for i := 0; i < n; i++ {
+		k := strconv.Itoa(i % 9)
+		if err := live.Inject(topology.Tuple{Values: []string{k, "t" + k}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live.Drain()
+
+	st := live.StatsSnapshot()
+	if st.InFlight != 0 {
+		t.Fatalf("InFlight = %d after Drain, want 0", st.InFlight)
+	}
+	if st.WireDrops != 0 {
+		t.Fatalf("WireDrops = %d, want 0", st.WireDrops)
+	}
+	if got, want := st.Fields, live.FieldsTraffic(); got != want {
+		t.Fatalf("Fields = %+v, want %+v", got, want)
+	}
+	var totalA, totalB uint64
+	for _, l := range st.Loads["A"] {
+		totalA += l
+	}
+	for _, l := range st.Loads["B"] {
+		totalB += l
+	}
+	if totalA != n || totalB != n {
+		t.Fatalf("Loads totals A=%d B=%d, want %d each", totalA, totalB, n)
+	}
+	if len(st.Loads["A"]) != parallelism || len(st.Loads["B"]) != parallelism {
+		t.Fatalf("Loads widths = %d/%d, want %d", len(st.Loads["A"]), len(st.Loads["B"]), parallelism)
+	}
+}
+
+func TestStatsSnapshotAndCollectOnStoppedEngine(t *testing.T) {
+	live := newLive(t, 2, FieldsHash, 0)
+	for i := 0; i < 50; i++ {
+		_ = live.Inject(topology.Tuple{Values: []string{"k", "v"}})
+	}
+	live.Stop()
+	// Neither call may block or panic on a stopped engine: the snapshot
+	// reads atomics only, and the sketch collection skips closed
+	// mailboxes instead of waiting for replies that cannot come.
+	if st := live.StatsSnapshot(); st.InFlight != 0 {
+		t.Fatalf("InFlight = %d on stopped engine", st.InFlight)
+	}
+	if stats := live.CollectPairStats(); len(stats) != 0 {
+		t.Fatalf("CollectPairStats on stopped engine = %v, want empty", stats)
+	}
+}

@@ -133,6 +133,44 @@ func (s Series) Sorted() []Point {
 	return out
 }
 
+// EWMA is an exponentially weighted moving average with smoothing factor
+// Alpha in (0, 1]: higher alpha weighs recent observations more. The
+// first observation initializes the average. The zero value (Alpha 0)
+// behaves as Alpha = 1, i.e. no smoothing. Not safe for concurrent use.
+//
+// The control plane smooths its locality and imbalance signals with an
+// EWMA before acting on them, so a single skewed statistics window does
+// not trigger (or suppress) a reconfiguration on its own.
+type EWMA struct {
+	// Alpha is the smoothing factor; values outside (0, 1] are treated
+	// as 1.
+	Alpha float64
+
+	value float64
+	ready bool
+}
+
+// Observe folds one sample into the average and returns the new value.
+func (e *EWMA) Observe(x float64) float64 {
+	a := e.Alpha
+	if a <= 0 || a > 1 {
+		a = 1
+	}
+	if !e.ready {
+		e.value = x
+		e.ready = true
+		return e.value
+	}
+	e.value = a*x + (1-a)*e.value
+	return e.value
+}
+
+// Value returns the current average (0 before the first observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Ready reports whether at least one sample has been observed.
+func (e *EWMA) Ready() bool { return e.ready }
+
 // ThroughputMeter counts processed tuples over externally supplied time
 // windows; used by the live engine. Safe for concurrent use.
 type ThroughputMeter struct {

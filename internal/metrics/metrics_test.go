@@ -107,3 +107,33 @@ func TestThroughputMeter(t *testing.T) {
 		t.Fatalf("second Snapshot() = %d, want 0", got)
 	}
 }
+
+func TestEWMA(t *testing.T) {
+	var e EWMA
+	e.Alpha = 0.5
+	if e.Ready() || e.Value() != 0 {
+		t.Fatalf("zero EWMA: ready=%v value=%f", e.Ready(), e.Value())
+	}
+	if got := e.Observe(10); got != 10 {
+		t.Fatalf("first observation = %f, want 10 (initializes)", got)
+	}
+	if got := e.Observe(0); got != 5 {
+		t.Fatalf("second observation = %f, want 5", got)
+	}
+	if got := e.Observe(5); got != 5 {
+		t.Fatalf("third observation = %f, want 5", got)
+	}
+	if !e.Ready() {
+		t.Fatal("not ready after observations")
+	}
+}
+
+func TestEWMANoSmoothingDefaults(t *testing.T) {
+	for _, alpha := range []float64{0, 1, 2, -0.5} {
+		e := EWMA{Alpha: alpha}
+		e.Observe(3)
+		if got := e.Observe(7); got != 7 {
+			t.Fatalf("alpha=%f: Observe = %f, want 7 (treated as alpha 1)", alpha, got)
+		}
+	}
+}

@@ -71,6 +71,7 @@ func NewApp(topo *Topology, opts ...Option) (*App, error) {
 		SourceKeyField: o.sourceKeyField,
 		SketchCapacity: o.sketchCapacity,
 		MaxInFlight:    o.maxInFlight,
+		MaxBuffered:    o.maxBuffered,
 		TCPTransport:   o.tcpTransport,
 	})
 	if err != nil {

@@ -1,0 +1,178 @@
+package checkpoint
+
+import (
+	"time"
+)
+
+// Liveness is the failure detector's verdict on one server.
+type Liveness int
+
+const (
+	// Alive: the last probe succeeded recently.
+	Alive Liveness = iota
+	// Suspected: probes have failed for at least SuspectAfter, but the
+	// failure is not yet confirmed — transient network delay and a slow
+	// peer look identical at this stage, so nothing is recovered yet.
+	Suspected
+	// Confirmed: probes have failed for ConfirmAfter; the server is
+	// declared dead and recovery may begin. Confirmation is final — the
+	// engine has no resurrect path, a replacement joins as a new server.
+	Confirmed
+)
+
+// String implements fmt.Stringer.
+func (l Liveness) String() string {
+	switch l {
+	case Alive:
+		return "alive"
+	case Suspected:
+		return "suspected"
+	case Confirmed:
+		return "confirmed"
+	default:
+		return "unknown"
+	}
+}
+
+// Pinger probes one server's liveness; *engine.Live implements it. With
+// an in-memory engine the probe is synchronous and exact; with a TCP
+// fabric it pushes a real heartbeat message and reports the send
+// outcome, so detection lags the crash by however long the kernel takes
+// to observe the closed connection — the lag the suspect threshold
+// absorbs.
+type Pinger interface {
+	Ping(server int) bool
+}
+
+// DetectorOptions tune the two failure-detection thresholds.
+type DetectorOptions struct {
+	// SuspectAfter is how long probes must fail before a server is
+	// suspected (default 2s).
+	SuspectAfter time.Duration
+	// ConfirmAfter is how long probes must fail before the failure is
+	// confirmed and recovery starts (default 6s; raised to SuspectAfter
+	// when configured below it).
+	ConfirmAfter time.Duration
+}
+
+func (o *DetectorOptions) defaults() {
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 2 * time.Second
+	}
+	if o.ConfirmAfter <= 0 {
+		o.ConfirmAfter = 6 * time.Second
+	}
+	if o.ConfirmAfter < o.SuspectAfter {
+		o.ConfirmAfter = o.SuspectAfter
+	}
+}
+
+// Failure describes one confirmed failure.
+type Failure struct {
+	// Server is the dead server.
+	Server int
+	// DownSince is the time of the last successful probe (or of the
+	// first probe round, for a server that never answered).
+	DownSince time.Time
+	// ConfirmedAt is the probe time that crossed ConfirmAfter.
+	ConfirmedAt time.Time
+}
+
+// DetectionLatency is how long the detector took to confirm the failure
+// after the server stopped answering.
+func (f Failure) DetectionLatency() time.Duration {
+	return f.ConfirmedAt.Sub(f.DownSince)
+}
+
+// Verdict is the outcome of one probe round.
+type Verdict struct {
+	// Failing lists every server whose probe failed this round,
+	// whatever its escalation state — the earliest possible signal that
+	// the membership is in doubt.
+	Failing []int
+	// Suspected lists servers that entered the suspected state this
+	// round.
+	Suspected []int
+	// Confirmed lists failures confirmed this round.
+	Confirmed []Failure
+}
+
+// Detector is the heartbeat failure detector: it probes every server on
+// each externally driven round and escalates silent servers through
+// suspect to confirmed. Time is injected (Probe takes now), so tests and
+// the deterministic recovery suite run it on a manual clock with no
+// sleeps. Not safe for concurrent use; the Supervisor serializes access.
+type Detector struct {
+	pinger  Pinger
+	opts    DetectorOptions
+	lastOK  []time.Time
+	state   []Liveness
+	started bool
+}
+
+// NewDetector builds a detector over servers servers.
+func NewDetector(pinger Pinger, servers int, opts DetectorOptions) *Detector {
+	opts.defaults()
+	return &Detector{
+		pinger: pinger,
+		opts:   opts,
+		lastOK: make([]time.Time, servers),
+		state:  make([]Liveness, servers),
+	}
+}
+
+// Probe runs one round at the given time: every not-yet-confirmed
+// server is pinged, silent servers escalate once their silence crosses
+// the configured thresholds, and a server that answers again before
+// confirmation returns to Alive (a suspicion is a hypothesis, not a
+// verdict). The first round initializes the silence baseline, so even a
+// server that was dead before the detector started is confirmed
+// ConfirmAfter later.
+func (d *Detector) Probe(now time.Time) Verdict {
+	if !d.started {
+		d.started = true
+		for i := range d.lastOK {
+			d.lastOK[i] = now
+		}
+	}
+	var v Verdict
+	for s := range d.state {
+		if d.state[s] == Confirmed {
+			continue
+		}
+		if d.pinger.Ping(s) {
+			d.lastOK[s] = now
+			d.state[s] = Alive
+			continue
+		}
+		v.Failing = append(v.Failing, s)
+		silent := now.Sub(d.lastOK[s])
+		switch {
+		case silent >= d.opts.ConfirmAfter:
+			d.state[s] = Confirmed
+			v.Confirmed = append(v.Confirmed, Failure{
+				Server: s, DownSince: d.lastOK[s], ConfirmedAt: now,
+			})
+		case silent >= d.opts.SuspectAfter:
+			if d.state[s] != Suspected {
+				d.state[s] = Suspected
+				v.Suspected = append(v.Suspected, s)
+			}
+		}
+	}
+	return v
+}
+
+// Liveness returns the current verdict for server s (Confirmed for
+// out-of-range servers, which do not exist and certainly aren't alive).
+func (d *Detector) Liveness(s int) Liveness {
+	if s < 0 || s >= len(d.state) {
+		return Confirmed
+	}
+	return d.state[s]
+}
+
+// States returns the per-server verdicts.
+func (d *Detector) States() []Liveness {
+	return append([]Liveness(nil), d.state...)
+}

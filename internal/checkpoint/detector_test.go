@@ -1,0 +1,126 @@
+package checkpoint
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fakePinger answers probes from a settable per-server liveness map.
+type fakePinger struct{ down map[int]bool }
+
+func (p *fakePinger) Ping(s int) bool { return !p.down[s] }
+
+func TestDetectorEscalation(t *testing.T) {
+	p := &fakePinger{down: map[int]bool{}}
+	d := NewDetector(p, 3, DetectorOptions{SuspectAfter: 2 * time.Second, ConfirmAfter: 5 * time.Second})
+	t0 := time.Unix(100, 0)
+
+	if v := d.Probe(t0); len(v.Failing) != 0 || len(v.Suspected) != 0 || len(v.Confirmed) != 0 {
+		t.Fatalf("healthy round reported %+v", v)
+	}
+
+	p.down[1] = true
+	// 1s of silence: failing, not yet suspected.
+	v := d.Probe(t0.Add(1 * time.Second))
+	if !reflect.DeepEqual(v.Failing, []int{1}) || len(v.Suspected) != 0 {
+		t.Fatalf("after 1s: %+v", v)
+	}
+	if d.Liveness(1) != Alive {
+		t.Fatalf("liveness after 1s = %v, want alive", d.Liveness(1))
+	}
+	// 2s: suspected, exactly once.
+	v = d.Probe(t0.Add(2 * time.Second))
+	if !reflect.DeepEqual(v.Suspected, []int{1}) {
+		t.Fatalf("after 2s: %+v", v)
+	}
+	if v = d.Probe(t0.Add(3 * time.Second)); len(v.Suspected) != 0 || len(v.Confirmed) != 0 {
+		t.Fatalf("suspect re-announced: %+v", v)
+	}
+	if d.Liveness(1) != Suspected {
+		t.Fatalf("liveness after 3s = %v, want suspected", d.Liveness(1))
+	}
+	// 5s: confirmed, with exact silence accounting.
+	v = d.Probe(t0.Add(5 * time.Second))
+	if len(v.Confirmed) != 1 {
+		t.Fatalf("after 5s: %+v", v)
+	}
+	f := v.Confirmed[0]
+	if f.Server != 1 || !f.DownSince.Equal(t0) || !f.ConfirmedAt.Equal(t0.Add(5*time.Second)) {
+		t.Fatalf("failure = %+v", f)
+	}
+	if f.DetectionLatency() != 5*time.Second {
+		t.Fatalf("latency = %v, want 5s", f.DetectionLatency())
+	}
+	// Confirmation is final: the server is not probed again.
+	if v = d.Probe(t0.Add(6 * time.Second)); len(v.Failing) != 0 || len(v.Confirmed) != 0 {
+		t.Fatalf("confirmed server re-reported: %+v", v)
+	}
+	if d.Liveness(1) != Confirmed {
+		t.Fatalf("liveness = %v, want confirmed", d.Liveness(1))
+	}
+	if want := []Liveness{Alive, Confirmed, Alive}; !reflect.DeepEqual(d.States(), want) {
+		t.Fatalf("states = %v, want %v", d.States(), want)
+	}
+}
+
+// TestDetectorFlapRecovers verifies a suspicion is a hypothesis: a
+// server that answers again before confirmation returns to Alive and
+// its silence clock restarts.
+func TestDetectorFlapRecovers(t *testing.T) {
+	p := &fakePinger{down: map[int]bool{0: true}}
+	d := NewDetector(p, 1, DetectorOptions{SuspectAfter: 2 * time.Second, ConfirmAfter: 6 * time.Second})
+	t0 := time.Unix(200, 0)
+	d.Probe(t0)
+	if v := d.Probe(t0.Add(3 * time.Second)); !reflect.DeepEqual(v.Suspected, []int{0}) {
+		t.Fatalf("not suspected: %+v", v)
+	}
+	p.down[0] = false
+	d.Probe(t0.Add(4 * time.Second))
+	if d.Liveness(0) != Alive {
+		t.Fatalf("liveness after recovery = %v, want alive", d.Liveness(0))
+	}
+	// Silence restarts from the successful probe at +4s: at +9s only 5s
+	// have passed (no confirmation); at +10s the 6s threshold is crossed.
+	p.down[0] = true
+	if v := d.Probe(t0.Add(9 * time.Second)); len(v.Confirmed) != 0 {
+		t.Fatalf("confirmed too early: %+v", v)
+	}
+	v := d.Probe(t0.Add(10 * time.Second))
+	if len(v.Confirmed) != 1 || !v.Confirmed[0].DownSince.Equal(t0.Add(4*time.Second)) {
+		t.Fatalf("after flap: %+v", v)
+	}
+}
+
+// TestDetectorDeadBeforeStart verifies the first-round baseline: a server
+// that never answers is still confirmed ConfirmAfter after the first
+// probe round.
+func TestDetectorDeadBeforeStart(t *testing.T) {
+	p := &fakePinger{down: map[int]bool{0: true}}
+	d := NewDetector(p, 1, DetectorOptions{SuspectAfter: time.Second, ConfirmAfter: 3 * time.Second})
+	t0 := time.Unix(300, 0)
+	d.Probe(t0)
+	if v := d.Probe(t0.Add(3 * time.Second)); len(v.Confirmed) != 1 {
+		t.Fatalf("never-alive server not confirmed: %+v", v)
+	}
+}
+
+func TestDetectorDefaultsAndBounds(t *testing.T) {
+	var o DetectorOptions
+	o.defaults()
+	if o.SuspectAfter != 2*time.Second || o.ConfirmAfter != 6*time.Second {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o = DetectorOptions{SuspectAfter: 10 * time.Second, ConfirmAfter: time.Second}
+	o.defaults()
+	if o.ConfirmAfter != o.SuspectAfter {
+		t.Fatalf("ConfirmAfter not raised to SuspectAfter: %+v", o)
+	}
+	d := NewDetector(&fakePinger{}, 2, DetectorOptions{})
+	if d.Liveness(-1) != Confirmed || d.Liveness(2) != Confirmed {
+		t.Fatal("out-of-range servers must read as confirmed-dead")
+	}
+	if s := Liveness(99).String(); s != "unknown" {
+		t.Fatalf("String = %q", s)
+	}
+}

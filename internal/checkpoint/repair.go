@@ -1,0 +1,297 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/locastream/locastream/internal/cluster"
+	"github.com/locastream/locastream/internal/engine"
+	"github.com/locastream/locastream/internal/keygraph"
+	"github.com/locastream/locastream/internal/partition"
+	"github.com/locastream/locastream/internal/routing"
+)
+
+// RepairInput is everything the planner needs to compute a
+// minimal-movement, locality-preserving reassignment of a dead server's
+// keys.
+type RepairInput struct {
+	// Place is the static instance placement.
+	Place *cluster.Placement
+	// Alive is the per-server liveness vector after the failure.
+	Alive []bool
+	// Tables are the currently deployed routing tables (per operator).
+	Tables map[string]*routing.Table
+	// Stats is the key-pair statistics window retained at the last
+	// checkpoint — the key graph the locality-preserving placement of
+	// orphaned keys is computed from. The dead server's own sketches are
+	// gone with it; this retained copy is why the planner still knows
+	// which keys travel together.
+	Stats []engine.PairStat
+	// Checkpoint is the merged latest checkpoint image (Store.Load).
+	Checkpoint []engine.KeyState
+	// OwnerOf resolves the current owner instance of a key not found in
+	// Tables (the hash-fallback path); engine.Live.OwnerOf implements
+	// it.
+	OwnerOf func(op, key string) (int, bool)
+	// StatefulOps are the operators holding keyed state
+	// (engine.Live.StatefulOps) — the only ones that need buffer arming
+	// and state restoration.
+	StatefulOps []string
+	// Alpha is the balance bound of the repair partitioning. Zero
+	// selects 1.5 — deliberately looser than the optimizer's 1.03:
+	// during repair, keeping correlated key pairs together (locality)
+	// and moving nothing but the dead server's keys outranks strict
+	// balance, and the next planned reconfiguration restores the tight
+	// bound anyway. Seed fixes tie-breaking.
+	Alpha float64
+	Seed  int64
+}
+
+// DefaultRepairAlpha is the default balance bound of the repair
+// partitioning (see RepairInput.Alpha).
+const DefaultRepairAlpha = 1.5
+
+// RepairPlan is the computed recovery: new routing tables covering every
+// reassigned key, the buffers to arm, and the state records to restore.
+type RepairPlan struct {
+	// Dead lists the dead servers the plan repairs around.
+	Dead []int
+	// Tables merges the surviving assignments (untouched) with the new
+	// homes of the dead servers' keys; install with Manager.ApplyRepair
+	// + engine.UpdateTables.
+	Tables map[string]*routing.Table
+	// Expects maps op -> adopting instance -> keys to arm
+	// (engine.RecoverArm), stateful operators only.
+	Expects map[string]map[int][]string
+	// Records carries one migration record per recovering stateful key,
+	// Inst rewritten to the adopting instance; Data is nil for keys that
+	// never reached a checkpoint (they restart empty — the bounded-loss
+	// guarantee).
+	Records []engine.KeyState
+	// MovedKeys counts reassigned keys across all operators.
+	MovedKeys int
+	// RestoredKeys counts records carrying checkpointed state.
+	RestoredKeys int
+}
+
+// PlanRepair computes where the dead servers' keys go. Survivor keys are
+// pinned to their current servers and the retained key graph is
+// re-partitioned under that constraint, so orphaned keys land next to
+// the keys they exchange tuples with — locality is preserved — while
+// keys owned by survivors never move (minimal movement). Orphaned keys
+// absent from the graph (no statistics) spread deterministically by
+// hash over the survivors.
+func PlanRepair(in RepairInput) (*RepairPlan, error) {
+	if in.Place == nil {
+		return nil, fmt.Errorf("checkpoint: repair needs a placement")
+	}
+	if len(in.Alive) != in.Place.Servers() {
+		return nil, fmt.Errorf("checkpoint: %d liveness entries for %d servers",
+			len(in.Alive), in.Place.Servers())
+	}
+	var survivors, dead []int
+	for s, ok := range in.Alive {
+		if ok {
+			survivors = append(survivors, s)
+		} else {
+			dead = append(dead, s)
+		}
+	}
+	if len(survivors) == 0 {
+		return nil, fmt.Errorf("checkpoint: no surviving servers")
+	}
+	partOf := make(map[int]int, len(survivors)) // server -> part index
+	for i, s := range survivors {
+		partOf[s] = i
+	}
+	stateful := make(map[string]bool, len(in.StatefulOps))
+	for _, op := range in.StatefulOps {
+		stateful[op] = true
+	}
+
+	// The key universe: everything named by a routing table, a
+	// checkpoint record, or the retained key graph. Keys outside it have
+	// neither state nor an explicit assignment; after ApplyAliveRouting
+	// they hash-detour deterministically and start fresh.
+	keysOf := make(map[string]map[string]bool)
+	note := func(op, key string) {
+		if keysOf[op] == nil {
+			keysOf[op] = make(map[string]bool)
+		}
+		keysOf[op][key] = true
+	}
+	for op, t := range in.Tables {
+		for key := range t.Assign {
+			note(op, key)
+		}
+	}
+	ckpt := make(map[recordKey]engine.KeyState, len(in.Checkpoint))
+	for _, r := range in.Checkpoint {
+		ckpt[recordKey{Op: r.Op, Key: r.Key}] = r
+		note(r.Op, r.Key)
+	}
+	graph := keygraph.New()
+	for _, st := range in.Stats {
+		graph.AddPairs(st.FromOp, st.ToOp, st.Pairs, 0)
+	}
+	for _, v := range graph.Vertices() {
+		note(v.ID.Op, v.ID.Key)
+	}
+
+	// Current owners, split into pinned survivors and orphans.
+	ownerServer := func(op, key string) (int, bool) {
+		if t := in.Tables[op]; t != nil {
+			if inst, ok := t.Assign[key]; ok {
+				if s := in.Place.ServerOf(op, inst); s >= 0 {
+					return s, true
+				}
+			}
+		}
+		if in.OwnerOf != nil {
+			if inst, ok := in.OwnerOf(op, key); ok {
+				if s := in.Place.ServerOf(op, inst); s >= 0 {
+					return s, true
+				}
+			}
+		}
+		return 0, false
+	}
+	type orphan struct{ op, key string }
+	var orphans []orphan
+	pinnedServer := make(map[keygraph.VertexID]int)
+	ops := make([]string, 0, len(keysOf))
+	for op := range keysOf {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		keys := make([]string, 0, len(keysOf[op]))
+		for key := range keysOf[op] {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			server, ok := ownerServer(op, key)
+			if !ok {
+				continue // unroutable (no fields-grouped input): nothing to repair
+			}
+			if in.Alive[server] {
+				pinnedServer[keygraph.VertexID{Op: op, Key: key}] = server
+			} else {
+				orphans = append(orphans, orphan{op: op, key: key})
+			}
+		}
+	}
+
+	plan := &RepairPlan{
+		Dead:    dead,
+		Tables:  make(map[string]*routing.Table),
+		Expects: make(map[string]map[int][]string),
+	}
+	for op, t := range in.Tables {
+		plan.Tables[op] = t.Clone()
+	}
+	if len(orphans) == 0 {
+		return plan, nil
+	}
+
+	// Locality-preserving placement: re-partition the retained key graph
+	// over the survivors with every survivor-owned vertex pinned to its
+	// current server. Only the orphans are free, so the partitioner
+	// places each next to its heaviest surviving neighbours under the
+	// balance constraint — and cannot move anything else.
+	alpha := in.Alpha
+	if alpha <= 0 {
+		alpha = DefaultRepairAlpha
+	}
+	orphanServer := make(map[keygraph.VertexID]int, len(orphans))
+	if graph.NumVertices() > 0 {
+		ids, weights, adjRaw := graph.CSR()
+		pinned := make([]int, len(ids))
+		for i, id := range ids {
+			if s, ok := pinnedServer[id]; ok {
+				pinned[i] = partOf[s]
+			} else {
+				pinned[i] = -1
+			}
+		}
+		adj := make([][]partition.Adj, len(adjRaw))
+		for i, list := range adjRaw {
+			conv := make([]partition.Adj, len(list))
+			for j, a := range list {
+				conv[j] = partition.Adj{To: a.To, Weight: a.Weight}
+			}
+			adj[i] = conv
+		}
+		res, err := partition.Partition(
+			&partition.Graph{Weights: weights, Adj: adj},
+			partition.Options{K: len(survivors), Alpha: alpha, Seed: in.Seed, Pinned: pinned},
+		)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: repair partition: %w", err)
+		}
+		for i, id := range ids {
+			if pinned[i] == -1 {
+				orphanServer[id] = survivors[res.Parts[i]]
+			}
+		}
+	}
+
+	for _, o := range orphans {
+		server, ok := orphanServer[keygraph.VertexID{Op: o.op, Key: o.key}]
+		if !ok {
+			// No statistics for this key: spread by hash over survivors.
+			server = survivors[routing.HashKey(o.key, len(survivors))]
+		}
+		inst, ok := adoptInstance(in.Place, o.op, o.key, server, survivors)
+		if !ok {
+			return nil, fmt.Errorf("checkpoint: no surviving instance of %q", o.op)
+		}
+		table := plan.Tables[o.op]
+		if table == nil {
+			table = &routing.Table{Assign: make(map[string]int)}
+			plan.Tables[o.op] = table
+		}
+		table.Assign[o.key] = inst
+		plan.MovedKeys++
+		if !stateful[o.op] {
+			continue
+		}
+		if plan.Expects[o.op] == nil {
+			plan.Expects[o.op] = make(map[int][]string)
+		}
+		plan.Expects[o.op][inst] = append(plan.Expects[o.op][inst], o.key)
+		rec := engine.KeyState{Op: o.op, Inst: inst, Key: o.key}
+		if saved, ok := ckpt[recordKey{Op: o.op, Key: o.key}]; ok && saved.Data != nil {
+			rec.Data = saved.Data
+			plan.RestoredKeys++
+		}
+		plan.Records = append(plan.Records, rec)
+	}
+	return plan, nil
+}
+
+// adoptInstance picks the instance of op on server that adopts key,
+// spreading co-located instances by hash (mirroring the optimizer's
+// instanceOn). When op has no instance on the chosen server the
+// survivors are scanned in deterministic order for one that hosts the
+// operator.
+func adoptInstance(place *cluster.Placement, op, key string, server int, survivors []int) (int, bool) {
+	if insts := place.InstancesOn(op, server); len(insts) > 0 {
+		return insts[routing.HashKey(key, len(insts))], true
+	}
+	start := 0
+	for i, s := range survivors {
+		if s == server {
+			start = i
+			break
+		}
+	}
+	for i := 1; i < len(survivors); i++ {
+		s := survivors[(start+i)%len(survivors)]
+		if insts := place.InstancesOn(op, s); len(insts) > 0 {
+			return insts[routing.HashKey(key, len(insts))], true
+		}
+	}
+	return 0, false
+}

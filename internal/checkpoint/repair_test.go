@@ -1,0 +1,251 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"github.com/locastream/locastream/internal/cluster"
+	"github.com/locastream/locastream/internal/engine"
+	"github.com/locastream/locastream/internal/routing"
+	"github.com/locastream/locastream/internal/spacesaving"
+	"github.com/locastream/locastream/internal/topology"
+)
+
+// repairPlace builds a 2-operator placement with one instance of each
+// operator per server (instance i lands on server i under round-robin).
+func repairPlace(t testing.TB, servers int) *cluster.Placement {
+	t.Helper()
+	topo, err := topology.NewBuilder("repair").
+		AddOperator(topology.Operator{Name: "A", Parallelism: servers, Stateful: true,
+			New: func() topology.Processor { return topology.NewCounter(0) }}).
+		AddOperator(topology.Operator{Name: "B", Parallelism: servers, Stateful: true,
+			New: func() topology.Processor { return topology.NewCounter(1) }}).
+		Connect("A", "B", topology.Fields, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	place, err := cluster.NewRoundRobin(topo, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return place
+}
+
+func aliveMask(servers int, dead ...int) []bool {
+	alive := make([]bool, servers)
+	for i := range alive {
+		alive[i] = true
+	}
+	for _, d := range dead {
+		alive[d] = false
+	}
+	return alive
+}
+
+// TestPlanRepairMinimalMovementHashFallback covers the no-statistics
+// path: only the dead server's keys move, spread deterministically by
+// hash over the survivors, and state records come from the checkpoint
+// image where one exists.
+func TestPlanRepairMinimalMovementHashFallback(t *testing.T) {
+	const servers = 4
+	place := repairPlace(t, servers)
+	tables := map[string]*routing.Table{
+		"A": {Assign: map[string]int{}},
+		"B": {Assign: map[string]int{}},
+	}
+	keys := []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"}
+	for i, k := range keys {
+		tables["A"].Assign[k] = i % servers
+		tables["B"].Assign[k] = i % servers
+	}
+
+	plan, err := PlanRepair(RepairInput{
+		Place:  place,
+		Alive:  aliveMask(servers, 3),
+		Tables: tables,
+		Checkpoint: []engine.KeyState{
+			{Op: "A", Inst: 3, Key: "k3", Data: []byte("ck")},
+		},
+		StatefulOps: []string{"A", "B"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Dead) != 1 || plan.Dead[0] != 3 {
+		t.Fatalf("Dead = %v", plan.Dead)
+	}
+	// k3 and k7 lived on instance 3 for both operators: 4 moves total.
+	if plan.MovedKeys != 4 {
+		t.Fatalf("MovedKeys = %d, want 4", plan.MovedKeys)
+	}
+	survivors := []int{0, 1, 2}
+	for _, op := range []string{"A", "B"} {
+		for i, k := range keys {
+			got := plan.Tables[op].Assign[k]
+			if i%servers != 3 {
+				if got != i%servers {
+					t.Errorf("survivor key %s/%s moved: %d -> %d", op, k, i%servers, got)
+				}
+				continue
+			}
+			want := survivors[routing.HashKey(k, len(survivors))]
+			if got != want {
+				t.Errorf("orphan %s/%s assigned to %d, want hash choice %d", op, k, got, want)
+			}
+		}
+	}
+	// Exactly one record per moved stateful key; only A/k3 carries state.
+	if len(plan.Records) != 4 || plan.RestoredKeys != 1 {
+		t.Fatalf("Records = %d RestoredKeys = %d, want 4 and 1", len(plan.Records), plan.RestoredKeys)
+	}
+	for _, r := range plan.Records {
+		if r.Inst != plan.Tables[r.Op].Assign[r.Key] {
+			t.Errorf("record %s/%s targets inst %d, table says %d",
+				r.Op, r.Key, r.Inst, plan.Tables[r.Op].Assign[r.Key])
+		}
+		if hasData := r.Data != nil; hasData != (r.Op == "A" && r.Key == "k3") {
+			t.Errorf("record %s/%s data presence = %v", r.Op, r.Key, hasData)
+		}
+	}
+	// Arm expectations mirror the records.
+	armed := 0
+	for op, byInst := range plan.Expects {
+		for inst, ks := range byInst {
+			armed += len(ks)
+			for _, k := range ks {
+				if plan.Tables[op].Assign[k] != inst {
+					t.Errorf("armed %s/%s on inst %d, table says %d", op, k, inst, plan.Tables[op].Assign[k])
+				}
+			}
+		}
+	}
+	if armed != 4 {
+		t.Fatalf("armed %d keys, want 4", armed)
+	}
+}
+
+// TestPlanRepairFollowsKeyGraph covers the locality-preserving path: an
+// orphaned key pair heavily correlated with a pinned survivor key must
+// land on that survivor's server, and correlated orphans must stay
+// together.
+func TestPlanRepairFollowsKeyGraph(t *testing.T) {
+	const servers = 3
+	place := repairPlace(t, servers)
+	tables := map[string]*routing.Table{
+		"A": {Assign: map[string]int{"hot": 2, "warm": 2, "anchor": 0}},
+		"B": {Assign: map[string]int{"hot": 2, "warm": 2, "anchor": 0}},
+	}
+	stats := []engine.PairStat{{
+		FromOp: "A", ToOp: "B",
+		Pairs: []spacesaving.PairCounter{
+			// The orphaned pair exchanges heavy traffic with each other
+			// and with the anchor pinned on server 0.
+			{In: "hot", Out: "hot", Count: 100},
+			{In: "warm", Out: "warm", Count: 90},
+			{In: "hot", Out: "anchor", Count: 80},
+			{In: "warm", Out: "hot", Count: 70},
+			{In: "anchor", Out: "anchor", Count: 60},
+		},
+	}}
+
+	plan, err := PlanRepair(RepairInput{
+		Place:       place,
+		Alive:       aliveMask(servers, 2),
+		Tables:      tables,
+		Stats:       stats,
+		StatefulOps: []string{"A", "B"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MovedKeys != 4 {
+		t.Fatalf("MovedKeys = %d, want 4 (hot+warm on A and B)", plan.MovedKeys)
+	}
+	if got := plan.Tables["A"].Assign["anchor"]; got != 0 {
+		t.Fatalf("pinned anchor moved to %d", got)
+	}
+	for _, key := range []string{"hot", "warm"} {
+		a, b := plan.Tables["A"].Assign[key], plan.Tables["B"].Assign[key]
+		if a == 2 || b == 2 {
+			t.Fatalf("%s still assigned to the dead server (A=%d B=%d)", key, a, b)
+		}
+		if a != b {
+			t.Errorf("pair %s split: A=%d B=%d", key, a, b)
+		}
+	}
+	// The whole correlated cluster gravitates to the anchor's server.
+	if got := plan.Tables["A"].Assign["hot"]; got != 0 {
+		t.Errorf("hot assigned to %d, want the anchor's server 0", got)
+	}
+}
+
+// TestPlanRepairCheckpointOnlyKey covers a key absent from the tables
+// (hash-routed all its life) whose owner is resolved through OwnerOf: a
+// dead owner orphans it, and its checkpointed state travels with it.
+func TestPlanRepairCheckpointOnlyKey(t *testing.T) {
+	const servers = 2
+	place := repairPlace(t, servers)
+	plan, err := PlanRepair(RepairInput{
+		Place:  place,
+		Alive:  aliveMask(servers, 1),
+		Tables: map[string]*routing.Table{"A": {Assign: map[string]int{}}},
+		Checkpoint: []engine.KeyState{
+			{Op: "A", Inst: 1, Key: "ghost", Data: []byte("state")},
+			{Op: "A", Inst: 0, Key: "safe", Data: []byte("state")},
+		},
+		OwnerOf: func(op, key string) (int, bool) {
+			if key == "ghost" {
+				return 1, true // dead
+			}
+			return 0, true // alive
+		},
+		StatefulOps: []string{"A"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MovedKeys != 1 || plan.RestoredKeys != 1 {
+		t.Fatalf("MovedKeys=%d RestoredKeys=%d, want 1 and 1", plan.MovedKeys, plan.RestoredKeys)
+	}
+	if got := plan.Tables["A"].Assign["ghost"]; got != 0 {
+		t.Fatalf("ghost assigned to %d, want the only survivor 0", got)
+	}
+	if _, moved := plan.Tables["A"].Assign["safe"]; moved {
+		t.Fatal("alive-owned key gained a table entry")
+	}
+}
+
+func TestPlanRepairErrors(t *testing.T) {
+	place := repairPlace(t, 2)
+	if _, err := PlanRepair(RepairInput{}); err == nil {
+		t.Fatal("nil placement accepted")
+	}
+	if _, err := PlanRepair(RepairInput{Place: place, Alive: []bool{true}}); err == nil {
+		t.Fatal("short liveness vector accepted")
+	}
+	if _, err := PlanRepair(RepairInput{Place: place, Alive: []bool{false, false}}); err == nil {
+		t.Fatal("zero survivors accepted")
+	}
+}
+
+// TestPlanRepairNoOrphans: killing a server that owns nothing is a
+// routing no-op.
+func TestPlanRepairNoOrphans(t *testing.T) {
+	place := repairPlace(t, 2)
+	tables := map[string]*routing.Table{"A": {Assign: map[string]int{"k": 0}}}
+	plan, err := PlanRepair(RepairInput{
+		Place:       place,
+		Alive:       aliveMask(2, 1),
+		Tables:      tables,
+		StatefulOps: []string{"A"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MovedKeys != 0 || len(plan.Records) != 0 {
+		t.Fatalf("no-orphan plan moved %d keys, %d records", plan.MovedKeys, len(plan.Records))
+	}
+	if plan.Tables["A"].Assign["k"] != 0 {
+		t.Fatal("survivor assignment changed")
+	}
+}

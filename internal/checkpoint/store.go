@@ -1,0 +1,209 @@
+// Package checkpoint is the fault-tolerance subsystem layered on the
+// locality-aware engine: periodic asynchronous incremental checkpoints
+// of keyed operator state, heartbeat-based failure detection
+// (suspect → confirmed), and a locality-preserving recovery path that
+// moves only the failed server's keys (repartitioning the retained key
+// graph with the survivors' keys pinned in place) and restores their
+// state from the latest checkpoint.
+//
+// The paper's reconfiguration protocol (§3.4, Caneill et al.,
+// Middleware'16) migrates state only for *planned* routing changes; this
+// package extends the same building blocks — migration buffers, shared
+// routing policies, the key-graph partitioner — to unplanned membership
+// changes. Following Le Merrer et al. ("(Re)partitioning for
+// stream-enabled computation"), a failure triggers an *incremental*
+// repartitioning rather than a full reshuffle, and following Nasir et
+// al. ("The Power of Both Choices"), recovery-time key movement is
+// bounded: exactly the dead server's keys move, nothing else.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"github.com/locastream/locastream/internal/engine"
+)
+
+// Store persists incremental checkpoints. Each Append carries only the
+// keys that changed since the previous checkpoint; Load folds all
+// appends into the latest record per (operator, key) — the recovery
+// image. Implementations must be safe for concurrent use.
+type Store interface {
+	// Append persists one incremental checkpoint.
+	Append(recs []engine.KeyState) error
+	// Load returns the latest record per (operator, key), sorted by
+	// operator then key.
+	Load() ([]engine.KeyState, error)
+}
+
+type recordKey struct {
+	Op  string
+	Key string
+}
+
+func mergeRecords(dst map[recordKey]engine.KeyState, recs []engine.KeyState) {
+	for _, r := range recs {
+		dst[recordKey{Op: r.Op, Key: r.Key}] = r
+	}
+}
+
+func sortedRecords(m map[recordKey]engine.KeyState) []engine.KeyState {
+	out := make([]engine.KeyState, 0, len(m))
+	for _, r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// MemoryStore keeps the merged checkpoint image in process memory, the
+// default store. Safe for concurrent use.
+type MemoryStore struct {
+	mu   sync.Mutex
+	recs map[recordKey]engine.KeyState
+}
+
+// Append implements Store.
+func (m *MemoryStore) Append(recs []engine.KeyState) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.recs == nil {
+		m.recs = make(map[recordKey]engine.KeyState)
+	}
+	mergeRecords(m.recs, recs)
+	return nil
+}
+
+// Load implements Store.
+func (m *MemoryStore) Load() ([]engine.KeyState, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sortedRecords(m.recs), nil
+}
+
+// fileRecord is the JSONL wire form of one checkpointed key. Data is
+// base64 in the file (encoding/json's []byte convention); a nil Data
+// round-trips as null, preserving the has-state distinction.
+type fileRecord struct {
+	Op   string `json:"op"`
+	Inst int    `json:"inst"`
+	Key  string `json:"key"`
+	Data []byte `json:"data"`
+}
+
+// FileStore appends checkpoints to a JSONL file, one record per line,
+// and reloads the merged image (last line per key wins) on Load — so a
+// store reopened after a process restart recovers the same image the
+// previous process would have. Safe for concurrent use.
+type FileStore struct {
+	path string
+
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// NewFileStore opens (creating if needed) the JSONL checkpoint file at
+// path.
+func NewFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open store: %w", err)
+	}
+	return &FileStore{path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append implements Store: records are written as JSON lines and
+// fsynced as a batch, so a checkpoint is durable before the supervisor
+// considers it taken.
+func (s *FileStore) Append(recs []engine.KeyState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("checkpoint: store %s is closed", s.path)
+	}
+	for _, r := range recs {
+		line, err := json.Marshal(fileRecord{Op: r.Op, Inst: r.Inst, Key: r.Key, Data: r.Data})
+		if err != nil {
+			return fmt.Errorf("checkpoint: encode record: %w", err)
+		}
+		line = append(line, '\n')
+		if _, err := s.w.Write(line); err != nil {
+			return fmt.Errorf("checkpoint: write store: %w", err)
+		}
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: flush store: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync store: %w", err)
+	}
+	return nil
+}
+
+// Load implements Store: the whole file is replayed and merged. A
+// truncated final line (crash mid-append) is skipped rather than
+// failing the load — every complete line before it is still a valid
+// prefix of the checkpoint history.
+func (s *FileStore) Load() ([]engine.KeyState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w != nil {
+		if err := s.w.Flush(); err != nil {
+			return nil, fmt.Errorf("checkpoint: flush store: %w", err)
+		}
+	}
+	f, err := os.Open(s.path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open store: %w", err)
+	}
+	defer f.Close()
+	merged := make(map[recordKey]engine.KeyState)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var rec fileRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue // torn tail write
+		}
+		merged[recordKey{Op: rec.Op, Key: rec.Key}] = engine.KeyState{
+			Op: rec.Op, Inst: rec.Inst, Key: rec.Key, Data: rec.Data,
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint: read store: %w", err)
+	}
+	return sortedRecords(merged), nil
+}
+
+// Close flushes and closes the underlying file. Idempotent.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.w.Flush()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f, s.w = nil, nil
+	return err
+}
+
+var (
+	_ Store = (*MemoryStore)(nil)
+	_ Store = (*FileStore)(nil)
+)

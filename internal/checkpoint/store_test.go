@@ -1,0 +1,148 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/locastream/locastream/internal/engine"
+)
+
+func rec(op, key string, inst int, data string) engine.KeyState {
+	var d []byte
+	if data != "" {
+		d = []byte(data)
+	}
+	return engine.KeyState{Op: op, Inst: inst, Key: key, Data: d}
+}
+
+// testStoreMerge exercises the Store contract shared by both
+// implementations: incremental appends fold into a last-record-wins
+// image, sorted by operator then key.
+func testStoreMerge(t *testing.T, store Store) {
+	t.Helper()
+	if recs, err := store.Load(); err != nil || len(recs) != 0 {
+		t.Fatalf("empty store: recs=%v err=%v", recs, err)
+	}
+	if err := store.Append([]engine.KeyState{
+		rec("B", "k1", 1, "b1-old"),
+		rec("A", "k2", 0, "a2"),
+		rec("A", "k1", 0, "a1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Second increment: k1/B changes, a new key appears, one key gets a
+	// nil-data record (state observed but empty).
+	if err := store.Append([]engine.KeyState{
+		rec("B", "k1", 1, "b1-new"),
+		rec("B", "k9", 1, ""),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []engine.KeyState{
+		rec("A", "k1", 0, "a1"),
+		rec("A", "k2", 0, "a2"),
+		rec("B", "k1", 1, "b1-new"),
+		rec("B", "k9", 1, ""),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged image = %+v, want %+v", got, want)
+	}
+}
+
+func TestMemoryStoreMerge(t *testing.T) {
+	testStoreMerge(t, &MemoryStore{})
+}
+
+func TestFileStoreMerge(t *testing.T) {
+	fs, err := NewFileStore(filepath.Join(t.TempDir(), "ckpt.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	testStoreMerge(t, fs)
+}
+
+// TestFileStoreReopen verifies the restart path: a store reopened on the
+// same file recovers the image the previous process persisted.
+func TestFileStoreReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	fs, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append([]engine.KeyState{rec("A", "k1", 0, "v1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append([]engine.KeyState{rec("A", "k1", 0, "v2")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+	if err := fs.Append(nil); err == nil {
+		t.Fatal("Append after Close succeeded")
+	} else if err := fs.Append([]engine.KeyState{rec("A", "x", 0, "v")}); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+
+	re, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, err := re.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0].Data) != "v2" {
+		t.Fatalf("reopened image = %+v, want single A/k1=v2", got)
+	}
+}
+
+// TestFileStoreTornTail verifies crash tolerance: a truncated final line
+// (interrupted append) is skipped, every complete line still loads.
+func TestFileStoreTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	fs, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append([]engine.KeyState{rec("A", "k1", 0, "good")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"A","inst":0,"key":"k2","da`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, err := re.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Key != "k1" {
+		t.Fatalf("image after torn tail = %+v, want only the complete record", got)
+	}
+}

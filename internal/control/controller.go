@@ -137,6 +137,16 @@ type Status struct {
 	RecoveredVersion uint64    `json:"recovered_version,omitempty"`
 	SmoothedLocality float64   `json:"smoothed_locality"`
 	LastDecision     *Decision `json:"last_decision,omitempty"`
+
+	// Paused reports that a server failure was observed and optimization
+	// is held until the fault-tolerance subsystem reports recovery.
+	Paused bool `json:"paused"`
+	// Failures and FailureRecoveries count the NoteFailure/NoteRecovery
+	// notifications received from the fault-tolerance subsystem;
+	// PausedTicks counts ticks skipped while paused.
+	Failures          int `json:"failures"`
+	FailureRecoveries int `json:"failure_recoveries"`
+	PausedTicks       int `json:"paused_ticks"`
 }
 
 // Controller owns the closed reconfiguration loop. Create with New; all
@@ -159,6 +169,11 @@ type Controller struct {
 	errors       int
 	recovered    bool
 	recoveredVer uint64
+	paused       bool
+	failures     int
+	frecoveries  int
+	pausedTicks  int
+	faultInfo    func() interface{}
 
 	loopMu  sync.Mutex
 	stop    chan struct{}
@@ -216,6 +231,15 @@ func (c *Controller) Tick() Decision {
 		Time:    snap.Time,
 		Version: c.version,
 		Signals: snap,
+	}
+
+	if c.paused {
+		c.pausedTicks++
+		d.Action = ActionPaused
+		d.Reason = "optimization paused: failure recovery in progress"
+		d.Streak = c.streak
+		c.journal.Record(d)
+		return d
 	}
 
 	if c.cooldownLeft > 0 {
@@ -330,6 +354,62 @@ func (c *Controller) Stop() {
 	c.running = false
 }
 
+// NoteFailure records a confirmed server failure in the journal and
+// pauses optimization: the statistics window now straddles a membership
+// change, so candidates computed from it are meaningless until the
+// fault-tolerance subsystem finishes recovery (NoteRecovery). The
+// failure itself is handled by that subsystem; the controller only
+// journals and steps aside.
+func (c *Controller) NoteFailure(server int, reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.paused = true
+	c.failures++
+	c.journal.Record(Decision{
+		Time:    c.opts.Clock.Now(),
+		Action:  ActionFailed,
+		Reason:  fmt.Sprintf("server %d failed: %s", server, reason),
+		Version: c.version,
+		Seq:     c.sig.seq,
+	})
+}
+
+// NoteRecovery resumes optimization after a failure recovery: the
+// repair configuration version supersedes the controller's view, the
+// confirmation streak restarts (pre-failure windows no longer describe
+// the deployment), and the recovery is journaled.
+func (c *Controller) NoteRecovery(server int, version uint64, reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.paused = false
+	c.frecoveries++
+	c.streak = 0
+	if version > c.version {
+		c.version = version
+	}
+	c.journal.Record(Decision{
+		Time:    c.opts.Clock.Now(),
+		Action:  ActionRecovered,
+		Reason:  fmt.Sprintf("server %d recovered: %s", server, reason),
+		Version: c.version,
+		Seq:     c.sig.seq,
+	})
+}
+
+// SetFaultInfo installs the fault-tolerance status provider served on
+// the introspection handler's /checkpoints endpoint (404 until set).
+func (c *Controller) SetFaultInfo(provider func() interface{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faultInfo = provider
+}
+
+func (c *Controller) faultInfoProvider() func() interface{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.faultInfo
+}
+
 // Journal returns the decision journal.
 func (c *Controller) Journal() *Journal { return c.journal }
 
@@ -368,6 +448,11 @@ func (c *Controller) Status() Status {
 		CooldownLeft:     c.cooldownLeft,
 		Recovered:        c.recovered,
 		RecoveredVersion: c.recoveredVer,
+
+		Paused:            c.paused,
+		Failures:          c.failures,
+		FailureRecoveries: c.frecoveries,
+		PausedTicks:       c.pausedTicks,
 	}
 	if snap, ok := c.ring.last(); ok {
 		st.SmoothedLocality = snap.SmoothedLocality

@@ -1,0 +1,95 @@
+package control
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestControllerPausesAcrossFailure verifies the controller steps aside
+// while the fault-tolerance subsystem recovers: NoteFailure journals the
+// failure and pauses ticks (no candidate is computed from a window that
+// straddles a membership change), NoteRecovery journals the repair
+// version, resumes ticking, and restarts the confirmation streak.
+func TestControllerPausesAcrossFailure(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	c := newTestController(t, h, Options{CostPerKey: 1, Confirm: 1})
+
+	h.injectCorrelated(t, 1800, 9, 0)
+	if d := c.Tick(); d.Action != ActionDeployed {
+		t.Fatalf("healthy tick = %+v, want deployed", d)
+	}
+
+	c.NoteFailure(2, "heartbeat failure confirmed")
+	st := c.Status()
+	if !st.Paused || st.Failures != 1 {
+		t.Fatalf("status after failure = %+v", st)
+	}
+	// Paused ticks decide nothing and leave the measurement loop alone.
+	for i := 0; i < 2; i++ {
+		if d := c.Tick(); d.Action != ActionPaused {
+			t.Fatalf("paused tick = %+v, want %q", d, ActionPaused)
+		}
+	}
+	if st := c.Status(); st.PausedTicks != 2 {
+		t.Fatalf("PausedTicks = %d, want 2", st.PausedTicks)
+	}
+
+	repairVersion := c.Status().Version + 5
+	c.NoteRecovery(2, repairVersion, "4 keys reassigned")
+	st = c.Status()
+	if st.Paused || st.FailureRecoveries != 1 || st.Streak != 0 {
+		t.Fatalf("status after recovery = %+v", st)
+	}
+	if st.Version != repairVersion {
+		t.Fatalf("version = %d, want repair version %d", st.Version, repairVersion)
+	}
+
+	// The journal tells the whole story, oldest first: deployed, failed,
+	// the two paused ticks, recovered.
+	wantActions := []Action{ActionDeployed, ActionFailed, ActionPaused, ActionPaused, ActionRecovered}
+	decs := c.Journal().Recent(len(wantActions))
+	if len(decs) != len(wantActions) {
+		t.Fatalf("journal has %d entries, want %d", len(decs), len(wantActions))
+	}
+	for i, want := range wantActions {
+		if decs[i].Action != want {
+			t.Fatalf("journal[%d] = %+v, want %q", i, decs[i], want)
+		}
+	}
+
+	// Optimization resumes: the next tick decides normally again.
+	h.injectCorrelated(t, 1800, 9, 0)
+	if d := c.Tick(); d.Action == ActionPaused {
+		t.Fatalf("tick after recovery still paused: %+v", d)
+	}
+}
+
+// TestHandlerCheckpoints verifies the /checkpoints endpoint: 404 until a
+// fault-tolerance provider is attached, then its status as JSON.
+func TestHandlerCheckpoints(t *testing.T) {
+	_, c, handler := setupHTTP(t)
+
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/checkpoints", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /checkpoints without a subsystem = %d, want 404", rec.Code)
+	}
+
+	c.SetFaultInfo(func() interface{} {
+		return map[string]interface{}{"liveness": []string{"alive", "alive", "alive"}}
+	})
+	var got struct {
+		Liveness []string `json:"liveness"`
+	}
+	getJSON(t, handler, "/checkpoints", &got)
+	if len(got.Liveness) != 3 || got.Liveness[0] != "alive" {
+		t.Fatalf("/checkpoints = %+v", got)
+	}
+
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/checkpoints", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /checkpoints = %d, want 405", rec.Code)
+	}
+}

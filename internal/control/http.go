@@ -8,10 +8,14 @@ import (
 
 // Handler returns the live-introspection API over the controller:
 //
-//	GET /status     controller state (ticks, deploys, streak, cooldown)
-//	GET /snapshots  the retained signal snapshots, oldest first
-//	GET /journal    the decision journal (?n=K limits to the last K)
-//	GET /tables     the deployed routing tables per operator
+//	GET /status       controller state (ticks, deploys, streak, cooldown,
+//	                  failure/pause state)
+//	GET /snapshots    the retained signal snapshots, oldest first
+//	GET /journal      the decision journal (?n=K limits to the last K)
+//	GET /tables       the deployed routing tables per operator
+//	GET /checkpoints  the fault-tolerance subsystem's status (checkpoint
+//	                  volume, per-server liveness, recovery reports);
+//	                  404 until a provider is attached with SetFaultInfo
 //
 // Everything is served as JSON from in-memory state; requests never
 // touch the data path beyond the same atomics a Tick reads, so the
@@ -38,6 +42,14 @@ func (c *Controller) Handler() http.Handler {
 	})
 	mux.HandleFunc("/tables", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, r, c.Tables())
+	})
+	mux.HandleFunc("/checkpoints", func(w http.ResponseWriter, r *http.Request) {
+		provider := c.faultInfoProvider()
+		if provider == nil {
+			http.Error(w, "no fault-tolerance subsystem attached", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, r, provider())
 	})
 	return mux
 }

@@ -26,6 +26,15 @@ const (
 	ActionRecovered Action = "recovered"
 	// ActionError records a failed measurement or deployment.
 	ActionError Action = "error"
+	// ActionFailed records a confirmed server failure reported by the
+	// fault-tolerance subsystem; optimization pauses until the matching
+	// recovery entry.
+	ActionFailed Action = "failed"
+	// ActionPaused records a tick skipped because a failure recovery is
+	// in progress: the statistics window straddles the failure and any
+	// candidate computed from it would chase a topology that no longer
+	// exists.
+	ActionPaused Action = "paused"
 )
 
 // Decision is one journal entry: what the controller did on one tick and

@@ -318,6 +318,30 @@ func (m *Manager) deploy(tables map[string]*routing.Table, plan *Plan) error {
 // Tables returns a copy of the currently deployed routing tables.
 func (m *Manager) Tables() map[string]*routing.Table { return cloneTables(m.tables) }
 
+// ApplyRepair adopts failure-recovery routing tables as the deployed
+// configuration, outside the planned reconfiguration protocol (a dead
+// server cannot acknowledge a propagation wave). The tables are stamped
+// with a fresh version, persisted, and become the manager's deployed
+// view — so the next optimization diffs against the post-recovery
+// assignment instead of computing bogus migrations from dead instances.
+// The caller installs the same tables into the engine
+// (engine.UpdateTables) — the manager only owns the bookkeeping here.
+func (m *Manager) ApplyRepair(tables map[string]*routing.Table) (uint64, error) {
+	version := m.opt.NextVersion()
+	adopted := cloneTables(tables)
+	for _, t := range adopted {
+		t.Version = version
+	}
+	if err := m.store.Save(version, adopted); err != nil {
+		return 0, fmt.Errorf("core: persist repair configuration: %w", err)
+	}
+	m.tables = adopted
+	if err := m.store.MarkDeployed(version); err != nil {
+		return 0, fmt.Errorf("core: mark repair configuration deployed: %w", err)
+	}
+	return version, nil
+}
+
 // affectedOps returns the union of operators named in either
 // configuration, sorted.
 func affectedOps(oldT, newT map[string]*routing.Table) []string {

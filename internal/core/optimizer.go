@@ -169,6 +169,14 @@ func (o *Optimizer) instanceOn(op string, server int, key string) (int, bool) {
 // Version returns the last computed configuration version.
 func (o *Optimizer) Version() uint64 { return o.version }
 
+// NextVersion allocates and returns a fresh configuration version, used
+// by out-of-band table changes (failure repair) so they supersede the
+// last optimized configuration and are superseded by the next one.
+func (o *Optimizer) NextVersion() uint64 {
+	o.version++
+	return o.version
+}
+
 // EnsureVersion raises the version counter to at least v, so that
 // configurations computed after recovering version v supersede it.
 func (o *Optimizer) EnsureVersion(v uint64) {

@@ -56,6 +56,12 @@ type LiveConfig struct {
 	// never blocked, which keeps the reconfiguration protocol
 	// deadlock-free.
 	MaxInFlight int
+	// MaxBuffered bounds each executor's migration buffer (0 means
+	// unbounded). During planned reconfigurations state arrives promptly
+	// and the bound is irrelevant; during failure recovery the restore
+	// may be delayed, so a bound turns unbounded memory growth into
+	// counted tuple loss (see Stats.TuplesLost).
+	MaxBuffered int
 	// TCPTransport routes every cross-server message (tuples, state
 	// migrations, propagation markers) through real localhost TCP
 	// connections, one per server pair, exercising serialization and the
@@ -86,6 +92,18 @@ type Live struct {
 	// stays zero.
 	wireDrops atomic.Uint64
 
+	// tuplesLost counts data tuples that could not be processed because
+	// their target died: messages discarded from a killed mailbox,
+	// forwards rejected by a dead instance, and migration-buffer
+	// overflow. This is the "bounded loss" the checkpoint subsystem
+	// trades the at-most-once guarantee for.
+	tuplesLost atomic.Uint64
+
+	// dead marks killed servers (see KillServer); hbRecv counts
+	// heartbeat probes delivered over the wire.
+	dead   []atomic.Bool
+	hbRecv atomic.Uint64
+
 	fabric *transport.Fabric
 
 	srcSeq atomic.Uint64
@@ -104,6 +122,12 @@ type message struct {
 
 	// get-metrics
 	statsReply chan []instPairStat
+	// statsPeek leaves the sketches un-reset (checkpoint-time retention
+	// must not consume the optimizer's measurement window).
+	statsPeek bool
+
+	// checkpoint
+	ckptReply chan []KeyState
 
 	// inspect (state access from the executor goroutine)
 	inspectFn func(topology.Processor)
@@ -111,6 +135,9 @@ type message struct {
 	// send-reconfiguration
 	reconf *instReconfig
 	ack    chan struct{}
+
+	// arm (recovery: buffer these keys until their state arrives)
+	armKeys []string
 
 	// migrate
 	migKey  string
@@ -130,7 +157,18 @@ const (
 	msgPropagate
 	msgMigrate
 	msgInspect
+	msgCheckpoint
+	msgArm
 )
+
+// KeyState is one checkpointed key: the owning operator and instance at
+// snapshot time, and the serialized per-key state.
+type KeyState struct {
+	Op   string
+	Inst int
+	Key  string
+	Data []byte
+}
 
 // instPairStat is one executor's sketch snapshot for one operator pair.
 type instPairStat struct {
@@ -168,6 +206,7 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 		place:    cfg.Placement,
 		execs:    make(map[string][]*executor),
 		inflight: newInflightCounter(cfg.MaxInFlight),
+		dead:     make([]atomic.Bool, cfg.Placement.Servers()),
 	}
 
 	for _, op := range cfg.Topology.Operators() {
@@ -195,6 +234,13 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 				propagatesNeeded: needed,
 			}
 			insts[i].emitFn = insts[i].emit
+			insts[i].buf.SetLimit(cfg.MaxBuffered)
+			// Stateful executors track which keys changed since the last
+			// checkpoint, so incremental checkpoints skip clean keys.
+			if keyed, ok := insts[i].proc.(topology.Keyed); ok {
+				insts[i].keyed = keyed
+				insts[i].dirty = make(map[string]struct{})
+			}
 		}
 		l.execs[op.Name] = insts
 		l.all = append(l.all, insts...)
@@ -224,6 +270,10 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 // deliverWire converts a transport message back into an engine message
 // and enqueues it at the addressed instance.
 func (l *Live) deliverWire(msg transport.Message) {
+	if msg.Kind == transport.KindHeartbeat {
+		l.hbRecv.Add(1)
+		return
+	}
 	insts := l.execs[msg.To.Op]
 	if msg.To.Instance < 0 || msg.To.Instance >= len(insts) {
 		l.wireDrops.Add(1) // corrupt address; drop, but leave a trace
@@ -232,12 +282,18 @@ func (l *Live) deliverWire(msg transport.Message) {
 	box := insts[msg.To.Instance].box
 	switch msg.Kind {
 	case transport.KindData:
-		box.put(message{
+		ok := box.put(message{
 			kind:  msgData,
 			tuple: topology.Tuple{Values: msg.Values, Padding: msg.Padding},
 			keyOp: msg.KeyOp,
 			key:   msg.Key,
 		})
+		if !ok {
+			// The instance died between the wire send and delivery; the
+			// sender already counted the tuple in flight.
+			l.inflight.dec()
+			l.tuplesLost.Add(1)
+		}
 	case transport.KindMigrate:
 		box.put(message{kind: msgMigrate, migKey: msg.MigKey, migData: msg.MigData, migHasData: msg.MigHasData})
 	case transport.KindPropagate:
@@ -305,12 +361,13 @@ func (l *Live) Inject(t topology.Tuple) error {
 	inst := l.cfg.SourcePolicy.Route(key, -1, l.srcSeq.Add(1))
 	l.inflight.incExternal()
 	// A concurrent Stop may close the mailbox between the stopped check
-	// above and the enqueue; the rejected put must roll the in-flight
-	// counter back, or Drain/waitZero would wait forever on a tuple that
-	// was never accepted.
+	// above and the enqueue (or the routed instance may live on a killed
+	// server); the rejected put must roll the in-flight counter back, or
+	// Drain/waitZero would wait forever on a tuple that was never
+	// accepted.
 	if !l.execs[srcOp][inst].box.put(message{kind: msgData, tuple: t, keyOp: keyOp, key: key}) {
 		l.inflight.dec()
-		return errors.New("engine: inject on stopped engine")
+		return fmt.Errorf("engine: inject rejected: instance %s[%d] is stopped or dead", srcOp, inst)
 	}
 	return nil
 }
@@ -352,6 +409,12 @@ type Stats struct {
 	// WireDrops is the cumulative count of undeliverable transport
 	// messages (see Live.WireDrops).
 	WireDrops uint64
+	// TuplesLost is the cumulative count of data tuples lost to server
+	// failures (killed mailboxes, sends to dead instances, migration
+	// buffer overflow).
+	TuplesLost uint64
+	// Alive reports, per server, whether it has not been killed.
+	Alive []bool
 }
 
 // StatsSnapshot aggregates the engine's cheap operational signals. Unlike
@@ -360,10 +423,12 @@ type Stats struct {
 // call at any frequency, including on a stopped engine.
 func (l *Live) StatsSnapshot() Stats {
 	st := Stats{
-		Fields:    l.FieldsTraffic(),
-		Loads:     make(map[string][]uint64, len(l.execs)),
-		InFlight:  l.inflight.n.Load(),
-		WireDrops: l.wireDrops.Load(),
+		Fields:     l.FieldsTraffic(),
+		Loads:      make(map[string][]uint64, len(l.execs)),
+		InFlight:   l.inflight.n.Load(),
+		WireDrops:  l.wireDrops.Load(),
+		TuplesLost: l.tuplesLost.Load(),
+		Alive:      l.AliveServers(),
 	}
 	for op := range l.execs {
 		st.Loads[op] = l.Loads(op)
@@ -375,14 +440,24 @@ func (l *Live) StatsSnapshot() Stats {
 // reports (and resets) its pair sketches; the results are merged per
 // operator pair. On a stopped engine the rejected requests are skipped,
 // so the call degrades to an empty report instead of blocking forever.
-func (l *Live) CollectPairStats() []PairStat {
+func (l *Live) CollectPairStats() []PairStat { return l.pairStats(true) }
+
+// PeekPairStats reports the merged pair sketches WITHOUT resetting the
+// per-instance measurement windows, so it can run on every checkpoint
+// tick without consuming the optimizer's signal. The checkpoint
+// subsystem retains the latest peek: after a server dies its sketches
+// are gone, and recovery needs the last known key co-occurrence graph
+// to place the dead keys next to their correlated survivors.
+func (l *Live) PeekPairStats() []PairStat { return l.pairStats(false) }
+
+func (l *Live) pairStats(reset bool) []PairStat {
 	replies := make([]chan []instPairStat, len(l.all))
 	for i, ex := range l.all {
 		reply := make(chan []instPairStat, 1)
 		// A closed mailbox rejects the request; the executor drains every
 		// accepted message before exiting, so an accepted request is
 		// always answered.
-		if ex.box.put(message{kind: msgGetStats, statsReply: reply}) {
+		if ex.box.put(message{kind: msgGetStats, statsReply: reply, statsPeek: !reset}) {
 			replies[i] = reply
 		}
 	}
@@ -576,19 +651,28 @@ func (l *Live) Loads(op string) []uint64 {
 
 // ProcessorState runs fn inside the executor goroutine of (op, inst),
 // giving safe access to the processor's state. It blocks until fn has
-// run. It returns an error for unknown instances.
+// run. It returns an error for unknown, stopped or dead instances (a
+// killed server settles queued inspections with a nil processor).
 func (l *Live) ProcessorState(op string, inst int, fn func(topology.Processor)) error {
 	insts := l.execs[op]
 	if inst < 0 || inst >= len(insts) {
 		return fmt.Errorf("engine: unknown instance %s[%d]", op, inst)
 	}
 	doneCh := make(chan struct{})
-	insts[inst].box.put(message{kind: msgInspect, inspectFn: func(p topology.Processor) {
+	var ierr error
+	accepted := insts[inst].box.put(message{kind: msgInspect, inspectFn: func(p topology.Processor) {
+		defer close(doneCh)
+		if p == nil {
+			ierr = fmt.Errorf("engine: instance %s[%d] is dead", op, inst)
+			return
+		}
 		fn(p)
-		close(doneCh)
 	}})
+	if !accepted {
+		return fmt.Errorf("engine: instance %s[%d] is stopped or dead", op, inst)
+	}
 	<-doneCh
-	return nil
+	return ierr
 }
 
 // --- executor ---------------------------------------------------------------
@@ -664,6 +748,15 @@ type executor struct {
 	buf      *state.Buffer
 	seq      uint64
 
+	// keyed is proc's Keyed interface, resolved once (nil when the
+	// processor is stateless). dirty tracks the keys whose state changed
+	// since the last checkpoint; dirtyN mirrors len(dirty) atomically so
+	// CheckpointDirty can skip clean executors without a message
+	// round-trip.
+	keyed  topology.Keyed
+	dirty  map[string]struct{}
+	dirtyN atomic.Int64
+
 	// emitFn is the emit callback handed to the processor, bound once at
 	// construction so process() allocates no closure per tuple. The
 	// routing context it needs is staged in emitKeyOp/emitKey (safe:
@@ -714,6 +807,11 @@ func (e *executor) dispatch(msg message) {
 		if msg.inspectFn != nil {
 			msg.inspectFn(e.proc)
 		}
+	case msgCheckpoint:
+		e.onCheckpoint(msg)
+	case msgArm:
+		e.buf.Expect(msg.armKeys)
+		msg.ack <- struct{}{}
 	}
 }
 
@@ -721,6 +819,11 @@ func (e *executor) onData(msg message) {
 	// Buffer tuples for keys whose state has not arrived yet (§3.4).
 	if msg.keyOp == e.op.Name && e.buf.Pending(msg.key) {
 		e.buf.Hold(msg.key, msg.tuple)
+		// A bounded buffer drops instead of holding once full; fold the
+		// overflow into the engine's loss counter.
+		if d := e.buf.TakeDropped(); d > 0 {
+			e.eng.tuplesLost.Add(d)
+		}
 		e.eng.inflight.dec()
 		return
 	}
@@ -731,6 +834,15 @@ func (e *executor) onData(msg message) {
 // process runs the operator logic on one tuple and forwards emissions.
 func (e *executor) process(t topology.Tuple, keyOp, key string) {
 	e.processed.Add(1)
+	// Incremental checkpointing: a tuple keyed for this operator mutates
+	// the state of its key; record it as dirty so the next checkpoint
+	// snapshots it (and clean keys are skipped).
+	if e.dirty != nil && keyOp == e.op.Name && key != "" {
+		if _, ok := e.dirty[key]; !ok {
+			e.dirty[key] = struct{}{}
+			e.dirtyN.Add(1)
+		}
+	}
 	e.emitKeyOp, e.emitKey = keyOp, key
 	e.proc.Process(t, e.emitFn)
 }
@@ -775,16 +887,48 @@ func (e *executor) forward(re *resolvedEdge, keyOp, key string, out topology.Tup
 		e.eng.sendWire(re.to, target, e.server, re.server[target], msg) {
 		return
 	}
-	re.targets[target].box.put(msg)
+	// A rejected put means the recipient died (killed server): settle the
+	// in-flight count and record the loss, or Drain would wait forever.
+	if !re.targets[target].box.put(msg) {
+		e.eng.inflight.dec()
+		e.eng.tuplesLost.Add(1)
+	}
 }
 
 func (e *executor) onGetStats(msg message) {
 	stats := make([]instPairStat, 0, len(e.sketches))
 	for id, sk := range e.sketches {
 		stats = append(stats, instPairStat{fromOp: id[0], toOp: id[1], pairs: sk.Counters()})
-		sk.Reset()
+		if !msg.statsPeek {
+			sk.Reset()
+		}
 	}
 	msg.statsReply <- stats
+}
+
+// onCheckpoint snapshots every dirty key's state (without removing it)
+// and resets the dirty set. Keys whose state vanished since they were
+// marked (migrated away) are simply skipped: the record of their new
+// owner supersedes them.
+func (e *executor) onCheckpoint(msg message) {
+	if e.keyed == nil || len(e.dirty) == 0 {
+		msg.ckptReply <- nil
+		return
+	}
+	keys := make([]string, 0, len(e.dirty))
+	for k := range e.dirty {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	recs := make([]KeyState, 0, len(keys))
+	for _, k := range keys {
+		if data, ok := e.keyed.SnapshotKey(k); ok {
+			recs = append(recs, KeyState{Op: e.op.Name, Inst: e.inst, Key: k, Data: data})
+		}
+		delete(e.dirty, k)
+	}
+	e.dirtyN.Store(0)
+	msg.ckptReply <- recs
 }
 
 func (e *executor) onReconf(msg message) {
@@ -861,14 +1005,20 @@ func (e *executor) onPropagate() {
 
 func (e *executor) onMigrate(msg message) {
 	if msg.migHasData {
-		if keyed, ok := e.proc.(topology.Keyed); ok {
+		if e.keyed != nil {
 			// Restore failures indicate incompatible processor versions;
 			// the engine surfaces them as a panic in tests via the
 			// processor itself. Here the state is dropped and processing
 			// continues, matching the at-most-once semantics of the
 			// underlying engine ("the guarantees are the ones provided
 			// by the streaming engine", §3.4).
-			_ = keyed.RestoreKey(msg.migKey, msg.migData)
+			_ = e.keyed.RestoreKey(msg.migKey, msg.migData)
+			// The key now lives here; mark it dirty so the next
+			// checkpoint records it under its new owner.
+			if _, ok := e.dirty[msg.migKey]; !ok {
+				e.dirty[msg.migKey] = struct{}{}
+				e.dirtyN.Add(1)
+			}
 		}
 	}
 	for _, t := range e.buf.Arrive(msg.migKey) {

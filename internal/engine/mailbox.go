@@ -91,6 +91,21 @@ func (m *mailbox) get() (message, bool) {
 	return msg, true
 }
 
+// kill closes the mailbox and discards everything still queued,
+// returning the discarded messages so the caller can settle their
+// accounting (in-flight counts, parked repliers). Unlike close, queued
+// work is lost rather than drained — this models a server crash, where
+// messages sitting in the dead worker's queue never execute.
+func (m *mailbox) kill() []message {
+	m.mu.Lock()
+	m.closed = true
+	items := m.items
+	m.items = nil
+	m.nonEmp.Broadcast()
+	m.mu.Unlock()
+	return items
+}
+
 // close wakes the executor and makes it exit once the queue drains.
 func (m *mailbox) close() {
 	m.mu.Lock()

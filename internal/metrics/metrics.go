@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Traffic accumulates local/remote tuple counts and byte volumes for one
@@ -170,6 +171,83 @@ func (e *EWMA) Value() float64 { return e.value }
 
 // Ready reports whether at least one sample has been observed.
 func (e *EWMA) Ready() bool { return e.ready }
+
+// FaultStats is one snapshot of the fault-tolerance measurements.
+type FaultStats struct {
+	// Checkpoints, CheckpointKeys and CheckpointBytes count completed
+	// checkpoints and their cumulative volume (incremental: only dirty
+	// keys are written).
+	Checkpoints     int    `json:"checkpoints"`
+	CheckpointKeys  uint64 `json:"checkpoint_keys"`
+	CheckpointBytes uint64 `json:"checkpoint_bytes"`
+	// LastCheckpointDuration and TotalCheckpointDuration measure the
+	// wall-clock cost of checkpointing (the stream keeps flowing
+	// meanwhile; this is supervisor-side time, not stream stall).
+	LastCheckpointDuration  time.Duration `json:"last_checkpoint_duration_ns"`
+	TotalCheckpointDuration time.Duration `json:"total_checkpoint_duration_ns"`
+
+	// Failures counts confirmed server failures;
+	// LastDetectionLatency is silence-to-confirmation for the most
+	// recent one.
+	Failures             int           `json:"failures"`
+	LastDetectionLatency time.Duration `json:"last_detection_latency_ns"`
+
+	// Recoveries counts completed recoveries; LastRecoveryDuration is
+	// the arm-to-restored wall time of the most recent one;
+	// KeysRecovered and KeysRestored are cumulative reassigned keys and
+	// the subset restored from a checkpoint; TuplesLost is the engine's
+	// cumulative loss counter at the last recovery.
+	Recoveries           int           `json:"recoveries"`
+	LastRecoveryDuration time.Duration `json:"last_recovery_duration_ns"`
+	KeysRecovered        uint64        `json:"keys_recovered"`
+	KeysRestored         uint64        `json:"keys_restored"`
+	TuplesLost           uint64        `json:"tuples_lost"`
+}
+
+// FaultMeter accumulates the fault-tolerance subsystem's measurements:
+// checkpoint volume and duration, failure-detection latency, recovery
+// time and tuple loss. Safe for concurrent use.
+type FaultMeter struct {
+	mu sync.Mutex
+	st FaultStats
+}
+
+// RecordCheckpoint folds one completed checkpoint in.
+func (m *FaultMeter) RecordCheckpoint(keys int, bytes uint64, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.st.Checkpoints++
+	m.st.CheckpointKeys += uint64(keys)
+	m.st.CheckpointBytes += bytes
+	m.st.LastCheckpointDuration = d
+	m.st.TotalCheckpointDuration += d
+}
+
+// RecordFailure folds one confirmed failure in.
+func (m *FaultMeter) RecordFailure(detectionLatency time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.st.Failures++
+	m.st.LastDetectionLatency = detectionLatency
+}
+
+// RecordRecovery folds one completed recovery in.
+func (m *FaultMeter) RecordRecovery(d time.Duration, keysMoved, keysRestored int, tuplesLost uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.st.Recoveries++
+	m.st.LastRecoveryDuration = d
+	m.st.KeysRecovered += uint64(keysMoved)
+	m.st.KeysRestored += uint64(keysRestored)
+	m.st.TuplesLost = tuplesLost
+}
+
+// Snapshot returns the accumulated measurements.
+func (m *FaultMeter) Snapshot() FaultStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.st
+}
 
 // ThroughputMeter counts processed tuples over externally supplied time
 // windows; used by the live engine. Safe for concurrent use.

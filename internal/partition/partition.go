@@ -75,6 +75,14 @@ type Options struct {
 	// hold up to Alpha * total * TargetFractions[p] vertex weight. nil
 	// means uniform (1/K each). Must have length K and sum to ~1.
 	TargetFractions []float64
+	// Pinned optionally fixes vertices to parts: Pinned[v] == p >= 0
+	// forces vertex v into part p (it is never moved by any phase),
+	// while -1 leaves v free. nil means all vertices are free. Must
+	// have length NumVertices. Pinning disables coarsening, so it is
+	// meant for small graphs — e.g. failure-recovery repair, where the
+	// dead server's keys are free and their surviving neighbours are
+	// pinned in place so only the failed keys move.
+	Pinned []int
 }
 
 // DefaultAlpha is the balance bound used by the paper (Metis default).
@@ -116,6 +124,18 @@ func Partition(g *Graph, opts Options) (*Result, error) {
 			}
 		}
 	}
+	if opts.Pinned != nil {
+		if len(opts.Pinned) != g.NumVertices() {
+			return nil, fmt.Errorf("partition: %d pins for %d vertices",
+				len(opts.Pinned), g.NumVertices())
+		}
+		for v, p := range opts.Pinned {
+			if p < -1 || p >= opts.K {
+				return nil, fmt.Errorf("partition: vertex %d pinned to part %d, want [-1, %d)",
+					v, p, opts.K)
+			}
+		}
+	}
 	if opts.Alpha < 1 {
 		opts.Alpha = 1
 	}
@@ -143,16 +163,21 @@ func Partition(g *Graph, opts Options) (*Result, error) {
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 
-	// Phase 1: coarsen.
+	// Phase 1: coarsen. Pinned graphs skip this phase: collapsing a
+	// pinned vertex with a free (or differently pinned) one would make
+	// the constraint unrepresentable, and pinned inputs are small repair
+	// graphs anyway.
 	levels := []*level{{g: normalize(g)}}
-	for levels[len(levels)-1].g.NumVertices() > opts.CoarsenTo {
-		cur := levels[len(levels)-1]
-		next, ok := coarsen(cur.g, rng)
-		if !ok {
-			break // no further shrink possible
+	if opts.Pinned == nil {
+		for levels[len(levels)-1].g.NumVertices() > opts.CoarsenTo {
+			cur := levels[len(levels)-1]
+			next, ok := coarsen(cur.g, rng)
+			if !ok {
+				break // no further shrink possible
+			}
+			cur.coarseMap = next.fineToCoarse
+			levels = append(levels, &level{g: next.g})
 		}
-		cur.coarseMap = next.fineToCoarse
-		levels = append(levels, &level{g: next.g})
 	}
 
 	// Phase 2: initial partition of the coarsest level.
@@ -313,7 +338,8 @@ func coarsen(g *Graph, rng *rand.Rand) (coarseResult, bool) {
 // initialPartition assigns coarse vertices greedily: descending weight
 // order, each vertex goes to the part with the strongest existing
 // connection among parts that stay under the cap, falling back to the
-// lightest part.
+// lightest part. Pinned vertices are placed first, unconditionally, so
+// free vertices gravitate toward their pinned neighbours.
 func initialPartition(g *Graph, opts Options, rng *rand.Rand) []int {
 	n := g.NumVertices()
 	parts := make([]int, n)
@@ -322,6 +348,15 @@ func initialPartition(g *Graph, opts Options, rng *rand.Rand) []int {
 	}
 	loads := make([]uint64, opts.K)
 	caps := capsFor(g.TotalWeight(), opts)
+
+	if opts.Pinned != nil {
+		for u, p := range opts.Pinned {
+			if p >= 0 {
+				parts[u] = p
+				loads[p] += g.Weights[u]
+			}
+		}
+	}
 
 	order := make([]int, n)
 	for i := range order {
@@ -336,6 +371,9 @@ func initialPartition(g *Graph, opts Options, rng *rand.Rand) []int {
 
 	gain := make([]uint64, opts.K)
 	for _, u := range order {
+		if parts[u] >= 0 {
+			continue // pinned, already placed
+		}
 		for p := range gain {
 			gain[p] = 0
 		}
@@ -383,14 +421,14 @@ func refine(g *Graph, parts []int, opts Options) []int {
 	caps := capsFor(g.TotalWeight(), opts)
 
 	for pass := 0; pass < opts.RefinePasses; pass++ {
-		if fmPass(g, parts, loads, caps, opts.K) == 0 {
+		if fmPass(g, parts, loads, caps, opts.K, opts.Pinned) == 0 {
 			break
 		}
 	}
 
 	// Balance repair: if any part exceeds the cap (possible right after
 	// projection), move its lowest-connectivity boundary vertices out.
-	rebalance(g, parts, loads, caps, opts.K)
+	rebalance(g, parts, loads, caps, opts.K, opts.Pinned)
 	return parts
 }
 
@@ -401,10 +439,18 @@ type fmMove struct {
 }
 
 // fmPass runs one FM sweep and returns the kept cut improvement (0 when
-// the pass achieved nothing and refinement should stop).
-func fmPass(g *Graph, parts []int, loads []uint64, caps []uint64, k int) int64 {
+// the pass achieved nothing and refinement should stop). Pinned
+// vertices start locked and never move.
+func fmPass(g *Graph, parts []int, loads []uint64, caps []uint64, k int, pinned []int) int64 {
 	n := g.NumVertices()
 	locked := make([]bool, n)
+	if pinned != nil {
+		for v, p := range pinned {
+			if p >= 0 {
+				locked[v] = true
+			}
+		}
+	}
 	conn := make([]uint64, k)
 
 	// Tentative moves may overshoot the cap by one maximum vertex weight
@@ -561,8 +607,9 @@ func (h *moveHeap) pop() moveCand {
 }
 
 // rebalance moves vertices from overloaded parts to the lightest feasible
-// part, choosing moves that lose the least connectivity first.
-func rebalance(g *Graph, parts []int, loads []uint64, caps []uint64, k int) {
+// part, choosing moves that lose the least connectivity first. Pinned
+// vertices stay put even when their part is overloaded.
+func rebalance(g *Graph, parts []int, loads []uint64, caps []uint64, k int, pinned []int) {
 	for p := 0; p < k; p++ {
 		guard := 0
 		for loads[p] > caps[p] && guard < g.NumVertices() {
@@ -572,6 +619,9 @@ func rebalance(g *Graph, parts []int, loads []uint64, caps []uint64, k int) {
 			bestCost := int64(1<<62 - 1)
 			for v := 0; v < g.NumVertices(); v++ {
 				if parts[v] != p {
+					continue
+				}
+				if pinned != nil && pinned[v] >= 0 {
 					continue
 				}
 				var internal uint64

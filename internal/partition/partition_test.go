@@ -336,6 +336,109 @@ func TestPropertyValidAssignment(t *testing.T) {
 	}
 }
 
+func TestPinnedValidation(t *testing.T) {
+	g := pathGraph(4)
+	if _, err := Partition(g, Options{K: 2, Pinned: []int{0, -1}}); err == nil {
+		t.Error("short Pinned slice accepted")
+	}
+	if _, err := Partition(g, Options{K: 2, Pinned: []int{0, -1, 2, -1}}); err == nil {
+		t.Error("pin to part >= K accepted")
+	}
+	if _, err := Partition(g, Options{K: 2, Pinned: []int{0, -1, -2, -1}}); err == nil {
+		t.Error("pin < -1 accepted")
+	}
+}
+
+func TestPinnedRespected(t *testing.T) {
+	// Two dense clusters; pin one vertex of each cluster to the
+	// *opposite* part of what the cut optimum wants. The pins must win.
+	g := clustersGraph(2, 6, 10, 1)
+	pinned := make([]int, g.NumVertices())
+	for i := range pinned {
+		pinned[i] = -1
+	}
+	pinned[0] = 1 // vertex in cluster 0 forced to part 1
+	pinned[6] = 0 // vertex in cluster 1 forced to part 0
+	pinned[7] = 0 // second pin so part 0 is not drained by rebalance
+	res, err := Partition(g, Options{K: 2, Alpha: 1.2, Seed: 1, Pinned: pinned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, g, res, 2)
+	for v, p := range pinned {
+		if p >= 0 && res.Parts[v] != p {
+			t.Fatalf("vertex %d assigned to %d, pinned to %d", v, res.Parts[v], p)
+		}
+	}
+}
+
+// TestPinnedRepairScenario models failure recovery: most vertices are
+// pinned where they already live (the survivors), a few are free (the
+// dead server's keys) and must land with their heaviest neighbours.
+func TestPinnedRepairScenario(t *testing.T) {
+	// Clusters 0 and 1 are pinned to parts 0 and 1. Two free vertices
+	// attach heavily to cluster 0 and cluster 1 respectively.
+	g := clustersGraph(2, 5, 10, 1) // vertices 0-4 cluster 0, 5-9 cluster 1
+	free0, free1 := 10, 11
+	g.Weights = append(g.Weights, 1, 1)
+	g.Adj = append(g.Adj, nil, nil)
+	addEdge := func(u, v int, w uint64) {
+		g.Adj[u] = append(g.Adj[u], Adj{To: v, Weight: w})
+		g.Adj[v] = append(g.Adj[v], Adj{To: u, Weight: w})
+	}
+	addEdge(free0, 2, 50)
+	addEdge(free1, 7, 50)
+	addEdge(free0, free1, 1)
+
+	pinned := make([]int, g.NumVertices())
+	for v := 0; v < 5; v++ {
+		pinned[v] = 0
+	}
+	for v := 5; v < 10; v++ {
+		pinned[v] = 1
+	}
+	pinned[free0], pinned[free1] = -1, -1
+
+	res, err := Partition(g, Options{K: 2, Alpha: 1.5, Seed: 7, Pinned: pinned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, g, res, 2)
+	for v := 0; v < 10; v++ {
+		if res.Parts[v] != pinned[v] {
+			t.Fatalf("survivor vertex %d moved from %d to %d", v, pinned[v], res.Parts[v])
+		}
+	}
+	if res.Parts[free0] != 0 {
+		t.Errorf("free vertex %d placed on %d, want 0 (heaviest neighbours)", free0, res.Parts[free0])
+	}
+	if res.Parts[free1] != 1 {
+		t.Errorf("free vertex %d placed on %d, want 1 (heaviest neighbours)", free1, res.Parts[free1])
+	}
+}
+
+func TestPinnedDeterministic(t *testing.T) {
+	g := clustersGraph(3, 4, 5, 1)
+	pinned := make([]int, g.NumVertices())
+	for i := range pinned {
+		pinned[i] = -1
+	}
+	pinned[0], pinned[4], pinned[8] = 0, 1, 2
+	a, err := Partition(g, Options{K: 3, Seed: 42, Pinned: pinned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, Options{K: 3, Seed: 42, Pinned: pinned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Parts {
+		if a.Parts[v] != b.Parts[v] {
+			t.Fatalf("non-deterministic at vertex %d: %d vs %d", v, a.Parts[v], b.Parts[v])
+		}
+	}
+}
+
 func BenchmarkPartitionClusters(b *testing.B) {
 	for _, size := range []int{100, 1000} {
 		g := clustersGraph(4, size/4, 10, 1)

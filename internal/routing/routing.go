@@ -184,6 +184,7 @@ type TableFields struct {
 
 	mu    sync.RWMutex
 	table *Table
+	alive []bool // nil = all instances alive
 }
 
 // NewTableFields returns table-based fields grouping for the operator
@@ -194,15 +195,56 @@ func NewTableFields(instances int, salt string) *TableFields {
 }
 
 // Route consults the table and falls back to the hash for missing keys.
-// Table entries outside [0, instances) are ignored defensively.
+// Table entries outside [0, instances) are ignored defensively. When an
+// alive mask is installed (see SetAlive) and the chosen instance is
+// dead, routing deterministically probes forward to the next alive
+// instance, so hash-fallback keys survive a failure without a table
+// entry.
 func (t *TableFields) Route(key string, _ int, _ uint64) int {
 	t.mu.RLock()
 	idx, ok := t.table.Assign[key]
+	alive := t.alive
 	t.mu.RUnlock()
-	if ok && idx >= 0 && idx < t.instances {
-		return idx
+	if !ok || idx < 0 || idx >= t.instances {
+		idx = SaltedHashKey(t.salt, key, t.instances)
 	}
-	return SaltedHashKey(t.salt, key, t.instances)
+	if alive != nil && !alive[idx] {
+		for i := 1; i < t.instances; i++ {
+			if j := (idx + i) % t.instances; alive[j] {
+				return j
+			}
+		}
+	}
+	return idx
+}
+
+// SetAlive installs a liveness mask over the recipient instances: Route
+// never returns a dead instance while at least one alive instance
+// exists. nil (or an all-true mask) restores normal routing. The mask
+// must have length instances; other lengths are ignored defensively.
+// The remap is deterministic (first alive instance scanning forward), so
+// every sender sharing this policy agrees on the substitute owner — the
+// property keyed state management relies on.
+func (t *TableFields) SetAlive(alive []bool) {
+	if alive != nil && len(alive) != t.instances {
+		return
+	}
+	var cp []bool
+	if alive != nil {
+		allAlive := true
+		for _, a := range alive {
+			if !a {
+				allAlive = false
+				break
+			}
+		}
+		if !allAlive {
+			cp = append([]bool(nil), alive...)
+		}
+	}
+	t.mu.Lock()
+	t.alive = cp
+	t.mu.Unlock()
 }
 
 // Update atomically installs a new routing table. A nil table resets to

@@ -52,13 +52,40 @@ func Install(p topology.Keyed, states map[string][]byte) error {
 
 // Buffer holds tuples whose key state is expected from another instance.
 // It is not safe for concurrent use; each executor owns one.
+//
+// A Buffer may be bounded with SetLimit: once the total number of held
+// tuples reaches the limit, further tuples are dropped and counted
+// instead of accumulated. An unbounded buffer is only safe when the
+// expected state is guaranteed to arrive promptly; during failure
+// recovery the sender may be dead and the restore delayed, so the
+// engine bounds the buffer and accounts the overflow as lost tuples.
 type Buffer struct {
 	pending map[string][]topology.Tuple
+	held    int
+	limit   int
+	dropped uint64
 }
 
-// NewBuffer returns an empty migration buffer.
+// NewBuffer returns an empty, unbounded migration buffer.
 func NewBuffer() *Buffer {
 	return &Buffer{pending: make(map[string][]topology.Tuple)}
+}
+
+// SetLimit bounds the total number of tuples the buffer will hold across
+// all pending keys (0 restores unbounded behaviour). Tuples held while
+// the buffer is full are dropped and counted (see Dropped).
+func (b *Buffer) SetLimit(n int) { b.limit = n }
+
+// Dropped returns the number of tuples discarded because the buffer was
+// full.
+func (b *Buffer) Dropped() uint64 { return b.dropped }
+
+// TakeDropped returns the drop count accumulated since the last call and
+// resets it, letting the owner fold the losses into its own accounting.
+func (b *Buffer) TakeDropped() uint64 {
+	d := b.dropped
+	b.dropped = 0
+	return d
 }
 
 // Expect marks keys whose state is in flight. Tuples for those keys must
@@ -81,22 +108,23 @@ func (b *Buffer) Pending(key string) bool {
 func (b *Buffer) PendingCount() int { return len(b.pending) }
 
 // BufferedCount returns the total number of buffered tuples.
-func (b *Buffer) BufferedCount() int {
-	n := 0
-	for _, ts := range b.pending {
-		n += len(ts)
-	}
-	return n
-}
+func (b *Buffer) BufferedCount() int { return b.held }
 
 // Hold stores a tuple for a pending key. It reports whether the key was
 // pending (false means the caller should process the tuple normally).
+// When the buffer is at its limit the tuple is consumed but dropped
+// rather than held; the caller observes the loss through Dropped.
 func (b *Buffer) Hold(key string, t topology.Tuple) bool {
 	ts, ok := b.pending[key]
 	if !ok {
 		return false
 	}
+	if b.limit > 0 && b.held >= b.limit {
+		b.dropped++
+		return true
+	}
 	b.pending[key] = append(ts, t)
+	b.held++
 	return true
 }
 
@@ -108,6 +136,7 @@ func (b *Buffer) Arrive(key string) []topology.Tuple {
 		return nil
 	}
 	delete(b.pending, key)
+	b.held -= len(ts)
 	return ts
 }
 

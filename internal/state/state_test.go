@@ -112,6 +112,90 @@ func TestBufferExpectIdempotent(t *testing.T) {
 	}
 }
 
+// TestBufferStateNeverArrives models the recovery scenario the
+// fault-tolerance subsystem relies on: the sender of a key's state died,
+// so tuples keep accumulating until the recovery path finally delivers a
+// (possibly empty) restore. Nothing must be lost in an unbounded buffer,
+// and the pending marker must survive arbitrarily many Hold calls.
+func TestBufferStateNeverArrives(t *testing.T) {
+	b := NewBuffer()
+	b.Expect([]string{"orphan"})
+	for i := 0; i < 1000; i++ {
+		if !b.Hold("orphan", tupleFor("orphan")) {
+			t.Fatalf("Hold rejected tuple %d for pending key", i)
+		}
+	}
+	if b.BufferedCount() != 1000 {
+		t.Fatalf("BufferedCount = %d, want 1000", b.BufferedCount())
+	}
+	if b.Dropped() != 0 {
+		t.Fatalf("unbounded buffer dropped %d tuples", b.Dropped())
+	}
+	// The recovery path eventually synthesizes an Arrive (with or without
+	// checkpointed state); every buffered tuple must come back.
+	if got := len(b.Arrive("orphan")); got != 1000 {
+		t.Fatalf("Arrive returned %d tuples, want 1000", got)
+	}
+	if b.PendingCount() != 0 || b.BufferedCount() != 0 {
+		t.Fatal("buffer not empty after recovery arrive")
+	}
+}
+
+func TestBufferBounded(t *testing.T) {
+	b := NewBuffer()
+	b.SetLimit(3)
+	b.Expect([]string{"k", "j"})
+	for i := 0; i < 5; i++ {
+		if !b.Hold("k", tupleFor("k")) {
+			t.Fatal("Hold must consume tuples for pending keys even when full")
+		}
+	}
+	if b.BufferedCount() != 3 {
+		t.Fatalf("BufferedCount = %d, want 3 (limit)", b.BufferedCount())
+	}
+	if b.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", b.Dropped())
+	}
+	// The limit is shared across keys: j cannot buffer while k holds it.
+	b.Hold("j", tupleFor("j"))
+	if b.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3 after cross-key overflow", b.Dropped())
+	}
+	// Draining k frees capacity for j again.
+	if got := len(b.Arrive("k")); got != 3 {
+		t.Fatalf("Arrive(k) returned %d tuples, want 3", got)
+	}
+	if !b.Hold("j", tupleFor("j")) || b.BufferedCount() != 1 {
+		t.Fatal("capacity not reclaimed after Arrive")
+	}
+	if got := b.TakeDropped(); got != 3 {
+		t.Fatalf("TakeDropped = %d, want 3", got)
+	}
+	if b.Dropped() != 0 {
+		t.Fatal("TakeDropped did not reset the counter")
+	}
+}
+
+// TestBufferDrainOrdering verifies tuples come back in exact arrival
+// order per key — the reconfiguration protocol's FIFO argument depends on
+// replaying held tuples in the order the stream delivered them.
+func TestBufferDrainOrdering(t *testing.T) {
+	b := NewBuffer()
+	b.Expect([]string{"k"})
+	for i := 0; i < 50; i++ {
+		b.Hold("k", topology.Tuple{Values: []string{"k", string(rune('a' + i%26))}, Padding: i})
+	}
+	held := b.Arrive("k")
+	if len(held) != 50 {
+		t.Fatalf("Arrive returned %d tuples, want 50", len(held))
+	}
+	for i, tp := range held {
+		if tp.Padding != i {
+			t.Fatalf("tuple %d has padding %d: drain order not FIFO", i, tp.Padding)
+		}
+	}
+}
+
 func TestBufferPendingKeysSorted(t *testing.T) {
 	b := NewBuffer()
 	b.Expect([]string{"z", "a", "m"})

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Kind distinguishes wire message types.
@@ -28,6 +29,7 @@ const (
 	KindData Kind = iota + 1
 	KindMigrate
 	KindPropagate
+	KindHeartbeat
 )
 
 // Addr identifies a recipient operator instance.
@@ -40,6 +42,10 @@ type Addr struct {
 type Message struct {
 	Kind Kind
 	To   Addr
+
+	// From is the sending server's id. Only heartbeats set it today, but
+	// any kind may carry it.
+	From int
 
 	// KindData
 	Values  []string
@@ -61,12 +67,34 @@ type Message struct {
 // per-connection reader goroutines and must be safe for concurrent use.
 type Handler func(Message)
 
+// NodeOptions tune a node's network behaviour. The zero value preserves
+// the historical semantics: writes block until the kernel accepts them
+// and Connect makes a single dial attempt with no timeout.
+type NodeOptions struct {
+	// WriteTimeout bounds each Send: if the peer's socket stays
+	// unwritable (stalled reader, dead host with a full window) past the
+	// deadline, Send fails instead of hanging the caller. The connection
+	// is dropped on timeout — a partially written gob stream cannot be
+	// resumed — so subsequent Sends to that peer fail fast.
+	WriteTimeout time.Duration
+	// DialTimeout bounds each individual dial attempt in Connect.
+	DialTimeout time.Duration
+	// DialRetries is the number of additional dial attempts after the
+	// first fails, so cluster startup is not order-sensitive when a
+	// peer's listener is slow to come up.
+	DialRetries int
+	// DialBackoff is the delay before the first retry, doubling on each
+	// subsequent one (default 10ms when DialRetries > 0).
+	DialBackoff time.Duration
+}
+
 // Node is one server's endpoint: a listener plus one outgoing connection
 // per peer.
 type Node struct {
 	id      int
 	ln      net.Listener
 	handler Handler
+	opts    NodeOptions
 
 	mu      sync.Mutex
 	peers   map[int]*peerConn
@@ -86,6 +114,11 @@ type peerConn struct {
 // NewNode starts a node listening on an ephemeral localhost port.
 // handler receives every inbound message.
 func NewNode(id int, handler Handler) (*Node, error) {
+	return NewNodeWith(id, handler, NodeOptions{})
+}
+
+// NewNodeWith is NewNode with explicit network options.
+func NewNodeWith(id int, handler Handler, opts NodeOptions) (*Node, error) {
 	if handler == nil {
 		return nil, errors.New("transport: nil handler")
 	}
@@ -93,7 +126,7 @@ func NewNode(id int, handler Handler) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	n := &Node{id: id, ln: ln, handler: handler, peers: make(map[int]*peerConn)}
+	n := &Node{id: id, ln: ln, handler: handler, opts: opts, peers: make(map[int]*peerConn)}
 	n.wg.Add(1)
 	go n.accept()
 	return n, nil
@@ -107,13 +140,15 @@ func (n *Node) Addr() string { return n.ln.Addr().String() }
 
 // Connect dials every peer in the map (peer id -> address). Peers may be
 // connected before they have connected back; each direction uses its own
-// connection.
+// connection. Each dial honours the node's DialTimeout and is retried
+// DialRetries times with exponential backoff, so a peer whose listener
+// is slow to come up does not fail cluster startup.
 func (n *Node) Connect(peers map[int]string) error {
 	for id, addr := range peers {
 		if id == n.id {
 			continue
 		}
-		conn, err := net.Dial("tcp", addr)
+		conn, err := n.dial(addr)
 		if err != nil {
 			return fmt.Errorf("transport: dial peer %d: %w", id, err)
 		}
@@ -124,8 +159,37 @@ func (n *Node) Connect(peers map[int]string) error {
 	return nil
 }
 
+func (n *Node) dial(addr string) (net.Conn, error) {
+	backoff := n.opts.DialBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt <= n.opts.DialRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		var conn net.Conn
+		var err error
+		if n.opts.DialTimeout > 0 {
+			conn, err = net.DialTimeout("tcp", addr, n.opts.DialTimeout)
+		} else {
+			conn, err = net.Dial("tcp", addr)
+		}
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
 // Send encodes msg to the given peer. Messages between the same pair of
-// nodes are delivered in order.
+// nodes are delivered in order. With a WriteTimeout configured, a send
+// that cannot make progress within the deadline fails — and the
+// connection is dropped, since a truncated gob stream cannot carry
+// further messages — instead of blocking the caller forever.
 func (n *Node) Send(peer int, msg Message) error {
 	n.mu.Lock()
 	pc := n.peers[peer]
@@ -135,10 +199,31 @@ func (n *Node) Send(peer int, msg Message) error {
 	}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	if err := pc.enc.Encode(msg); err != nil {
+	if n.opts.WriteTimeout > 0 {
+		_ = pc.conn.SetWriteDeadline(time.Now().Add(n.opts.WriteTimeout))
+	}
+	err := pc.enc.Encode(msg)
+	if n.opts.WriteTimeout > 0 {
+		_ = pc.conn.SetWriteDeadline(time.Time{})
+	}
+	if err != nil {
+		if n.opts.WriteTimeout > 0 {
+			n.dropPeer(peer, pc)
+		}
 		return fmt.Errorf("transport: send to %d: %w", peer, err)
 	}
 	return nil
+}
+
+// dropPeer closes and forgets a peer connection whose stream is no
+// longer usable (e.g. a write deadline fired mid-message).
+func (n *Node) dropPeer(peer int, pc *peerConn) {
+	_ = pc.conn.Close()
+	n.mu.Lock()
+	if n.peers[peer] == pc {
+		delete(n.peers, peer)
+	}
+	n.mu.Unlock()
 }
 
 func (n *Node) accept() {
@@ -207,6 +292,11 @@ type Fabric struct {
 // NewFabric starts servers nodes and fully connects them. handler
 // receives every message, along with the id of the receiving server.
 func NewFabric(servers int, handler func(server int, msg Message)) (*Fabric, error) {
+	return NewFabricWith(servers, handler, NodeOptions{})
+}
+
+// NewFabricWith is NewFabric with explicit per-node network options.
+func NewFabricWith(servers int, handler func(server int, msg Message), opts NodeOptions) (*Fabric, error) {
 	if servers < 1 {
 		return nil, errors.New("transport: fabric needs at least one server")
 	}
@@ -214,7 +304,7 @@ func NewFabric(servers int, handler func(server int, msg Message)) (*Fabric, err
 	addrs := make(map[int]string, servers)
 	for i := 0; i < servers; i++ {
 		id := i
-		node, err := NewNode(id, func(msg Message) { handler(id, msg) })
+		node, err := NewNodeWith(id, func(msg Message) { handler(id, msg) }, opts)
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -237,6 +327,20 @@ func (f *Fabric) Send(from, to int, msg Message) error {
 		return fmt.Errorf("transport: invalid sender %d", from)
 	}
 	return f.nodes[from].Send(to, msg)
+}
+
+// CloseNode shuts down a single server's node — its listener, outgoing
+// connections and inbound readers — leaving the rest of the fabric
+// running. Used to simulate a server crash: survivors' subsequent sends
+// to the dead node fail instead of being delivered. Safe to call more
+// than once.
+func (f *Fabric) CloseNode(server int) {
+	if server < 0 || server >= len(f.nodes) {
+		return
+	}
+	if node := f.nodes[server]; node != nil {
+		node.Close()
+	}
 }
 
 // Servers returns the number of nodes.

@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"bytes"
 	"fmt"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -177,6 +179,147 @@ func TestCloseIdempotentAndSendAfterClose(t *testing.T) {
 	f.Close() // must not panic or hang
 	if err := f.Send(0, 1, Message{Kind: KindData}); err == nil {
 		t.Error("send after close should fail")
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	f, snapshot, wg := collectFabric(t, 2)
+	wg.Add(1)
+	if err := f.Send(1, 0, Message{Kind: KindHeartbeat, From: 1}); err != nil {
+		t.Fatal(err)
+	}
+	waitGroupWithin(t, wg, 5*time.Second)
+	got := snapshot()
+	if len(got) != 1 || got[0].Kind != KindHeartbeat || got[0].From != 1 {
+		t.Fatalf("heartbeat = %+v", got)
+	}
+}
+
+// TestSendWriteDeadline verifies a sender facing a stalled peer errors
+// out within the write deadline instead of blocking forever, and that
+// subsequent sends to the dropped peer fail fast.
+func TestSendWriteDeadline(t *testing.T) {
+	// A raw listener that accepts but never reads, so the sender's
+	// kernel buffer eventually fills.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			accepted <- conn
+		}
+	}()
+
+	n, err := NewNodeWith(0, func(Message) {}, NodeOptions{WriteTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.Connect(map[int]string{1: ln.Addr().String()}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		select {
+		case conn := <-accepted:
+			conn.Close()
+		default:
+		}
+	}()
+
+	// Push large payloads until the socket buffers fill and the
+	// deadline fires. Bound the loop so a broken implementation fails
+	// the test instead of hanging it.
+	payload := bytes.Repeat([]byte{0xab}, 1<<20)
+	var sendErr error
+	for i := 0; i < 64; i++ {
+		if sendErr = n.Send(1, Message{Kind: KindMigrate, MigKey: "k", MigData: payload}); sendErr != nil {
+			break
+		}
+	}
+	if sendErr == nil {
+		t.Fatal("Send never surfaced an error against a stalled peer")
+	}
+	// The stream is truncated mid-message; the peer must be dropped so
+	// the next send fails immediately rather than writing garbage.
+	start := time.Now()
+	if err := n.Send(1, Message{Kind: KindData}); err == nil {
+		t.Fatal("send after deadline drop succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("send after drop took %v, want fast failure", elapsed)
+	}
+}
+
+// TestConnectRetriesSlowListener verifies Connect succeeds when the
+// peer's listener comes up only after the first dial attempts fail.
+func TestConnectRetriesSlowListener(t *testing.T) {
+	// Reserve a port, then free it so the first dials fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	n, err := NewNodeWith(0, func(Message) {}, NodeOptions{
+		DialTimeout: time.Second,
+		DialRetries: 50,
+		DialBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	// Bring the listener up late, on the reserved address.
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		late, err := net.Listen("tcp", addr)
+		if err != nil {
+			return
+		}
+		conn, err := late.Accept()
+		if err == nil {
+			defer conn.Close()
+		}
+		late.Close()
+	}()
+
+	if err := n.Connect(map[int]string{1: addr}); err != nil {
+		t.Fatalf("Connect did not survive a slow listener: %v", err)
+	}
+}
+
+// TestConnectBoundedRetries verifies Connect gives up after its retry
+// budget when the peer never appears.
+func TestConnectBoundedRetries(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nobody will ever listen here
+
+	n, err := NewNodeWith(0, func(Message) {}, NodeOptions{
+		DialTimeout: 100 * time.Millisecond,
+		DialRetries: 2,
+		DialBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	start := time.Now()
+	if err := n.Connect(map[int]string{1: addr}); err == nil {
+		t.Fatal("Connect succeeded with no listener")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Connect took %v, retries not bounded", elapsed)
 	}
 }
 

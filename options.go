@@ -17,6 +17,7 @@ type options struct {
 	sourceKeyField int
 	sketchCapacity int
 	maxInFlight    int
+	maxBuffered    int
 	tcpTransport   bool
 	hashOnly       bool
 	worstCase      bool
@@ -99,6 +100,15 @@ func WithSketchCapacity(n int) Option {
 // providing source backpressure in App (0 = unlimited).
 func WithMaxInFlight(n int) Option {
 	return optionFunc(func(o *options) { o.maxInFlight = n })
+}
+
+// WithMaxBuffered bounds, per operator instance, the tuples buffered for
+// keys whose state is still in transit during a migration or a failure
+// recovery (0 = unlimited). Overflow is dropped and counted as tuple
+// loss, so a slow restore degrades to bounded loss instead of unbounded
+// memory.
+func WithMaxBuffered(n int) Option {
+	return optionFunc(func(o *options) { o.maxBuffered = n })
 }
 
 // WithChargedSourceHop also bills the network cost of delivering

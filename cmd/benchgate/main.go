@@ -1,0 +1,233 @@
+// Command benchgate turns `go test -bench` output into a committed
+// baseline and gates CI on it.
+//
+// It reads benchmark output on stdin and runs in one of two modes:
+//
+//	benchgate -write BENCH.json
+//	    Parse every benchmark result line, aggregate repeated runs of
+//	    the same benchmark (-count N) by taking the fastest sample —
+//	    the run least disturbed by scheduler noise — and write the
+//	    baseline file.
+//
+//	benchgate -check BENCH.json -bench BenchmarkLiveForward -max-regress 0.20
+//	    Parse the current run the same way and compare the named
+//	    benchmark's ns/op against the committed baseline. Exit non-zero
+//	    if it regressed by more than -max-regress (a fraction: 0.20
+//	    allows up to +20% ns/op). Repeat -bench to gate several
+//	    benchmarks. A gated benchmark missing from either side is an
+//	    error: a silently vanished benchmark must fail the gate, not
+//	    pass it.
+//
+// The baseline file is plain JSON so reviewers can read regressions in
+// the diff when the baseline is deliberately re-written.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated numbers in the baseline file.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Samples     int     `json:"samples"`
+}
+
+// Baseline is the committed benchmark file format.
+type Baseline struct {
+	Schema     string            `json:"schema"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+const schemaVersion = "benchgate/1"
+
+func main() {
+	var (
+		writePath  = flag.String("write", "", "write the parsed baseline to this file")
+		checkPath  = flag.String("check", "", "compare stdin against this baseline file")
+		maxRegress = flag.Float64("max-regress", 0.20, "allowed fractional ns/op regression in -check mode")
+		gated      multiFlag
+	)
+	flag.Var(&gated, "bench", "benchmark name to gate in -check mode (repeatable)")
+	flag.Parse()
+
+	if (*writePath == "") == (*checkPath == "") {
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -write or -check is required")
+		os.Exit(2)
+	}
+
+	current, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(current.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results on stdin")
+		os.Exit(2)
+	}
+
+	if *writePath != "" {
+		if err := writeBaseline(*writePath, current); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		names := sortedNames(current.Benchmarks)
+		for _, name := range names {
+			r := current.Benchmarks[name]
+			fmt.Printf("benchgate: recorded %s: %.1f ns/op (%d samples)\n", name, r.NsPerOp, r.Samples)
+		}
+		return
+	}
+
+	baseline, err := readBaseline(*checkPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(gated) == 0 {
+		gated = sortedNames(baseline.Benchmarks)
+	}
+	failed := false
+	for _, name := range gated {
+		base, ok := baseline.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: not in baseline %s\n", name, *checkPath)
+			failed = true
+			continue
+		}
+		cur, ok := current.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: missing from current run\n", name)
+			failed = true
+			continue
+		}
+		ratio := cur.NsPerOp/base.NsPerOp - 1
+		status := "ok"
+		if ratio > *maxRegress {
+			status = "FAIL"
+			failed = true
+		}
+		out := os.Stdout
+		if status == "FAIL" {
+			out = os.Stderr
+		}
+		fmt.Fprintf(out, "benchgate: %s %s: %.1f ns/op vs baseline %.1f (%+.1f%%, limit +%.0f%%)\n",
+			status, name, cur.NsPerOp, base.NsPerOp, ratio*100, *maxRegress*100)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+// parseBench reads `go test -bench` output and aggregates result lines.
+// Repeated samples of one benchmark (-count N) keep the minimum ns/op
+// and the matching B/op / allocs/op columns.
+func parseBench(r io.Reader) (Baseline, error) {
+	out := Baseline{Schema: schemaVersion, Benchmarks: make(map[string]Result)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		name, res, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		prev, seen := out.Benchmarks[name]
+		if seen {
+			res.Samples += prev.Samples
+			if prev.NsPerOp < res.NsPerOp {
+				res.NsPerOp, res.BPerOp, res.AllocsPerOp = prev.NsPerOp, prev.BPerOp, prev.AllocsPerOp
+			}
+		}
+		out.Benchmarks[name] = res
+	}
+	return out, sc.Err()
+}
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkWireForward-8   3796738   324.1 ns/op   208 B/op   5 allocs/op
+//
+// Unit columns other than ns/op, B/op and allocs/op (custom
+// ReportMetric units such as tuples/frame) are ignored.
+func parseLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so baselines compare across machines.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", Result{}, false // not an iteration count
+	}
+	res := Result{Samples: 1}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp, sawNs = v, true
+		case "B/op":
+			res.BPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	if !sawNs {
+		return "", Result{}, false
+	}
+	return name, res, true
+}
+
+func writeBaseline(path string, b Baseline) error {
+	buf, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func readBaseline(path string) (Baseline, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(buf, &b); err != nil {
+		return Baseline{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if b.Schema != schemaVersion {
+		return Baseline{}, fmt.Errorf("%s: unsupported schema %q (want %q)", path, b.Schema, schemaVersion)
+	}
+	return b, nil
+}
+
+func sortedNames(m map[string]Result) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/locastream/locastream/internal/transport
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkWireForward-8 	 3796738	       324.1 ns/op	        68.98 encode-ns/op	      2512 tuples/frame	     208 B/op	       5 allocs/op
+BenchmarkWireForward-8 	 3610021	       331.7 ns/op	        70.10 encode-ns/op	      2498 tuples/frame	     210 B/op	       5 allocs/op
+BenchmarkGobForward-8  	  465319	      2251 ns/op	     464 B/op	       9 allocs/op
+BenchmarkWireEncode-8  	37339294	        32.43 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	github.com/locastream/locastream/internal/transport	3.928s
+`
+
+func TestParseBenchAggregatesMinOfSamples(t *testing.T) {
+	b, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(b.Benchmarks), b.Benchmarks)
+	}
+	wf := b.Benchmarks["BenchmarkWireForward"]
+	if wf.Samples != 2 {
+		t.Fatalf("WireForward samples = %d, want 2", wf.Samples)
+	}
+	if wf.NsPerOp != 324.1 {
+		t.Fatalf("WireForward ns/op = %v, want min sample 324.1", wf.NsPerOp)
+	}
+	if wf.BPerOp != 208 || wf.AllocsPerOp != 5 {
+		t.Fatalf("WireForward mem columns = %v B/op %v allocs/op, want 208/5", wf.BPerOp, wf.AllocsPerOp)
+	}
+	if enc := b.Benchmarks["BenchmarkWireEncode"]; enc.AllocsPerOp != 0 || enc.NsPerOp != 32.43 {
+		t.Fatalf("WireEncode = %+v", enc)
+	}
+}
+
+func TestParseLineRejectsNonResultLines(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	github.com/locastream/locastream/internal/transport	3.928s",
+		"goos: linux",
+		"BenchmarkBroken-8 	 notanumber	 324.1 ns/op",
+		"BenchmarkNoUnits-8 	 100	 324.1",
+		"--- BENCH: BenchmarkX-8",
+	} {
+		if name, _, ok := parseLine(line); ok {
+			t.Fatalf("parseLine accepted %q as %q", line, name)
+		}
+	}
+}
+
+func TestParseLineStripsGomaxprocsSuffix(t *testing.T) {
+	name, res, ok := parseLine("BenchmarkLiveForward-16 	 1000000	 1000 ns/op")
+	if !ok || name != "BenchmarkLiveForward" || res.NsPerOp != 1000 {
+		t.Fatalf("got %q %+v ok=%v", name, res, ok)
+	}
+	// A trailing -N that is part of a sub-benchmark name, not a proc
+	// count, must survive.
+	name, _, ok = parseLine("BenchmarkInjectWithCheckpointing/every10000-8 	 500000	 2000 ns/op")
+	if !ok || name != "BenchmarkInjectWithCheckpointing/every10000" {
+		t.Fatalf("sub-benchmark name = %q ok=%v", name, ok)
+	}
+}

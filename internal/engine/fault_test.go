@@ -349,6 +349,33 @@ func BenchmarkCheckpointClean(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpointDirty measures the incremental-checkpoint cost
+// when work actually happened since the last tick: each iteration
+// injects one tuple (dirtying one key on its home executor) and then
+// snapshots, so the measured cost is one dirty-key snapshot plus the
+// clean-scan of every other executor. The CI bench gate tracks this
+// alongside the wire and hot-path numbers in BENCH_4.json.
+func BenchmarkCheckpointDirty(b *testing.B) {
+	live := newFaultLive(b, 4, nil)
+	for i := 0; i < 1000; i++ {
+		k := "k" + strconv.Itoa(i%32)
+		_ = live.Inject(topology.Tuple{Values: []string{k, k}})
+	}
+	live.Drain()
+	live.CheckpointDirty()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := "k" + strconv.Itoa(i%32)
+		_ = live.Inject(topology.Tuple{Values: []string{k, k}})
+		live.Drain()
+		if recs := live.CheckpointDirty(); len(recs) == 0 {
+			b.Fatal("expected a dirty key to snapshot")
+		}
+	}
+}
+
 // BenchmarkInjectWithCheckpointing measures hot-path throughput with
 // periodic checkpoints, to compare against the no-checkpoint baseline:
 // the per-tuple overhead is one map lookup (dirty tracking), and the

@@ -105,6 +105,9 @@ type Live struct {
 	hbRecv atomic.Uint64
 
 	fabric *transport.Fabric
+	// wire accumulates the transport's frame/batch counters when a TCP
+	// fabric is attached (nil otherwise).
+	wire *metrics.WireMeter
 
 	srcSeq atomic.Uint64
 }
@@ -252,8 +255,21 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 		ex.edges = l.resolveEdges(ex)
 	}
 	if cfg.TCPTransport {
-		fabric, err := transport.NewFabric(cfg.Placement.Servers(), func(_ int, msg transport.Message) {
+		l.wire = new(metrics.WireMeter)
+		fabric, err := transport.NewFabricWith(cfg.Placement.Servers(), func(_ int, msg transport.Message) {
 			l.deliverWire(msg)
+		}, transport.NodeOptions{
+			// Batched data frames are drained into mailboxes one target
+			// at a time (deliverWireBatch); control traffic (migrations,
+			// propagation markers, heartbeats) still arrives one message
+			// at a time through deliverWire.
+			BatchHandler: l.deliverWireBatch,
+			// A broken connection discards the tuples batched behind it;
+			// each carries one in-flight count from its sender, which must
+			// be settled or Drain would wait forever on tuples that no
+			// longer exist.
+			DropHandler: l.noteWireDataDrops,
+			Meter:       l.wire,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("engine: start transport: %w", err)
@@ -303,9 +319,67 @@ func (l *Live) deliverWire(msg transport.Message) {
 	}
 }
 
+// deliverWireBatch drains one decoded data frame into mailboxes. Tuples
+// are grouped into runs with the same recipient, and each run is
+// enqueued under a single mailbox lock acquisition — the receive-side
+// payoff of wire batching. The transport reuses msgs for the next
+// frame, so everything needed is copied into engine messages before
+// returning.
+func (l *Live) deliverWireBatch(msgs []transport.Message) {
+	var run []message
+	for i := 0; i < len(msgs); {
+		to := msgs[i].To
+		j := i + 1
+		for j < len(msgs) && msgs[j].To == to {
+			j++
+		}
+		insts := l.execs[to.Op]
+		if to.Instance < 0 || to.Instance >= len(insts) {
+			// Corrupt addresses; drop, but leave a trace (cf. deliverWire).
+			l.wireDrops.Add(uint64(j - i))
+			i = j
+			continue
+		}
+		run = run[:0]
+		for k := i; k < j; k++ {
+			run = append(run, message{
+				kind:  msgData,
+				tuple: topology.Tuple{Values: msgs[k].Values, Padding: msgs[k].Padding},
+				keyOp: msgs[k].KeyOp,
+				key:   msgs[k].Key,
+			})
+		}
+		if !insts[to.Instance].box.putBatch(run) {
+			// The instance died between the wire send and delivery; the
+			// senders already counted these tuples in flight.
+			l.noteWireDataDrops(j - i)
+		}
+		i = j
+	}
+}
+
+// noteWireDataDrops settles the accounting for data tuples that made it
+// onto the wire but will never be processed: sender batches discarded
+// on a broken connection, and frames delivered to a killed mailbox.
+func (l *Live) noteWireDataDrops(n int) {
+	for i := 0; i < n; i++ {
+		l.inflight.dec()
+	}
+	l.tuplesLost.Add(uint64(n))
+}
+
 // WireDrops returns the number of transport messages dropped because they
 // were undeliverable (corrupt address or unknown kind).
 func (l *Live) WireDrops() uint64 { return l.wireDrops.Load() }
+
+// WireStats returns the transport's frame/batch counters (zero without
+// a TCP fabric).
+func (l *Live) WireStats() metrics.WireStats {
+	if l.wire == nil {
+		return metrics.WireStats{}
+	}
+	return l.wire.Snapshot()
+}
 
 // sendWire encodes msg for the TCP fabric and reports whether it was
 // handed to the transport; false means the caller must deliver directly
@@ -415,6 +489,9 @@ type Stats struct {
 	TuplesLost uint64
 	// Alive reports, per server, whether it has not been killed.
 	Alive []bool
+	// Wire holds the TCP transport's frame/batch counters (all zero
+	// without a fabric).
+	Wire metrics.WireStats
 }
 
 // StatsSnapshot aggregates the engine's cheap operational signals. Unlike
@@ -429,6 +506,7 @@ func (l *Live) StatsSnapshot() Stats {
 		WireDrops:  l.wireDrops.Load(),
 		TuplesLost: l.tuplesLost.Load(),
 		Alive:      l.AliveServers(),
+		Wire:       l.WireStats(),
 	}
 	for op := range l.execs {
 		st.Loads[op] = l.Loads(op)

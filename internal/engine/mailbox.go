@@ -50,6 +50,30 @@ func (m *mailbox) put(msg message) bool {
 	return true
 }
 
+// putBatch enqueues a run of messages in order under one lock
+// acquisition — the receive-side half of wire batching: a decoded data
+// frame of N tuples costs one mailbox lock per target instance instead
+// of N. Like put it reports whether the messages were accepted; after
+// close the whole run is rejected so callers can settle per-message
+// accounting.
+func (m *mailbox) putBatch(msgs []message) bool {
+	if len(msgs) == 0 {
+		return true
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return false
+	}
+	wasEmpty := len(m.items) == 0
+	m.items = append(m.items, msgs...)
+	m.mu.Unlock()
+	if wasEmpty {
+		m.nonEmp.Signal()
+	}
+	return true
+}
+
 // getBatch blocks until at least one message is queued or the mailbox is
 // closed (ok == false once drained). It returns the entire queued slice
 // and installs buf (a previously returned, fully consumed batch) as the

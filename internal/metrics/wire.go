@@ -1,0 +1,156 @@
+package metrics
+
+import "sync/atomic"
+
+// FlushReason says why a pending data batch was written to the socket.
+type FlushReason uint8
+
+const (
+	// FlushSize: the batch reached the configured byte threshold.
+	FlushSize FlushReason = iota
+	// FlushTimer: the batch aged past the configured flush interval.
+	FlushTimer
+	// FlushControl: a control message (migration, propagation marker,
+	// heartbeat) needed the FIFO stream, forcing the batch out first.
+	FlushControl
+	// FlushClose: the node shut down and drained its pending batch.
+	FlushClose
+)
+
+// WireStats is a snapshot of the binary wire protocol's counters.
+type WireStats struct {
+	// FramesSent / TuplesSent / BytesSent cover outgoing data frames
+	// (batched tuples); ControlSent / ControlBytesSent cover outgoing
+	// control frames (gob traffic).
+	FramesSent       uint64 `json:"frames_sent"`
+	TuplesSent       uint64 `json:"tuples_sent"`
+	BytesSent        uint64 `json:"bytes_sent"`
+	ControlSent      uint64 `json:"control_sent"`
+	ControlBytesSent uint64 `json:"control_bytes_sent"`
+
+	// FlushSize/FlushTimer/FlushControl/FlushClose count data-frame
+	// flushes by reason; their sum equals FramesSent.
+	FlushSize    uint64 `json:"flush_size"`
+	FlushTimer   uint64 `json:"flush_timer"`
+	FlushControl uint64 `json:"flush_control"`
+	FlushClose   uint64 `json:"flush_close"`
+
+	// Receive-side mirrors.
+	FramesReceived   uint64 `json:"frames_received"`
+	TuplesReceived   uint64 `json:"tuples_received"`
+	BytesReceived    uint64 `json:"bytes_received"`
+	ControlReceived  uint64 `json:"control_received"`
+	ControlBytesRecv uint64 `json:"control_bytes_received"`
+
+	// EncodeNanos is the cumulative wall time spent binary-encoding
+	// tuples into batch buffers.
+	EncodeNanos uint64 `json:"encode_nanos"`
+}
+
+// TuplesPerFrame is the mean data batch size actually achieved.
+func (s WireStats) TuplesPerFrame() float64 {
+	if s.FramesSent == 0 {
+		return 0
+	}
+	return float64(s.TuplesSent) / float64(s.FramesSent)
+}
+
+// EncodeNsPerTuple is the mean per-tuple binary encode cost.
+func (s WireStats) EncodeNsPerTuple() float64 {
+	if s.TuplesSent == 0 {
+		return 0
+	}
+	return float64(s.EncodeNanos) / float64(s.TuplesSent)
+}
+
+// WireMeter accumulates the wire protocol's counters. Every method is a
+// handful of atomic adds, so the transport can call them from its send
+// and receive paths without shared locks. The zero value is ready to
+// use.
+type WireMeter struct {
+	framesSent       atomic.Uint64
+	tuplesSent       atomic.Uint64
+	bytesSent        atomic.Uint64
+	controlSent      atomic.Uint64
+	controlBytesSent atomic.Uint64
+
+	flushSize    atomic.Uint64
+	flushTimer   atomic.Uint64
+	flushControl atomic.Uint64
+	flushClose   atomic.Uint64
+
+	framesReceived   atomic.Uint64
+	tuplesReceived   atomic.Uint64
+	bytesReceived    atomic.Uint64
+	controlReceived  atomic.Uint64
+	controlBytesRecv atomic.Uint64
+
+	encodeNanos atomic.Uint64
+}
+
+// RecordFrameSent folds in one flushed data frame of tuples tuples and
+// bytes total frame bytes, flushed for the given reason.
+func (m *WireMeter) RecordFrameSent(tuples, bytes int, reason FlushReason) {
+	m.framesSent.Add(1)
+	m.tuplesSent.Add(uint64(tuples))
+	m.bytesSent.Add(uint64(bytes))
+	switch reason {
+	case FlushSize:
+		m.flushSize.Add(1)
+	case FlushTimer:
+		m.flushTimer.Add(1)
+	case FlushControl:
+		m.flushControl.Add(1)
+	case FlushClose:
+		m.flushClose.Add(1)
+	}
+}
+
+// RecordControlSent folds in one outgoing control frame.
+func (m *WireMeter) RecordControlSent(bytes int) {
+	m.controlSent.Add(1)
+	m.controlBytesSent.Add(uint64(bytes))
+}
+
+// RecordFrameReceived folds in one decoded data frame.
+func (m *WireMeter) RecordFrameReceived(tuples, bytes int) {
+	m.framesReceived.Add(1)
+	m.tuplesReceived.Add(uint64(tuples))
+	m.bytesReceived.Add(uint64(bytes))
+}
+
+// RecordControlReceived folds in one decoded control frame.
+func (m *WireMeter) RecordControlReceived(bytes int) {
+	m.controlReceived.Add(1)
+	m.controlBytesRecv.Add(uint64(bytes))
+}
+
+// RecordEncode folds in the wall time of one tuple's binary encode.
+func (m *WireMeter) RecordEncode(nanos int64) {
+	if nanos > 0 {
+		m.encodeNanos.Add(uint64(nanos))
+	}
+}
+
+// Snapshot returns the accumulated counters. The fields are read one
+// atomic at a time, so a snapshot taken mid-flush may be off by one
+// frame — fine for monitoring, which is all this is for.
+func (m *WireMeter) Snapshot() WireStats {
+	return WireStats{
+		FramesSent:       m.framesSent.Load(),
+		TuplesSent:       m.tuplesSent.Load(),
+		BytesSent:        m.bytesSent.Load(),
+		ControlSent:      m.controlSent.Load(),
+		ControlBytesSent: m.controlBytesSent.Load(),
+		FlushSize:        m.flushSize.Load(),
+		FlushTimer:       m.flushTimer.Load(),
+		FlushControl:     m.flushControl.Load(),
+		FlushClose:       m.flushClose.Load(),
+		FramesReceived:   m.framesReceived.Load(),
+		TuplesReceived:   m.tuplesReceived.Load(),
+		BytesReceived:    m.bytesReceived.Load(),
+		ControlReceived:  m.controlReceived.Load(),
+		ControlBytesRecv: m.controlBytesRecv.Load(),
+		EncodeNanos:      m.encodeNanos.Load(),
+	}
+}

@@ -1,0 +1,221 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"sync"
+)
+
+// Wire framing. Every message crosses the socket inside a
+// length-prefixed frame:
+//
+//	+------+----------------+=================+
+//	| type | payload length |     payload     |
+//	| 1 B  | 4 B, LE uint32 | length bytes    |
+//	+------+----------------+=================+
+//
+// frameData carries a batch of KindData messages in the compact binary
+// tuple encoding below; frameControl carries exactly one gob-encoded
+// Message (migration snapshots, propagation markers, heartbeats — rare
+// control traffic where gob's self-describing flexibility is worth its
+// per-message cost).
+//
+// A reader that cannot parse a frame — truncated header or payload,
+// length prefix beyond maxFramePayload, unknown type byte, malformed
+// tuple encoding — drops the whole connection. Frames are applied only
+// after being read and decoded completely, so a torn frame can never
+// deliver a partial tuple.
+const (
+	frameHeaderLen = 5
+
+	frameData    byte = 0x01
+	frameControl byte = 0x02
+
+	// maxFramePayload bounds a frame's declared payload length. A reader
+	// seeing a larger prefix treats the stream as corrupt and drops the
+	// connection instead of allocating whatever a flipped bit asks for.
+	// Control frames carry whole migration snapshots, so the cap is
+	// generous; data frames flush far earlier (NodeOptions.FlushBytes).
+	maxFramePayload = 64 << 20
+
+	// maxIntField bounds the integer fields of a tuple record (instance,
+	// origin server, padding) so a corrupt varint cannot overflow int on
+	// any platform.
+	maxIntField = 1 << 31
+)
+
+var errFrameCorrupt = errors.New("transport: corrupt frame")
+
+// putFrameHeader stamps the type byte and payload length over the
+// frameHeaderLen bytes reserved at the front of buf.
+func putFrameHeader(buf []byte, typ byte) {
+	buf[0] = typ
+	binary.LittleEndian.PutUint32(buf[1:frameHeaderLen], uint32(len(buf)-frameHeaderLen))
+}
+
+// appendTuple appends the binary encoding of one KindData message to
+// buf and returns the extended slice. Every field is varint-prefixed;
+// the encoding allocates nothing beyond buf's own growth, which the
+// per-peer batch buffer amortizes to zero in steady state.
+//
+// Tuple record layout (all integers unsigned varints):
+//
+//	opLen, op bytes        — To.Op
+//	instance               — To.Instance
+//	from                   — origin server
+//	keyOpLen, keyOp bytes  — operator whose key last applied
+//	keyLen, key bytes      — that key
+//	padding                — synthetic payload size
+//	nvalues                — len(Values)
+//	nvalues × (len, bytes) — the values
+func appendTuple(buf []byte, m *Message) []byte {
+	buf = appendString(buf, m.To.Op)
+	buf = binary.AppendUvarint(buf, uint64(nonNeg(m.To.Instance)))
+	buf = binary.AppendUvarint(buf, uint64(nonNeg(m.From)))
+	buf = appendString(buf, m.KeyOp)
+	buf = appendString(buf, m.Key)
+	buf = binary.AppendUvarint(buf, uint64(nonNeg(m.Padding)))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Values)))
+	for _, v := range m.Values {
+		buf = appendString(buf, v)
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func nonNeg(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// appendBatch decodes a frameData payload, appending one KindData
+// Message per tuple record to dst. The payload is consumed to its end;
+// any leftover or short field means the frame is corrupt and the
+// connection must be dropped. Every declared length is validated
+// against the bytes actually remaining before any allocation, so a
+// corrupt length prefix can never make the decoder allocate more than
+// O(len(p)).
+func appendBatch(dst []Message, p []byte) ([]Message, error) {
+	for len(p) > 0 {
+		var (
+			m  Message
+			u  uint64
+			ok bool
+		)
+		m.Kind = KindData
+		if m.To.Op, p, ok = readString(p); !ok {
+			return dst, errFrameCorrupt
+		}
+		if u, p, ok = readUvarint(p); !ok || u > maxIntField {
+			return dst, errFrameCorrupt
+		}
+		m.To.Instance = int(u)
+		if u, p, ok = readUvarint(p); !ok || u > maxIntField {
+			return dst, errFrameCorrupt
+		}
+		m.From = int(u)
+		if m.KeyOp, p, ok = readString(p); !ok {
+			return dst, errFrameCorrupt
+		}
+		if m.Key, p, ok = readString(p); !ok {
+			return dst, errFrameCorrupt
+		}
+		if u, p, ok = readUvarint(p); !ok || u > maxIntField {
+			return dst, errFrameCorrupt
+		}
+		m.Padding = int(u)
+		if u, p, ok = readUvarint(p); !ok {
+			return dst, errFrameCorrupt
+		}
+		// Each value costs at least its one-byte length prefix, so a
+		// count beyond the remaining bytes is unsatisfiable.
+		if u > uint64(len(p)) {
+			return dst, errFrameCorrupt
+		}
+		if u > 0 {
+			vals := make([]string, u)
+			for i := range vals {
+				if vals[i], p, ok = readString(p); !ok {
+					return dst, errFrameCorrupt
+				}
+			}
+			m.Values = vals
+		}
+		dst = append(dst, m)
+	}
+	return dst, nil
+}
+
+func readUvarint(p []byte) (uint64, []byte, bool) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, p, false
+	}
+	return v, p[n:], true
+}
+
+// readString reads one varint-prefixed string, copying it out of p so
+// the frame buffer can be recycled immediately after decoding.
+func readString(p []byte) (string, []byte, bool) {
+	v, rest, ok := readUvarint(p)
+	if !ok || v > uint64(len(rest)) {
+		return "", p, false
+	}
+	return string(rest[:v]), rest[v:], true
+}
+
+// readFrame reads one complete frame from r: the fixed header into hdr,
+// then the payload into a pooled buffer (return it with putBuf). Any
+// error — including a corrupt type byte or an oversized length prefix —
+// means the stream is unusable and the connection must be dropped.
+func readFrame(r io.Reader, hdr []byte) (typ byte, payload *[]byte, err error) {
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	typ = hdr[0]
+	if typ != frameData && typ != frameControl {
+		return 0, nil, errFrameCorrupt
+	}
+	length := binary.LittleEndian.Uint32(hdr[1:frameHeaderLen])
+	if length > maxFramePayload {
+		return 0, nil, errFrameCorrupt
+	}
+	bp := getBuf(int(length))
+	if _, err := io.ReadFull(r, *bp); err != nil {
+		putBuf(bp)
+		return 0, nil, err
+	}
+	return typ, bp, nil
+}
+
+// bufPool recycles frame payload buffers between reads (and control
+// frame encodes), so the steady-state wire path allocates nothing per
+// frame.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// maxPooledBuf keeps occasional giant buffers (large migration
+// snapshots) from being pinned in the pool forever.
+const maxPooledBuf = 1 << 20
+
+func getBuf(n int) *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(bp)
+}

@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func sampleTuples() []Message {
+	return []Message{
+		{Kind: KindData, To: Addr{Op: "B", Instance: 2}, From: 1,
+			Values: []string{"Asia", "#golang"}, Padding: 64, KeyOp: "A", Key: "Asia"},
+		{Kind: KindData, To: Addr{Op: "B", Instance: 0},
+			Values: []string{""}, KeyOp: "", Key: ""},
+		{Kind: KindData, To: Addr{Op: "C", Instance: 7},
+			Values: nil, Padding: 1 << 20, KeyOp: "B", Key: "k'"},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	in := sampleTuples()
+	buf := make([]byte, frameHeaderLen)
+	for i := range in {
+		buf = appendTuple(buf, &in[i])
+	}
+	out, err := appendBatch(nil, buf[frameHeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestBatchRejectsNegativeFieldEncoding(t *testing.T) {
+	// Negative ints are not representable on the wire; encode clamps
+	// them to zero rather than producing a 10-byte two's-complement
+	// varint the decoder would reject as out of range.
+	m := Message{Kind: KindData, To: Addr{Op: "B", Instance: -1}, Padding: -7}
+	buf := appendTuple(nil, &m)
+	out, err := appendBatch(nil, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].To.Instance != 0 || out[0].Padding != 0 {
+		t.Fatalf("clamped fields = %+v", out[0])
+	}
+}
+
+// TestBatchDecodeCorrupt feeds the decoder truncations and corrupt
+// length prefixes of a valid batch; every one must error out cleanly,
+// never panic, and never deliver a partially decoded tuple as valid.
+func TestBatchDecodeCorrupt(t *testing.T) {
+	in := sampleTuples()
+	var valid []byte
+	for i := range in {
+		valid = appendTuple(valid, &in[i])
+	}
+	// Every strict prefix of the payload is a truncation: the final
+	// tuple record is cut short, so decode must fail (a cut exactly on a
+	// tuple boundary is legitimate — skip those by checking decode of
+	// the prefix against re-encode).
+	onBoundary := map[int]bool{0: true}
+	var b []byte
+	for i := range in {
+		b = appendTuple(b, &in[i])
+		onBoundary[len(b)] = true
+	}
+	for cut := 0; cut < len(valid); cut++ {
+		got, err := appendBatch(nil, valid[:cut])
+		if onBoundary[cut] {
+			if err != nil {
+				t.Fatalf("cut %d on tuple boundary: %v", cut, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("cut %d decoded %d tuples without error", cut, len(got))
+		}
+	}
+	// A huge declared value count must be rejected before allocating.
+	p := binary.AppendUvarint(nil, 6)  // len("remote")
+	p = append(p, "remote"...)         // To.Op
+	p = binary.AppendUvarint(p, 0)     // Instance
+	p = binary.AppendUvarint(p, 0)     // From
+	p = binary.AppendUvarint(p, 0)     // KeyOp
+	p = binary.AppendUvarint(p, 0)     // Key
+	p = binary.AppendUvarint(p, 0)     // Padding
+	p = binary.AppendUvarint(p, 1<<40) // nvalues: absurd
+	if _, err := appendBatch(nil, p); err == nil {
+		t.Fatal("absurd value count accepted")
+	}
+}
+
+func TestReadFrameRejectsOversizedAndUnknown(t *testing.T) {
+	hdr := make([]byte, frameHeaderLen)
+	// Oversized length prefix.
+	over := make([]byte, frameHeaderLen)
+	over[0] = frameData
+	binary.LittleEndian.PutUint32(over[1:], maxFramePayload+1)
+	if _, _, err := readFrame(bytes.NewReader(over), hdr); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// Unknown frame type.
+	unk := make([]byte, frameHeaderLen)
+	unk[0] = 0x7f
+	if _, _, err := readFrame(bytes.NewReader(unk), hdr); err == nil {
+		t.Fatal("unknown frame type accepted")
+	}
+	// Truncated payload.
+	short := make([]byte, frameHeaderLen, frameHeaderLen+3)
+	short[0] = frameData
+	binary.LittleEndian.PutUint32(short[1:], 8)
+	short = append(short, 1, 2, 3)
+	if _, _, err := readFrame(bytes.NewReader(short), hdr); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated payload: err = %v, want %v", err, io.ErrUnexpectedEOF)
+	}
+}
+
+// TestEncodeSteadyStateZeroAlloc pins the acceptance criterion for the
+// wire hot path: once the per-peer batch buffer has grown to its
+// working size, encoding a tuple into it performs no allocation.
+func TestEncodeSteadyStateZeroAlloc(t *testing.T) {
+	msg := Message{Kind: KindData, To: Addr{Op: "B", Instance: 3}, From: 1,
+		Values: []string{"Asia", "#golang"}, Padding: 64, KeyOp: "A", Key: "Asia"}
+	buf := make([]byte, frameHeaderLen, 1<<20)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = appendTuple(buf[:frameHeaderLen], &msg)
+	})
+	if allocs != 0 {
+		t.Fatalf("appendTuple allocates %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+// FuzzFrameDecode drives the whole receive-side parse path — frame
+// header, length prefix, batch decoder — with arbitrary bytes. The
+// decoder must never panic and must never allocate out of proportion to
+// its input, no matter what a corrupt or malicious peer sends.
+func FuzzFrameDecode(f *testing.F) {
+	// Seed with a valid two-frame stream and a few mutations.
+	var payload []byte
+	for _, m := range sampleTuples() {
+		payload = appendTuple(payload, &m)
+	}
+	frame := make([]byte, frameHeaderLen)
+	frame = append(frame, payload...)
+	putFrameHeader(frame, frameData)
+	f.Add(append(append([]byte{}, frame...), frame...))
+	f.Add(frame[:len(frame)-3]) // torn mid-payload
+	f.Add([]byte{frameData, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{frameControl, 4, 0, 0, 0, 1, 2, 3, 4})
+	f.Add(payload)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The stream path: parse frames until the reader errors out.
+		r := bytes.NewReader(data)
+		hdr := make([]byte, frameHeaderLen)
+		for {
+			typ, bp, err := readFrame(r, hdr)
+			if err != nil {
+				break
+			}
+			if typ == frameData {
+				if msgs, err := appendBatch(nil, *bp); err == nil {
+					for i := range msgs {
+						if msgs[i].To.Instance < 0 || msgs[i].Padding < 0 || msgs[i].From < 0 {
+							t.Fatalf("decoded negative int field: %+v", msgs[i])
+						}
+					}
+				}
+			}
+			putBuf(bp)
+		}
+		// The raw payload path, independent of framing.
+		_, _ = appendBatch(nil, data)
+	})
+}

@@ -1,24 +1,40 @@
 // Package transport moves engine messages between servers over real TCP
-// connections. The live engine keeps every operator instance in one
-// process (like a single Storm worker per server), but with a Fabric
-// attached, every cross-server tuple, state migration and propagation
-// marker is gob-encoded, written to a localhost socket, read back and
-// decoded — exercising the serialization and kernel network path that
-// makes remote transfers expensive in the paper's measurements.
+// connections, using a length-prefixed binary wire protocol with tuple
+// batching. The live engine keeps every operator instance in one process
+// (like a single Storm worker per server), but with a Fabric attached,
+// every cross-server tuple, state migration and propagation marker is
+// encoded, written to a localhost socket, read back and decoded —
+// exercising the serialization and kernel network path that makes remote
+// transfers expensive in the paper's measurements.
+//
+// Data tuples (KindData) are packed into per-peer batches with a compact
+// varint encoding and flushed when the batch reaches FlushBytes or ages
+// past FlushInterval — the amortization Storm's batched Netty transport
+// applies to the same cost. Control traffic (state migrations,
+// propagation markers, heartbeats) stays gob-encoded behind its own
+// frame type: it is rare, its payloads are irregular, and gob's
+// self-describing encoding keeps those paths simple. A control send
+// first flushes the pending data batch on the same connection, so the
+// per-pair FIFO order the reconfiguration protocol relies on (§3.4) is
+// preserved exactly.
 //
 // One Node is created per simulated server. Each ordered pair of nodes
 // shares one TCP connection, so messages between two servers are
-// delivered in FIFO order — the ordering assumption the reconfiguration
-// protocol's correctness argument relies on (§3.4).
+// delivered in FIFO order.
 package transport
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"github.com/locastream/locastream/internal/metrics"
 )
 
 // Kind distinguishes wire message types.
@@ -67,15 +83,31 @@ type Message struct {
 // per-connection reader goroutines and must be safe for concurrent use.
 type Handler func(Message)
 
-// NodeOptions tune a node's network behaviour. The zero value preserves
-// the historical semantics: writes block until the kernel accepts them
-// and Connect makes a single dial attempt with no timeout.
+// BatchHandler consumes one decoded data frame: a batch of KindData
+// messages that crossed the wire together. The slice (not the strings
+// inside it) is reused for the connection's next frame, so the handler
+// must finish with it — or copy it — before returning. Like Handler it
+// runs on per-connection reader goroutines and must be safe for
+// concurrent use.
+type BatchHandler func(msgs []Message)
+
+// Default batching parameters (see NodeOptions).
+const (
+	DefaultFlushBytes    = 64 << 10
+	DefaultFlushInterval = time.Millisecond
+)
+
+// NodeOptions tune a node's network behaviour. The zero value makes a
+// single no-timeout dial attempt per peer, blocks writes until the
+// kernel accepts them, and batches data tuples with the default
+// FlushBytes/FlushInterval thresholds.
 type NodeOptions struct {
-	// WriteTimeout bounds each Send: if the peer's socket stays
-	// unwritable (stalled reader, dead host with a full window) past the
-	// deadline, Send fails instead of hanging the caller. The connection
-	// is dropped on timeout — a partially written gob stream cannot be
-	// resumed — so subsequent Sends to that peer fail fast.
+	// WriteTimeout bounds each socket write (batch flushes and control
+	// frames): if the peer's socket stays unwritable (stalled reader,
+	// dead host with a full window) past the deadline, the write fails
+	// instead of hanging the caller. The connection is dropped on any
+	// write error — a partially written frame cannot be resumed — so
+	// subsequent Sends to that peer fail fast.
 	WriteTimeout time.Duration
 	// DialTimeout bounds each individual dial attempt in Connect.
 	DialTimeout time.Duration
@@ -86,6 +118,31 @@ type NodeOptions struct {
 	// DialBackoff is the delay before the first retry, doubling on each
 	// subsequent one (default 10ms when DialRetries > 0).
 	DialBackoff time.Duration
+
+	// FlushBytes flushes a peer's pending data batch once its encoded
+	// payload reaches this many bytes (default DefaultFlushBytes).
+	FlushBytes int
+	// FlushInterval bounds how long a pending batch waits for more
+	// tuples before being flushed anyway (default DefaultFlushInterval).
+	// Batching therefore delays a tuple by at most this much; it never
+	// reorders anything.
+	FlushInterval time.Duration
+
+	// BatchHandler, when set, receives each decoded data frame as one
+	// call instead of the per-message Handler — the receive-side half of
+	// batching (the engine drains a whole frame into mailboxes in one
+	// lock acquisition per target).
+	BatchHandler BatchHandler
+	// DropHandler, when set, is called with the number of batched
+	// KindData messages discarded because their connection broke before
+	// the batch could be flushed. Senders that count tuples in flight
+	// need this to settle their accounting; the callback must be cheap
+	// and must not call back into the transport.
+	DropHandler func(tuples int)
+	// Meter, when set, accumulates wire statistics (frames, tuples per
+	// frame, bytes, flush reasons, encode time) across all of the node's
+	// connections.
+	Meter *metrics.WireMeter
 }
 
 // Node is one server's endpoint: a listener plus one outgoing connection
@@ -96,19 +153,57 @@ type Node struct {
 	handler Handler
 	opts    NodeOptions
 
+	flushBytes    int
+	flushInterval time.Duration
+
+	// peers is copy-on-write: Send loads it with one atomic read (the
+	// per-tuple fast path takes no node-wide lock); Connect, connection
+	// drops and Close rebuild it under mu.
+	peers atomic.Pointer[map[int]*peerConn]
+
 	mu      sync.Mutex
-	peers   map[int]*peerConn
 	inbound []net.Conn
 
 	wg     sync.WaitGroup
 	closed bool
 }
 
-// peerConn serializes writes to one peer.
+// setPeer/removePeer rebuild the copy-on-write peer map. Callers must
+// hold n.mu.
+func (n *Node) setPeerLocked(id int, pc *peerConn) {
+	old := *n.peers.Load()
+	next := make(map[int]*peerConn, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[id] = pc
+	n.peers.Store(&next)
+}
+
+func (n *Node) removePeerLocked(id int, pc *peerConn) {
+	old := *n.peers.Load()
+	if old[id] != pc {
+		return
+	}
+	next := make(map[int]*peerConn, len(old))
+	for k, v := range old {
+		if k != id {
+			next[k] = v
+		}
+	}
+	n.peers.Store(&next)
+}
+
+// peerConn serializes writes to one peer and owns the pending data
+// batch: a single reusable buffer holding the frame header placeholder
+// followed by the tuples encoded so far.
 type peerConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+	mu     sync.Mutex
+	conn   net.Conn
+	buf    []byte // frameHeaderLen reserved bytes + encoded tuples
+	batchN int    // tuples currently in buf
+	timer  *time.Timer
+	broken bool
 }
 
 // NewNode starts a node listening on an ephemeral localhost port.
@@ -126,7 +221,17 @@ func NewNodeWith(id int, handler Handler, opts NodeOptions) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	n := &Node{id: id, ln: ln, handler: handler, opts: opts, peers: make(map[int]*peerConn)}
+	n := &Node{id: id, ln: ln, handler: handler, opts: opts}
+	empty := make(map[int]*peerConn)
+	n.peers.Store(&empty)
+	n.flushBytes = opts.FlushBytes
+	if n.flushBytes <= 0 {
+		n.flushBytes = DefaultFlushBytes
+	}
+	n.flushInterval = opts.FlushInterval
+	if n.flushInterval <= 0 {
+		n.flushInterval = DefaultFlushInterval
+	}
 	n.wg.Add(1)
 	go n.accept()
 	return n, nil
@@ -152,8 +257,14 @@ func (n *Node) Connect(peers map[int]string) error {
 		if err != nil {
 			return fmt.Errorf("transport: dial peer %d: %w", id, err)
 		}
+		pc := &peerConn{
+			conn: conn,
+			buf:  make([]byte, frameHeaderLen, frameHeaderLen+n.flushBytes+4096),
+		}
+		pc.timer = time.AfterFunc(time.Hour, func() { n.flushExpired(id, pc) })
+		pc.timer.Stop()
 		n.mu.Lock()
-		n.peers[id] = &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
+		n.setPeerLocked(id, pc)
 		n.mu.Unlock()
 	}
 	return nil
@@ -185,44 +296,165 @@ func (n *Node) dial(addr string) (net.Conn, error) {
 	return nil, lastErr
 }
 
-// Send encodes msg to the given peer. Messages between the same pair of
-// nodes are delivered in order. With a WriteTimeout configured, a send
-// that cannot make progress within the deadline fails — and the
-// connection is dropped, since a truncated gob stream cannot carry
-// further messages — instead of blocking the caller forever.
+// Send hands msg to the given peer. Messages between the same pair of
+// nodes are delivered in order.
+//
+// KindData messages are appended to the peer's pending batch and return
+// immediately; the batch is written as one data frame when it reaches
+// FlushBytes, ages past FlushInterval, or a control message needs the
+// stream. A batched tuple whose flush later fails is reported through
+// DropHandler, not through Send's error. All other kinds are control
+// traffic: they flush the pending batch, then write their own gob frame
+// before returning, so their errors are synchronous.
+//
+// With a WriteTimeout configured, a write that cannot make progress
+// within the deadline fails — and the connection is dropped, since a
+// truncated frame cannot carry further messages — instead of blocking
+// the caller forever.
 func (n *Node) Send(peer int, msg Message) error {
-	n.mu.Lock()
-	pc := n.peers[peer]
-	n.mu.Unlock()
+	pc := (*n.peers.Load())[peer]
 	if pc == nil {
 		return fmt.Errorf("transport: node %d has no connection to peer %d", n.id, peer)
 	}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	if n.opts.WriteTimeout > 0 {
-		_ = pc.conn.SetWriteDeadline(time.Now().Add(n.opts.WriteTimeout))
+	if pc.broken {
+		return fmt.Errorf("transport: node %d: connection to peer %d is dropped", n.id, peer)
 	}
-	err := pc.enc.Encode(msg)
-	if n.opts.WriteTimeout > 0 {
-		_ = pc.conn.SetWriteDeadline(time.Time{})
+	if msg.Kind == KindData {
+		return n.sendDataLocked(peer, pc, &msg)
 	}
-	if err != nil {
-		if n.opts.WriteTimeout > 0 {
-			n.dropPeer(peer, pc)
-		}
-		return fmt.Errorf("transport: send to %d: %w", peer, err)
+	return n.sendControlLocked(peer, pc, &msg)
+}
+
+// encodeSampleMask makes encode-time metering sample 1-in-64 tuples:
+// two clock reads per tuple would cost more than the encode itself, so
+// the sampled duration is recorded with 64× weight instead. The
+// resulting EncodeNanos is an estimate — fine for a monitoring counter.
+const encodeSampleMask = 63
+
+// sendDataLocked encodes one tuple into the peer's batch, flushing on
+// the size threshold and arming the flush timer when the batch opens.
+func (n *Node) sendDataLocked(peer int, pc *peerConn, msg *Message) error {
+	if m := n.opts.Meter; m != nil && pc.batchN&encodeSampleMask == 0 {
+		start := time.Now()
+		pc.buf = appendTuple(pc.buf, msg)
+		m.RecordEncode(int64(time.Since(start)) * (encodeSampleMask + 1))
+	} else {
+		pc.buf = appendTuple(pc.buf, msg)
+	}
+	pc.batchN++
+	if len(pc.buf)-frameHeaderLen >= n.flushBytes {
+		return n.flushLocked(peer, pc, metrics.FlushSize)
+	}
+	if pc.batchN == 1 {
+		pc.timer.Reset(n.flushInterval)
 	}
 	return nil
 }
 
-// dropPeer closes and forgets a peer connection whose stream is no
-// longer usable (e.g. a write deadline fired mid-message).
-func (n *Node) dropPeer(peer int, pc *peerConn) {
+// sendControlLocked writes one gob-encoded control frame, after pushing
+// out any batched tuples so the connection's FIFO order is preserved.
+func (n *Node) sendControlLocked(peer int, pc *peerConn, msg *Message) error {
+	if err := n.flushLocked(peer, pc, metrics.FlushControl); err != nil {
+		return err
+	}
+	bp := getBuf(frameHeaderLen)
+	defer putBuf(bp)
+	bb := bytes.NewBuffer((*bp)[:frameHeaderLen])
+	// Each control frame is a self-contained gob stream: control traffic
+	// is rare enough that re-sending type descriptors costs little, and
+	// self-contained frames keep torn-stream recovery trivial.
+	if err := gob.NewEncoder(bb).Encode(msg); err != nil {
+		return fmt.Errorf("transport: encode control for %d: %w", peer, err)
+	}
+	frame := bb.Bytes()
+	if len(frame)-frameHeaderLen > maxFramePayload {
+		return fmt.Errorf("transport: control frame for %d exceeds %d bytes", peer, maxFramePayload)
+	}
+	putFrameHeader(frame, frameControl)
+	if err := n.writeLocked(pc, frame); err != nil {
+		n.dropConnLocked(peer, pc)
+		return fmt.Errorf("transport: send to %d: %w", peer, err)
+	}
+	*bp = frame[:0] // return the (possibly grown) buffer to the pool
+	if m := n.opts.Meter; m != nil {
+		m.RecordControlSent(len(frame))
+	}
+	return nil
+}
+
+// flushLocked writes the peer's pending batch as one data frame. On a
+// write error the connection is dropped and the batched tuples are
+// reported to DropHandler — they were accepted by earlier Sends and are
+// now gone.
+func (n *Node) flushLocked(peer int, pc *peerConn, reason metrics.FlushReason) error {
+	if pc.batchN == 0 {
+		return nil
+	}
+	if len(pc.buf)-frameHeaderLen > maxFramePayload {
+		// Unreachable with sane FlushBytes; guard anyway so a giant tuple
+		// can never emit a frame the receiver is obliged to reject.
+		tuples := pc.batchN
+		pc.buf = pc.buf[:frameHeaderLen]
+		pc.batchN = 0
+		n.dropConnLocked(peer, pc)
+		if n.opts.DropHandler != nil {
+			n.opts.DropHandler(tuples)
+		}
+		return fmt.Errorf("transport: batch for %d exceeds %d bytes", peer, maxFramePayload)
+	}
+	putFrameHeader(pc.buf, frameData)
+	err := n.writeLocked(pc, pc.buf)
+	tuples, frameBytes := pc.batchN, len(pc.buf)
+	pc.buf = pc.buf[:frameHeaderLen]
+	pc.batchN = 0
+	if err != nil {
+		n.dropConnLocked(peer, pc)
+		if n.opts.DropHandler != nil {
+			n.opts.DropHandler(tuples)
+		}
+		return fmt.Errorf("transport: send to %d: %w", peer, err)
+	}
+	if m := n.opts.Meter; m != nil {
+		m.RecordFrameSent(tuples, frameBytes, reason)
+	}
+	return nil
+}
+
+// writeLocked writes one frame under the node's write deadline.
+func (n *Node) writeLocked(pc *peerConn, frame []byte) error {
+	if n.opts.WriteTimeout > 0 {
+		_ = pc.conn.SetWriteDeadline(time.Now().Add(n.opts.WriteTimeout))
+	}
+	_, err := pc.conn.Write(frame)
+	if n.opts.WriteTimeout > 0 {
+		_ = pc.conn.SetWriteDeadline(time.Time{})
+	}
+	return err
+}
+
+// flushExpired is the FlushInterval timer callback: write out whatever
+// the batch holds. A failure is reported through DropHandler (there is
+// no caller to return an error to).
+func (n *Node) flushExpired(peer int, pc *peerConn) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.broken {
+		return
+	}
+	_ = n.flushLocked(peer, pc, metrics.FlushTimer)
+}
+
+// dropConnLocked closes and forgets a peer connection whose stream is no
+// longer usable (a write failed or timed out mid-frame). Callers hold
+// pc.mu.
+func (n *Node) dropConnLocked(peer int, pc *peerConn) {
+	pc.broken = true
+	pc.timer.Stop()
 	_ = pc.conn.Close()
 	n.mu.Lock()
-	if n.peers[peer] == pc {
-		delete(n.peers, peer)
-	}
+	n.removePeerLocked(peer, pc)
 	n.mu.Unlock()
 }
 
@@ -246,21 +478,55 @@ func (n *Node) accept() {
 	}
 }
 
+// serve decodes frames off one inbound connection. A frame is delivered
+// only after it has been read and decoded completely; any read or
+// decode error — including a torn frame from a peer that died mid-write
+// — drops the connection without delivering anything partial.
 func (n *Node) serve(conn net.Conn) {
 	defer n.wg.Done()
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	hdr := make([]byte, frameHeaderLen)
+	var batch []Message
 	for {
-		var msg Message
-		if err := dec.Decode(&msg); err != nil {
-			return // connection closed (or peer gone)
+		typ, bp, err := readFrame(br, hdr)
+		if err != nil {
+			return // connection closed, torn frame, or corrupt stream
 		}
-		n.handler(msg)
+		switch typ {
+		case frameData:
+			batch, err = appendBatch(batch[:0], *bp)
+			if err != nil {
+				putBuf(bp)
+				return
+			}
+			if m := n.opts.Meter; m != nil {
+				m.RecordFrameReceived(len(batch), frameHeaderLen+len(*bp))
+			}
+			if n.opts.BatchHandler != nil {
+				n.opts.BatchHandler(batch)
+			} else {
+				for i := range batch {
+					n.handler(batch[i])
+				}
+			}
+		case frameControl:
+			var msg Message
+			if err := gob.NewDecoder(bytes.NewReader(*bp)).Decode(&msg); err != nil {
+				putBuf(bp)
+				return
+			}
+			if m := n.opts.Meter; m != nil {
+				m.RecordControlReceived(frameHeaderLen + len(*bp))
+			}
+			n.handler(msg)
+		}
+		putBuf(bp)
 	}
 }
 
-// Close stops accepting, closes every outgoing connection and waits for
-// the reader goroutines to exit. Idempotent.
+// Close stops accepting, flushes and closes every outgoing connection
+// and waits for the reader goroutines to exit. Idempotent.
 func (n *Node) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -268,15 +534,25 @@ func (n *Node) Close() {
 		return
 	}
 	n.closed = true
-	peers := n.peers
+	peers := *n.peers.Load()
 	inbound := n.inbound
-	n.peers = make(map[int]*peerConn)
+	empty := make(map[int]*peerConn)
+	n.peers.Store(&empty)
 	n.inbound = nil
 	n.mu.Unlock()
 
 	_ = n.ln.Close()
-	for _, pc := range peers {
-		_ = pc.conn.Close()
+	for peer, pc := range peers {
+		pc.mu.Lock()
+		if !pc.broken {
+			// Best-effort drain of the pending batch; a failure is already
+			// accounted through DropHandler inside flushLocked.
+			_ = n.flushLocked(peer, pc, metrics.FlushClose)
+			pc.broken = true
+			pc.timer.Stop()
+			_ = pc.conn.Close()
+		}
+		pc.mu.Unlock()
 	}
 	for _, conn := range inbound {
 		_ = conn.Close()
@@ -295,7 +571,8 @@ func NewFabric(servers int, handler func(server int, msg Message)) (*Fabric, err
 	return NewFabricWith(servers, handler, NodeOptions{})
 }
 
-// NewFabricWith is NewFabric with explicit per-node network options.
+// NewFabricWith is NewFabric with explicit per-node network options
+// (including, when set, the shared BatchHandler/DropHandler/Meter).
 func NewFabricWith(servers int, handler func(server int, msg Message), opts NodeOptions) (*Fabric, error) {
 	if servers < 1 {
 		return nil, errors.New("transport: fabric needs at least one server")

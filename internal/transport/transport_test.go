@@ -6,8 +6,11 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/locastream/locastream/internal/metrics"
 )
 
 func TestNodeValidation(t *testing.T) {
@@ -320,6 +323,227 @@ func TestConnectBoundedRetries(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("Connect took %v, retries not bounded", elapsed)
+	}
+}
+
+// TestStalledPeerDropsBatch is the stalled-mid-frame case: a peer that
+// accepts the connection but never reads. The sender's batched tuples
+// must be discarded with the connection (reported via DropHandler, so
+// in-flight accounting can settle), the next send must fail fast, and
+// the stall must never block a sender forever.
+func TestStalledPeerDropsBatch(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			accepted <- conn // hold it open, never read
+		}
+	}()
+
+	var dropped atomic.Int64
+	n, err := NewNodeWith(0, func(Message) {}, NodeOptions{
+		WriteTimeout: 200 * time.Millisecond,
+		FlushBytes:   1 << 10,
+		DropHandler:  func(tuples int) { dropped.Add(int64(tuples)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.Connect(map[int]string{1: ln.Addr().String()}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		select {
+		case conn := <-accepted:
+			conn.Close()
+		default:
+		}
+	}()
+
+	// Pump data until the kernel buffers fill and a flush hits the write
+	// deadline. Bound the loop so a broken implementation fails instead
+	// of hanging.
+	payload := strings.Repeat("x", 1<<10)
+	var sendErr error
+	for i := 0; i < 1<<16; i++ {
+		if sendErr = n.Send(1, Message{Kind: KindData, Key: "k", Values: []string{payload}}); sendErr != nil {
+			break
+		}
+	}
+	if sendErr == nil {
+		t.Fatal("Send never surfaced an error against a stalled peer")
+	}
+	if dropped.Load() == 0 {
+		t.Fatal("DropHandler never reported the discarded batch")
+	}
+	// The connection is gone: the next send must fail immediately.
+	start := time.Now()
+	if err := n.Send(1, Message{Kind: KindData}); err == nil {
+		t.Fatal("send after deadline drop succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("send after drop took %v, want fast failure", elapsed)
+	}
+}
+
+// TestTornFrameDeliversNothing writes a complete frame followed by a
+// truncated one straight into a node's listener: the complete frame
+// must be delivered, the torn one must drop the connection without the
+// handler ever seeing a partial tuple.
+func TestTornFrameDeliversNothing(t *testing.T) {
+	var (
+		mu  sync.Mutex
+		got []Message
+	)
+	n, err := NewNode(0, func(msg Message) {
+		mu.Lock()
+		got = append(got, msg)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	conn, err := net.Dial("tcp", n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	whole := Message{Kind: KindData, To: Addr{Op: "B", Instance: 1}, Key: "whole", Values: []string{"v"}}
+	torn := Message{Kind: KindData, To: Addr{Op: "B", Instance: 2}, Key: "torn", Values: []string{"vvvvvvvv"}}
+	frame := make([]byte, frameHeaderLen)
+	frame = appendTuple(frame, &whole)
+	putFrameHeader(frame, frameData)
+	tornFrame := make([]byte, frameHeaderLen)
+	tornFrame = appendTuple(tornFrame, &torn)
+	putFrameHeader(tornFrame, frameData)
+	if _, err := conn.Write(append(frame, tornFrame[:len(tornFrame)-4]...)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close() // tear the stream mid-frame
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := len(got) >= 1
+		mu.Unlock()
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].Key != "whole" {
+		t.Fatalf("delivered %+v, want exactly the complete frame's tuple", got)
+	}
+}
+
+// TestBatchHandlerReceivesFrames verifies the receive-side batching
+// contract: tuples that crossed in one frame arrive in one BatchHandler
+// call, in order, and size-triggered flushes happen without waiting for
+// the timer.
+func TestBatchHandlerReceivesFrames(t *testing.T) {
+	const tuples = 100
+	var (
+		mu     sync.Mutex
+		frames [][]Message
+		total  int
+	)
+	done := make(chan struct{})
+	opts := NodeOptions{
+		FlushBytes:    1 << 20,
+		FlushInterval: 5 * time.Millisecond,
+		BatchHandler: func(msgs []Message) {
+			mu.Lock()
+			frames = append(frames, append([]Message(nil), msgs...))
+			total += len(msgs)
+			if total == tuples {
+				close(done)
+			}
+			mu.Unlock()
+		},
+	}
+	f, err := NewFabricWith(2, func(int, Message) {}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for i := 0; i < tuples; i++ {
+		if err := f.Send(0, 1, Message{Kind: KindData, To: Addr{Op: "B"}, Key: fmt.Sprintf("%04d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for batched delivery")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(frames) >= tuples {
+		t.Fatalf("got %d frames for %d tuples; batching is not happening", len(frames), tuples)
+	}
+	var keys []string
+	for _, fr := range frames {
+		for _, m := range fr {
+			keys = append(keys, m.Key)
+		}
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("FIFO violated across frames at %d: %s before %s", i, keys[i-1], keys[i])
+		}
+	}
+}
+
+// TestWireMeterCounts checks that the meter sees frames on both sides
+// and attributes flush reasons.
+func TestWireMeterCounts(t *testing.T) {
+	meter := new(metrics.WireMeter)
+	var wg sync.WaitGroup
+	f, err := NewFabricWith(2, func(int, Message) { wg.Done() }, NodeOptions{
+		FlushBytes: 1 << 20, // force timer flushes
+		Meter:      meter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	wg.Add(3)
+	for i := 0; i < 2; i++ {
+		if err := f.Send(0, 1, Message{Kind: KindData, Key: "k"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Send(0, 1, Message{Kind: KindHeartbeat, From: 0}); err != nil {
+		t.Fatal(err)
+	}
+	waitGroupWithin(t, &wg, 5*time.Second)
+
+	st := meter.Snapshot()
+	if st.TuplesSent != 2 || st.TuplesReceived != 2 {
+		t.Fatalf("tuples sent/received = %d/%d, want 2/2", st.TuplesSent, st.TuplesReceived)
+	}
+	if st.FramesSent == 0 || st.FramesSent != st.FlushSize+st.FlushTimer+st.FlushControl+st.FlushClose {
+		t.Fatalf("flush reasons %d+%d+%d+%d do not sum to frames %d",
+			st.FlushSize, st.FlushTimer, st.FlushControl, st.FlushClose, st.FramesSent)
+	}
+	if st.ControlSent != 1 || st.ControlReceived != 1 {
+		t.Fatalf("control sent/received = %d/%d, want 1/1", st.ControlSent, st.ControlReceived)
+	}
+	if st.BytesSent == 0 || st.BytesReceived == 0 {
+		t.Fatal("byte counters not recorded")
 	}
 }
 

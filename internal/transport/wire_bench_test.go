@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"encoding/gob"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/locastream/locastream/internal/metrics"
+)
+
+// benchMessage mirrors the engine's typical data tuple: two short
+// values, a routing key, and synthetic padding.
+func benchMessage() Message {
+	return Message{
+		Kind: KindData, To: Addr{Op: "B", Instance: 1},
+		Values: []string{"Asia", "#golang"}, Padding: 64,
+		KeyOp: "A", Key: "Asia",
+	}
+}
+
+// BenchmarkWireForward measures tuples through the binary framed
+// transport over real TCP loopback: encode into the per-peer batch,
+// flush, kernel round trip, frame decode, batched hand-off. Compare
+// with BenchmarkGobForward — the per-message gob path this protocol
+// replaced — for the batching/binary speedup; the CI bench gate records
+// both in BENCH_4.json.
+func BenchmarkWireForward(b *testing.B) {
+	var (
+		received atomic.Int64
+		target   atomic.Int64
+	)
+	done := make(chan struct{}, 1)
+	meter := new(metrics.WireMeter)
+	f, err := NewFabricWith(2, func(int, Message) {}, NodeOptions{
+		Meter: meter,
+		BatchHandler: func(msgs []Message) {
+			if t := target.Load(); t > 0 && received.Add(int64(len(msgs))) >= t {
+				select {
+				case done <- struct{}{}:
+				default:
+				}
+			}
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+
+	msg := benchMessage()
+	// Warm up the connection, batch buffers and pools, and drain fully
+	// so the timed region starts clean.
+	target.Store(4096)
+	for i := 0; i < 4096; i++ {
+		if err := f.Send(0, 1, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	awaitBench(b, done)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	target.Store(received.Load() + int64(b.N))
+	for i := 0; i < b.N; i++ {
+		if err := f.Send(0, 1, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	awaitBench(b, done)
+	b.StopTimer()
+	if st := meter.Snapshot(); st.FramesSent > 0 {
+		b.ReportMetric(st.TuplesPerFrame(), "tuples/frame")
+		b.ReportMetric(st.EncodeNsPerTuple(), "encode-ns/op")
+	}
+}
+
+// BenchmarkGobForward is the retained baseline: the pre-batching wire
+// path, one gob-encoded Message per Send over the same TCP loopback.
+// It exists so the BenchmarkWireForward speedup stays measurable
+// forever, not just in this PR's description.
+func BenchmarkGobForward(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+
+	var (
+		received atomic.Int64
+		target   atomic.Int64
+	)
+	done := make(chan struct{}, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		dec := gob.NewDecoder(conn)
+		for {
+			var msg Message
+			if err := dec.Decode(&msg); err != nil {
+				return
+			}
+			if t := target.Load(); t > 0 && received.Add(1) >= t {
+				select {
+				case done <- struct{}{}:
+				default:
+				}
+			}
+		}
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+
+	msg := benchMessage()
+	target.Store(4096)
+	for i := 0; i < 4096; i++ {
+		if err := enc.Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	awaitBench(b, done)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	target.Store(received.Load() + int64(b.N))
+	for i := 0; i < b.N; i++ {
+		if err := enc.Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	awaitBench(b, done)
+}
+
+// BenchmarkWireEncode isolates the steady-state encode path — one tuple
+// appended to a warm batch buffer — which must run allocation-free
+// (also pinned by TestEncodeSteadyStateZeroAlloc).
+func BenchmarkWireEncode(b *testing.B) {
+	msg := benchMessage()
+	buf := make([]byte, frameHeaderLen, 1<<20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(buf) >= 1<<19 {
+			buf = buf[:frameHeaderLen]
+		}
+		buf = appendTuple(buf, &msg)
+	}
+}
+
+func awaitBench(b *testing.B, done chan struct{}) {
+	b.Helper()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		b.Fatal("timed out waiting for deliveries")
+	}
+}

@@ -18,6 +18,15 @@
 //	    error: a silently vanished benchmark must fail the gate, not
 //	    pass it.
 //
+// Custom ReportMetric columns (tuples/frame, wire-B/tuple, ...) are
+// recorded in the baseline alongside ns/op. A specific lower-is-better
+// metric can be gated with -metric:
+//
+//	benchgate -check BENCH.json -metric 'BenchmarkWireForwardSkewed/dict:wire-B/tuple'
+//	    Compare that benchmark's named metric against the baseline under
+//	    the same -max-regress budget. Used to pin the wire compression
+//	    win: bytes-per-tuple creeping back up fails CI like a slowdown.
+//
 // The baseline file is plain JSON so reviewers can read regressions in
 // the diff when the baseline is deliberately re-written.
 package main
@@ -39,7 +48,10 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BPerOp      float64 `json:"b_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-	Samples     int     `json:"samples"`
+	// Metrics holds custom b.ReportMetric columns (unit -> value),
+	// taken from the same sample as NsPerOp.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Samples int                `json:"samples"`
 }
 
 // Baseline is the committed benchmark file format.
@@ -56,8 +68,10 @@ func main() {
 		checkPath  = flag.String("check", "", "compare stdin against this baseline file")
 		maxRegress = flag.Float64("max-regress", 0.20, "allowed fractional ns/op regression in -check mode")
 		gated      multiFlag
+		metrics    multiFlag
 	)
 	flag.Var(&gated, "bench", "benchmark name to gate in -check mode (repeatable)")
+	flag.Var(&metrics, "metric", "Benchmark:unit lower-is-better metric to gate in -check mode (repeatable)")
 	flag.Parse()
 
 	if (*writePath == "") == (*checkPath == "") {
@@ -123,6 +137,35 @@ func main() {
 		fmt.Fprintf(out, "benchgate: %s %s: %.1f ns/op vs baseline %.1f (%+.1f%%, limit +%.0f%%)\n",
 			status, name, cur.NsPerOp, base.NsPerOp, ratio*100, *maxRegress*100)
 	}
+	for _, spec := range metrics {
+		name, unit, ok := strings.Cut(spec, ":")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL bad -metric %q (want Benchmark:unit)\n", spec)
+			failed = true
+			continue
+		}
+		baseV, okB := baseline.Benchmarks[name].Metrics[unit]
+		curV, okC := current.Benchmarks[name].Metrics[unit]
+		if !okB || !okC {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s %s: missing from %s\n",
+				name, unit, map[bool]string{true: "current run", false: "baseline"}[okB])
+			failed = true
+			continue
+		}
+		if baseV <= 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s %s: non-positive baseline %.3f\n", name, unit, baseV)
+			failed = true
+			continue
+		}
+		ratio := curV/baseV - 1
+		status := "ok"
+		out := os.Stdout
+		if ratio > *maxRegress {
+			status, failed, out = "FAIL", true, os.Stderr
+		}
+		fmt.Fprintf(out, "benchgate: %s %s: %.2f %s vs baseline %.2f (%+.1f%%, limit +%.0f%%)\n",
+			status, name, curV, unit, baseV, ratio*100, *maxRegress*100)
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -150,6 +193,7 @@ func parseBench(r io.Reader) (Baseline, error) {
 			res.Samples += prev.Samples
 			if prev.NsPerOp < res.NsPerOp {
 				res.NsPerOp, res.BPerOp, res.AllocsPerOp = prev.NsPerOp, prev.BPerOp, prev.AllocsPerOp
+				res.Metrics = prev.Metrics
 			}
 		}
 		out.Benchmarks[name] = res
@@ -162,7 +206,8 @@ func parseBench(r io.Reader) (Baseline, error) {
 //	BenchmarkWireForward-8   3796738   324.1 ns/op   208 B/op   5 allocs/op
 //
 // Unit columns other than ns/op, B/op and allocs/op (custom
-// ReportMetric units such as tuples/frame) are ignored.
+// ReportMetric units such as tuples/frame or wire-B/tuple) are
+// collected into Result.Metrics.
 func parseLine(line string) (string, Result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -185,13 +230,18 @@ func parseLine(line string) (string, Result, bool) {
 		if err != nil {
 			return "", Result{}, false
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			res.NsPerOp, sawNs = v, true
 		case "B/op":
 			res.BPerOp = v
 		case "allocs/op":
 			res.AllocsPerOp = v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = v
 		}
 	}
 	if !sawNs {

@@ -35,8 +35,23 @@ func TestParseBenchAggregatesMinOfSamples(t *testing.T) {
 	if wf.BPerOp != 208 || wf.AllocsPerOp != 5 {
 		t.Fatalf("WireForward mem columns = %v B/op %v allocs/op, want 208/5", wf.BPerOp, wf.AllocsPerOp)
 	}
+	// Custom ReportMetric columns ride along, taken from the min-ns/op
+	// sample so they describe the same run.
+	if wf.Metrics["encode-ns/op"] != 68.98 || wf.Metrics["tuples/frame"] != 2512 {
+		t.Fatalf("WireForward metrics = %v, want the 324.1 sample's 68.98/2512", wf.Metrics)
+	}
 	if enc := b.Benchmarks["BenchmarkWireEncode"]; enc.AllocsPerOp != 0 || enc.NsPerOp != 32.43 {
 		t.Fatalf("WireEncode = %+v", enc)
+	}
+}
+
+func TestParseLineCollectsCustomMetrics(t *testing.T) {
+	_, res, ok := parseLine("BenchmarkWireForwardSkewed/dict-8 	 1000000	 500.0 ns/op	 9.06 wire-B/tuple	 3.37 ratio")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if res.Metrics["wire-B/tuple"] != 9.06 || res.Metrics["ratio"] != 3.37 {
+		t.Fatalf("metrics = %v", res.Metrics)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 
 	"github.com/locastream/locastream/internal/core"
 	"github.com/locastream/locastream/internal/engine"
+	"github.com/locastream/locastream/internal/metrics"
 	"github.com/locastream/locastream/internal/routing"
 )
 
@@ -137,6 +138,15 @@ type Status struct {
 	RecoveredVersion uint64    `json:"recovered_version,omitempty"`
 	SmoothedLocality float64   `json:"smoothed_locality"`
 	LastDecision     *Decision `json:"last_decision,omitempty"`
+
+	// Wire is the transport's cumulative frame/byte/compression counters
+	// at status time (all-zero without a TCP fabric); the three derived
+	// figures are the ones operators actually watch — how much the
+	// dictionary+LZ layer shrinks cross-server traffic.
+	Wire                 metrics.WireStats `json:"wire"`
+	WireCompressionRatio float64           `json:"wire_compression_ratio"`
+	WireDictHitRate      float64           `json:"wire_dict_hit_rate"`
+	WireBytesPerTuple    float64           `json:"wire_bytes_per_tuple"`
 
 	// Paused reports that a server failure was observed and optimization
 	// is held until the fault-tolerance subsystem reports recovery.
@@ -433,21 +443,27 @@ func (c *Controller) Status() Status {
 	running := c.running
 	c.loopMu.Unlock()
 
+	wire := c.eng.StatsSnapshot().Wire
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Status{
-		Running:          running,
-		Ticks:            c.sig.seq,
-		Deploys:          c.deploys,
-		Skips:            c.skips,
-		Cooldowns:        c.cooldowns,
-		Errors:           c.errors,
-		Version:          c.version,
-		Streak:           c.streak,
-		Confirm:          c.opts.Confirm,
-		CooldownLeft:     c.cooldownLeft,
-		Recovered:        c.recovered,
-		RecoveredVersion: c.recoveredVer,
+		Running:              running,
+		Wire:                 wire,
+		WireCompressionRatio: wire.CompressionRatio(),
+		WireDictHitRate:      wire.DictHitRate(),
+		WireBytesPerTuple:    wire.WireBytesPerTuple(),
+		Ticks:                c.sig.seq,
+		Deploys:              c.deploys,
+		Skips:                c.skips,
+		Cooldowns:            c.cooldowns,
+		Errors:               c.errors,
+		Version:              c.version,
+		Streak:               c.streak,
+		Confirm:              c.opts.Confirm,
+		CooldownLeft:         c.cooldownLeft,
+		Recovered:            c.recovered,
+		RecoveredVersion:     c.recoveredVer,
 
 		Paused:            c.paused,
 		Failures:          c.failures,

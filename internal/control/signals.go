@@ -43,6 +43,15 @@ type Snapshot struct {
 	// messages; a healthy deployment keeps it at 0.
 	WireDrops uint64 `json:"wire_drops"`
 
+	// WireCompressionRatio, WireDictHitRate and WireBytesPerTuple
+	// summarize the transport's dictionary/LZ compression (cumulative;
+	// zero without a TCP fabric). The ratio is raw-equivalent over
+	// on-wire bytes — the factor by which compression shrank the
+	// cross-server traffic the optimizer is trying to avoid.
+	WireCompressionRatio float64 `json:"wire_compression_ratio"`
+	WireDictHitRate      float64 `json:"wire_dict_hit_rate"`
+	WireBytesPerTuple    float64 `json:"wire_bytes_per_tuple"`
+
 	// Loads is the cumulative per-instance tuple count per operator.
 	Loads map[string][]uint64 `json:"loads"`
 }
@@ -75,6 +84,10 @@ func (s *signals) collect(st engine.Stats, now time.Time) Snapshot {
 		InFlight:  st.InFlight,
 		WireDrops: st.WireDrops,
 		Loads:     st.Loads,
+
+		WireCompressionRatio: st.Wire.CompressionRatio(),
+		WireDictHitRate:      st.Wire.DictHitRate(),
+		WireBytesPerTuple:    st.Wire.WireBytesPerTuple(),
 	}
 
 	window := st.Fields

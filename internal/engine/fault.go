@@ -68,7 +68,21 @@ func (l *Live) KillServer(s int) error {
 		}
 	}
 	if l.fabric != nil {
+		// Settle the wire exactly, in three ordered steps. DropPeer severs
+		// every survivor's connection to s: tuples batched but never
+		// flushed are reported (DropHandler → noteWireDataDrops) and no
+		// further frame can be flushed towards s, pinning wireOut[s].
+		// CloseNode then joins s's reader goroutines, so every frame that
+		// was going to be drained has been (each decrement of wireOut[s]
+		// has happened). What remains in wireOut[s] is exactly the tuples
+		// flushed onto the wire that s will never decode — kernel-buffered
+		// frames and writes torn by the close — each still carrying one
+		// in-flight count from its sender.
+		l.fabric.DropPeer(s)
 		l.fabric.CloseNode(s)
+		if n := l.wireOut[s].Swap(0); n > 0 {
+			l.noteWireDataDrops(int(n))
+		}
 	}
 	return nil
 }

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+
+	"github.com/locastream/locastream/internal/topology"
+	"github.com/locastream/locastream/internal/transport"
+)
+
+// killDrill is the deterministic kill-one-server drill over real TCP:
+// drive a keyed stream, drain, kill server 2, keep driving, drain
+// again. It returns the per-key counts accumulated on the surviving B
+// instances, the number of injects rejected at the source, and the
+// final stats — and asserts inside that the loss accounting settled
+// exactly: every accepted tuple is either counted by B or counted lost,
+// with nothing silently dropped on the wire.
+func killDrill(t *testing.T, comp transport.Compression) (perKey map[string]uint64, rejected int, st Stats) {
+	t.Helper()
+	const servers, keys, phase = 3, 12, 900
+	live := newFaultLive(t, servers, func(cfg *LiveConfig) {
+		cfg.TCPTransport = true
+		cfg.WireCompression = comp
+	})
+	injectKeys(t, live, phase, keys) // drains before returning
+
+	if err := live.KillServer(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < phase; i++ {
+		k := "k" + strconv.Itoa(i%keys)
+		if err := live.Inject(topology.Tuple{Values: []string{k, k}}); err != nil {
+			rejected++
+		}
+	}
+	// Drain must not hang: each tuple bound for the dead server was
+	// settled (rejected at the source, counted lost at the forward, or
+	// reported by the transport's drop accounting).
+	live.Drain()
+	st = live.StatsSnapshot()
+
+	if st.WireDrops != 0 {
+		t.Fatalf("WireDrops = %d, want 0 (transport corrupted or misaddressed frames)", st.WireDrops)
+	}
+	if rejected == 0 || st.TuplesLost == 0 {
+		t.Fatalf("drill never hit the dead server (rejected %d, lost %d)", rejected, st.TuplesLost)
+	}
+	// Exact conservation: every accepted tuple is processed by B (alive
+	// or dead-before-the-kill) or counted lost, exactly once.
+	var processedB uint64
+	for _, n := range st.Loads["B"] {
+		processedB += n
+	}
+	if want := uint64(2*phase-rejected) - st.TuplesLost; processedB != want {
+		t.Fatalf("B processed %d tuples, want %d (= %d accepted - %d lost): loss accounting did not settle exactly",
+			processedB, want, 2*phase-rejected, st.TuplesLost)
+	}
+
+	perKey = map[string]uint64{}
+	for inst := 0; inst < servers; inst++ {
+		if live.Placement().ServerOf("B", inst) == 2 {
+			continue // the dead server's executor is not inspectable
+		}
+		if err := live.ProcessorState("B", inst, func(p topology.Processor) {
+			c := p.(*topology.Counter)
+			for i := 0; i < keys; i++ {
+				k := "k" + strconv.Itoa(i)
+				if n := c.Count(k); n > 0 {
+					perKey[k] += n
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return perKey, rejected, st
+}
+
+// TestTCPKillServerCompressedDrill runs the drill with and without wire
+// compression and requires them to agree tuple-for-tuple: killing a
+// server under the dictionary+LZ encoding loses exactly what the raw
+// encoding loses, delivers exactly the same per-key counts to the
+// survivors — and actually compresses while doing it.
+func TestTCPKillServerCompressedDrill(t *testing.T) {
+	rawKeys, rawRej, rawSt := killDrill(t, transport.CompressionOff)
+	cmpKeys, cmpRej, cmpSt := killDrill(t, transport.CompressionAuto)
+
+	if !reflect.DeepEqual(rawKeys, cmpKeys) {
+		t.Fatalf("delivered tuple sets differ:\n raw: %v\ncomp: %v", rawKeys, cmpKeys)
+	}
+	if rawRej != cmpRej || rawSt.TuplesLost != cmpSt.TuplesLost {
+		t.Fatalf("loss accounting differs: raw rejected/lost %d/%d, compressed %d/%d",
+			rawRej, rawSt.TuplesLost, cmpRej, cmpSt.TuplesLost)
+	}
+	if rawSt.Wire.DictFramesSent != 0 || rawSt.Wire.CompressedFramesSent != 0 {
+		t.Fatalf("CompressionOff sent %d dict / %d compressed frames",
+			rawSt.Wire.DictFramesSent, rawSt.Wire.CompressedFramesSent)
+	}
+	if cmpSt.Wire.DictFramesSent == 0 {
+		t.Fatal("compressed run never announced a dictionary entry")
+	}
+	if r := cmpSt.Wire.CompressionRatio(); r <= 1.0 {
+		t.Fatalf("compression ratio %.3f on a skewed keyed stream, want > 1.0", r)
+	}
+}

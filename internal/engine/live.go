@@ -68,6 +68,11 @@ type LiveConfig struct {
 	// kernel network path. Same-server messages stay in memory — exactly
 	// the asymmetry the paper exploits.
 	TCPTransport bool
+	// WireCompression selects the transport's data-frame encoding when
+	// TCPTransport is on. The zero value (transport.CompressionAuto)
+	// enables the per-connection dictionary plus the per-frame LZ pass;
+	// transport.CompressionOff keeps the raw PR 4 encoding.
+	WireCompression transport.Compression
 }
 
 // Live executes a topology with one goroutine per operator instance and
@@ -108,6 +113,12 @@ type Live struct {
 	// wire accumulates the transport's frame/batch counters when a TCP
 	// fabric is attached (nil otherwise).
 	wire *metrics.WireMeter
+	// wireOut[s] counts tuples flushed onto the wire towards server s
+	// and not yet drained by s's reader — the frames sitting in kernel
+	// buffers or mid-decode. When s is killed, whatever remains after
+	// its node closes can never be delivered and is settled as loss
+	// (KillServer); at every other time the counter is only monitoring.
+	wireOut []atomic.Int64
 
 	srcSeq atomic.Uint64
 }
@@ -256,9 +267,11 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	}
 	if cfg.TCPTransport {
 		l.wire = new(metrics.WireMeter)
+		l.wireOut = make([]atomic.Int64, cfg.Placement.Servers())
 		fabric, err := transport.NewFabricWith(cfg.Placement.Servers(), func(_ int, msg transport.Message) {
 			l.deliverWire(msg)
 		}, transport.NodeOptions{
+			Compression: cfg.WireCompression,
 			// Batched data frames are drained into mailboxes one target
 			// at a time (deliverWireBatch); control traffic (migrations,
 			// propagation markers, heartbeats) still arrives one message
@@ -269,7 +282,13 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 			// be settled or Drain would wait forever on tuples that no
 			// longer exist.
 			DropHandler: l.noteWireDataDrops,
-			Meter:       l.wire,
+			// Flushed-but-undrained bookkeeping: the other half of the
+			// loss accounting, settled by KillServer for frames a dead
+			// server will never decode.
+			FlushedHandler: func(peer, tuples int) {
+				l.wireOut[peer].Add(int64(tuples))
+			},
+			Meter: l.wire,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("engine: start transport: %w", err)
@@ -325,7 +344,12 @@ func (l *Live) deliverWire(msg transport.Message) {
 // payoff of wire batching. The transport reuses msgs for the next
 // frame, so everything needed is copied into engine messages before
 // returning.
-func (l *Live) deliverWireBatch(msgs []transport.Message) {
+func (l *Live) deliverWireBatch(node int, msgs []transport.Message) {
+	// The frame is off the wire: these tuples are no longer outstanding
+	// towards this server, whatever happens to them below (delivery,
+	// corrupt-address drop, or killed-mailbox loss — each settles the
+	// in-flight count on its own path).
+	l.wireOut[node].Add(-int64(len(msgs)))
 	var run []message
 	for i := 0; i < len(msgs); {
 		to := msgs[i].To

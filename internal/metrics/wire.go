@@ -35,12 +35,31 @@ type WireStats struct {
 	FlushControl uint64 `json:"flush_control"`
 	FlushClose   uint64 `json:"flush_close"`
 
+	// Compression counters. RawBytesSent is what the sent data frames
+	// would have cost in the raw (un-interned, uncompressed) encoding,
+	// headers included; BytesSent above is what they actually cost on
+	// the wire. CompressedFramesSent counts data frames that went out LZ-
+	// wrapped (the rest fell back to their raw form because compression
+	// did not shrink them). DictFramesSent/DictEntriesSent/DictBytesSent
+	// cover the in-band dictionary announcements; DictHits/DictMisses
+	// count string fields encoded as dictionary references vs. inline.
+	RawBytesSent         uint64 `json:"raw_bytes_sent"`
+	CompressedFramesSent uint64 `json:"compressed_frames_sent"`
+	DictFramesSent       uint64 `json:"dict_frames_sent"`
+	DictEntriesSent      uint64 `json:"dict_entries_sent"`
+	DictBytesSent        uint64 `json:"dict_bytes_sent"`
+	DictHits             uint64 `json:"dict_hits"`
+	DictMisses           uint64 `json:"dict_misses"`
+
 	// Receive-side mirrors.
-	FramesReceived   uint64 `json:"frames_received"`
-	TuplesReceived   uint64 `json:"tuples_received"`
-	BytesReceived    uint64 `json:"bytes_received"`
-	ControlReceived  uint64 `json:"control_received"`
-	ControlBytesRecv uint64 `json:"control_bytes_received"`
+	FramesReceived       uint64 `json:"frames_received"`
+	TuplesReceived       uint64 `json:"tuples_received"`
+	BytesReceived        uint64 `json:"bytes_received"`
+	ControlReceived      uint64 `json:"control_received"`
+	ControlBytesRecv     uint64 `json:"control_bytes_received"`
+	CompressedFramesRecv uint64 `json:"compressed_frames_received"`
+	DictFramesRecv       uint64 `json:"dict_frames_received"`
+	DictEntriesRecv      uint64 `json:"dict_entries_received"`
 
 	// EncodeNanos is the cumulative wall time spent binary-encoding
 	// tuples into batch buffers.
@@ -63,6 +82,37 @@ func (s WireStats) EncodeNsPerTuple() float64 {
 	return float64(s.EncodeNanos) / float64(s.TuplesSent)
 }
 
+// CompressionRatio is raw-equivalent bytes over actual on-wire bytes
+// for the data path (data frames plus the dictionary announcements that
+// enable them). 1.0 means compression bought nothing; 2.0 means the
+// wire carried half the raw bytes.
+func (s WireStats) CompressionRatio() float64 {
+	wire := s.BytesSent + s.DictBytesSent
+	if wire == 0 {
+		return 0
+	}
+	return float64(s.RawBytesSent) / float64(wire)
+}
+
+// WireBytesPerTuple is the mean on-wire cost of one data tuple,
+// dictionary announcements amortized in.
+func (s WireStats) WireBytesPerTuple() float64 {
+	if s.TuplesSent == 0 {
+		return 0
+	}
+	return float64(s.BytesSent+s.DictBytesSent) / float64(s.TuplesSent)
+}
+
+// DictHitRate is the fraction of string fields sent as dictionary
+// references rather than inline bytes.
+func (s WireStats) DictHitRate() float64 {
+	total := s.DictHits + s.DictMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DictHits) / float64(total)
+}
+
 // WireMeter accumulates the wire protocol's counters. Every method is a
 // handful of atomic adds, so the transport can call them from its send
 // and receive paths without shared locks. The zero value is ready to
@@ -79,21 +129,37 @@ type WireMeter struct {
 	flushControl atomic.Uint64
 	flushClose   atomic.Uint64
 
-	framesReceived   atomic.Uint64
-	tuplesReceived   atomic.Uint64
-	bytesReceived    atomic.Uint64
-	controlReceived  atomic.Uint64
-	controlBytesRecv atomic.Uint64
+	rawBytesSent         atomic.Uint64
+	compressedFramesSent atomic.Uint64
+	dictFramesSent       atomic.Uint64
+	dictEntriesSent      atomic.Uint64
+	dictBytesSent        atomic.Uint64
+	dictHits             atomic.Uint64
+	dictMisses           atomic.Uint64
+
+	framesReceived       atomic.Uint64
+	tuplesReceived       atomic.Uint64
+	bytesReceived        atomic.Uint64
+	controlReceived      atomic.Uint64
+	controlBytesRecv     atomic.Uint64
+	compressedFramesRecv atomic.Uint64
+	dictFramesRecv       atomic.Uint64
+	dictEntriesRecv      atomic.Uint64
 
 	encodeNanos atomic.Uint64
 }
 
-// RecordFrameSent folds in one flushed data frame of tuples tuples and
-// bytes total frame bytes, flushed for the given reason.
-func (m *WireMeter) RecordFrameSent(tuples, bytes int, reason FlushReason) {
+// RecordDataFrameSent folds in one flushed data frame: tuples tuples,
+// wireBytes actually written (header included, compressed or not),
+// rawBytes the raw-encoding equivalent, flushed for the given reason.
+func (m *WireMeter) RecordDataFrameSent(tuples, wireBytes, rawBytes int, compressed bool, reason FlushReason) {
 	m.framesSent.Add(1)
 	m.tuplesSent.Add(uint64(tuples))
-	m.bytesSent.Add(uint64(bytes))
+	m.bytesSent.Add(uint64(wireBytes))
+	m.rawBytesSent.Add(uint64(rawBytes))
+	if compressed {
+		m.compressedFramesSent.Add(1)
+	}
 	switch reason {
 	case FlushSize:
 		m.flushSize.Add(1)
@@ -104,6 +170,21 @@ func (m *WireMeter) RecordFrameSent(tuples, bytes int, reason FlushReason) {
 	case FlushClose:
 		m.flushClose.Add(1)
 	}
+}
+
+// RecordDictFrameSent folds in one outgoing dictionary-announce frame
+// of entries new entries and bytes total frame bytes.
+func (m *WireMeter) RecordDictFrameSent(entries, bytes int) {
+	m.dictFramesSent.Add(1)
+	m.dictEntriesSent.Add(uint64(entries))
+	m.dictBytesSent.Add(uint64(bytes))
+}
+
+// RecordDictLookups folds in one batch's dictionary reference (hit) and
+// inline (miss) string-field counts.
+func (m *WireMeter) RecordDictLookups(hits, misses int) {
+	m.dictHits.Add(uint64(hits))
+	m.dictMisses.Add(uint64(misses))
 }
 
 // RecordControlSent folds in one outgoing control frame.
@@ -125,6 +206,20 @@ func (m *WireMeter) RecordControlReceived(bytes int) {
 	m.controlBytesRecv.Add(uint64(bytes))
 }
 
+// RecordDictFrameReceived folds in one applied dictionary-announce
+// frame.
+func (m *WireMeter) RecordDictFrameReceived(entries, bytes int) {
+	m.dictFramesRecv.Add(1)
+	m.dictEntriesRecv.Add(uint64(entries))
+	m.bytesReceived.Add(uint64(bytes))
+}
+
+// RecordCompressedFrameReceived marks the frame about to be recorded as
+// having arrived LZ-wrapped.
+func (m *WireMeter) RecordCompressedFrameReceived() {
+	m.compressedFramesRecv.Add(1)
+}
+
 // RecordEncode folds in the wall time of one tuple's binary encode.
 func (m *WireMeter) RecordEncode(nanos int64) {
 	if nanos > 0 {
@@ -137,20 +232,30 @@ func (m *WireMeter) RecordEncode(nanos int64) {
 // frame — fine for monitoring, which is all this is for.
 func (m *WireMeter) Snapshot() WireStats {
 	return WireStats{
-		FramesSent:       m.framesSent.Load(),
-		TuplesSent:       m.tuplesSent.Load(),
-		BytesSent:        m.bytesSent.Load(),
-		ControlSent:      m.controlSent.Load(),
-		ControlBytesSent: m.controlBytesSent.Load(),
-		FlushSize:        m.flushSize.Load(),
-		FlushTimer:       m.flushTimer.Load(),
-		FlushControl:     m.flushControl.Load(),
-		FlushClose:       m.flushClose.Load(),
-		FramesReceived:   m.framesReceived.Load(),
-		TuplesReceived:   m.tuplesReceived.Load(),
-		BytesReceived:    m.bytesReceived.Load(),
-		ControlReceived:  m.controlReceived.Load(),
-		ControlBytesRecv: m.controlBytesRecv.Load(),
-		EncodeNanos:      m.encodeNanos.Load(),
+		FramesSent:           m.framesSent.Load(),
+		TuplesSent:           m.tuplesSent.Load(),
+		BytesSent:            m.bytesSent.Load(),
+		ControlSent:          m.controlSent.Load(),
+		ControlBytesSent:     m.controlBytesSent.Load(),
+		FlushSize:            m.flushSize.Load(),
+		FlushTimer:           m.flushTimer.Load(),
+		FlushControl:         m.flushControl.Load(),
+		FlushClose:           m.flushClose.Load(),
+		RawBytesSent:         m.rawBytesSent.Load(),
+		CompressedFramesSent: m.compressedFramesSent.Load(),
+		DictFramesSent:       m.dictFramesSent.Load(),
+		DictEntriesSent:      m.dictEntriesSent.Load(),
+		DictBytesSent:        m.dictBytesSent.Load(),
+		DictHits:             m.dictHits.Load(),
+		DictMisses:           m.dictMisses.Load(),
+		FramesReceived:       m.framesReceived.Load(),
+		TuplesReceived:       m.tuplesReceived.Load(),
+		BytesReceived:        m.bytesReceived.Load(),
+		ControlReceived:      m.controlReceived.Load(),
+		ControlBytesRecv:     m.controlBytesRecv.Load(),
+		CompressedFramesRecv: m.compressedFramesRecv.Load(),
+		DictFramesRecv:       m.dictFramesRecv.Load(),
+		DictEntriesRecv:      m.dictEntriesRecv.Load(),
+		EncodeNanos:          m.encodeNanos.Load(),
 	}
 }

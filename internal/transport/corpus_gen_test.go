@@ -1,0 +1,68 @@
+package transport
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGenerateFuzzCorpus regenerates the committed seed corpus under
+// testdata/fuzz when GEN_FUZZ_CORPUS=1 is set. The files mirror the
+// f.Add seeds built with the real encoders; committing them means a
+// plain `go test` run (CI included) executes every seed against the
+// fuzz targets, and a `-fuzz` session starts from known-interesting
+// frames instead of rediscovering the format.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("GEN_FUZZ_CORPUS") == "" {
+		t.Skip("set GEN_FUZZ_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	write := func(target, name string, args ...[]byte) {
+		t.Helper()
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := "go test fuzz v1\n"
+		for _, a := range args {
+			body += fmt.Sprintf("[]byte(%q)\n", a)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// FuzzFrameDecode: one []byte, a whole inbound stream.
+	var payload []byte
+	for _, m := range sampleTuples() {
+		payload = appendTuple(payload, &m)
+	}
+	frame := make([]byte, frameHeaderLen)
+	frame = append(frame, payload...)
+	putFrameHeader(frame, frameData)
+	stream := fuzzSeedStream()
+	write("FuzzFrameDecode", "raw_two_frames", append(append([]byte{}, frame...), frame...))
+	write("FuzzFrameDecode", "torn_frame", frame[:len(frame)-3])
+	write("FuzzFrameDecode", "oversized_header", []byte{frameData, 0xff, 0xff, 0xff, 0xff})
+	write("FuzzFrameDecode", "control_frame", []byte{frameControl, 4, 0, 0, 0, 1, 2, 3, 4})
+	write("FuzzFrameDecode", "bare_payload", payload)
+	write("FuzzFrameDecode", "dict_compressed_stream", stream)
+	write("FuzzFrameDecode", "torn_compressed", stream[:len(stream)-2])
+	write("FuzzFrameDecode", "illegal_inner_type", []byte{frameCompressed, 2, 0, 0, 0, frameDict, 0})
+	write("FuzzFrameDecode", "out_of_order_dict", []byte{frameDict, 3, 0, 0, 0, 2, 1, 'a'})
+
+	// FuzzDictDecode: (announce payload, batch payload) pairs.
+	sd := newSendDict()
+	var batch []byte
+	msgs := sampleTuples()
+	for round := 0; round < 2; round++ {
+		for i := range msgs {
+			batch = appendTupleDict(batch, &msgs[i], sd)
+		}
+	}
+	var table [1 << lzHashBits]int32
+	write("FuzzDictDecode", "valid_announce_batch", sd.pending, batch)
+	write("FuzzDictDecode", "bad_announce", []byte{2, 1, 'a'}, batch)
+	write("FuzzDictDecode", "corrupt_batch", sd.pending, []byte{0xff, 0xff, 0xff})
+	write("FuzzDictDecode", "lz_wrapped_batch", sd.pending, lzAppendCompress(nil, batch, &table))
+}

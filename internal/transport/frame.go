@@ -19,7 +19,10 @@ import (
 // tuple encoding below; frameControl carries exactly one gob-encoded
 // Message (migration snapshots, propagation markers, heartbeats — rare
 // control traffic where gob's self-describing flexibility is worth its
-// per-message cost).
+// per-message cost). frameDict announces per-connection dictionary
+// entries, frameDataDict is the dictionary-tagged batch encoding, and
+// frameCompressed wraps an LZ-compressed frameData/frameDataDict
+// payload (see dict.go and lz.go; byte layouts in PROTOCOL.md).
 //
 // A reader that cannot parse a frame — truncated header or payload,
 // length prefix beyond maxFramePayload, unknown type byte, malformed
@@ -29,8 +32,11 @@ import (
 const (
 	frameHeaderLen = 5
 
-	frameData    byte = 0x01
-	frameControl byte = 0x02
+	frameData       byte = 0x01
+	frameControl    byte = 0x02
+	frameDict       byte = 0x03
+	frameDataDict   byte = 0x04
+	frameCompressed byte = 0x05
 
 	// maxFramePayload bounds a frame's declared payload length. A reader
 	// seeing a larger prefix treats the stream as corrupt and drops the
@@ -180,7 +186,7 @@ func readFrame(r io.Reader, hdr []byte) (typ byte, payload *[]byte, err error) {
 		return 0, nil, err
 	}
 	typ = hdr[0]
-	if typ != frameData && typ != frameControl {
+	if typ < frameData || typ > frameCompressed {
 		return 0, nil, errFrameCorrupt
 	}
 	length := binary.LittleEndian.Uint32(hdr[1:frameHeaderLen])
@@ -193,6 +199,35 @@ func readFrame(r io.Reader, hdr []byte) (typ byte, payload *[]byte, err error) {
 		return 0, nil, err
 	}
 	return typ, bp, nil
+}
+
+// unwrapCompressed decodes a frameCompressed payload: one inner type
+// byte (only data batches are ever compressed), the uvarint raw length,
+// then the LZ stream. The declared raw length is enforced exactly — a
+// stream that inflates short or long is corrupt — and bounded by
+// maxFramePayload before any allocation, so a flipped length byte can
+// never balloon memory. The returned buffer holds the raw payload;
+// release it with putBuf.
+func unwrapCompressed(p []byte) (inner byte, raw *[]byte, err error) {
+	if len(p) < 2 {
+		return 0, nil, errFrameCorrupt
+	}
+	inner = p[0]
+	if inner != frameData && inner != frameDataDict {
+		return 0, nil, errFrameCorrupt
+	}
+	rawLen, rest, ok := readUvarint(p[1:])
+	if !ok || rawLen > maxFramePayload {
+		return 0, nil, errFrameCorrupt
+	}
+	bp := getBuf(int(rawLen))
+	out, err := lzAppendDecompress((*bp)[:0], rest, int(rawLen))
+	*bp = out
+	if err != nil || len(out) != int(rawLen) {
+		putBuf(bp)
+		return 0, nil, errFrameCorrupt
+	}
+	return inner, bp, nil
 }
 
 // bufPool recycles frame payload buffers between reads (and control

@@ -134,10 +134,44 @@ func TestEncodeSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// fuzzSeedStream builds a valid stream exercising every data-path frame
+// type with the real encoders: a dictionary announce, a tagged batch
+// referencing it, and an LZ-wrapped tagged batch.
+func fuzzSeedStream() []byte {
+	sd := newSendDict()
+	msgs := sampleTuples()
+	encode := func() []byte {
+		buf := make([]byte, frameHeaderLen)
+		for i := range msgs {
+			buf = appendTupleDict(buf, &msgs[i], sd)
+		}
+		return buf
+	}
+	first := encode()
+	second := encode() // references the entries the first pass promoted
+
+	var stream []byte
+	dict := make([]byte, frameHeaderLen)
+	dict = append(dict, sd.pending...)
+	putFrameHeader(dict, frameDict)
+	stream = append(stream, dict...)
+
+	putFrameHeader(first, frameDataDict)
+	stream = append(stream, first...)
+
+	var table [1 << lzHashBits]int32
+	lz := []byte{0, 0, 0, 0, 0, frameDataDict}
+	lz = binary.AppendUvarint(lz, uint64(len(second)-frameHeaderLen))
+	lz = lzAppendCompress(lz, second[frameHeaderLen:], &table)
+	putFrameHeader(lz, frameCompressed)
+	return append(stream, lz...)
+}
+
 // FuzzFrameDecode drives the whole receive-side parse path — frame
-// header, length prefix, batch decoder — with arbitrary bytes. The
-// decoder must never panic and must never allocate out of proportion to
-// its input, no matter what a corrupt or malicious peer sends.
+// header, length prefix, LZ unwrap, dictionary install, batch decoder —
+// with arbitrary bytes, mirroring Node.serve. The decoder must never
+// panic and must never allocate out of proportion to its input, no
+// matter what a corrupt or malicious peer sends.
 func FuzzFrameDecode(f *testing.F) {
 	// Seed with a valid two-frame stream and a few mutations.
 	var payload []byte
@@ -152,28 +186,107 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add([]byte{frameData, 0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{frameControl, 4, 0, 0, 0, 1, 2, 3, 4})
 	f.Add(payload)
+	// Compressed/dictionary-era seeds.
+	seed := fuzzSeedStream()
+	f.Add(seed)
+	f.Add(seed[:len(seed)-2])                                // torn inside the compressed frame
+	f.Add([]byte{frameCompressed, 2, 0, 0, 0, frameDict, 0}) // illegal inner type
+	f.Add([]byte{frameDict, 3, 0, 0, 0, 2, 1, 'a'})          // out-of-order dict id
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		// The stream path: parse frames until the reader errors out.
+		// The stream path: parse frames until the reader errors out,
+		// carrying the per-connection receive dictionary like serve does.
 		r := bytes.NewReader(data)
 		hdr := make([]byte, frameHeaderLen)
+		var rd recvDict
 		for {
 			typ, bp, err := readFrame(r, hdr)
 			if err != nil {
 				break
 			}
-			if typ == frameData {
-				if msgs, err := appendBatch(nil, *bp); err == nil {
-					for i := range msgs {
-						if msgs[i].To.Instance < 0 || msgs[i].Padding < 0 || msgs[i].From < 0 {
-							t.Fatalf("decoded negative int field: %+v", msgs[i])
-						}
+			payload := *bp
+			var rawBp *[]byte
+			if typ == frameCompressed {
+				typ, rawBp, err = unwrapCompressed(payload)
+				if err != nil {
+					putBuf(bp)
+					break
+				}
+				payload = *rawBp
+			}
+			var (
+				msgs []Message
+				derr error
+			)
+			switch typ {
+			case frameData:
+				msgs, derr = appendBatch(nil, payload)
+			case frameDataDict:
+				msgs, derr = appendBatchDict(nil, payload, &rd)
+			case frameDict:
+				_, derr = rd.apply(payload)
+			}
+			if derr == nil {
+				for i := range msgs {
+					if msgs[i].To.Instance < 0 || msgs[i].Padding < 0 || msgs[i].From < 0 {
+						t.Fatalf("decoded negative int field: %+v", msgs[i])
 					}
 				}
 			}
+			if rawBp != nil {
+				putBuf(rawBp)
+			}
 			putBuf(bp)
+			if derr != nil {
+				break
+			}
 		}
-		// The raw payload path, independent of framing.
+		// The raw payload paths, independent of framing.
 		_, _ = appendBatch(nil, data)
+		var rd2 recvDict
+		_, _ = appendBatchDict(nil, data, &rd2)
+	})
+}
+
+// FuzzDictDecode targets the dictionary layer in isolation: an
+// arbitrary announce payload installed into a fresh receive dictionary,
+// an arbitrary tagged batch decoded against it, and the LZ decoder over
+// the same bytes. Nothing may panic; every accepted decode must respect
+// the layer's invariants.
+func FuzzDictDecode(f *testing.F) {
+	sd := newSendDict()
+	var batch []byte
+	msgs := sampleTuples()
+	for round := 0; round < 2; round++ {
+		for i := range msgs {
+			batch = appendTupleDict(batch, &msgs[i], sd)
+		}
+	}
+	f.Add(append([]byte{}, sd.pending...), append([]byte{}, batch...))
+	f.Add([]byte{2, 1, 'a'}, append([]byte{}, batch...)) // bad announce, good batch
+	f.Add(append([]byte{}, sd.pending...), []byte{0xff, 0xff, 0xff})
+	var table [1 << lzHashBits]int32
+	f.Add(append([]byte{}, sd.pending...), lzAppendCompress(nil, batch, &table))
+
+	f.Fuzz(func(t *testing.T, dict, batch []byte) {
+		var rd recvDict
+		if _, err := rd.apply(dict); err == nil {
+			for _, e := range rd.entries {
+				if len(e) == 0 || len(e) > maxDictString {
+					t.Fatalf("installed illegal dictionary entry of %d bytes", len(e))
+				}
+			}
+		}
+		if msgs, err := appendBatchDict(nil, batch, &rd); err == nil {
+			for i := range msgs {
+				if msgs[i].To.Instance < 0 || msgs[i].Padding < 0 || msgs[i].From < 0 {
+					t.Fatalf("decoded negative int field: %+v", msgs[i])
+				}
+			}
+		}
+		const lzLimit = 1 << 16
+		if out, err := lzAppendDecompress(nil, batch, lzLimit); err == nil && len(out) > lzLimit {
+			t.Fatalf("LZ decoder exceeded its limit: %d > %d", len(out), lzLimit)
+		}
 	})
 }

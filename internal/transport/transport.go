@@ -26,6 +26,7 @@ package transport
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -84,12 +85,42 @@ type Message struct {
 type Handler func(Message)
 
 // BatchHandler consumes one decoded data frame: a batch of KindData
-// messages that crossed the wire together. The slice (not the strings
-// inside it) is reused for the connection's next frame, so the handler
-// must finish with it — or copy it — before returning. Like Handler it
-// runs on per-connection reader goroutines and must be safe for
-// concurrent use.
-type BatchHandler func(msgs []Message)
+// messages that crossed the wire together, delivered to node (the
+// receiving server's id — senders tracking per-destination in-flight
+// tuples match it against FlushedHandler's peer). The slice (not the
+// strings inside it) is reused for the connection's next frame, so the
+// handler must finish with it — or copy it — before returning. Like
+// Handler it runs on per-connection reader goroutines and must be safe
+// for concurrent use.
+type BatchHandler func(node int, msgs []Message)
+
+// Compression selects the data-frame encoding (see PROTOCOL.md).
+type Compression int
+
+const (
+	// CompressionAuto interns repeated strings through the per-connection
+	// dictionary and additionally LZ-compresses each flushed batch when —
+	// and only when — that makes the frame smaller on the wire. The
+	// default: skewed workloads are what this transport exists for.
+	CompressionAuto Compression = iota
+	// CompressionOff emits plain frameData frames (the PR 4 encoding).
+	CompressionOff
+	// CompressionDict interns through the dictionary but never runs the
+	// per-frame LZ pass — the configuration to measure the two layers
+	// separately.
+	CompressionDict
+)
+
+// lzMinTry is the smallest batch payload worth an LZ attempt: below it
+// the token overhead eats the win and the scan cost is pure loss.
+const lzMinTry = 512
+
+// lzDeferFlushes is the back-off after an unproductive LZ attempt: skip
+// this many flushes before trying again. Dictionary-interned payloads
+// are often already dense; the back-off keeps the encoder from
+// re-proving that on every frame while still noticing when the stream
+// turns compressible again.
+const lzDeferFlushes = 8
 
 // Default batching parameters (see NodeOptions).
 const (
@@ -128,6 +159,11 @@ type NodeOptions struct {
 	// reorders anything.
 	FlushInterval time.Duration
 
+	// Compression selects the data-frame encoding; the zero value
+	// (CompressionAuto) enables the per-connection dictionary plus the
+	// per-frame LZ pass. See the Compression constants.
+	Compression Compression
+
 	// BatchHandler, when set, receives each decoded data frame as one
 	// call instead of the per-message Handler — the receive-side half of
 	// batching (the engine drains a whole frame into mailboxes in one
@@ -139,6 +175,16 @@ type NodeOptions struct {
 	// need this to settle their accounting; the callback must be cheap
 	// and must not call back into the transport.
 	DropHandler func(tuples int)
+	// FlushedHandler, when set, is called with the number of KindData
+	// tuples in each data frame handed to the kernel, keyed by the
+	// destination peer — the sender-side half of exactly-once loss
+	// accounting (BatchHandler's node is the matching receive side). If
+	// the write then fails it is called again with the negated count
+	// before DropHandler reports the loss, so the running sum per peer
+	// counts only frames actually on the wire. Called under the peer's
+	// batch lock: must be cheap and must not call back into the
+	// transport.
+	FlushedHandler func(peer, tuples int)
 	// Meter, when set, accumulates wire statistics (frames, tuples per
 	// frame, bytes, flush reasons, encode time) across all of the node's
 	// connections.
@@ -196,7 +242,10 @@ func (n *Node) removePeerLocked(id int, pc *peerConn) {
 
 // peerConn serializes writes to one peer and owns the pending data
 // batch: a single reusable buffer holding the frame header placeholder
-// followed by the tuples encoded so far.
+// followed by the tuples encoded so far. With compression enabled it
+// also owns the connection's send dictionary and the LZ scratch state —
+// all of it created with the connection and discarded with it, so a
+// reconnect always starts from empty state on both ends.
 type peerConn struct {
 	mu     sync.Mutex
 	conn   net.Conn
@@ -204,6 +253,18 @@ type peerConn struct {
 	batchN int    // tuples currently in buf
 	timer  *time.Timer
 	broken bool
+
+	// dict is non-nil when the node interns strings (CompressionAuto or
+	// CompressionDict); rawBytes accumulates what the current batch
+	// would have cost in the raw encoding, for the meter's ratio.
+	dict     *sendDict
+	rawBytes int
+
+	// LZ scratch, allocated lazily on the first attempt. lzDefer counts
+	// flushes to skip after an unproductive attempt.
+	lzBuf   []byte
+	lzTable *[1 << lzHashBits]int32
+	lzDefer int
 }
 
 // NewNode starts a node listening on an ephemeral localhost port.
@@ -257,9 +318,17 @@ func (n *Node) Connect(peers map[int]string) error {
 		if err != nil {
 			return fmt.Errorf("transport: dial peer %d: %w", id, err)
 		}
+		// Re-connecting to an already-connected peer replaces the old
+		// connection: sever it first so its pending batch is accounted
+		// and its timer disarmed, and so both ends discard their
+		// dictionaries together (the new connection starts empty).
+		n.DropPeer(id)
 		pc := &peerConn{
 			conn: conn,
 			buf:  make([]byte, frameHeaderLen, frameHeaderLen+n.flushBytes+4096),
+		}
+		if n.opts.Compression != CompressionOff {
+			pc.dict = newSendDict()
 		}
 		pc.timer = time.AfterFunc(time.Hour, func() { n.flushExpired(id, pc) })
 		pc.timer.Stop()
@@ -335,13 +404,15 @@ const encodeSampleMask = 63
 
 // sendDataLocked encodes one tuple into the peer's batch, flushing on
 // the size threshold and arming the flush timer when the batch opens.
+// With a dictionary attached the tuple is encoded in tagged form and
+// the raw-equivalent size accumulated for the meter's ratio.
 func (n *Node) sendDataLocked(peer int, pc *peerConn, msg *Message) error {
 	if m := n.opts.Meter; m != nil && pc.batchN&encodeSampleMask == 0 {
 		start := time.Now()
-		pc.buf = appendTuple(pc.buf, msg)
+		pc.appendLocked(msg)
 		m.RecordEncode(int64(time.Since(start)) * (encodeSampleMask + 1))
 	} else {
-		pc.buf = appendTuple(pc.buf, msg)
+		pc.appendLocked(msg)
 	}
 	pc.batchN++
 	if len(pc.buf)-frameHeaderLen >= n.flushBytes {
@@ -384,10 +455,23 @@ func (n *Node) sendControlLocked(peer int, pc *peerConn, msg *Message) error {
 	return nil
 }
 
-// flushLocked writes the peer's pending batch as one data frame. On a
-// write error the connection is dropped and the batched tuples are
-// reported to DropHandler — they were accepted by earlier Sends and are
-// now gone.
+// appendLocked encodes one tuple into the batch buffer, raw or
+// dictionary-tagged depending on the connection's mode.
+func (pc *peerConn) appendLocked(msg *Message) {
+	if pc.dict != nil {
+		pc.buf = appendTupleDict(pc.buf, msg, pc.dict)
+		pc.rawBytes += rawTupleSize(msg)
+		return
+	}
+	pc.buf = appendTuple(pc.buf, msg)
+}
+
+// flushLocked writes the peer's pending batch as one data frame —
+// preceded by a dictionary-announce frame when tuples in the batch
+// promoted new entries, and wrapped in a compressed frame when the LZ
+// pass actually shrank it. On a write error the connection is dropped
+// and the batched tuples are reported to DropHandler — they were
+// accepted by earlier Sends and are now gone.
 func (n *Node) flushLocked(peer int, pc *peerConn, reason metrics.FlushReason) error {
 	if pc.batchN == 0 {
 		return nil
@@ -396,20 +480,87 @@ func (n *Node) flushLocked(peer int, pc *peerConn, reason metrics.FlushReason) e
 		// Unreachable with sane FlushBytes; guard anyway so a giant tuple
 		// can never emit a frame the receiver is obliged to reject.
 		tuples := pc.batchN
-		pc.buf = pc.buf[:frameHeaderLen]
-		pc.batchN = 0
+		n.resetBatchLocked(pc)
 		n.dropConnLocked(peer, pc)
 		if n.opts.DropHandler != nil {
 			n.opts.DropHandler(tuples)
 		}
 		return fmt.Errorf("transport: batch for %d exceeds %d bytes", peer, maxFramePayload)
 	}
-	putFrameHeader(pc.buf, frameData)
-	err := n.writeLocked(pc, pc.buf)
-	tuples, frameBytes := pc.batchN, len(pc.buf)
-	pc.buf = pc.buf[:frameHeaderLen]
-	pc.batchN = 0
+	tuples := pc.batchN
+	rawBytes := len(pc.buf) // raw-equivalent frame size, header included
+	typ := frameData
+	var dictHits, dictMisses int
+	if pc.dict != nil {
+		typ = frameDataDict
+		rawBytes = frameHeaderLen + pc.rawBytes
+		dictHits, dictMisses = pc.dict.hits, pc.dict.misses
+		pc.dict.hits, pc.dict.misses = 0, 0
+		// Entries promoted by this batch must be installed at the receiver
+		// before the batch's references to them decode: announce first,
+		// on the same FIFO stream.
+		if pc.dict.pendingEntries > 0 {
+			entries := pc.dict.pendingEntries
+			bp := getBuf(frameHeaderLen)
+			frame := append(*bp, pc.dict.pending...)
+			putFrameHeader(frame, frameDict)
+			err := n.writeLocked(pc, frame)
+			*bp = frame[:0]
+			putBuf(bp)
+			if err != nil {
+				n.resetBatchLocked(pc)
+				n.dropConnLocked(peer, pc)
+				if n.opts.DropHandler != nil {
+					n.opts.DropHandler(tuples)
+				}
+				return fmt.Errorf("transport: send to %d: %w", peer, err)
+			}
+			pc.dict.pending = pc.dict.pending[:0]
+			pc.dict.pendingEntries = 0
+			if m := n.opts.Meter; m != nil {
+				m.RecordDictFrameSent(entries, len(frame))
+			}
+		}
+	}
+	frame := pc.buf
+	compressed := false
+	if n.opts.Compression == CompressionAuto && len(pc.buf)-frameHeaderLen >= lzMinTry {
+		if pc.lzDefer > 0 {
+			pc.lzDefer--
+		} else {
+			if pc.lzTable == nil {
+				pc.lzTable = new([1 << lzHashBits]int32)
+			}
+			payload := pc.buf[frameHeaderLen:]
+			lz := append(pc.lzBuf[:0], 0, 0, 0, 0, 0, typ)
+			lz = binary.AppendUvarint(lz, uint64(len(payload)))
+			lz = lzAppendCompress(lz, payload, pc.lzTable)
+			pc.lzBuf = lz
+			if len(lz) < len(pc.buf) {
+				putFrameHeader(lz, frameCompressed)
+				frame = lz
+				compressed = true
+			} else {
+				pc.lzDefer = lzDeferFlushes
+			}
+		}
+	}
+	if !compressed {
+		putFrameHeader(frame, typ)
+	}
+	// The flushed count must be visible before the receiver can possibly
+	// deliver the frame (it is decremented on delivery), so it is
+	// recorded before the write and taken back if the write fails.
+	if n.opts.FlushedHandler != nil {
+		n.opts.FlushedHandler(peer, tuples)
+	}
+	err := n.writeLocked(pc, frame)
+	frameBytes := len(frame)
+	n.resetBatchLocked(pc)
 	if err != nil {
+		if n.opts.FlushedHandler != nil {
+			n.opts.FlushedHandler(peer, -tuples)
+		}
 		n.dropConnLocked(peer, pc)
 		if n.opts.DropHandler != nil {
 			n.opts.DropHandler(tuples)
@@ -417,9 +568,20 @@ func (n *Node) flushLocked(peer int, pc *peerConn, reason metrics.FlushReason) e
 		return fmt.Errorf("transport: send to %d: %w", peer, err)
 	}
 	if m := n.opts.Meter; m != nil {
-		m.RecordFrameSent(tuples, frameBytes, reason)
+		m.RecordDataFrameSent(tuples, frameBytes, rawBytes, compressed, reason)
+		if dictHits|dictMisses != 0 {
+			m.RecordDictLookups(dictHits, dictMisses)
+		}
 	}
 	return nil
+}
+
+// resetBatchLocked empties the pending batch state after a flush
+// attempt, successful or not.
+func (n *Node) resetBatchLocked(pc *peerConn) {
+	pc.buf = pc.buf[:frameHeaderLen]
+	pc.batchN = 0
+	pc.rawBytes = 0
 }
 
 // writeLocked writes one frame under the node's write deadline.
@@ -458,6 +620,31 @@ func (n *Node) dropConnLocked(peer int, pc *peerConn) {
 	n.mu.Unlock()
 }
 
+// DropPeer severs this node's outgoing connection to peer without
+// waiting for a write to fail. Tuples batched but not yet flushed are
+// reported through DropHandler — exactly once, matching the accounting
+// a failed flush would have done. Used when a peer is known dead (the
+// engine's KillServer) so loss is settled deterministically, and before
+// a Connect that re-dials the same peer. Safe to call when no
+// connection to peer exists.
+func (n *Node) DropPeer(peer int) {
+	pc := (*n.peers.Load())[peer]
+	if pc == nil {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.broken {
+		return
+	}
+	tuples := pc.batchN
+	n.resetBatchLocked(pc)
+	n.dropConnLocked(peer, pc)
+	if tuples > 0 && n.opts.DropHandler != nil {
+		n.opts.DropHandler(tuples)
+	}
+}
+
 func (n *Node) accept() {
 	defer n.wg.Done()
 	for {
@@ -481,47 +668,82 @@ func (n *Node) accept() {
 // serve decodes frames off one inbound connection. A frame is delivered
 // only after it has been read and decoded completely; any read or
 // decode error — including a torn frame from a peer that died mid-write
-// — drops the connection without delivering anything partial.
+// — drops the connection without delivering anything partial. The
+// receive dictionary lives and dies with the connection, mirroring the
+// sender's: a reconnecting peer starts announcing from id 0 again.
 func (n *Node) serve(conn net.Conn) {
 	defer n.wg.Done()
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	hdr := make([]byte, frameHeaderLen)
-	var batch []Message
+	var (
+		batch []Message
+		rd    recvDict
+	)
 	for {
 		typ, bp, err := readFrame(br, hdr)
 		if err != nil {
 			return // connection closed, torn frame, or corrupt stream
 		}
-		switch typ {
-		case frameData:
-			batch, err = appendBatch(batch[:0], *bp)
+		wireBytes := frameHeaderLen + len(*bp)
+		payload := *bp
+		var rawBp *[]byte
+		if typ == frameCompressed {
+			typ, rawBp, err = unwrapCompressed(payload)
 			if err != nil {
 				putBuf(bp)
 				return
 			}
+			payload = *rawBp
 			if m := n.opts.Meter; m != nil {
-				m.RecordFrameReceived(len(batch), frameHeaderLen+len(*bp))
+				m.RecordCompressedFrameReceived()
+			}
+		}
+		switch typ {
+		case frameData, frameDataDict:
+			if typ == frameData {
+				batch, err = appendBatch(batch[:0], payload)
+			} else {
+				batch, err = appendBatchDict(batch[:0], payload, &rd)
+			}
+			if err != nil {
+				break
+			}
+			if m := n.opts.Meter; m != nil {
+				m.RecordFrameReceived(len(batch), wireBytes)
 			}
 			if n.opts.BatchHandler != nil {
-				n.opts.BatchHandler(batch)
+				n.opts.BatchHandler(n.id, batch)
 			} else {
 				for i := range batch {
 					n.handler(batch[i])
 				}
 			}
-		case frameControl:
-			var msg Message
-			if err := gob.NewDecoder(bytes.NewReader(*bp)).Decode(&msg); err != nil {
-				putBuf(bp)
-				return
+		case frameDict:
+			var entries int
+			if entries, err = rd.apply(payload); err != nil {
+				break
 			}
 			if m := n.opts.Meter; m != nil {
-				m.RecordControlReceived(frameHeaderLen + len(*bp))
+				m.RecordDictFrameReceived(entries, wireBytes)
+			}
+		case frameControl:
+			var msg Message
+			if err = gob.NewDecoder(bytes.NewReader(payload)).Decode(&msg); err != nil {
+				break
+			}
+			if m := n.opts.Meter; m != nil {
+				m.RecordControlReceived(wireBytes)
 			}
 			n.handler(msg)
 		}
+		if rawBp != nil {
+			putBuf(rawBp)
+		}
 		putBuf(bp)
+		if err != nil {
+			return
+		}
 	}
 }
 
@@ -604,6 +826,19 @@ func (f *Fabric) Send(from, to int, msg Message) error {
 		return fmt.Errorf("transport: invalid sender %d", from)
 	}
 	return f.nodes[from].Send(to, msg)
+}
+
+// DropPeer severs every surviving node's outgoing connection to server,
+// reporting not-yet-flushed batches through DropHandler. Called before
+// CloseNode when a server is killed: afterwards no survivor can flush
+// another frame to it, which pins the flushed-but-undelivered count for
+// exact loss settlement.
+func (f *Fabric) DropPeer(server int) {
+	for i, node := range f.nodes {
+		if node != nil && i != server {
+			node.DropPeer(server)
+		}
+	}
 }
 
 // CloseNode shuts down a single server's node — its listener, outgoing

@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
@@ -368,11 +369,15 @@ func TestStalledPeerDropsBatch(t *testing.T) {
 
 	// Pump data until the kernel buffers fill and a flush hits the write
 	// deadline. Bound the loop so a broken implementation fails instead
-	// of hanging.
-	payload := strings.Repeat("x", 1<<10)
+	// of hanging. Each tuple carries a distinct pseudo-random payload so
+	// neither the dictionary nor the LZ pass can shrink the stream — the
+	// stall must come from real bytes hitting a full socket.
+	rng := rand.New(rand.NewSource(7))
+	raw := make([]byte, 1<<10)
 	var sendErr error
 	for i := 0; i < 1<<16; i++ {
-		if sendErr = n.Send(1, Message{Kind: KindData, Key: "k", Values: []string{payload}}); sendErr != nil {
+		rng.Read(raw)
+		if sendErr = n.Send(1, Message{Kind: KindData, Key: "k", Values: []string{string(raw)}}); sendErr != nil {
 			break
 		}
 	}
@@ -462,7 +467,7 @@ func TestBatchHandlerReceivesFrames(t *testing.T) {
 	opts := NodeOptions{
 		FlushBytes:    1 << 20,
 		FlushInterval: 5 * time.Millisecond,
-		BatchHandler: func(msgs []Message) {
+		BatchHandler: func(_ int, msgs []Message) {
 			mu.Lock()
 			frames = append(frames, append([]Message(nil), msgs...))
 			total += len(msgs)

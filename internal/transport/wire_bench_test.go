@@ -20,13 +20,11 @@ func benchMessage() Message {
 	}
 }
 
-// BenchmarkWireForward measures tuples through the binary framed
-// transport over real TCP loopback: encode into the per-peer batch,
-// flush, kernel round trip, frame decode, batched hand-off. Compare
-// with BenchmarkGobForward — the per-message gob path this protocol
-// replaced — for the batching/binary speedup; the CI bench gate records
-// both in BENCH_4.json.
-func BenchmarkWireForward(b *testing.B) {
+// benchWireForward measures tuples through the binary framed transport
+// over real TCP loopback: encode into the per-peer batch, flush, kernel
+// round trip, frame decode, batched hand-off — under the given
+// compression mode.
+func benchWireForward(b *testing.B, comp Compression) {
 	var (
 		received atomic.Int64
 		target   atomic.Int64
@@ -34,8 +32,9 @@ func BenchmarkWireForward(b *testing.B) {
 	done := make(chan struct{}, 1)
 	meter := new(metrics.WireMeter)
 	f, err := NewFabricWith(2, func(int, Message) {}, NodeOptions{
-		Meter: meter,
-		BatchHandler: func(msgs []Message) {
+		Compression: comp,
+		Meter:       meter,
+		BatchHandler: func(_ int, msgs []Message) {
 			if t := target.Load(); t > 0 && received.Add(int64(len(msgs))) >= t {
 				select {
 				case done <- struct{}{}:
@@ -73,6 +72,88 @@ func BenchmarkWireForward(b *testing.B) {
 	if st := meter.Snapshot(); st.FramesSent > 0 {
 		b.ReportMetric(st.TuplesPerFrame(), "tuples/frame")
 		b.ReportMetric(st.EncodeNsPerTuple(), "encode-ns/op")
+		b.ReportMetric(st.WireBytesPerTuple(), "wire-B/tuple")
+	}
+}
+
+// BenchmarkWireForward is the gated end-to-end number (BENCH_5.json):
+// the default encoding, dictionary interning plus the opportunistic LZ
+// pass. Compare with BenchmarkWireForwardRaw for the CPU cost of
+// compression and with BenchmarkGobForward — the per-message gob path
+// this protocol replaced — for the batching/binary speedup.
+func BenchmarkWireForward(b *testing.B) { benchWireForward(b, CompressionAuto) }
+
+// BenchmarkWireForwardRaw is the same pipeline with compression off:
+// the PR 4 wire format, kept measurable so the Auto-vs-raw CPU trade
+// stays visible.
+func BenchmarkWireForwardRaw(b *testing.B) { benchWireForward(b, CompressionOff) }
+
+// BenchmarkWireForwardSkewed drives a Zipf-ish keyed stream (16 hot
+// keys, the workload the dictionary exists for) under each compression
+// mode and reports wire-B/tuple — the on-wire bytes-per-tuple number
+// the bench gate pins so compression wins cannot silently regress.
+func BenchmarkWireForwardSkewed(b *testing.B) {
+	keys := [16]string{
+		"Asia", "Europe", "Africa", "Oceania", "Americas", "Antarctica",
+		"#golang", "#storm", "#streams", "#kafka", "#flink", "#samza",
+		"hot-0", "hot-1", "hot-2", "hot-3",
+	}
+	for _, mode := range []struct {
+		name string
+		comp Compression
+	}{{"off", CompressionOff}, {"dict", CompressionDict}, {"auto", CompressionAuto}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var (
+				received atomic.Int64
+				target   atomic.Int64
+			)
+			done := make(chan struct{}, 1)
+			meter := new(metrics.WireMeter)
+			f, err := NewFabricWith(2, func(int, Message) {}, NodeOptions{
+				Compression: mode.comp,
+				Meter:       meter,
+				BatchHandler: func(_ int, msgs []Message) {
+					if t := target.Load(); t > 0 && received.Add(int64(len(msgs))) >= t {
+						select {
+						case done <- struct{}{}:
+						default:
+						}
+					}
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+
+			msg := benchMessage()
+			target.Store(4096)
+			for i := 0; i < 4096; i++ {
+				msg.Key = keys[i&15]
+				msg.Values[0] = keys[i&15]
+				if err := f.Send(0, 1, msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			awaitBench(b, done)
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			target.Store(received.Load() + int64(b.N))
+			for i := 0; i < b.N; i++ {
+				msg.Key = keys[i&15]
+				msg.Values[0] = keys[i&15]
+				if err := f.Send(0, 1, msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			awaitBench(b, done)
+			b.StopTimer()
+			if st := meter.Snapshot(); st.TuplesSent > 0 {
+				b.ReportMetric(st.WireBytesPerTuple(), "wire-B/tuple")
+				b.ReportMetric(st.CompressionRatio(), "ratio")
+			}
+		})
 	}
 }
 

@@ -33,6 +33,9 @@ type App struct {
 	live  *engine.Live
 	mgr   *core.Manager
 
+	keySplitting   bool
+	splitThreshold float64
+
 	reconfigMu sync.Mutex
 
 	stopTicker chan struct{}
@@ -73,6 +76,7 @@ func NewApp(topo *Topology, opts ...Option) (*App, error) {
 		MaxInFlight:    o.maxInFlight,
 		MaxBuffered:    o.maxBuffered,
 		TCPTransport:   o.tcpTransport,
+		KeySplitting:   o.keySplitting,
 	})
 	if err != nil {
 		return nil, err
@@ -86,7 +90,10 @@ func NewApp(topo *Topology, opts ...Option) (*App, error) {
 		return nil, err
 	}
 
-	app := &App{topo: topo, place: place, live: live, mgr: mgr}
+	app := &App{
+		topo: topo, place: place, live: live, mgr: mgr,
+		keySplitting: o.keySplitting, splitThreshold: o.splitThreshold,
+	}
 	if o.reconfigEvery > 0 {
 		app.stopTicker = make(chan struct{})
 		app.tickerDone = make(chan struct{})

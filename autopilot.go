@@ -24,6 +24,10 @@ const (
 	Cooldown  = control.ActionCooldown
 	Recovered = control.ActionRecovered
 	Errored   = control.ActionError
+	// Promoted and Demoted record hot-key split transitions (see
+	// WithKeySplitting).
+	Promoted = control.ActionPromoted
+	Demoted  = control.ActionDemoted
 )
 
 // AutopilotStatus is the autopilot's public state.
@@ -96,6 +100,12 @@ func (a *App) NewAutopilot(opts AutopilotOptions) (*Autopilot, error) {
 		JournalCapacity: opts.JournalCapacity,
 		SkipRecovery:    opts.SkipRecovery,
 	}
+	if a.keySplitting {
+		copts.Split = control.SplitOptions{
+			Enabled:   true,
+			Threshold: a.splitThreshold,
+		}
+	}
 	var sink *control.JSONLSink
 	if opts.JournalPath != "" {
 		var err error
@@ -110,6 +120,9 @@ func (a *App) NewAutopilot(opts AutopilotOptions) (*Autopilot, error) {
 			_ = sink.Close()
 		}
 		return nil, err
+	}
+	if a.keySplitting {
+		ctl.AttachSplitEngine(a.live)
 	}
 	return &Autopilot{ctl: ctl, sink: sink}, nil
 }

@@ -1,0 +1,124 @@
+// Hotkey: hot-key splitting (partial key grouping) on a skewed stream.
+// One hashtag suddenly takes over half the traffic — more than any
+// single instance's fair share, so no routing table can balance it. With
+// WithKeySplitting the autopilot promotes the heavy hitter to 2-choice
+// replicated routing across two instances, the tail keeps its
+// locality-optimized single-owner routing, and when the storm passes the
+// key is demoted and its partial counts merge back into one owner —
+// exact totals, zero loss.
+//
+//	go run ./examples/hotkey
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+
+	locastream "github.com/locastream/locastream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		parallelism = 4
+		tailKeys    = 16
+		perWindow   = 6000
+	)
+
+	topo, err := locastream.NewTopology("hot-key").
+		AddOperator(locastream.Operator{
+			Name: "regions", Parallelism: parallelism, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(0) },
+		}).
+		AddOperator(locastream.Operator{
+			Name: "hashtags", Parallelism: parallelism, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(1) },
+		}).
+		Connect("regions", "hashtags", locastream.Fields, 1).
+		Build()
+	if err != nil {
+		return err
+	}
+
+	app, err := locastream.NewApp(topo,
+		locastream.WithServers(parallelism),
+		locastream.WithKeySplitting(),
+		locastream.WithSplitThreshold(1.5),
+	)
+	if err != nil {
+		return err
+	}
+	defer app.Stop()
+
+	ap, err := app.NewAutopilot(locastream.AutopilotOptions{CostPerKey: 1})
+	if err != nil {
+		return err
+	}
+	defer ap.Stop()
+
+	rng := rand.New(rand.NewSource(7))
+	hotInjected := uint64(0)
+	window := func(hotPercent int) {
+		for i := 0; i < perWindow; i++ {
+			tag := "#tag" + strconv.Itoa(rng.Intn(tailKeys))
+			if rng.Intn(100) < hotPercent {
+				tag = "#viral"
+				hotInjected++
+			}
+			region := "region" + strconv.Itoa(rng.Intn(tailKeys))
+			if err := app.Inject(locastream.Tuple{Values: []string{region, tag}}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		app.Drain()
+	}
+
+	// Windows 1-2: calm. 3-6: #viral takes 50% of the stream. 7-9: calm
+	// again. Each window ends with one autopilot tick, the same loop that
+	// deploys routing tables; promotion and demotion both need two
+	// confirming windows, so one odd window never flaps a key.
+	shares := []int{2, 2, 50, 50, 50, 50, 2, 2, 2}
+	for w, share := range shares {
+		window(share)
+		ap.Tick()
+		st := ap.Status()
+		loads := app.Loads("hashtags")
+		fmt.Printf("window %d (%2d%% hot): imbalance %.2f  split keys %d  routed-via-split %d\n",
+			w+1, share, locastream.Imbalance(loads), len(st.SplitKeys), st.Split.Routed)
+		for _, k := range st.SplitKeys {
+			fmt.Printf("          %s/%q over instances %v\n", k.Op, k.Key, k.Replicas)
+		}
+	}
+
+	st := ap.Status()
+	fmt.Printf("\npromotions %d, demotions %d, merges applied %d\n",
+		st.Promotions, st.Demotions, st.Split.MergesApplied)
+
+	// After demotion the partials have merged back: one owner holds the
+	// exact total.
+	var counted uint64
+	holders := 0
+	for i := 0; i < parallelism; i++ {
+		var n uint64
+		err := app.ProcessorState("hashtags", i, func(p locastream.Processor) {
+			n = p.(interface{ Count(string) uint64 }).Count("#viral")
+		})
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			holders++
+		}
+		counted += n
+	}
+	fmt.Printf("#viral: injected %d, counted %d, held by %d instance(s), tuples lost %d\n",
+		hotInjected, counted, holders, app.TuplesLost())
+	return nil
+}

@@ -149,6 +149,13 @@ func (d *Detector) Probe(now time.Time) Verdict {
 		silent := now.Sub(d.lastOK[s])
 		switch {
 		case silent >= d.opts.ConfirmAfter:
+			// Both thresholds can be crossed within one round (clock
+			// jump, long host pause). The suspected→confirmed escalation
+			// must still emit both transitions exactly once: observers
+			// (supervisor events, drills) key off the suspect edge.
+			if d.state[s] != Suspected {
+				v.Suspected = append(v.Suspected, s)
+			}
 			d.state[s] = Confirmed
 			v.Confirmed = append(v.Confirmed, Failure{
 				Server: s, DownSince: d.lastOK[s], ConfirmedAt: now,

@@ -1,0 +1,122 @@
+package checkpoint
+
+import (
+	"testing"
+	"time"
+)
+
+// boolPinger answers probes from a per-server switch.
+type boolPinger struct{ up []bool }
+
+func (p *boolPinger) Ping(s int) bool { return p.up[s] }
+
+// TestDetectorSameRoundSuspectConfirm drives the edge where silence
+// crosses the suspect AND confirm thresholds within one probe round
+// (e.g. after a clock jump or a long GC pause in the host): the
+// escalation must emit BOTH transitions exactly once in that round.
+func TestDetectorSameRoundSuspectConfirm(t *testing.T) {
+	p := &boolPinger{up: []bool{true, true}}
+	d := NewDetector(p, 2, DetectorOptions{
+		SuspectAfter: 2 * time.Second,
+		ConfirmAfter: 6 * time.Second,
+	})
+	t0 := time.Unix(1000, 0)
+
+	// Round 1 establishes the baseline; everyone answers.
+	v := d.Probe(t0)
+	if len(v.Failing)+len(v.Suspected)+len(v.Confirmed) != 0 {
+		t.Fatalf("baseline round not clean: %+v", v)
+	}
+
+	// Server 1 dies; the next round happens only after the confirm
+	// threshold has already passed (the clock jumped 10s).
+	p.up[1] = false
+	v = d.Probe(t0.Add(10 * time.Second))
+	if len(v.Suspected) != 1 || v.Suspected[0] != 1 {
+		t.Fatalf("same-round crossing must emit the suspect transition once, got %v", v.Suspected)
+	}
+	if len(v.Confirmed) != 1 || v.Confirmed[0].Server != 1 {
+		t.Fatalf("same-round crossing must emit the confirm transition once, got %+v", v.Confirmed)
+	}
+	if got := v.Confirmed[0].DownSince; !got.Equal(t0) {
+		t.Fatalf("DownSince = %v, want baseline %v", got, t0)
+	}
+	if d.Liveness(1) != Confirmed {
+		t.Fatalf("server 1 liveness = %v, want confirmed", d.Liveness(1))
+	}
+
+	// Later rounds must not re-emit either transition (confirmation is
+	// final and the server is skipped).
+	v = d.Probe(t0.Add(20 * time.Second))
+	if len(v.Suspected) != 0 || len(v.Confirmed) != 0 || len(v.Failing) != 0 {
+		t.Fatalf("confirmed server re-emitted transitions: %+v", v)
+	}
+}
+
+// TestDetectorHeartbeatSameRoundNeverConfirms pins the other half of the
+// edge: however long a server has been silent, answering the probe in
+// the current round resets it to Alive — the detector never confirms a
+// server that heartbeated in the same round.
+func TestDetectorHeartbeatSameRoundNeverConfirms(t *testing.T) {
+	p := &boolPinger{up: []bool{true}}
+	d := NewDetector(p, 1, DetectorOptions{
+		SuspectAfter: 2 * time.Second,
+		ConfirmAfter: 6 * time.Second,
+	})
+	t0 := time.Unix(2000, 0)
+	d.Probe(t0)
+
+	// Silent long enough to be suspected.
+	p.up[0] = false
+	v := d.Probe(t0.Add(3 * time.Second))
+	if len(v.Suspected) != 1 {
+		t.Fatalf("expected suspect after 3s of silence, got %+v", v)
+	}
+
+	// The server answers again in the round where silence would have
+	// crossed ConfirmAfter: it must return to Alive, not be confirmed.
+	p.up[0] = true
+	v = d.Probe(t0.Add(10 * time.Second))
+	if len(v.Confirmed) != 0 || len(v.Failing) != 0 {
+		t.Fatalf("heartbeating server was escalated: %+v", v)
+	}
+	if d.Liveness(0) != Alive {
+		t.Fatalf("liveness = %v, want alive", d.Liveness(0))
+	}
+
+	// And the recovery reset the baseline: a fresh silence needs the full
+	// thresholds again.
+	p.up[0] = false
+	v = d.Probe(t0.Add(11 * time.Second))
+	if len(v.Suspected) != 0 || len(v.Confirmed) != 0 {
+		t.Fatalf("1s of fresh silence escalated: %+v", v)
+	}
+	v = d.Probe(t0.Add(17 * time.Second))
+	if len(v.Suspected) != 1 || len(v.Confirmed) != 1 {
+		t.Fatalf("6s of fresh silence must suspect+confirm in one round, got %+v", v)
+	}
+}
+
+// TestDetectorDistinctRoundsStillSingleTransitions guards the normal
+// path: when suspect and confirm happen in different rounds, each edge
+// fires exactly once.
+func TestDetectorDistinctRoundsStillSingleTransitions(t *testing.T) {
+	p := &boolPinger{up: []bool{true}}
+	d := NewDetector(p, 1, DetectorOptions{
+		SuspectAfter: 2 * time.Second,
+		ConfirmAfter: 6 * time.Second,
+	})
+	t0 := time.Unix(3000, 0)
+	d.Probe(t0)
+	p.up[0] = false
+
+	var suspects, confirms int
+	for i := 1; i <= 8; i++ {
+		v := d.Probe(t0.Add(time.Duration(i) * time.Second))
+		suspects += len(v.Suspected)
+		confirms += len(v.Confirmed)
+	}
+	if suspects != 1 || confirms != 1 {
+		t.Fatalf("got %d suspect / %d confirm transitions, want exactly 1 each", suspects, confirms)
+	}
+}

@@ -28,7 +28,16 @@ type RepairInput struct {
 	// which keys travel together.
 	Stats []engine.PairStat
 	// Checkpoint is the merged latest checkpoint image (Store.Load).
+	// Split keys may contribute several records — one partial per
+	// replica instance.
 	Checkpoint []engine.KeyState
+	// Splits lists the keys currently promoted to replicated (split)
+	// routing (engine.Live.SplitSnapshot). A split key never enters the
+	// repair partitioning: its new owner is the first surviving replica
+	// in original order — the same choice engine.PruneSplitReplicas
+	// makes — and dead replicas' checkpointed partials become Merge
+	// records folded into that owner.
+	Splits []engine.SplitKeyInfo
 	// OwnerOf resolves the current owner instance of a key not found in
 	// Tables (the hash-fallback path); engine.Live.OwnerOf implements
 	// it.
@@ -72,6 +81,9 @@ type RepairPlan struct {
 	MovedKeys int
 	// RestoredKeys counts records carrying checkpointed state.
 	RestoredKeys int
+	// MergedPartials counts split-key partial records recovered as
+	// merges into a surviving replica.
+	MergedPartials int
 }
 
 // PlanRepair computes where the dead servers' keys go. Survivor keys are
@@ -125,10 +137,48 @@ func PlanRepair(in RepairInput) (*RepairPlan, error) {
 			note(op, key)
 		}
 	}
-	ckpt := make(map[recordKey]engine.KeyState, len(in.Checkpoint))
+	ckpt := make(map[recordKey][]engine.KeyState, len(in.Checkpoint))
 	for _, r := range in.Checkpoint {
-		ckpt[recordKey{Op: r.Op, Key: r.Key}] = r
+		k := recordKey{Op: r.Op, Key: r.Key}
+		ckpt[k] = append(ckpt[k], r)
 		note(r.Op, r.Key)
+	}
+
+	// Split keys route by their replica set, not the table. One with a
+	// surviving replica is re-owned in place: the first alive replica in
+	// original order becomes the owner — the same choice
+	// engine.PruneSplitReplicas makes, so the planner and the engine
+	// agree without coordination — and the key is pinned there, out of
+	// the repair partitioning. Only a split key that lost every replica
+	// falls through to the ordinary orphan path below.
+	type reowned struct {
+		newOwner int
+		moved    bool  // original owner was on a dead server
+		dead     []int // dead replica instances (partials to merge)
+	}
+	splitReowned := make(map[recordKey]*reowned)
+	for _, si := range in.Splits {
+		k := recordKey{Op: si.Op, Key: si.Key}
+		note(si.Op, si.Key)
+		ro := &reowned{newOwner: -1}
+		for _, inst := range si.Replicas {
+			s := in.Place.ServerOf(si.Op, inst)
+			if s >= 0 && in.Alive[s] {
+				if ro.newOwner == -1 {
+					ro.newOwner = inst
+				}
+			} else {
+				ro.dead = append(ro.dead, inst)
+			}
+		}
+		if ro.newOwner == -1 {
+			continue // every replica died: ordinary orphan
+		}
+		if len(si.Replicas) > 0 {
+			ownerS := in.Place.ServerOf(si.Op, si.Replicas[0])
+			ro.moved = ownerS < 0 || !in.Alive[ownerS]
+		}
+		splitReowned[k] = ro
 	}
 	graph := keygraph.New()
 	for _, st := range in.Stats {
@@ -171,6 +221,10 @@ func PlanRepair(in RepairInput) (*RepairPlan, error) {
 		}
 		sort.Strings(keys)
 		for _, key := range keys {
+			if ro, ok := splitReowned[recordKey{Op: op, Key: key}]; ok {
+				pinnedServer[keygraph.VertexID{Op: op, Key: key}] = in.Place.ServerOf(op, ro.newOwner)
+				continue
+			}
 			server, ok := ownerServer(op, key)
 			if !ok {
 				continue // unroutable (no fields-grouped input): nothing to repair
@@ -191,6 +245,44 @@ func PlanRepair(in RepairInput) (*RepairPlan, error) {
 	for op, t := range in.Tables {
 		plan.Tables[op] = t.Clone()
 	}
+
+	// Re-own surviving splits: repoint the table pin at the new owner
+	// and fold every dead replica's checkpointed partial into it. No
+	// buffer arming — the owner's live partial stays valid throughout,
+	// and the merge contract is associative, so tuples landing before
+	// the merge applies are simply added on top.
+	splitKeys := make([]recordKey, 0, len(splitReowned))
+	for k := range splitReowned {
+		splitKeys = append(splitKeys, k)
+	}
+	sort.Slice(splitKeys, func(i, j int) bool {
+		if splitKeys[i].Op != splitKeys[j].Op {
+			return splitKeys[i].Op < splitKeys[j].Op
+		}
+		return splitKeys[i].Key < splitKeys[j].Key
+	})
+	for _, k := range splitKeys {
+		ro := splitReowned[k]
+		if ro.moved {
+			table := plan.Tables[k.Op]
+			if table == nil {
+				table = &routing.Table{Assign: make(map[string]int)}
+				plan.Tables[k.Op] = table
+			}
+			table.Assign[k.Key] = ro.newOwner
+			plan.MovedKeys++
+		}
+		for _, saved := range ckpt[k] {
+			if saved.Data == nil || !deadInstance(saved.Inst, ro.dead) {
+				continue
+			}
+			plan.Records = append(plan.Records, engine.KeyState{
+				Op: k.Op, Inst: ro.newOwner, Key: k.Key, Data: saved.Data, Merge: true,
+			})
+			plan.MergedPartials++
+		}
+	}
+
 	if len(orphans) == 0 {
 		return plan, nil
 	}
@@ -261,14 +353,53 @@ func PlanRepair(in RepairInput) (*RepairPlan, error) {
 			plan.Expects[o.op] = make(map[int][]string)
 		}
 		plan.Expects[o.op][inst] = append(plan.Expects[o.op][inst], o.key)
+		// A key checkpointed while split carries one partial per replica
+		// (and a fully-dead split lands here): the owner's partial
+		// restores as the base image, the others fold in as merges.
+		saved := ckpt[recordKey{Op: o.op, Key: o.key}]
+		base := primaryRecord(saved)
 		rec := engine.KeyState{Op: o.op, Inst: inst, Key: o.key}
-		if saved, ok := ckpt[recordKey{Op: o.op, Key: o.key}]; ok && saved.Data != nil {
-			rec.Data = saved.Data
+		if base >= 0 && saved[base].Data != nil {
+			rec.Data = saved[base].Data
 			plan.RestoredKeys++
 		}
 		plan.Records = append(plan.Records, rec)
+		for i, s := range saved {
+			if i == base || s.Data == nil {
+				continue
+			}
+			plan.Records = append(plan.Records, engine.KeyState{
+				Op: o.op, Inst: inst, Key: o.key, Data: s.Data, Merge: true,
+			})
+			plan.MergedPartials++
+		}
 	}
 	return plan, nil
+}
+
+// primaryRecord picks the record restored as the key's base image: the
+// partial snapshotted at the split owner when the annotation identifies
+// one, else the first record (-1 when there are none).
+func primaryRecord(recs []engine.KeyState) int {
+	if len(recs) == 0 {
+		return -1
+	}
+	for i, r := range recs {
+		if r.Split && len(r.Replicas) > 0 && r.Inst == r.Replicas[0] {
+			return i
+		}
+	}
+	return 0
+}
+
+// deadInstance reports whether inst is in the dead replica list.
+func deadInstance(inst int, dead []int) bool {
+	for _, d := range dead {
+		if d == inst {
+			return true
+		}
+	}
+	return false
 }
 
 // adoptInstance picks the instance of op on server that adopts key,

@@ -228,6 +228,133 @@ func TestPlanRepairErrors(t *testing.T) {
 	}
 }
 
+// TestPlanRepairSplitOwnerDied: the owner replica of a split key dies.
+// The first surviving replica in original order becomes the owner (the
+// same choice engine.PruneSplitReplicas makes), the table pin follows
+// it, and the dead owner's checkpointed partial becomes a Merge record
+// into the new owner — with no buffer arming, since the survivor's live
+// partial stays valid throughout.
+func TestPlanRepairSplitOwnerDied(t *testing.T) {
+	const servers = 4
+	place := repairPlace(t, servers)
+	tables := map[string]*routing.Table{
+		"B": {Assign: map[string]int{"hot": 3}},
+	}
+	plan, err := PlanRepair(RepairInput{
+		Place:  place,
+		Alive:  aliveMask(servers, 3),
+		Tables: tables,
+		Checkpoint: []engine.KeyState{
+			{Op: "B", Inst: 1, Key: "hot", Data: []byte("p1"), Split: true, Replicas: []int{3, 1}},
+			{Op: "B", Inst: 3, Key: "hot", Data: []byte("p3"), Split: true, Replicas: []int{3, 1}},
+		},
+		Splits:      []engine.SplitKeyInfo{{Op: "B", Key: "hot", Replicas: []int{3, 1}}},
+		StatefulOps: []string{"A", "B"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Tables["B"].Assign["hot"]; got != 1 {
+		t.Fatalf("new owner = %d, want surviving replica 1", got)
+	}
+	if plan.MovedKeys != 1 {
+		t.Fatalf("MovedKeys = %d, want 1", plan.MovedKeys)
+	}
+	if len(plan.Records) != 1 || plan.MergedPartials != 1 {
+		t.Fatalf("Records = %+v MergedPartials = %d, want one merge record", plan.Records, plan.MergedPartials)
+	}
+	r := plan.Records[0]
+	if !r.Merge || r.Inst != 1 || string(r.Data) != "p3" {
+		t.Fatalf("merge record = %+v, want dead owner's partial into inst 1", r)
+	}
+	if len(plan.Expects) != 0 {
+		t.Fatalf("split re-owning armed buffers: %+v", plan.Expects)
+	}
+}
+
+// TestPlanRepairSplitReplicaDied: a non-owner replica dies; the owner
+// keeps the key (no table movement), absorbing the dead replica's
+// partial as a merge.
+func TestPlanRepairSplitReplicaDied(t *testing.T) {
+	const servers = 4
+	place := repairPlace(t, servers)
+	tables := map[string]*routing.Table{
+		"B": {Assign: map[string]int{"hot": 0}},
+	}
+	plan, err := PlanRepair(RepairInput{
+		Place:  place,
+		Alive:  aliveMask(servers, 3),
+		Tables: tables,
+		Checkpoint: []engine.KeyState{
+			{Op: "B", Inst: 0, Key: "hot", Data: []byte("p0"), Split: true, Replicas: []int{0, 3}},
+			{Op: "B", Inst: 3, Key: "hot", Data: []byte("p3"), Split: true, Replicas: []int{0, 3}},
+		},
+		Splits:      []engine.SplitKeyInfo{{Op: "B", Key: "hot", Replicas: []int{0, 3}}},
+		StatefulOps: []string{"A", "B"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Tables["B"].Assign["hot"]; got != 0 {
+		t.Fatalf("owner moved to %d, want 0", got)
+	}
+	if plan.MovedKeys != 0 {
+		t.Fatalf("MovedKeys = %d, want 0", plan.MovedKeys)
+	}
+	if len(plan.Records) != 1 || !plan.Records[0].Merge ||
+		plan.Records[0].Inst != 0 || string(plan.Records[0].Data) != "p3" {
+		t.Fatalf("Records = %+v, want one merge of p3 into inst 0", plan.Records)
+	}
+}
+
+// TestPlanRepairSplitAllReplicasDied: a split key that lost every
+// replica is an ordinary orphan, except its state is scattered across
+// partial records — the owner's partial restores as the base image and
+// the rest fold in as merges, all at the adopting instance.
+func TestPlanRepairSplitAllReplicasDied(t *testing.T) {
+	const servers = 4
+	place := repairPlace(t, servers)
+	tables := map[string]*routing.Table{
+		"B": {Assign: map[string]int{"hot": 3}},
+	}
+	plan, err := PlanRepair(RepairInput{
+		Place:  place,
+		Alive:  aliveMask(servers, 1, 3),
+		Tables: tables,
+		Checkpoint: []engine.KeyState{
+			// Sorted by instance, so the non-owner partial comes first:
+			// primaryRecord must still pick the owner's (inst 3).
+			{Op: "B", Inst: 1, Key: "hot", Data: []byte("p1"), Split: true, Replicas: []int{3, 1}},
+			{Op: "B", Inst: 3, Key: "hot", Data: []byte("p3"), Split: true, Replicas: []int{3, 1}},
+		},
+		Splits:      []engine.SplitKeyInfo{{Op: "B", Key: "hot", Replicas: []int{3, 1}}},
+		StatefulOps: []string{"A", "B"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := plan.Tables["B"].Assign["hot"]
+	if s := place.ServerOf("B", inst); s != 0 && s != 2 {
+		t.Fatalf("hot adopted by dead server %d (inst %d)", s, inst)
+	}
+	if len(plan.Records) != 2 {
+		t.Fatalf("Records = %+v, want base + merge", plan.Records)
+	}
+	base, merge := plan.Records[0], plan.Records[1]
+	if base.Merge || string(base.Data) != "p3" || base.Inst != inst {
+		t.Fatalf("base record = %+v, want owner partial p3 at inst %d", base, inst)
+	}
+	if !merge.Merge || string(merge.Data) != "p1" || merge.Inst != inst {
+		t.Fatalf("merge record = %+v, want partial p1 at inst %d", merge, inst)
+	}
+	if plan.RestoredKeys != 1 || plan.MergedPartials != 1 {
+		t.Fatalf("RestoredKeys = %d MergedPartials = %d, want 1 and 1", plan.RestoredKeys, plan.MergedPartials)
+	}
+	if len(plan.Expects["B"][inst]) != 1 {
+		t.Fatalf("orphaned split key not armed: %+v", plan.Expects)
+	}
+}
+
 // TestPlanRepairNoOrphans: killing a server that owns nothing is a
 // routing no-op.
 func TestPlanRepairNoOrphans(t *testing.T) {

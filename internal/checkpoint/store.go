@@ -31,12 +31,18 @@ import (
 // Store persists incremental checkpoints. Each Append carries only the
 // keys that changed since the previous checkpoint; Load folds all
 // appends into the latest record per (operator, key) — the recovery
-// image. Implementations must be safe for concurrent use.
+// image. Keys promoted to split routing are the one exception to
+// last-writer-wins: each replica's partial is an independent record, so
+// the image holds one record per (operator, key, replica instance)
+// while the key stays split and collapses back to a single record the
+// moment a post-demote (non-split) snapshot lands. Implementations must
+// be safe for concurrent use.
 type Store interface {
 	// Append persists one incremental checkpoint.
 	Append(recs []engine.KeyState) error
-	// Load returns the latest record per (operator, key), sorted by
-	// operator then key.
+	// Load returns the latest image, sorted by operator, key, then
+	// instance — at most one record per (operator, key) except for keys
+	// checkpointed while split, which carry one record per replica.
 	Load() ([]engine.KeyState, error)
 }
 
@@ -45,22 +51,55 @@ type recordKey struct {
 	Key string
 }
 
-func mergeRecords(dst map[recordKey]engine.KeyState, recs []engine.KeyState) {
+// image is the merged checkpoint: per (op, key), the latest record per
+// instance. Non-split keys always hold exactly one entry.
+type image map[recordKey]map[int]engine.KeyState
+
+func (img image) merge(recs []engine.KeyState) {
 	for _, r := range recs {
-		dst[recordKey{Op: r.Op, Key: r.Key}] = r
+		k := recordKey{Op: r.Op, Key: r.Key}
+		insts := img[k]
+		if !r.Split {
+			// A non-split record is the key's full state: it supersedes
+			// every partial from any earlier split epoch.
+			img[k] = map[int]engine.KeyState{r.Inst: r}
+			continue
+		}
+		if insts == nil {
+			insts = make(map[int]engine.KeyState, len(r.Replicas))
+			img[k] = insts
+		}
+		// Drop partials (and stale full records) from instances outside
+		// the record's replica set — they belong to an older epoch of
+		// the split and were merged away at its demotion.
+		current := make(map[int]bool, len(r.Replicas))
+		for _, inst := range r.Replicas {
+			current[inst] = true
+		}
+		for inst := range insts {
+			if !current[inst] {
+				delete(insts, inst)
+			}
+		}
+		insts[r.Inst] = r
 	}
 }
 
-func sortedRecords(m map[recordKey]engine.KeyState) []engine.KeyState {
-	out := make([]engine.KeyState, 0, len(m))
-	for _, r := range m {
-		out = append(out, r)
+func (img image) sorted() []engine.KeyState {
+	out := make([]engine.KeyState, 0, len(img))
+	for _, insts := range img {
+		for _, r := range insts {
+			out = append(out, r)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Op != out[j].Op {
 			return out[i].Op < out[j].Op
 		}
-		return out[i].Key < out[j].Key
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Inst < out[j].Inst
 	})
 	return out
 }
@@ -69,7 +108,7 @@ func sortedRecords(m map[recordKey]engine.KeyState) []engine.KeyState {
 // default store. Safe for concurrent use.
 type MemoryStore struct {
 	mu   sync.Mutex
-	recs map[recordKey]engine.KeyState
+	recs image
 }
 
 // Append implements Store.
@@ -77,9 +116,9 @@ func (m *MemoryStore) Append(recs []engine.KeyState) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.recs == nil {
-		m.recs = make(map[recordKey]engine.KeyState)
+		m.recs = make(image)
 	}
-	mergeRecords(m.recs, recs)
+	m.recs.merge(recs)
 	return nil
 }
 
@@ -87,7 +126,7 @@ func (m *MemoryStore) Append(recs []engine.KeyState) error {
 func (m *MemoryStore) Load() ([]engine.KeyState, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return sortedRecords(m.recs), nil
+	return m.recs.sorted(), nil
 }
 
 // fileRecord is the JSONL wire form of one checkpointed key. Data is
@@ -98,6 +137,10 @@ type fileRecord struct {
 	Inst int    `json:"inst"`
 	Key  string `json:"key"`
 	Data []byte `json:"data"`
+	// Split-key annotation (see engine.KeyState); absent for ordinary
+	// records so pre-split checkpoint files parse unchanged.
+	Split    bool  `json:"split,omitempty"`
+	Replicas []int `json:"replicas,omitempty"`
 }
 
 // FileStore appends checkpoints to a JSONL file, one record per line,
@@ -132,7 +175,10 @@ func (s *FileStore) Append(recs []engine.KeyState) error {
 		return fmt.Errorf("checkpoint: store %s is closed", s.path)
 	}
 	for _, r := range recs {
-		line, err := json.Marshal(fileRecord{Op: r.Op, Inst: r.Inst, Key: r.Key, Data: r.Data})
+		line, err := json.Marshal(fileRecord{
+			Op: r.Op, Inst: r.Inst, Key: r.Key, Data: r.Data,
+			Split: r.Split, Replicas: r.Replicas,
+		})
 		if err != nil {
 			return fmt.Errorf("checkpoint: encode record: %w", err)
 		}
@@ -170,7 +216,7 @@ func (s *FileStore) Load() ([]engine.KeyState, error) {
 		return nil, fmt.Errorf("checkpoint: open store: %w", err)
 	}
 	defer f.Close()
-	merged := make(map[recordKey]engine.KeyState)
+	merged := make(image)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for sc.Scan() {
@@ -178,14 +224,15 @@ func (s *FileStore) Load() ([]engine.KeyState, error) {
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			continue // torn tail write
 		}
-		merged[recordKey{Op: rec.Op, Key: rec.Key}] = engine.KeyState{
+		merged.merge([]engine.KeyState{{
 			Op: rec.Op, Inst: rec.Inst, Key: rec.Key, Data: rec.Data,
-		}
+			Split: rec.Split, Replicas: rec.Replicas,
+		}})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("checkpoint: read store: %w", err)
 	}
-	return sortedRecords(merged), nil
+	return merged.sorted(), nil
 }
 
 // Close flushes and closes the underlying file. Idempotent.

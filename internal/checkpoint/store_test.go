@@ -68,6 +68,127 @@ func TestFileStoreMerge(t *testing.T) {
 	testStoreMerge(t, fs)
 }
 
+func splitRec(op, key string, inst int, data string, replicas ...int) engine.KeyState {
+	r := rec(op, key, inst, data)
+	r.Split = true
+	r.Replicas = replicas
+	return r
+}
+
+// testStoreSplitPartials exercises the split-key exception to
+// last-record-wins: while a key is split the image retains one partial
+// per replica instance, a new replica set prunes partials from the old
+// epoch, and a post-demote (non-split) record collapses the key back to
+// a single record.
+func testStoreSplitPartials(t *testing.T, store Store) {
+	t.Helper()
+	if err := store.Append([]engine.KeyState{
+		splitRec("B", "hot", 1, "p1", 1, 2),
+		splitRec("B", "hot", 2, "p2", 1, 2),
+		rec("B", "cold", 0, "c"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []engine.KeyState{
+		rec("B", "cold", 0, "c"),
+		splitRec("B", "hot", 1, "p1", 1, 2),
+		splitRec("B", "hot", 2, "p2", 1, 2),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("split image = %+v, want %+v", got, want)
+	}
+
+	// A new split epoch over replicas {1, 3}: instance 2's partial was
+	// merged away at the old epoch's demotion and must not survive.
+	if err := store.Append([]engine.KeyState{
+		splitRec("B", "hot", 3, "p3", 1, 3),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []engine.KeyState{
+		rec("B", "cold", 0, "c"),
+		splitRec("B", "hot", 1, "p1", 1, 2),
+		splitRec("B", "hot", 3, "p3", 1, 3),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("image after epoch change = %+v, want %+v", got, want)
+	}
+
+	// Post-demote snapshot: the owner's full state supersedes every
+	// partial.
+	if err := store.Append([]engine.KeyState{rec("B", "hot", 1, "full")}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []engine.KeyState{
+		rec("B", "cold", 0, "c"),
+		rec("B", "hot", 1, "full"),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("image after demote = %+v, want %+v", got, want)
+	}
+}
+
+func TestMemoryStoreSplitPartials(t *testing.T) {
+	testStoreSplitPartials(t, &MemoryStore{})
+}
+
+func TestFileStoreSplitPartials(t *testing.T) {
+	fs, err := NewFileStore(filepath.Join(t.TempDir(), "ckpt.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	testStoreSplitPartials(t, fs)
+}
+
+// TestFileStoreSplitReopen verifies the split annotation survives a
+// process restart: partials written before a crash reload as partials,
+// not as a collapsed single record.
+func TestFileStoreSplitReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	fs, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append([]engine.KeyState{
+		splitRec("B", "hot", 0, "p0", 0, 2),
+		splitRec("B", "hot", 2, "p2", 0, 2),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, err := re.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []engine.KeyState{
+		splitRec("B", "hot", 0, "p0", 0, 2),
+		splitRec("B", "hot", 2, "p2", 0, 2),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopened split image = %+v, want %+v", got, want)
+	}
+}
+
 // TestFileStoreReopen verifies the restart path: a store reopened on the
 // same file recovers the image the previous process persisted.
 func TestFileStoreReopen(t *testing.T) {

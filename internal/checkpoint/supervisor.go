@@ -123,6 +123,9 @@ type RecoveryReport struct {
 	// lost, the bounded-loss guarantee).
 	MovedKeys    int `json:"moved_keys"`
 	RestoredKeys int `json:"restored_keys"`
+	// MergedPartials counts split-key partials folded into a surviving
+	// replica during the recovery.
+	MergedPartials int `json:"merged_partials,omitempty"`
 	// DetectionLatency is silence-to-confirmation; Duration the
 	// arm-to-restored recovery wall time.
 	DetectionLatency time.Duration `json:"detection_latency_ns"`
@@ -315,6 +318,7 @@ func (s *Supervisor) recoverLocked(f Failure, now time.Time) error {
 		Tables:      s.mgr.Tables(),
 		Stats:       s.stats,
 		Checkpoint:  image,
+		Splits:      s.eng.SplitSnapshot(),
 		OwnerOf:     s.eng.OwnerOf,
 		StatefulOps: s.eng.StatefulOps(),
 		Alpha:       s.opts.Alpha,
@@ -332,6 +336,10 @@ func (s *Supervisor) recoverLocked(f Failure, now time.Time) error {
 		return err
 	}
 	s.eng.UpdateTables(plan.Tables)
+	// Shrink every split's replica set to the survivors (dissolving
+	// splits left with fewer than two) before the alive mask recomputes
+	// detours, so no tuple 2-choices onto a dead replica.
+	s.eng.PruneSplitReplicas()
 	s.eng.ApplyAliveRouting()
 	s.emit(Event{Phase: PhaseRerouted, Time: now, Server: f.Server, Keys: plan.MovedKeys, Version: version})
 	if err := s.eng.RecoverRestore(plan.Records); err != nil {
@@ -342,6 +350,7 @@ func (s *Supervisor) recoverLocked(f Failure, now time.Time) error {
 		Version:          version,
 		MovedKeys:        plan.MovedKeys,
 		RestoredKeys:     plan.RestoredKeys,
+		MergedPartials:   plan.MergedPartials,
 		DetectionLatency: f.DetectionLatency(),
 		Duration:         time.Since(start),
 		TuplesLost:       s.eng.TuplesLost(),

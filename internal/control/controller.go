@@ -93,6 +93,9 @@ type Options struct {
 	// SkipRecovery disables the constructor's re-deployment of the last
 	// persisted configuration.
 	SkipRecovery bool
+	// Split tunes the hot-key splitter; it runs only when Split.Enabled
+	// and a split engine is attached (AttachSplitEngine).
+	Split SplitOptions
 }
 
 func (o *Options) defaults() {
@@ -148,6 +151,15 @@ type Status struct {
 	WireDictHitRate      float64           `json:"wire_dict_hit_rate"`
 	WireBytesPerTuple    float64           `json:"wire_bytes_per_tuple"`
 
+	// Split mirrors the engine's hot-key splitting counters (all zero
+	// when splitting is disabled); SplitKeys lists the currently
+	// promoted keys with their replica sets; Promotions and Demotions
+	// count the splitter's journaled transitions.
+	Split      engine.SplitStats     `json:"split"`
+	SplitKeys  []engine.SplitKeyInfo `json:"split_keys,omitempty"`
+	Promotions int                   `json:"promotions"`
+	Demotions  int                   `json:"demotions"`
+
 	// Paused reports that a server failure was observed and optimization
 	// is held until the fault-tolerance subsystem reports recovery.
 	Paused bool `json:"paused"`
@@ -184,6 +196,9 @@ type Controller struct {
 	frecoveries  int
 	pausedTicks  int
 	faultInfo    func() interface{}
+	splitter     *splitter
+	promotions   int
+	demotions    int
 
 	loopMu  sync.Mutex
 	stop    chan struct{}
@@ -319,7 +334,35 @@ func (c *Controller) Tick() Decision {
 	}
 	d.Streak = c.streak
 	c.journal.Record(d)
+
+	// The hot-key splitter runs after the deployment decision, so a
+	// promotion always reads the key's owner from the tables that are
+	// actually live, and a deployed candidate never migrates a key the
+	// same tick promoted (the candidate pinned the split set it was
+	// computed against).
+	if c.splitter != nil && c.opts.Split.Enabled && d.Action != ActionError {
+		for _, sd := range c.splitter.run(cand, snap.Time, snap.Seq, c.version) {
+			switch sd.Action {
+			case ActionPromoted:
+				c.promotions++
+			case ActionDemoted:
+				c.demotions++
+			case ActionError:
+				c.errors++
+			}
+			c.journal.Record(sd)
+		}
+	}
 	return d
+}
+
+// AttachSplitEngine connects the hot-key splitter to the live engine's
+// split API. Without it (or with Options.Split.Enabled unset) the
+// controller never promotes or demotes keys.
+func (c *Controller) AttachSplitEngine(eng SplitEngine) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.splitter = newSplitter(eng, c.opts.Split)
 }
 
 // Start launches the periodic loop. It is a no-op when already running.
@@ -443,13 +486,15 @@ func (c *Controller) Status() Status {
 	running := c.running
 	c.loopMu.Unlock()
 
-	wire := c.eng.StatsSnapshot().Wire
+	engStats := c.eng.StatsSnapshot()
+	wire := engStats.Wire
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Status{
 		Running:              running,
 		Wire:                 wire,
+		Split:                engStats.Split,
 		WireCompressionRatio: wire.CompressionRatio(),
 		WireDictHitRate:      wire.DictHitRate(),
 		WireBytesPerTuple:    wire.WireBytesPerTuple(),
@@ -469,6 +514,12 @@ func (c *Controller) Status() Status {
 		Failures:          c.failures,
 		FailureRecoveries: c.frecoveries,
 		PausedTicks:       c.pausedTicks,
+
+		Promotions: c.promotions,
+		Demotions:  c.demotions,
+	}
+	if c.splitter != nil {
+		st.SplitKeys = c.splitter.eng.SplitSnapshot()
 	}
 	if snap, ok := c.ring.last(); ok {
 		st.SmoothedLocality = snap.SmoothedLocality

@@ -35,6 +35,12 @@ const (
 	// candidate computed from it would chase a topology that no longer
 	// exists.
 	ActionPaused Action = "paused"
+	// ActionPromoted records a hot key promoted to split (2-choice
+	// replicated) routing by the hot-key splitter.
+	ActionPromoted Action = "promoted"
+	// ActionDemoted records a cooled-down key demoted back to
+	// single-owner routing, its partials merged into the owner.
+	ActionDemoted Action = "demoted"
 )
 
 // Decision is one journal entry: what the controller did on one tick and

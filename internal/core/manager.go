@@ -206,6 +206,12 @@ type Candidate struct {
 	Tables map[string]*routing.Table
 	Plan   *Plan
 	Impact Impact
+	// Stats is the statistics window the candidate was computed from;
+	// the control plane's hot-key splitter reads per-key heat from it.
+	Stats []engine.PairStat
+	// Splits is the engine's split set at computation time; those keys
+	// are pinned in Tables and excluded from the key graph.
+	Splits []engine.SplitKeyInfo
 }
 
 // Candidate runs the measurement half of Algorithm 1: collect statistics
@@ -216,7 +222,8 @@ type Candidate struct {
 // the "ephemeral correlations" the paper's conclusion warns about.
 func (m *Manager) Candidate() (*Candidate, error) {
 	stats := m.eng.CollectPairStats()
-	tables, plan, err := m.opt.ComputeTables(stats)
+	splits := m.eng.SplitSnapshot()
+	tables, plan, err := m.opt.ComputeTablesSplit(stats, splits)
 	if err != nil {
 		return nil, err
 	}
@@ -224,6 +231,8 @@ func (m *Manager) Candidate() (*Candidate, error) {
 		Tables: tables,
 		Plan:   plan,
 		Impact: m.opt.EstimateImpact(stats, m.tables, tables),
+		Stats:  stats,
+		Splits: splits,
 	}, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"github.com/locastream/locastream/internal/keygraph"
 	"github.com/locastream/locastream/internal/partition"
 	"github.com/locastream/locastream/internal/routing"
+	"github.com/locastream/locastream/internal/spacesaving"
 	"github.com/locastream/locastream/internal/topology"
 )
 
@@ -81,8 +82,29 @@ func NewOptimizer(topo *topology.Topology, place *cluster.Placement, opts Optimi
 // across servers, and derives one routing table per operator named in the
 // statistics. Keys absent from the tables keep hash routing (§3.3).
 func (o *Optimizer) ComputeTables(stats []engine.PairStat) (map[string]*routing.Table, *Plan, error) {
+	return o.ComputeTablesSplit(stats, nil)
+}
+
+// ComputeTablesSplit is ComputeTables with the currently split hot keys
+// pinned: their pairs are excluded from the key graph (a key routed
+// 2-of-d-choices has no single locality to optimize, and its enormous
+// weight would dominate the partitioner's balance objective), and each
+// split key is pinned to its current owner in the resulting tables so a
+// deployment never migrates half a hot key while replicas hold partials.
+func (o *Optimizer) ComputeTablesSplit(stats []engine.PairStat, splits []engine.SplitKeyInfo) (map[string]*routing.Table, *Plan, error) {
 	o.version++
 	plan := &Plan{Version: o.version, Imbalance: 1}
+
+	splitKeys := make(map[string]map[string]int, len(splits))
+	for _, s := range splits {
+		if len(s.Replicas) == 0 {
+			continue
+		}
+		if splitKeys[s.Op] == nil {
+			splitKeys[s.Op] = make(map[string]int)
+		}
+		splitKeys[s.Op][s.Key] = s.Replicas[0]
+	}
 
 	g := keygraph.New()
 	for _, st := range stats {
@@ -92,13 +114,16 @@ func (o *Optimizer) ComputeTables(stats []engine.PairStat) (map[string]*routing.
 		if o.place.Parallelism(st.ToOp) == 0 {
 			return nil, nil, fmt.Errorf("core: statistics mention unknown operator %q", st.ToOp)
 		}
-		g.AddPairs(st.FromOp, st.ToOp, st.Pairs, o.opts.MaxEdges)
+		g.AddPairs(st.FromOp, st.ToOp, filterSplitPairs(st, splitKeys), o.opts.MaxEdges)
 	}
 	plan.Keys = g.NumVertices()
 	plan.Edges = g.NumEdges()
 	if g.NumVertices() == 0 {
-		// Nothing observed: empty tables, pure hash routing.
-		return map[string]*routing.Table{}, plan, nil
+		// Nothing observed: empty tables, pure hash routing — with split
+		// keys still pinned at their owners.
+		tables := map[string]*routing.Table{}
+		o.pinSplitKeys(tables, splitKeys, plan)
+		return tables, plan, nil
 	}
 
 	ids, weights, adjRaw := g.CSR()
@@ -152,7 +177,55 @@ func (o *Optimizer) ComputeTables(stats []engine.PairStat) (map[string]*routing.
 		}
 		table.Assign[id.Key] = inst
 	}
+	o.pinSplitKeys(tables, splitKeys, plan)
 	return tables, plan, nil
+}
+
+// filterSplitPairs drops key pairs touching a split key on either side
+// before they enter the key graph. It aliases the input slice when
+// nothing is dropped, so the common unsplit case copies nothing.
+func filterSplitPairs(st engine.PairStat, splitKeys map[string]map[string]int) []spacesaving.PairCounter {
+	fromSplit, toSplit := splitKeys[st.FromOp], splitKeys[st.ToOp]
+	if len(fromSplit) == 0 && len(toSplit) == 0 {
+		return st.Pairs
+	}
+	touches := func(p spacesaving.PairCounter) bool {
+		if _, ok := fromSplit[p.In]; ok {
+			return true
+		}
+		_, ok := toSplit[p.Out]
+		return ok
+	}
+	keep := st.Pairs
+	for i, p := range st.Pairs {
+		if touches(p) {
+			keep = append(make([]spacesaving.PairCounter, 0, len(st.Pairs)-1), st.Pairs[:i]...)
+			for _, q := range st.Pairs[i+1:] {
+				if !touches(q) {
+					keep = append(keep, q)
+				}
+			}
+			break
+		}
+	}
+	return keep
+}
+
+// pinSplitKeys forces every split key to its current owner in the
+// candidate tables, overriding whatever the partitioner decided for
+// other keys of the same operator. DiffTables then sees from == to for
+// the key and plans no migration.
+func (o *Optimizer) pinSplitKeys(tables map[string]*routing.Table, splitKeys map[string]map[string]int, plan *Plan) {
+	for op, keys := range splitKeys {
+		table := tables[op]
+		if table == nil {
+			table = &routing.Table{Version: plan.Version, Assign: make(map[string]int, len(keys))}
+			tables[op] = table
+		}
+		for key, owner := range keys {
+			table.Assign[key] = owner
+		}
+	}
 }
 
 // instanceOn picks the instance of op on the given server that should own

@@ -45,6 +45,10 @@ func (l *Live) CheckpointDirty() []KeyState {
 	for _, ch := range replies {
 		out = append(out, <-ch...)
 	}
+	// Records of split keys become per-replica partials (Split/Replicas
+	// set), so the store keeps one record per replica instead of
+	// collapsing them to the latest writer.
+	l.annotateSplitRecords(out)
 	return out
 }
 
@@ -114,6 +118,10 @@ func (l *Live) settleKilled(msgs []message) {
 				m.reconf.done.Done()
 			}
 		case msgArm:
+			if m.ack != nil {
+				m.ack <- struct{}{}
+			}
+		case msgSplit:
 			if m.ack != nil {
 				m.ack <- struct{}{}
 			}
@@ -324,7 +332,8 @@ func (l *Live) RecoverRestore(records []KeyState) error {
 		}
 		ex := insts[r.Inst]
 		if !ex.box.put(message{
-			kind: msgMigrate, migKey: r.Key, migData: r.Data, migHasData: r.Data != nil,
+			kind: msgMigrate, migKey: r.Key, migData: r.Data,
+			migHasData: r.Data != nil, migMerge: r.Merge && r.Data != nil,
 		}) {
 			return fmt.Errorf("engine: restore: instance %s[%d] is dead", r.Op, r.Inst)
 		}

@@ -69,6 +69,44 @@ func BenchmarkLiveForwardParallel(b *testing.B) {
 	live.Drain()
 }
 
+// BenchmarkSplitForward measures the per-tuple cost of the forward path
+// with hot-key splitting active on a skewed workload: a table-routed
+// engine with depth tracking on, one promoted hot key taking half the
+// stream through the 2-choice step, the tail through the normal table
+// path. Comparing against BenchmarkLiveForward bounds the overhead the
+// splitting machinery adds per tuple.
+func BenchmarkSplitForward(b *testing.B) {
+	live := newFaultLive(b, 4, func(cfg *LiveConfig) {
+		cfg.KeySplitting = true
+		cfg.MaxInFlight = 4096
+	})
+	if _, err := live.PromoteSplit("B", "hot", 2); err != nil {
+		b.Fatal(err)
+	}
+	tuples := make([]topology.Tuple, 64)
+	for i := range tuples {
+		k := "hot"
+		if i%2 == 1 {
+			k = strconv.Itoa(i)
+		}
+		tuples[i] = topology.Tuple{Values: []string{k, k}}
+	}
+	for i := 0; i < 4096; i++ {
+		if err := live.Inject(tuples[i%len(tuples)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	live.Drain()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := live.Inject(tuples[i%len(tuples)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	live.Drain()
+}
+
 // BenchmarkMailbox measures the raw producer/consumer hand-off of one
 // executor mailbox under concurrent producers.
 func BenchmarkMailbox(b *testing.B) {

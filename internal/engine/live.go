@@ -73,6 +73,12 @@ type LiveConfig struct {
 	// enables the per-connection dictionary plus the per-frame LZ pass;
 	// transport.CompressionOff keeps the raw PR 4 encoding.
 	WireCompression transport.Compression
+	// KeySplitting enables hot-key splitting (Partial Key Grouping):
+	// promoted keys route 2-of-d-choices over a replica set and replicas'
+	// partials are folded back with the operator's associative combine.
+	// Enabling it turns on per-mailbox queue-depth tracking (the 2-choice
+	// load signal); disabled, the data path is bit-identical to before.
+	KeySplitting bool
 }
 
 // Live executes a topology with one goroutine per operator instance and
@@ -108,6 +114,17 @@ type Live struct {
 	// heartbeat probes delivered over the wire.
 	dead   []atomic.Bool
 	hbRecv atomic.Uint64
+
+	// Hot-key splitting state (KeySplitting only): splits maps op -> key
+	// -> replica set (replicas[0] = owner) and mirrors the split entries
+	// installed in the shared routing policies; the counters feed
+	// SplitStats.
+	splitMu         sync.Mutex
+	splits          map[string]map[string][]int
+	splitPromotions atomic.Uint64
+	splitDemotions  atomic.Uint64
+	mergesSent      atomic.Uint64
+	mergesApplied   atomic.Uint64
 
 	fabric *transport.Fabric
 	// wire accumulates the transport's frame/batch counters when a TCP
@@ -160,6 +177,16 @@ type message struct {
 	// drops a zero-length migData on the wire, so the payload alone
 	// cannot distinguish "no state" from "empty state".
 	migHasData bool
+	// migMerge marks the payload as a split-key partial to fold with
+	// MergeKey instead of installing with RestoreKey. Merge records are
+	// engine-internal control traffic and never cross the wire encoder.
+	migMerge bool
+
+	// split control (hot-key promote/demote). The affected key rides in
+	// migKey and the narrow types below pack into padding the struct
+	// already paid for, so the hot-path message envelope does not grow.
+	splitCmd   splitCmd
+	splitOwner int32
 }
 
 type msgKind int
@@ -173,6 +200,19 @@ const (
 	msgInspect
 	msgCheckpoint
 	msgArm
+	msgSplit
+)
+
+// splitCmd selects the split-control action of a msgSplit message.
+type splitCmd uint8
+
+const (
+	// splitCmdDemote makes a non-owner replica snapshot and delete its
+	// partial, install a forwarding tombstone, and send the partial to
+	// the owner as a merge record.
+	splitCmdDemote splitCmd = iota + 1
+	// splitCmdArm clears a leftover tombstone before a (re-)promotion.
+	splitCmdArm
 )
 
 // KeyState is one checkpointed key: the owning operator and instance at
@@ -182,6 +222,19 @@ type KeyState struct {
 	Inst int
 	Key  string
 	Data []byte
+
+	// Split marks a record snapshotted while the key was promoted; the
+	// record then holds only the partial accumulated at Inst, and
+	// Replicas is the full replica set at snapshot time (Replicas[0] is
+	// the owner). The checkpoint store keeps one record per replica for
+	// split keys — and uses Replicas to prune partials from older split
+	// epochs — instead of collapsing to a single owner record.
+	Split    bool
+	Replicas []int
+	// Merge is set on restore-time records only: the payload is a
+	// partial to fold with MergeKey into live state rather than a full
+	// snapshot to install with RestoreKey.
+	Merge bool
 }
 
 // instPairStat is one executor's sketch snapshot for one operator pair.
@@ -249,11 +302,15 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 			}
 			insts[i].emitFn = insts[i].emit
 			insts[i].buf.SetLimit(cfg.MaxBuffered)
+			insts[i].box.trackDepth = cfg.KeySplitting
 			// Stateful executors track which keys changed since the last
 			// checkpoint, so incremental checkpoints skip clean keys.
 			if keyed, ok := insts[i].proc.(topology.Keyed); ok {
 				insts[i].keyed = keyed
 				insts[i].dirty = make(map[string]struct{})
+			}
+			if m, ok := insts[i].proc.(topology.Mergeable); ok {
+				insts[i].mergeable = m
 			}
 		}
 		l.execs[op.Name] = insts
@@ -264,6 +321,10 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	// lookups, string building or engine-global locks.
 	for _, ex := range l.all {
 		ex.edges = l.resolveEdges(ex)
+	}
+	if cfg.KeySplitting {
+		l.splits = make(map[string]map[string][]int)
+		l.installLoadProbes()
 	}
 	if cfg.TCPTransport {
 		l.wire = new(metrics.WireMeter)
@@ -418,6 +479,11 @@ func (l *Live) sendWire(toOp string, toInst, fromServer, toServer int, msg messa
 		wire.KeyOp = msg.keyOp
 		wire.Key = msg.key
 	case msgMigrate:
+		if msg.migMerge {
+			// The wire encoding has no merge flag; merge records are
+			// engine-internal control traffic and deliver directly.
+			return false
+		}
 		wire.Kind = transport.KindMigrate
 		wire.MigKey = msg.migKey
 		wire.MigData = msg.migData
@@ -516,6 +582,9 @@ type Stats struct {
 	// Wire holds the TCP transport's frame/batch counters (all zero
 	// without a fabric).
 	Wire metrics.WireStats
+	// Split holds the hot-key splitting counters (all zero unless
+	// KeySplitting is enabled).
+	Split SplitStats
 }
 
 // StatsSnapshot aggregates the engine's cheap operational signals. Unlike
@@ -531,6 +600,7 @@ func (l *Live) StatsSnapshot() Stats {
 		TuplesLost: l.tuplesLost.Load(),
 		Alive:      l.AliveServers(),
 		Wire:       l.WireStats(),
+		Split:      l.SplitStatsSnapshot(),
 	}
 	for op := range l.execs {
 		st.Loads[op] = l.Loads(op)
@@ -859,6 +929,16 @@ type executor struct {
 	dirty  map[string]struct{}
 	dirtyN atomic.Int64
 
+	// mergeable is proc's Mergeable interface, resolved once (nil unless
+	// the processor declares an associative combine). Only mergeable
+	// operators can have keys split.
+	mergeable topology.Mergeable
+	// demoted holds forwarding tombstones for keys recently demoted from
+	// split routing at this replica: late in-flight tuples are forwarded
+	// to the owner instead of being processed against deleted state. nil
+	// until the first demotion, so onData pays one nil check.
+	demoted map[string]int
+
 	// emitFn is the emit callback handed to the processor, bound once at
 	// construction so process() allocates no closure per tuple. The
 	// routing context it needs is staged in emitKeyOp/emitKey (safe:
@@ -877,6 +957,9 @@ type executor struct {
 
 func (e *executor) run() {
 	defer e.eng.wg.Done()
+	// trackDepth is immutable once the executor runs; hoisting it keeps
+	// the per-message depth accounting out of the unsplit hot loop.
+	track := e.box.trackDepth
 	var buf []message
 	for {
 		batch, ok := e.box.getBatch(buf)
@@ -885,6 +968,9 @@ func (e *executor) run() {
 		}
 		for i := range batch {
 			e.dispatch(batch[i])
+			if track {
+				e.box.depth.Add(-1)
+			}
 			// Drop payload references before the slice is recycled as the
 			// mailbox's next backing array.
 			batch[i] = message{}
@@ -914,23 +1000,53 @@ func (e *executor) dispatch(msg message) {
 	case msgArm:
 		e.buf.Expect(msg.armKeys)
 		msg.ack <- struct{}{}
+	case msgSplit:
+		e.onSplit(msg)
 	}
 }
 
 func (e *executor) onData(msg message) {
-	// Buffer tuples for keys whose state has not arrived yet (§3.4).
-	if msg.keyOp == e.op.Name && e.buf.Pending(msg.key) {
-		e.buf.Hold(msg.key, msg.tuple)
-		// A bounded buffer drops instead of holding once full; fold the
-		// overflow into the engine's loss counter.
-		if d := e.buf.TakeDropped(); d > 0 {
-			e.eng.tuplesLost.Add(d)
+	if msg.keyOp == e.op.Name {
+		// A tombstone marks a key demoted from split routing at this
+		// replica: its partial already merged into the owner, so late
+		// in-flight tuples forward there, carrying their in-flight count
+		// with them (zero loss through a demotion). The nil check is the
+		// only cost the unsplit path pays.
+		if e.demoted != nil {
+			if owner, ok := e.demoted[msg.key]; ok && owner != e.inst {
+				e.forwardDemoted(owner, msg)
+				return
+			}
 		}
-		e.eng.inflight.dec()
-		return
+		// Buffer tuples for keys whose state has not arrived yet (§3.4).
+		if e.buf.Pending(msg.key) {
+			e.buf.Hold(msg.key, msg.tuple)
+			// A bounded buffer drops instead of holding once full; fold the
+			// overflow into the engine's loss counter.
+			if d := e.buf.TakeDropped(); d > 0 {
+				e.eng.tuplesLost.Add(d)
+			}
+			e.eng.inflight.dec()
+			return
+		}
 	}
 	e.process(msg.tuple, msg.keyOp, msg.key)
 	e.eng.inflight.dec()
+}
+
+// forwardDemoted re-sends a data tuple to the owner of a demoted split
+// key. The tuple keeps its in-flight count; only a rejected delivery
+// (owner died) settles it as loss.
+func (e *executor) forwardDemoted(owner int, msg message) {
+	toServer := e.eng.place.ServerOf(e.op.Name, owner)
+	if e.eng.fabric != nil && toServer != e.server &&
+		e.eng.sendWire(e.op.Name, owner, e.server, toServer, msg) {
+		return
+	}
+	if !e.eng.execs[e.op.Name][owner].box.put(msg) {
+		e.eng.inflight.dec()
+		e.eng.tuplesLost.Add(1)
+	}
 }
 
 // process runs the operator logic on one tuple and forwards emissions.
@@ -1107,7 +1223,16 @@ func (e *executor) onPropagate() {
 
 func (e *executor) onMigrate(msg message) {
 	if msg.migHasData {
-		if e.keyed != nil {
+		switch {
+		case msg.migMerge && e.mergeable != nil:
+			// A split-key partial: fold it into whatever state already
+			// lives here with the operator's associative combine (the
+			// payload is not authoritative alone, so RestoreKey semantics
+			// would be wrong for processors that replace state).
+			_ = e.mergeable.MergeKey(msg.migKey, msg.migData)
+			e.eng.mergesApplied.Add(1)
+			e.markDirty(msg.migKey)
+		case e.keyed != nil:
 			// Restore failures indicate incompatible processor versions;
 			// the engine surfaces them as a panic in tests via the
 			// processor itself. Here the state is dropped and processing
@@ -1115,18 +1240,51 @@ func (e *executor) onMigrate(msg message) {
 			// underlying engine ("the guarantees are the ones provided
 			// by the streaming engine", §3.4).
 			_ = e.keyed.RestoreKey(msg.migKey, msg.migData)
-			// The key now lives here; mark it dirty so the next
-			// checkpoint records it under its new owner.
-			if _, ok := e.dirty[msg.migKey]; !ok {
-				e.dirty[msg.migKey] = struct{}{}
-				e.dirtyN.Add(1)
-			}
+			e.markDirty(msg.migKey)
 		}
 	}
 	for _, t := range e.buf.Arrive(msg.migKey) {
 		e.process(t, e.op.Name, msg.migKey)
 	}
 	e.maybeFinishReconf()
+}
+
+// markDirty records key as changed since the last checkpoint (the key
+// now lives here; the next checkpoint must record it under this owner).
+func (e *executor) markDirty(key string) {
+	if e.dirty == nil {
+		return
+	}
+	if _, ok := e.dirty[key]; !ok {
+		e.dirty[key] = struct{}{}
+		e.dirtyN.Add(1)
+	}
+}
+
+// onSplit executes one split-control action in the executor goroutine.
+func (e *executor) onSplit(msg message) {
+	switch msg.splitCmd {
+	case splitCmdDemote:
+		if e.demoted == nil {
+			e.demoted = make(map[string]int)
+		}
+		e.demoted[msg.migKey] = int(msg.splitOwner)
+		if e.keyed != nil {
+			if data, ok := e.keyed.SnapshotKey(msg.migKey); ok {
+				e.keyed.DeleteKey(msg.migKey)
+				if _, dirty := e.dirty[msg.migKey]; dirty {
+					delete(e.dirty, msg.migKey)
+					e.dirtyN.Add(-1)
+				}
+				e.eng.sendMerge(e.op.Name, int(msg.splitOwner), msg.migKey, data)
+			}
+		}
+	case splitCmdArm:
+		delete(e.demoted, msg.migKey)
+	}
+	if msg.ack != nil {
+		msg.ack <- struct{}{}
+	}
 }
 
 // maybeFinishReconf reports completion once this instance has propagated

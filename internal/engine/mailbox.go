@@ -1,6 +1,9 @@
 package engine
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // mailbox is an unbounded FIFO queue feeding one executor goroutine.
 //
@@ -21,6 +24,14 @@ type mailbox struct {
 	nonEmp *sync.Cond
 	items  []message
 	closed bool
+
+	// trackDepth (set once before the executor starts, only when hot-key
+	// splitting is enabled) maintains depth: the number of enqueued but
+	// not-yet-processed messages, read lock-free by the 2-choice routing
+	// step. The unsplit configuration never touches the counter, so the
+	// plain hot path pays nothing.
+	trackDepth bool
+	depth      atomic.Int64
 }
 
 func newMailbox() *mailbox {
@@ -40,6 +51,9 @@ func (m *mailbox) put(msg message) bool {
 	}
 	wasEmpty := len(m.items) == 0
 	m.items = append(m.items, msg)
+	if m.trackDepth {
+		m.depth.Add(1)
+	}
 	m.mu.Unlock()
 	// The executor can only be parked when it saw an empty queue, and the
 	// append above happened under the lock, so signalling outside the
@@ -67,6 +81,9 @@ func (m *mailbox) putBatch(msgs []message) bool {
 	}
 	wasEmpty := len(m.items) == 0
 	m.items = append(m.items, msgs...)
+	if m.trackDepth {
+		m.depth.Add(int64(len(msgs)))
+	}
 	m.mu.Unlock()
 	if wasEmpty {
 		m.nonEmp.Signal()
@@ -125,6 +142,9 @@ func (m *mailbox) kill() []message {
 	m.closed = true
 	items := m.items
 	m.items = nil
+	if m.trackDepth {
+		m.depth.Store(0)
+	}
 	m.nonEmp.Broadcast()
 	m.mu.Unlock()
 	return items
@@ -144,3 +164,8 @@ func (m *mailbox) len() int {
 	defer m.mu.Unlock()
 	return len(m.items)
 }
+
+// queueDepth reports enqueued-but-unprocessed messages, lock-free.
+// Always 0 unless trackDepth is set; the executor run loop decrements it
+// per processed message.
+func (m *mailbox) queueDepth() int64 { return m.depth.Load() }

@@ -64,6 +64,15 @@ type Options struct {
 	Alpha float64
 	// Seed makes tie-breaking deterministic.
 	Seed int64
+	// Rand, when non-nil, supplies the tie-breaking randomness instead of
+	// a Seed-derived source. Threading an explicit *rand.Rand makes a
+	// sequence of related plans (e.g. the churn and skew drills, or the
+	// per-rack sub-partitions of Hierarchical) reproducible end to end:
+	// the caller owns the stream of random values, so identical inputs
+	// yield identical plans across runs and test processes. The generator
+	// is consumed sequentially and must not be shared with concurrent
+	// callers.
+	Rand *rand.Rand
 	// CoarsenTo stops coarsening when the graph has at most this many
 	// vertices. Zero selects max(64, 16*K).
 	CoarsenTo int
@@ -161,7 +170,10 @@ func Partition(g *Graph, opts Options) (*Result, error) {
 		return summarize(g, parts, 1), nil
 	}
 
-	rng := rand.New(rand.NewSource(opts.Seed))
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
 
 	// Phase 1: coarsen. Pinned graphs skip this phase: collapsing a
 	// pinned vertex with a free (or differently pinned) one would make

@@ -184,7 +184,11 @@ type TableFields struct {
 
 	mu    sync.RWMutex
 	table *Table
-	alive []bool // nil = all instances alive
+	alive []bool           // nil = all instances alive
+	split map[string][]int // hot keys promoted to multi-replica routing; nil = none
+	load  func(int) int64  // per-instance queue-depth probe for 2-choice routing
+
+	splitRouted atomic.Uint64 // tuples routed through a split entry
 }
 
 // NewTableFields returns table-based fields grouping for the operator
@@ -200,8 +204,19 @@ func NewTableFields(instances int, salt string) *TableFields {
 // dead, routing deterministically probes forward to the next alive
 // instance, so hash-fallback keys survive a failure without a table
 // entry.
-func (t *TableFields) Route(key string, _ int, _ uint64) int {
+func (t *TableFields) Route(key string, _ int, seq uint64) int {
 	t.mu.RLock()
+	if t.split != nil {
+		// Split keys take the 2-of-d-choices path. The nil check keeps
+		// the unsplit hot path at one extra branch; the per-key lookup
+		// only costs anything once at least one key is promoted.
+		if replicas, hot := t.split[key]; hot {
+			load := t.load
+			alive := t.alive
+			t.mu.RUnlock()
+			return t.routeSplit(replicas, alive, load, seq)
+		}
+	}
 	idx, ok := t.table.Assign[key]
 	alive := t.alive
 	t.mu.RUnlock()
@@ -217,6 +232,99 @@ func (t *TableFields) Route(key string, _ int, _ uint64) int {
 	}
 	return idx
 }
+
+// routeSplit picks a replica for a split key: two candidates are drawn
+// round-robin from the replica set and the one with the shorter queue
+// wins (power of two choices on current queue depth). Without a load
+// probe the choice degrades to plain round-robin, which is still
+// deterministic per sender. Dead replicas are skipped; when every
+// replica is dead the first replica is returned and the caller's alive
+// remapping takes over.
+func (t *TableFields) routeSplit(replicas []int, alive []bool, load func(int) int64, seq uint64) int {
+	t.splitRouted.Add(1)
+	n := len(replicas)
+	if n == 1 {
+		return replicas[0]
+	}
+	a := replicas[seq%uint64(n)]
+	b := replicas[(seq+1)%uint64(n)]
+	if alive != nil {
+		// Prefer an alive candidate; scan forward when both picks died.
+		for i := 0; i < n && !alive[a]; i++ {
+			a = replicas[(seq+uint64(i)+1)%uint64(n)]
+		}
+		for i := 0; i < n && !alive[b]; i++ {
+			b = replicas[(seq+uint64(i)+2)%uint64(n)]
+		}
+		if !alive[a] {
+			return replicas[0]
+		}
+		if !alive[b] || a == b {
+			return a
+		}
+	}
+	if load == nil || a == b {
+		return a
+	}
+	if load(b) < load(a) {
+		return b
+	}
+	return a
+}
+
+// SetSplit promotes key to multi-replica routing over the given replica
+// set; replicas[0] is the owner that keeps the authoritative state. The
+// slice is copied. An empty replica set removes the entry.
+func (t *TableFields) SetSplit(key string, replicas []int) {
+	if len(replicas) == 0 {
+		t.RemoveSplit(key)
+		return
+	}
+	cp := append([]int(nil), replicas...)
+	t.mu.Lock()
+	if t.split == nil {
+		t.split = make(map[string][]int)
+	}
+	t.split[key] = cp
+	t.mu.Unlock()
+}
+
+// RemoveSplit demotes key back to single-owner routing.
+func (t *TableFields) RemoveSplit(key string) {
+	t.mu.Lock()
+	if t.split != nil {
+		delete(t.split, key)
+		if len(t.split) == 0 {
+			t.split = nil // restore the one-branch hot path
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Splits returns a copy of the current split set.
+func (t *TableFields) Splits() map[string][]int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.split == nil {
+		return nil
+	}
+	out := make(map[string][]int, len(t.split))
+	for k, r := range t.split {
+		out[k] = append([]int(nil), r...)
+	}
+	return out
+}
+
+// SetLoadProbe installs the per-instance queue-depth probe used by the
+// 2-choice step. The probe must be safe for concurrent use.
+func (t *TableFields) SetLoadProbe(load func(int) int64) {
+	t.mu.Lock()
+	t.load = load
+	t.mu.Unlock()
+}
+
+// SplitRouted returns how many tuples were routed through split entries.
+func (t *TableFields) SplitRouted() uint64 { return t.splitRouted.Load() }
 
 // SetAlive installs a liveness mask over the recipient instances: Route
 // never returns a dead instance while at least one alive instance

@@ -1,0 +1,71 @@
+package routing
+
+import "testing"
+
+func TestSplitRouteRoundRobinWithoutProbe(t *testing.T) {
+	tf := NewTableFields(4, "op")
+	tf.Update(&Table{Version: 1, Assign: map[string]int{"hot": 1, "cold": 2}})
+	tf.SetSplit("hot", []int{1, 3})
+
+	var counts [4]int
+	for seq := uint64(0); seq < 100; seq++ {
+		counts[tf.Route("hot", 0, seq)]++
+	}
+	if counts[1] != 50 || counts[3] != 50 {
+		t.Fatalf("round-robin split uneven: %v", counts)
+	}
+	if got := tf.Route("cold", 0, 0); got != 2 {
+		t.Fatalf("tail key rerouted to %d, want table entry 2", got)
+	}
+	if tf.SplitRouted() != 100 {
+		t.Fatalf("SplitRouted = %d, want 100", tf.SplitRouted())
+	}
+}
+
+func TestSplitRouteTwoChoicesPrefersShorterQueue(t *testing.T) {
+	tf := NewTableFields(4, "op")
+	tf.SetSplit("hot", []int{0, 2})
+	depth := map[int]int64{0: 10, 2: 1}
+	tf.SetLoadProbe(func(inst int) int64 { return depth[inst] })
+
+	for seq := uint64(0); seq < 10; seq++ {
+		if got := tf.Route("hot", 0, seq); got != 2 {
+			t.Fatalf("seq %d routed to %d despite queue depths %v", seq, got, depth)
+		}
+	}
+	// Ties keep the round-robin pick so both replicas share load.
+	depth[0], depth[2] = 5, 5
+	seen := map[int]bool{}
+	for seq := uint64(0); seq < 4; seq++ {
+		seen[tf.Route("hot", 0, seq)] = true
+	}
+	if !seen[0] || !seen[2] {
+		t.Fatalf("tied queues should round-robin, saw %v", seen)
+	}
+}
+
+func TestSplitRouteSkipsDeadReplica(t *testing.T) {
+	tf := NewTableFields(4, "op")
+	tf.SetSplit("hot", []int{1, 3})
+	tf.SetAlive([]bool{true, true, true, false})
+	for seq := uint64(0); seq < 8; seq++ {
+		if got := tf.Route("hot", 0, seq); got != 1 {
+			t.Fatalf("dead replica chosen: %d", got)
+		}
+	}
+}
+
+func TestRemoveSplitRestoresOwnerRouting(t *testing.T) {
+	tf := NewTableFields(4, "op")
+	tf.Update(&Table{Version: 1, Assign: map[string]int{"hot": 1}})
+	tf.SetSplit("hot", []int{1, 2})
+	tf.RemoveSplit("hot")
+	for seq := uint64(0); seq < 8; seq++ {
+		if got := tf.Route("hot", 0, seq); got != 1 {
+			t.Fatalf("demoted key routed to %d, want owner 1", got)
+		}
+	}
+	if tf.Splits() != nil {
+		t.Fatalf("split set not empty after demote: %v", tf.Splits())
+	}
+}

@@ -66,11 +66,17 @@ func (p *PairSketch) Add(in, out string) { p.AddWeighted(in, out, 1) }
 
 // AddWeighted records weight co-occurrences of the in and out keys. The
 // pair is encoded into a buffer owned by the sketch, so recording an
-// already monitored pair allocates nothing (PairSketch is single-owner
-// like Sketch, so the buffer needs no synchronization).
+// already monitored pair allocates nothing. The encode buffer is guarded
+// by the underlying sketch's mutex, keeping the per-tuple hot path at a
+// single lock acquisition while making concurrent Add vs Top/Reset safe.
 func (p *PairSketch) AddWeighted(in, out string, weight uint64) {
+	if weight == 0 {
+		return
+	}
+	p.s.mu.Lock()
 	p.buf = appendPair(p.buf[:0], in, out)
-	p.s.AddBytesWeighted(p.buf, weight)
+	p.s.addBytesLocked(p.buf, weight)
+	p.s.mu.Unlock()
 }
 
 // Len returns the number of monitored pairs.

@@ -1,0 +1,119 @@
+package spacesaving
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// TestSketchConcurrentAddTopReset hammers Add from several goroutines
+// while others call Top, Counters, Count and Reset. Run with -race it is
+// the regression test for the historically unguarded Sketch internals:
+// before the internal mutex, any controller snapshot concurrent with the
+// hot path corrupted the bucket list.
+func TestSketchConcurrentAddTopReset(t *testing.T) {
+	s := New(64)
+	const (
+		writers = 4
+		readers = 2
+		rounds  = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				s.Add("k" + strconv.Itoa((i*7+w)%97))
+				s.AddWeighted("hot", 2)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				top := s.Top(8)
+				for j := 1; j < len(top); j++ {
+					if top[j].Count > top[j-1].Count {
+						t.Error("Top not sorted by descending count")
+						return
+					}
+				}
+				s.Count("hot")
+				s.GuaranteedCount("hot")
+				if i%250 == 249 {
+					s.Reset()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() > s.Capacity() {
+		t.Fatalf("sketch over capacity: %d > %d", s.Len(), s.Capacity())
+	}
+}
+
+// TestPairSketchConcurrentAddTop covers the PairSketch wrapper, whose
+// reusable encode buffer was a second race surface: two concurrent
+// AddWeighted calls used to append into the same buf.
+func TestPairSketchConcurrentAddTop(t *testing.T) {
+	p := NewPairs(64)
+	const rounds = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				p.Add("in"+strconv.Itoa(i%31), "out"+strconv.Itoa(w))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			for _, pc := range p.Top(8) {
+				if pc.In == "" && pc.Out == "" {
+					t.Error("empty decoded pair")
+					return
+				}
+			}
+			if i%250 == 249 {
+				p.Reset()
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestSketchConcurrentMerge checks Merge against a concurrently mutated
+// source sketch: the snapshot-then-fold implementation must not deadlock
+// or corrupt either sketch.
+func TestSketchConcurrentMerge(t *testing.T) {
+	src := New(32)
+	dst := New(32)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			src.Add("k" + strconv.Itoa(i%17))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			dst.Merge(src)
+		}
+	}()
+	wg.Wait()
+	// Self-merge must not deadlock.
+	before := dst.Observed()
+	dst.Merge(dst)
+	if got := dst.Observed(); got != 2*before {
+		t.Fatalf("self-merge observed = %d, want %d", got, 2*before)
+	}
+}

@@ -20,6 +20,7 @@ package spacesaving
 
 import (
 	"sort"
+	"sync"
 )
 
 // Counter is the externally visible record for one monitored item.
@@ -55,9 +56,14 @@ type node struct {
 // Sketch is a SpaceSaving stream summary with a fixed capacity of
 // monitored items. The zero value is not usable; call New.
 //
-// Sketch is not safe for concurrent use; callers synchronize externally
-// (in this repository each operator instance owns its sketch).
+// Sketch is safe for concurrent use: every exported method takes an
+// internal mutex. Operator instances still own their sketches and access
+// them from one goroutine in the steady state, but control-plane readers
+// (controller snapshots, the hot-key promotion path) may call Top or
+// Reset while the owner keeps adding; the mutex makes those interleavings
+// well-defined instead of racy.
 type Sketch struct {
+	mu       sync.Mutex
 	capacity int
 	items    map[string]*node
 	min      *bucket // bucket with the smallest count, or nil when empty
@@ -81,10 +87,18 @@ func New(capacity int) *Sketch {
 func (s *Sketch) Capacity() int { return s.capacity }
 
 // Len returns the number of currently monitored items.
-func (s *Sketch) Len() int { return len(s.items) }
+func (s *Sketch) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
 
 // Observed returns the total weight offered to the sketch.
-func (s *Sketch) Observed() uint64 { return s.observed }
+func (s *Sketch) Observed() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.observed
+}
 
 // Add records one occurrence of item.
 func (s *Sketch) Add(item string) { s.AddWeighted(item, 1) }
@@ -95,8 +109,14 @@ func (s *Sketch) AddWeighted(item string, weight uint64) {
 	if weight == 0 {
 		return
 	}
-	s.observed += weight
+	s.mu.Lock()
+	s.addLocked(item, weight)
+	s.mu.Unlock()
+}
 
+// addLocked is AddWeighted with s.mu held.
+func (s *Sketch) addLocked(item string, weight uint64) {
+	s.observed += weight
 	if n, ok := s.items[item]; ok {
 		s.increment(n, weight)
 		return
@@ -114,8 +134,16 @@ func (s *Sketch) AddBytesWeighted(item []byte, weight uint64) {
 	if weight == 0 {
 		return
 	}
-	s.observed += weight
+	s.mu.Lock()
+	s.addBytesLocked(item, weight)
+	s.mu.Unlock()
+}
 
+// addBytesLocked is AddBytesWeighted with s.mu held (PairSketch reuses
+// the sketch mutex to also guard its encode buffer, keeping the per-tuple
+// hot path at a single lock acquisition).
+func (s *Sketch) addBytesLocked(item []byte, weight uint64) {
+	s.observed += weight
 	if n, ok := s.items[string(item)]; ok {
 		s.increment(n, weight)
 		return
@@ -147,6 +175,8 @@ func (s *Sketch) insertNew(item string, weight uint64) {
 // currently monitored. Unmonitored items report the sketch's minimum
 // count as the upper bound of their true frequency, with ok == false.
 func (s *Sketch) Count(item string) (count uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if n, found := s.items[item]; found {
 		return n.b.count, true
 	}
@@ -159,6 +189,8 @@ func (s *Sketch) Count(item string) (count uint64, ok bool) {
 // Error returns the estimation error recorded for item (0 when the item
 // is not monitored).
 func (s *Sketch) Error(item string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if n, ok := s.items[item]; ok {
 		return n.err
 	}
@@ -167,6 +199,8 @@ func (s *Sketch) Error(item string) uint64 {
 
 // GuaranteedCount returns the lower bound Count - Error for item.
 func (s *Sketch) GuaranteedCount(item string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n, ok := s.items[item]
 	if !ok {
 		return 0
@@ -187,6 +221,13 @@ func (s *Sketch) Top(k int) []Counter {
 // Counters returns every monitored counter, ordered by descending count
 // then ascending item.
 func (s *Sketch) Counters() []Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.countersLocked()
+}
+
+// countersLocked is Counters with s.mu held.
+func (s *Sketch) countersLocked() []Counter {
 	out := make([]Counter, 0, len(s.items))
 	for b := s.maxBucket(); b != nil; b = b.prev {
 		n := b.head
@@ -210,6 +251,8 @@ func (s *Sketch) Counters() []Counter {
 // sketches after every routing reconfiguration so that only recent data
 // informs the next optimization (§3.2).
 func (s *Sketch) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.items = make(map[string]*node, s.capacity)
 	s.min = nil
 	s.observed = 0
@@ -217,17 +260,23 @@ func (s *Sketch) Reset() {
 
 // Merge folds the counters of other into s (used when a single logical
 // statistic is assembled from several operator threads). other is left
-// unchanged.
+// unchanged. Merging a sketch into itself is a no-op-safe doubling of its
+// counts; the snapshot below avoids holding both locks at once.
 func (s *Sketch) Merge(other *Sketch) {
 	if other == nil {
 		return
 	}
-	for _, c := range other.Counters() {
-		// Preserve total weight accounting: AddWeighted bumps observed.
-		s.AddWeighted(c.Item, c.Count)
+	counters := other.Counters() // locks other only
+	observed := other.Observed()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range counters {
+		// Folded counts must not inflate observed: only the source
+		// sketch's own observed total carries over.
+		s.addLocked(c.Item, c.Count)
 		s.observed -= c.Count
 	}
-	s.observed += other.observed
+	s.observed += observed
 }
 
 // --- internal linked-structure maintenance -------------------------------

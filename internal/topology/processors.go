@@ -20,7 +20,10 @@ type Counter struct {
 	counts   map[string]uint64
 }
 
-var _ Keyed = (*Counter)(nil)
+var (
+	_ Keyed     = (*Counter)(nil)
+	_ Mergeable = (*Counter)(nil)
+)
 
 // NewCounter returns a Counter over the given tuple field.
 func NewCounter(keyField int) *Counter {
@@ -53,6 +56,17 @@ func (c *Counter) SnapshotKey(key string) ([]byte, bool) {
 func (c *Counter) RestoreKey(key string, data []byte) error {
 	if len(data) != 8 {
 		return fmt.Errorf("counter: state for %q has %d bytes, want 8", key, len(data))
+	}
+	c.counts[key] += binary.BigEndian.Uint64(data)
+	return nil
+}
+
+// MergeKey folds a partial count into the local count. Counts form a
+// commutative monoid under addition, which is exactly the associative
+// combine the hot-key splitting contract (Mergeable) requires.
+func (c *Counter) MergeKey(key string, data []byte) error {
+	if len(data) != 8 {
+		return fmt.Errorf("counter: partial state for %q has %d bytes, want 8", key, len(data))
 	}
 	c.counts[key] += binary.BigEndian.Uint64(data)
 	return nil

@@ -98,6 +98,22 @@ type Keyed interface {
 	StateKeys() []string
 }
 
+// Mergeable is implemented by keyed processors whose per-key state forms
+// a commutative monoid under MergeKey — the "associative combine" the
+// hot-key splitting path requires (Partial Key Grouping, Nasir et al.).
+// When a key is promoted to split routing, each replica accumulates a
+// partial state for it; demotion (and failure recovery of a replica)
+// folds the partials back into the owner with MergeKey. Only operators
+// whose processors implement Mergeable can have keys split.
+type Mergeable interface {
+	Keyed
+	// MergeKey folds a serialized partial state for key into the local
+	// state, which may or may not already exist. Merging must be
+	// associative and commutative so that partials can arrive in any
+	// order; data has the same encoding SnapshotKey produces.
+	MergeKey(key string, data []byte) error
+}
+
 // ProcessorFunc adapts a function to the Processor interface (for
 // stateless operators).
 type ProcessorFunc func(t Tuple, emit Emit)

@@ -43,6 +43,12 @@ type Processor = topology.Processor
 // migrated during reconfiguration.
 type Keyed = topology.Keyed
 
+// Mergeable is implemented by Keyed processors whose per-key state forms
+// a commutative monoid (an associative, order-insensitive combine).
+// Only operators whose processors implement it are eligible for hot-key
+// splitting (WithKeySplitting).
+type Mergeable = topology.Mergeable
+
 // ProcessorFunc adapts a function to Processor (stateless operators).
 type ProcessorFunc = topology.ProcessorFunc
 

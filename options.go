@@ -26,6 +26,8 @@ type options struct {
 	reconfigEvery  time.Duration
 	model          simnet.Model
 	chargeSource   bool
+	keySplitting   bool
+	splitThreshold float64
 }
 
 func defaultOptions() options {
@@ -126,6 +128,27 @@ func WithChargedSourceHop() Option {
 // cluster inside one process.
 func WithTCPTransport() Option {
 	return optionFunc(func(o *options) { o.tcpTransport = true })
+}
+
+// WithKeySplitting enables hot-key splitting (partial key grouping,
+// Nasir et al.): the autopilot may promote a heavy-hitter key of a
+// mergeable stateful operator to replicated 2-choice routing, spreading
+// its load over several instances, and demote it — merging the partials
+// back into one owner — once it cools. Only keys promoted this way lose
+// single-server locality; the tail keeps the paper's routing-table
+// treatment. Requires an autopilot (the splitter runs on its ticks) and
+// operators whose processors implement Mergeable.
+func WithKeySplitting() Option {
+	return optionFunc(func(o *options) { o.keySplitting = true })
+}
+
+// WithSplitThreshold sets the hot-key promotion threshold as a multiple
+// of an operator's fair per-instance share of one statistics window
+// (default 1.5): a key routing more than mult × (total/parallelism)
+// tuples is a promotion candidate. Implies nothing unless
+// WithKeySplitting is set.
+func WithSplitThreshold(mult float64) Option {
+	return optionFunc(func(o *options) { o.splitThreshold = mult })
 }
 
 // WithHashRouting disables routing tables: fields grouping stays pure

@@ -8,6 +8,7 @@ import (
 	"github.com/locastream/locastream/internal/cluster"
 	"github.com/locastream/locastream/internal/core"
 	"github.com/locastream/locastream/internal/engine"
+	"github.com/locastream/locastream/internal/statestore"
 	"github.com/locastream/locastream/internal/topology"
 )
 
@@ -35,6 +36,8 @@ type App struct {
 
 	keySplitting   bool
 	splitThreshold float64
+
+	stateStore *statestore.Store // non-nil with WithStateStore; closed on Stop
 
 	reconfigMu sync.Mutex
 
@@ -89,10 +92,19 @@ func NewApp(topo *Topology, opts ...Option) (*App, error) {
 		live.Stop()
 		return nil, err
 	}
+	var stateStore *statestore.Store
+	if o.stateDir != "" {
+		stateStore, err = statestore.Open(o.stateDir, statestore.Options{})
+		if err != nil {
+			live.Stop()
+			return nil, fmt.Errorf("locastream: open state store: %w", err)
+		}
+	}
 
 	app := &App{
 		topo: topo, place: place, live: live, mgr: mgr,
 		keySplitting: o.keySplitting, splitThreshold: o.splitThreshold,
+		stateStore: stateStore,
 	}
 	if o.reconfigEvery > 0 {
 		app.stopTicker = make(chan struct{})
@@ -204,8 +216,9 @@ func (a *App) ProcessorState(op string, inst int, fn func(Processor)) error {
 // Servers returns the number of servers the application is deployed on.
 func (a *App) Servers() int { return a.place.Servers() }
 
-// Stop drains the stream, cancels auto-reconfiguration and terminates
-// every executor. Idempotent.
+// Stop drains the stream, cancels auto-reconfiguration, terminates
+// every executor and closes the state store when WithStateStore opened
+// one. Idempotent.
 func (a *App) Stop() {
 	if a.stopTicker != nil {
 		select {
@@ -217,4 +230,7 @@ func (a *App) Stop() {
 		}
 	}
 	a.live.Stop()
+	if a.stateStore != nil {
+		_ = a.stateStore.Close()
+	}
 }

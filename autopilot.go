@@ -124,6 +124,9 @@ func (a *App) NewAutopilot(opts AutopilotOptions) (*Autopilot, error) {
 	if a.keySplitting {
 		ctl.AttachSplitEngine(a.live)
 	}
+	if a.stateStore != nil {
+		ctl.SetStateReader(stateReader{s: a.stateStore})
+	}
 	return &Autopilot{ctl: ctl, sink: sink}, nil
 }
 

@@ -1,0 +1,98 @@
+// Command locastate inspects a queryable state store directory offline
+// — the segments-and-manifest layout WithStateStore maintains — without
+// a running application. It answers the same questions the live /state
+// endpoints do: what operators have state, what a key held at a
+// version, what the whole image looked like, plus store-level stats and
+// an on-demand compaction.
+//
+// Usage:
+//
+//	locastate -dir ./state ops
+//	locastate -dir ./state scan count
+//	locastate -dir ./state get count key-42
+//	locastate -dir ./state -version 17 get count key-42
+//	locastate -dir ./state stats
+//	locastate -dir ./state compact
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/locastream/locastream/internal/statestore"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "locastate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dir     = flag.String("dir", "", "state store directory (required)")
+		version = flag.Uint64("version", 0, "checkpoint version for get/scan (0 = latest)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: locastate -dir DIR [-version V] ops|scan OP|get OP KEY|stats|compact\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *dir == "" || flag.NArg() == 0 {
+		flag.Usage()
+		return errors.New("a -dir and a command are required")
+	}
+
+	s, err := statestore.Open(*dir, statestore.Options{})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	switch cmd := flag.Arg(0); cmd {
+	case "ops":
+		return emit(map[string]any{"ops": s.Ops(), "version": s.Version(), "base_version": s.BaseVersion()})
+	case "scan":
+		if flag.NArg() != 2 {
+			return errors.New("scan needs an operator: locastate -dir DIR scan OP")
+		}
+		res, err := s.Scan(flag.Arg(1), *version)
+		if err != nil {
+			return err
+		}
+		return emit(res)
+	case "get":
+		if flag.NArg() != 3 {
+			return errors.New("get needs an operator and a key: locastate -dir DIR get OP KEY")
+		}
+		res, found, err := s.Lookup(flag.Arg(1), flag.Arg(2), *version)
+		if err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("no state for %s/%s at version %d", flag.Arg(1), flag.Arg(2), res.Version)
+		}
+		return emit(res)
+	case "stats":
+		return emit(s.Stats())
+	case "compact":
+		st, err := s.Compact()
+		if err != nil {
+			return err
+		}
+		return emit(st)
+	default:
+		return fmt.Errorf("unknown command %q (want ops, scan, get, stats or compact)", cmd)
+	}
+}
+
+func emit(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

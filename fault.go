@@ -59,7 +59,11 @@ type FaultToleranceOptions struct {
 	// Dir, when set, persists checkpoints to a JSONL file under this
 	// directory (created if needed).
 	Dir string
-	// Store overrides Dir with a custom checkpoint store.
+	// Store overrides Dir with a custom checkpoint store. When neither
+	// is set and the App was built with WithStateStore, checkpoints go
+	// to that tiered queryable store (versioned, compacted, readable
+	// through QueryState and the /state endpoints); otherwise they stay
+	// in process memory.
 	Store CheckpointStore
 	// OnEvent, when set, receives every lifecycle event synchronously
 	// (checkpoint taken, server suspected/failed/recovered). Hooks must
@@ -95,6 +99,11 @@ func (a *App) NewFaultTolerance(opts FaultToleranceOptions) (*FaultTolerance, er
 		}
 		store = fs
 		ft.owned = fs
+	}
+	if store == nil && a.stateStore != nil {
+		// WithStateStore: checkpoints land in the tiered queryable store,
+		// versioned and compacted; the App owns its lifetime.
+		store = a.stateStore
 	}
 	onEvent := opts.OnEvent
 	if ap := opts.Autopilot; ap != nil {

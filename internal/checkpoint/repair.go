@@ -137,9 +137,9 @@ func PlanRepair(in RepairInput) (*RepairPlan, error) {
 			note(op, key)
 		}
 	}
-	ckpt := make(map[recordKey][]engine.KeyState, len(in.Checkpoint))
+	ckpt := make(map[ImageKey][]engine.KeyState, len(in.Checkpoint))
 	for _, r := range in.Checkpoint {
-		k := recordKey{Op: r.Op, Key: r.Key}
+		k := ImageKey{Op: r.Op, Key: r.Key}
 		ckpt[k] = append(ckpt[k], r)
 		note(r.Op, r.Key)
 	}
@@ -156,9 +156,9 @@ func PlanRepair(in RepairInput) (*RepairPlan, error) {
 		moved    bool  // original owner was on a dead server
 		dead     []int // dead replica instances (partials to merge)
 	}
-	splitReowned := make(map[recordKey]*reowned)
+	splitReowned := make(map[ImageKey]*reowned)
 	for _, si := range in.Splits {
-		k := recordKey{Op: si.Op, Key: si.Key}
+		k := ImageKey{Op: si.Op, Key: si.Key}
 		note(si.Op, si.Key)
 		ro := &reowned{newOwner: -1}
 		for _, inst := range si.Replicas {
@@ -221,7 +221,7 @@ func PlanRepair(in RepairInput) (*RepairPlan, error) {
 		}
 		sort.Strings(keys)
 		for _, key := range keys {
-			if ro, ok := splitReowned[recordKey{Op: op, Key: key}]; ok {
+			if ro, ok := splitReowned[ImageKey{Op: op, Key: key}]; ok {
 				pinnedServer[keygraph.VertexID{Op: op, Key: key}] = in.Place.ServerOf(op, ro.newOwner)
 				continue
 			}
@@ -251,7 +251,7 @@ func PlanRepair(in RepairInput) (*RepairPlan, error) {
 	// buffer arming — the owner's live partial stays valid throughout,
 	// and the merge contract is associative, so tuples landing before
 	// the merge applies are simply added on top.
-	splitKeys := make([]recordKey, 0, len(splitReowned))
+	splitKeys := make([]ImageKey, 0, len(splitReowned))
 	for k := range splitReowned {
 		splitKeys = append(splitKeys, k)
 	}
@@ -356,7 +356,7 @@ func PlanRepair(in RepairInput) (*RepairPlan, error) {
 		// A key checkpointed while split carries one partial per replica
 		// (and a fully-dead split lands here): the owner's partial
 		// restores as the base image, the others fold in as merges.
-		saved := ckpt[recordKey{Op: o.op, Key: o.key}]
+		saved := ckpt[ImageKey{Op: o.op, Key: o.key}]
 		base := primaryRecord(saved)
 		rec := engine.KeyState{Op: o.op, Inst: inst, Key: o.key}
 		if base >= 0 && saved[base].Data != nil {

@@ -20,6 +20,7 @@ package checkpoint
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -46,18 +47,50 @@ type Store interface {
 	Load() ([]engine.KeyState, error)
 }
 
-type recordKey struct {
+// VersionedStore is the optional tiered-store surface. A store
+// implementing it stamps every appended checkpoint with a monotonically
+// increasing version (the snapshot identity point-in-time reads are
+// served against) and compacts incremental history in the background.
+// The supervisor detects it dynamically: versions appear on checkpoint
+// events and Status, and each checkpoint may trigger a compaction.
+type VersionedStore interface {
+	Store
+	// AppendVersion persists one incremental checkpoint stamped with a
+	// fresh version and returns that version.
+	AppendVersion(recs []engine.KeyState) (uint64, error)
+	// MaybeCompact starts a background compaction when the store's
+	// policy says one is due, reporting whether it did. It must not
+	// block on the compaction itself.
+	MaybeCompact() bool
+}
+
+// StoreStatsReporter is implemented by stores that expose storage
+// statistics (segment counts, compaction volume, lookup latency); the
+// supervisor surfaces them on Status — and with it on the control
+// plane's /checkpoints endpoint.
+type StoreStatsReporter interface {
+	StoreStats() any
+}
+
+// ImageKey identifies one keyed record in a checkpoint image.
+type ImageKey struct {
 	Op  string
 	Key string
 }
 
-// image is the merged checkpoint: per (op, key), the latest record per
-// instance. Non-split keys always hold exactly one entry.
-type image map[recordKey]map[int]engine.KeyState
+// Image is the merged checkpoint: per (op, key), the latest record per
+// instance. Non-split keys always hold exactly one entry. The merge
+// rules — last writer wins, split partials kept per replica, stale
+// epochs pruned through Replicas, a non-split record superseding every
+// partial — are the single source of truth for folding incremental
+// checkpoint histories; the tiered statestore reuses them verbatim for
+// compaction so a compacted image can never diverge from a replayed one.
+type Image map[ImageKey]map[int]engine.KeyState
 
-func (img image) merge(recs []engine.KeyState) {
+// Merge folds one batch of incremental records into the image.
+func (img Image) Merge(recs []engine.KeyState) {
 	for _, r := range recs {
-		k := recordKey{Op: r.Op, Key: r.Key}
+		k := ImageKey{Op: r.Op, Key: r.Key}
 		insts := img[k]
 		if !r.Split {
 			// A non-split record is the key's full state: it supersedes
@@ -85,7 +118,9 @@ func (img image) merge(recs []engine.KeyState) {
 	}
 }
 
-func (img image) sorted() []engine.KeyState {
+// Sorted returns the image's records sorted by operator, key, then
+// instance — the order Store.Load promises.
+func (img Image) Sorted() []engine.KeyState {
 	out := make([]engine.KeyState, 0, len(img))
 	for _, insts := range img {
 		for _, r := range insts {
@@ -108,7 +143,7 @@ func (img image) sorted() []engine.KeyState {
 // default store. Safe for concurrent use.
 type MemoryStore struct {
 	mu   sync.Mutex
-	recs image
+	recs Image
 }
 
 // Append implements Store.
@@ -116,9 +151,9 @@ func (m *MemoryStore) Append(recs []engine.KeyState) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.recs == nil {
-		m.recs = make(image)
+		m.recs = make(Image)
 	}
-	m.recs.merge(recs)
+	m.recs.Merge(recs)
 	return nil
 }
 
@@ -126,7 +161,7 @@ func (m *MemoryStore) Append(recs []engine.KeyState) error {
 func (m *MemoryStore) Load() ([]engine.KeyState, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.recs.sorted(), nil
+	return m.recs.Sorted(), nil
 }
 
 // fileRecord is the JSONL wire form of one checkpointed key. Data is
@@ -196,10 +231,18 @@ func (s *FileStore) Append(recs []engine.KeyState) error {
 	return nil
 }
 
-// Load implements Store: the whole file is replayed and merged. A
-// truncated final line (crash mid-append) is skipped rather than
+// maxLineBytes caps one JSONL record line on reload; a record this
+// large means the file is damaged or the store was misused, and the
+// error says so instead of surfacing a bare bufio.ErrTooLong.
+const maxLineBytes = 16 * 1024 * 1024
+
+// Load implements Store: the whole file is replayed and merged. Only a
+// truncated *final* line (crash mid-append) is skipped rather than
 // failing the load — every complete line before it is still a valid
-// prefix of the checkpoint history.
+// prefix of the checkpoint history. An unparseable line with more data
+// after it cannot be a torn tail: it is interior corruption, and
+// silently dropping it would resurrect a stale version of those keys,
+// so the load fails instead.
 func (s *FileStore) Load() ([]engine.KeyState, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -216,23 +259,35 @@ func (s *FileStore) Load() ([]engine.KeyState, error) {
 		return nil, fmt.Errorf("checkpoint: open store: %w", err)
 	}
 	defer f.Close()
-	merged := make(image)
+	merged := make(Image)
 	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	line := 0
+	tornLine := 0 // 1-based line number of a decode failure, 0 if none
 	for sc.Scan() {
+		line++
+		if tornLine != 0 {
+			return nil, fmt.Errorf("checkpoint: corrupt record at %s:%d (not the final line)", s.path, tornLine)
+		}
 		var rec fileRecord
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			continue // torn tail write
+			// Tolerated only if nothing follows (torn tail write).
+			tornLine = line
+			continue
 		}
-		merged.merge([]engine.KeyState{{
+		merged.Merge([]engine.KeyState{{
 			Op: rec.Op, Inst: rec.Inst, Key: rec.Key, Data: rec.Data,
 			Split: rec.Split, Replicas: rec.Replicas,
 		}})
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("checkpoint: record on %s:%d exceeds the %d MiB line cap (oversized or corrupt record): %w",
+				s.path, line+1, maxLineBytes>>20, err)
+		}
 		return nil, fmt.Errorf("checkpoint: read store: %w", err)
 	}
-	return merged.sorted(), nil
+	return merged.Sorted(), nil
 }
 
 // Close flushes and closes the underlying file. Idempotent.

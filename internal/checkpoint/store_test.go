@@ -1,9 +1,12 @@
 package checkpoint
 
 import (
+	"bufio"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"github.com/locastream/locastream/internal/engine"
@@ -265,5 +268,82 @@ func TestFileStoreTornTail(t *testing.T) {
 	}
 	if len(got) != 1 || got[0].Key != "k1" {
 		t.Fatalf("image after torn tail = %+v, want only the complete record", got)
+	}
+}
+
+// TestFileStoreInteriorCorruption verifies that only a torn *final*
+// line is tolerated: a corrupt line with complete records after it is
+// interior damage — silently skipping it would reload a stale version
+// of those keys — so Load must fail loudly instead.
+func TestFileStoreInteriorCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	fs, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append([]engine.KeyState{rec("A", "k1", 0, "v1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{\"op\":\"A\",\"inst\":0,\"key\":\"k2\",\"da\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// With the corrupt line last, Load still succeeds (torn tail).
+	re, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := re.Load(); err != nil || len(got) != 1 {
+		t.Fatalf("torn-tail load = %+v, %v; want the one complete record", got, err)
+	}
+	// A later complete append moves the corruption into the interior.
+	if err := re.Append([]engine.KeyState{rec("A", "k1", 0, "v2")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.Load(); err == nil {
+		t.Fatal("Load silently skipped an interior corrupt line")
+	} else if !strings.Contains(err.Error(), "corrupt record") {
+		t.Fatalf("interior corruption error = %v, want a corrupt-record error", err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileStoreOversizedRecord verifies the scanner's line cap surfaces
+// as a descriptive oversized-record error, not a bare bufio.ErrTooLong.
+func TestFileStoreOversizedRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	huge := make([]byte, maxLineBytes+2)
+	for i := range huge {
+		huge[i] = 'x'
+	}
+	huge[len(huge)-1] = '\n'
+	if err := os.WriteFile(path, huge, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	_, err = fs.Load()
+	if err == nil {
+		t.Fatal("Load accepted a record beyond the line cap")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("oversized-record error = %v, want to wrap bufio.ErrTooLong", err)
+	}
+	if !strings.Contains(err.Error(), "line cap") {
+		t.Fatalf("oversized-record error = %v, want a descriptive line-cap message", err)
 	}
 }

@@ -46,7 +46,9 @@ type Event struct {
 	Keys int
 	// Bytes is the checkpoint volume (checkpoint events only).
 	Bytes uint64
-	// Version is the repair configuration version (rerouted/recovered).
+	// Version is the repair configuration version (rerouted/recovered
+	// events) or the checkpoint version the store stamped (checkpoint
+	// events against a VersionedStore; 0 otherwise).
 	Version uint64
 }
 
@@ -148,6 +150,12 @@ type Status struct {
 	Recoveries []RecoveryReport `json:"recoveries,omitempty"`
 	// LastError is the most recent background-tick failure, if any.
 	LastError string `json:"last_error,omitempty"`
+	// StateVersion is the checkpoint version the store stamped on the
+	// latest snapshot (0 when the store is not versioned).
+	StateVersion uint64 `json:"state_version,omitempty"`
+	// Store is the checkpoint store's own measurements when it reports
+	// them (see StoreStatsReporter).
+	Store any `json:"store,omitempty"`
 }
 
 // Supervisor drives the fault-tolerance loop: on every tick it takes
@@ -169,6 +177,7 @@ type Supervisor struct {
 	stats    []engine.PairStat
 	reports  []RecoveryReport
 	lastErr  error
+	stateVer uint64 // latest version a VersionedStore stamped (0 otherwise)
 
 	loopMu  sync.Mutex
 	stop    chan struct{}
@@ -266,7 +275,16 @@ func (s *Supervisor) checkpointLocked(now time.Time, retainStats bool) error {
 	}
 	var bytes uint64
 	if len(recs) > 0 {
-		if err := s.opts.Store.Append(recs); err != nil {
+		// A versioned store stamps the snapshot and gets its compaction
+		// trigger; the plain Store interface stays the fallback.
+		if vs, ok := s.opts.Store.(VersionedStore); ok {
+			v, err := vs.AppendVersion(recs)
+			if err != nil {
+				return err
+			}
+			s.stateVer = v
+			vs.MaybeCompact()
+		} else if err := s.opts.Store.Append(recs); err != nil {
 			return err
 		}
 		for _, r := range recs {
@@ -276,7 +294,7 @@ func (s *Supervisor) checkpointLocked(now time.Time, retainStats bool) error {
 	s.lastCkpt = now
 	s.haveCkpt = true
 	s.opts.Meter.RecordCheckpoint(len(recs), bytes, time.Since(start))
-	s.emit(Event{Phase: PhaseCheckpoint, Time: now, Server: -1, Keys: len(recs), Bytes: bytes})
+	s.emit(Event{Phase: PhaseCheckpoint, Time: now, Server: -1, Keys: len(recs), Bytes: bytes, Version: s.stateVer})
 	return nil
 }
 
@@ -389,6 +407,10 @@ func (s *Supervisor) Status() Status {
 		LastCheckpoint: s.lastCkpt,
 		Fault:          s.opts.Meter.Snapshot(),
 		Recoveries:     append([]RecoveryReport(nil), s.reports...),
+		StateVersion:   s.stateVer,
+	}
+	if r, ok := s.opts.Store.(StoreStatsReporter); ok {
+		st.Store = r.StoreStats()
 	}
 	if s.lastErr != nil {
 		st.LastError = s.lastErr.Error()

@@ -196,6 +196,7 @@ type Controller struct {
 	frecoveries  int
 	pausedTicks  int
 	faultInfo    func() interface{}
+	stateRd      StateReader
 	splitter     *splitter
 	promotions   int
 	demotions    int
@@ -461,6 +462,40 @@ func (c *Controller) faultInfoProvider() func() interface{} {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.faultInfo
+}
+
+// StateReader serves point-in-time reads of the checkpoint store for
+// the introspection handler's /state endpoints. Results are plain
+// JSON-encodable values, so the control plane stays decoupled from the
+// store's concrete types the same way SetFaultInfo keeps it decoupled
+// from the supervisor's.
+type StateReader interface {
+	// LookupState returns one key's checkpointed state as of version
+	// (0 = latest); found is false when the key had none.
+	LookupState(op, key string, version uint64) (result any, found bool, err error)
+	// ScanState returns one operator's full keyed state as of version.
+	ScanState(op string, version uint64) (any, error)
+	// StateOps lists the operators with checkpointed state, sorted.
+	StateOps() []string
+}
+
+// ErrStateCompacted is the error a StateReader returns (wrapped or
+// verbatim) when the requested version predates the store's compaction
+// floor; the /state endpoints map it to 410 Gone.
+var ErrStateCompacted = errors.New("control: requested state version was compacted away")
+
+// SetStateReader installs the queryable-state provider served on the
+// introspection handler's /state endpoints (404 until set).
+func (c *Controller) SetStateReader(r StateReader) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stateRd = r
+}
+
+func (c *Controller) stateReader() StateReader {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stateRd
 }
 
 // Journal returns the decision journal.

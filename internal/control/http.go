@@ -2,6 +2,7 @@ package control
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
 )
@@ -16,10 +17,17 @@ import (
 //	GET /checkpoints  the fault-tolerance subsystem's status (checkpoint
 //	                  volume, per-server liveness, recovery reports);
 //	                  404 until a provider is attached with SetFaultInfo
+//	GET /state            the operators with queryable checkpointed state
+//	GET /state/{op}       one operator's keyed state (?version=V for a
+//	                      point-in-time snapshot; omitted or 0 = latest)
+//	GET /state/{op}/{key} one key's state, same ?version semantics; 404
+//	                      when the key had no state at that version
 //
-// Everything is served as JSON from in-memory state; requests never
-// touch the data path beyond the same atomics a Tick reads, so the
-// endpoint is safe to poll against a loaded engine.
+// The /state endpoints serve 404 until a store is attached with
+// SetStateReader and 410 Gone for versions compaction already folded
+// away. Everything is served as JSON from in-memory state; requests
+// never touch the data path beyond the same atomics a Tick reads, so
+// the endpoint is safe to poll against a loaded engine.
 func (c *Controller) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
@@ -51,7 +59,78 @@ func (c *Controller) Handler() http.Handler {
 		}
 		writeJSON(w, r, provider())
 	})
+	mux.HandleFunc("/state", func(w http.ResponseWriter, r *http.Request) {
+		sr := c.stateReader()
+		if sr == nil {
+			http.Error(w, "no queryable state store attached", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, r, map[string][]string{"ops": sr.StateOps()})
+	})
+	mux.HandleFunc("/state/{op}", func(w http.ResponseWriter, r *http.Request) {
+		sr := c.stateReader()
+		if sr == nil {
+			http.Error(w, "no queryable state store attached", http.StatusNotFound)
+			return
+		}
+		version, ok := stateVersion(w, r)
+		if !ok {
+			return
+		}
+		res, err := sr.ScanState(r.PathValue("op"), version)
+		if err != nil {
+			stateError(w, err)
+			return
+		}
+		writeJSON(w, r, res)
+	})
+	mux.HandleFunc("/state/{op}/{key}", func(w http.ResponseWriter, r *http.Request) {
+		sr := c.stateReader()
+		if sr == nil {
+			http.Error(w, "no queryable state store attached", http.StatusNotFound)
+			return
+		}
+		version, ok := stateVersion(w, r)
+		if !ok {
+			return
+		}
+		res, found, err := sr.LookupState(r.PathValue("op"), r.PathValue("key"), version)
+		if err != nil {
+			stateError(w, err)
+			return
+		}
+		if !found {
+			http.Error(w, "no state for key at that version", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, r, res)
+	})
 	return mux
+}
+
+// stateVersion parses the ?version query parameter (absent = 0 =
+// latest), replying 400 itself when the value is malformed.
+func stateVersion(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	raw := r.URL.Query().Get("version")
+	if raw == "" {
+		return 0, true
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		http.Error(w, "invalid version", http.StatusBadRequest)
+		return 0, false
+	}
+	return v, true
+}
+
+// stateError maps a StateReader failure to its status code: a version
+// the store compacted away is 410 Gone, anything else is a 500.
+func stateError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrStateCompacted) {
+		http.Error(w, err.Error(), http.StatusGone)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
 }
 
 func writeJSON(w http.ResponseWriter, r *http.Request, v interface{}) {

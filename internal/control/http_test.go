@@ -94,6 +94,92 @@ func TestHandlerTables(t *testing.T) {
 	}
 }
 
+// fakeStateReader serves a two-op catalog with one key; versions below
+// 5 have been compacted away.
+type fakeStateReader struct{}
+
+func (fakeStateReader) LookupState(op, key string, version uint64) (any, bool, error) {
+	if version != 0 && version < 5 {
+		return nil, false, ErrStateCompacted
+	}
+	if op != "count" || key != "k1" {
+		return nil, false, nil
+	}
+	return map[string]any{"op": op, "key": key, "version": 7}, true, nil
+}
+
+func (fakeStateReader) ScanState(op string, version uint64) (any, error) {
+	if version != 0 && version < 5 {
+		return nil, ErrStateCompacted
+	}
+	return map[string]any{"op": op, "keys": 1}, nil
+}
+
+func (fakeStateReader) StateOps() []string { return []string{"count", "top"} }
+
+func TestHandlerState(t *testing.T) {
+	_, c, handler := setupHTTP(t)
+
+	// Without a reader every /state route is 404.
+	for _, path := range []string{"/state", "/state/count", "/state/count/k1"} {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("GET %s without reader = %d, want 404", path, rec.Code)
+		}
+	}
+
+	c.SetStateReader(fakeStateReader{})
+
+	var ops map[string][]string
+	getJSON(t, handler, "/state", &ops)
+	if len(ops["ops"]) != 2 || ops["ops"][0] != "count" {
+		t.Fatalf("/state = %+v", ops)
+	}
+
+	var scan map[string]any
+	getJSON(t, handler, "/state/count", &scan)
+	if scan["op"] != "count" {
+		t.Fatalf("/state/count = %+v", scan)
+	}
+
+	var key map[string]any
+	getJSON(t, handler, "/state/count/k1?version=7", &key)
+	if key["key"] != "k1" {
+		t.Fatalf("/state/count/k1 = %+v", key)
+	}
+
+	// Unknown key at a live version: 404.
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/state/count/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /state/count/nope = %d, want 404", rec.Code)
+	}
+
+	// Malformed version: 400.
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/state/count/k1?version=x", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("GET /state/count/k1?version=x = %d, want 400", rec.Code)
+	}
+
+	// Compacted-away version: 410 Gone, on lookups and scans alike.
+	for _, path := range []string{"/state/count/k1?version=2", "/state/count?version=2"} {
+		rec = httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusGone {
+			t.Fatalf("GET %s = %d, want 410", path, rec.Code)
+		}
+	}
+
+	// Writes stay rejected.
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/state/count/k1", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /state/count/k1 = %d, want 405", rec.Code)
+	}
+}
+
 func TestHandlerRejectsBadRequests(t *testing.T) {
 	_, _, handler := setupHTTP(t)
 

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// StoreStats is one snapshot of the tiered checkpoint store's
+// measurements, served on the control plane's /checkpoints endpoint
+// (under "store") and by the public StateStoreStats API.
+type StoreStats struct {
+	// Segments and SegmentBytes describe the live segment set named by
+	// the manifest (gauges, refreshed by the store on every mutation);
+	// Version and BaseVersion are the latest stamped checkpoint version
+	// and the compaction floor — point-in-time reads are served for any
+	// version in [BaseVersion, Version].
+	Segments     int    `json:"segments"`
+	SegmentBytes uint64 `json:"segment_bytes"`
+	Version      uint64 `json:"version"`
+	BaseVersion  uint64 `json:"base_version"`
+
+	// Appends, AppendRecords and AppendBytes count persisted checkpoint
+	// batches and their cumulative volume.
+	Appends       uint64 `json:"appends"`
+	AppendRecords uint64 `json:"append_records"`
+	AppendBytes   uint64 `json:"append_bytes"`
+
+	// Compactions counts completed compaction runs; ReclaimedBytes and
+	// RetiredSegments the on-disk volume and segment files they
+	// superseded (reclaimed once retention lets the files go).
+	Compactions     uint64 `json:"compactions"`
+	ReclaimedBytes  uint64 `json:"reclaimed_bytes"`
+	RetiredSegments uint64 `json:"retired_segments"`
+
+	// ReplayedRecords counts records decoded from segments when the
+	// store was (re)opened — after a compaction this is bounded by the
+	// live key count, not the append history.
+	ReplayedRecords uint64 `json:"replayed_records"`
+
+	// Lookups and Scans count point-in-time reads;
+	// LastLookupDuration/TotalLookupDuration measure their latency.
+	Lookups             uint64        `json:"lookups"`
+	Scans               uint64        `json:"scans"`
+	LastLookupDuration  time.Duration `json:"last_lookup_duration_ns"`
+	TotalLookupDuration time.Duration `json:"total_lookup_duration_ns"`
+}
+
+// StoreMeter accumulates the tiered checkpoint store's measurements:
+// segment volume, compaction work, and read latency. Safe for
+// concurrent use.
+type StoreMeter struct {
+	mu sync.Mutex
+	st StoreStats
+}
+
+// SetGauges refreshes the manifest-shaped gauges.
+func (m *StoreMeter) SetGauges(segments int, segmentBytes, version, baseVersion uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.st.Segments = segments
+	m.st.SegmentBytes = segmentBytes
+	m.st.Version = version
+	m.st.BaseVersion = baseVersion
+}
+
+// RecordAppend folds one persisted checkpoint batch in.
+func (m *StoreMeter) RecordAppend(records int, bytes uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.st.Appends++
+	m.st.AppendRecords += uint64(records)
+	m.st.AppendBytes += bytes
+}
+
+// RecordCompaction folds one completed compaction run in.
+func (m *StoreMeter) RecordCompaction(reclaimedBytes uint64, retiredSegments int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.st.Compactions++
+	m.st.ReclaimedBytes += reclaimedBytes
+	m.st.RetiredSegments += uint64(retiredSegments)
+}
+
+// RecordReplay folds the records decoded while (re)opening the store.
+func (m *StoreMeter) RecordReplay(records int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.st.ReplayedRecords += uint64(records)
+}
+
+// RecordLookup folds one point-in-time key lookup in.
+func (m *StoreMeter) RecordLookup(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.st.Lookups++
+	m.st.LastLookupDuration = d
+	m.st.TotalLookupDuration += d
+}
+
+// RecordScan folds one point-in-time operator scan in.
+func (m *StoreMeter) RecordScan(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.st.Scans++
+	m.st.LastLookupDuration = d
+	m.st.TotalLookupDuration += d
+}
+
+// Snapshot returns the accumulated measurements.
+func (m *StoreMeter) Snapshot() StoreStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.st
+}

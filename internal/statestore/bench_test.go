@@ -1,0 +1,63 @@
+package statestore
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/locastream/locastream/internal/engine"
+)
+
+// BenchmarkStoreAppend measures the full append path — encode, write,
+// in-memory merge, catalog bookkeeping — with fsync off so the gate
+// tracks the store's own cost, not the filesystem's flush latency.
+func BenchmarkStoreAppend(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	batch := make([]engine.KeyState, 8)
+	for i := range batch {
+		batch[i] = engine.KeyState{
+			Op: "count", Inst: i % 4, Key: fmt.Sprintf("key-%02d", i),
+			Data: []byte(`{"n":123456,"updated":"2016-11-07T12:00:00Z"}`),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreLookup measures a point-in-time read against a store
+// with a deep version history over a moderate keyspace.
+func BenchmarkStoreLookup(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const keys = 64
+	versions := make([]uint64, 0, 256)
+	for i := 0; i < 256; i++ {
+		v, err := s.AppendVersion([]engine.KeyState{{
+			Op: "count", Inst: 0, Key: fmt.Sprintf("key-%02d", i%keys),
+			Data: []byte(fmt.Sprintf(`{"n":%d}`, i)),
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		versions = append(versions, v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := versions[i%len(versions)]
+		if _, _, err := s.Lookup("count", fmt.Sprintf("key-%02d", i%keys), v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

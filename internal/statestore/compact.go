@@ -1,0 +1,239 @@
+package statestore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/locastream/locastream/internal/engine"
+)
+
+// CompactStats summarizes one compaction run.
+type CompactStats struct {
+	// FoldedSegments is the number of sealed segments merged into the
+	// new base; FoldedRecords their cumulative record count.
+	FoldedSegments int    `json:"folded_segments"`
+	FoldedRecords  uint64 `json:"folded_records"`
+	// BaseRecords is the record count of the new base segment — one per
+	// live (op, key, replica instance), independent of history length.
+	BaseRecords int `json:"base_records"`
+	// BaseVersion is the new compaction floor.
+	BaseVersion uint64 `json:"base_version"`
+	// ReclaimedBytes is the on-disk volume the run made reclaimable
+	// (folded segment bytes minus the new base's size, never negative).
+	ReclaimedBytes uint64 `json:"reclaimed_bytes"`
+}
+
+// MaybeCompact implements checkpoint.VersionedStore: when the sealed
+// delta backlog reaches Options.CompactAfter and no compaction is
+// running, one is started in the background. The supervisor calls it
+// after every checkpoint; failures surface through CompactionError and
+// the next trigger retries.
+func (s *Store) MaybeCompact() bool {
+	s.mu.Lock()
+	if s.compactPend || s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	deltas := 0
+	activeID, hasActive := s.activeID()
+	for _, meta := range s.man.live {
+		if meta.kind == kindDelta && !(hasActive && meta.id == activeID) {
+			deltas++
+		}
+	}
+	if deltas < s.opts.CompactAfter {
+		s.mu.Unlock()
+		return false
+	}
+	s.compactPend = true
+	s.mu.Unlock()
+	s.compactWG.Add(1)
+	go func() {
+		defer s.compactWG.Done()
+		_, err := s.Compact()
+		s.mu.Lock()
+		s.compactPend = false
+		s.compactErr = err
+		s.mu.Unlock()
+	}()
+	return true
+}
+
+// activeID returns the id of the active segment writer. It reads s.w
+// without fileMu, which is safe only for the advisory delta count in
+// MaybeCompact and the fold-set snapshot in Compact — both re-validate
+// nothing and tolerate a stale answer (a segment sealed concurrently
+// just waits for the next compaction).
+func (s *Store) activeID() (uint64, bool) {
+	if w := s.wSnapshot.Load(); w != nil {
+		return *w, true
+	}
+	return 0, false
+}
+
+// Compact folds every sealed segment into a fresh base segment holding
+// exactly the live image at the fold point — the same merge semantics
+// Load uses (checkpoint.Image) — installs a manifest naming the new
+// base, retires the folded segments under the retention policy, and
+// trims the in-memory version chains to the new floor. Appends and
+// reads proceed concurrently: only the final manifest install takes the
+// write locks, and only for an in-memory swap plus one atomic rename.
+func (s *Store) Compact() (CompactStats, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	// Snapshot the fold set: every live segment except the active one.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return CompactStats{}, fmt.Errorf("statestore: store %s is closed", s.dir)
+	}
+	activeID, hasActive := s.activeID()
+	var (
+		foldIDs    = make(map[uint64]bool)
+		foldBytes  uint64
+		foldRecs   uint64
+		foldV      uint64
+		foldAny    bool
+		onlyBase   = true
+		newID      uint64
+		basebefore = s.man.baseVersion
+	)
+	for _, meta := range s.man.live {
+		if hasActive && meta.id == activeID {
+			continue
+		}
+		foldIDs[meta.id] = true
+		foldBytes += meta.bytes
+		foldRecs += meta.records
+		if meta.maxVer > foldV {
+			foldV = meta.maxVer
+		}
+		foldAny = true
+		if meta.kind != kindBase {
+			onlyBase = false
+		}
+	}
+	if !foldAny || (onlyBase && len(foldIDs) == 1) || foldV <= basebefore {
+		// Nothing to fold: no sealed segments, a lone base, or deltas
+		// that carry no version beyond the current floor.
+		s.mu.RUnlock()
+		return CompactStats{BaseVersion: basebefore}, nil
+	}
+	// Snapshot the image at the fold point from the version chains:
+	// chain entries are immutable once stored, so value copies taken
+	// under the read lock stay valid after it is released.
+	type folded struct {
+		version uint64
+		insts   []engine.KeyState
+	}
+	var image []folded
+	for _, keys := range s.idx {
+		for _, h := range keys {
+			if e, ok := h.at(foldV); ok {
+				image = append(image, folded{version: e.version, insts: e.insts})
+			}
+		}
+	}
+	s.mu.RUnlock()
+
+	sort.Slice(image, func(i, j int) bool {
+		a, b := image[i].insts[0], image[j].insts[0]
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		return a.Key < b.Key
+	})
+
+	// Write the new base segment. The id is reserved under the lock;
+	// the file becomes reachable only when the manifest install names
+	// it, so a crash before that leaves an orphan Open removes.
+	s.mu.Lock()
+	newID = s.man.nextSegID
+	s.man.nextSegID++
+	s.mu.Unlock()
+	w, err := createSegment(filepath.Join(s.dir, segmentName(newID)), newID, !s.opts.NoSync)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	baseRecords := 0
+	var minV, maxV uint64
+	for _, f := range image {
+		if err := w.append(f.version, f.insts); err != nil {
+			w.close()
+			os.Remove(filepath.Join(s.dir, segmentName(newID)))
+			return CompactStats{}, err
+		}
+		baseRecords += len(f.insts)
+	}
+	minV, maxV = w.minV, w.maxV
+	newMeta := segmentMeta{
+		id: newID, kind: kindBase,
+		records: w.recs, bytes: w.bytes, minVer: minV, maxVer: maxV,
+	}
+	if err := w.close(); err != nil {
+		os.Remove(filepath.Join(s.dir, segmentName(newID)))
+		return CompactStats{}, fmt.Errorf("statestore: close base segment: %w", err)
+	}
+
+	// Install: swap the catalog, write the manifest, trim the chains.
+	s.fileMu.Lock()
+	s.mu.Lock()
+	live := make([]segmentMeta, 0, len(s.man.live)+1)
+	live = append(live, newMeta)
+	for _, meta := range s.man.live {
+		if !foldIDs[meta.id] {
+			live = append(live, meta)
+		}
+	}
+	s.man.live = live
+	s.man.baseVersion = foldV
+	for id := range foldIDs {
+		s.man.retired = append(s.man.retired, id)
+	}
+	sort.Slice(s.man.retired, func(i, j int) bool { return s.man.retired[i] < s.man.retired[j] })
+	var drop []uint64
+	if keep := s.opts.RetainRetired; len(s.man.retired) > keep {
+		drop = append(drop, s.man.retired[:len(s.man.retired)-keep]...)
+		s.man.retired = append([]uint64(nil), s.man.retired[len(s.man.retired)-keep:]...)
+	}
+	man := s.man
+	if err := writeManifest(s.dir, &man); err != nil {
+		// Roll the in-memory catalog back is not possible halfway — but
+		// nothing was deleted yet, so the store stays readable; report.
+		s.mu.Unlock()
+		s.fileMu.Unlock()
+		return CompactStats{}, err
+	}
+	for _, keys := range s.idx {
+		for _, h := range keys {
+			i := sort.Search(len(h.chain), func(i int) bool { return h.chain[i].version > foldV })
+			if i > 1 {
+				h.chain = append([]verEntry(nil), h.chain[i-1:]...)
+			}
+		}
+	}
+	s.refreshGaugesLocked()
+	s.mu.Unlock()
+	s.fileMu.Unlock()
+
+	for _, id := range drop {
+		if err := os.Remove(filepath.Join(s.dir, segmentName(id))); err != nil && !os.IsNotExist(err) {
+			return CompactStats{}, fmt.Errorf("statestore: remove retired segment: %w", err)
+		}
+	}
+
+	st := CompactStats{
+		FoldedSegments: len(foldIDs),
+		FoldedRecords:  foldRecs,
+		BaseRecords:    baseRecords,
+		BaseVersion:    foldV,
+	}
+	if foldBytes > newMeta.bytes {
+		st.ReclaimedBytes = foldBytes - newMeta.bytes
+	}
+	s.meter.RecordCompaction(st.ReclaimedBytes, st.FoldedSegments)
+	return st, nil
+}

@@ -1,0 +1,199 @@
+package statestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// The manifest is the store's catalog: the only authority on which
+// segment files are live, what the compaction floor is, and what the
+// next segment id will be. It is replaced atomically (write to a temp
+// file, fsync, rename), so the store's durable state always moves
+// between two consistent catalogs and a crash mid-compaction leaves at
+// worst orphan segment files, never a half-retired image.
+//
+// On-disk layout (all integers unsigned varints unless noted):
+//
+//	magic "LSM1"
+//	baseVersion            — compaction floor (0 before any compaction)
+//	nextSegID              — id the next created segment will take
+//	nLive                  — live segment entries, oldest first:
+//	  id, kind byte (0 delta / 1 base), records, bytes, minVer, maxVer
+//	nRetired               — superseded segments kept under retention:
+//	  id
+//	crc32 over everything above, 4 B LE
+const (
+	manifestMagic = "LSM1"
+	manifestName  = "MANIFEST"
+
+	kindDelta byte = 0
+	kindBase  byte = 1
+
+	// maxManifestSegments bounds the segment count decoded from disk so
+	// a corrupt counter cannot drive allocation.
+	maxManifestSegments = 1 << 20
+)
+
+// segmentMeta is one live segment's catalog entry.
+type segmentMeta struct {
+	id      uint64
+	kind    byte
+	records uint64
+	bytes   uint64
+	minVer  uint64
+	maxVer  uint64
+}
+
+// manifest is the in-memory catalog.
+type manifest struct {
+	baseVersion uint64
+	nextSegID   uint64
+	live        []segmentMeta
+	retired     []uint64
+}
+
+func segmentName(id uint64) string { return fmt.Sprintf("seg-%08d.seg", id) }
+
+func encodeManifest(m *manifest) []byte {
+	buf := []byte(manifestMagic)
+	buf = binary.AppendUvarint(buf, m.baseVersion)
+	buf = binary.AppendUvarint(buf, m.nextSegID)
+	buf = binary.AppendUvarint(buf, uint64(len(m.live)))
+	for _, s := range m.live {
+		buf = binary.AppendUvarint(buf, s.id)
+		buf = append(buf, s.kind)
+		buf = binary.AppendUvarint(buf, s.records)
+		buf = binary.AppendUvarint(buf, s.bytes)
+		buf = binary.AppendUvarint(buf, s.minVer)
+		buf = binary.AppendUvarint(buf, s.maxVer)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.retired)))
+	for _, id := range m.retired {
+		buf = binary.AppendUvarint(buf, id)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+func decodeManifest(p []byte) (*manifest, error) {
+	if len(p) < len(manifestMagic)+4 {
+		return nil, errManifestValue
+	}
+	if string(p[:len(manifestMagic)]) != manifestMagic {
+		return nil, errManifestValue
+	}
+	body, crcBytes := p[:len(p)-4], p[len(p)-4:]
+	if binary.LittleEndian.Uint32(crcBytes) != crc32.ChecksumIEEE(body) {
+		return nil, fmt.Errorf("statestore: manifest checksum mismatch: %w", errManifestValue)
+	}
+	body = body[len(manifestMagic):]
+	m := &manifest{}
+	var u uint64
+	var ok bool
+	if m.baseVersion, body, ok = readUvarint(body); !ok {
+		return nil, errManifestValue
+	}
+	if m.nextSegID, body, ok = readUvarint(body); !ok {
+		return nil, errManifestValue
+	}
+	if u, body, ok = readUvarint(body); !ok || u > maxManifestSegments {
+		return nil, errManifestValue
+	}
+	m.live = make([]segmentMeta, 0, u)
+	for i := uint64(0); i < u; i++ {
+		var s segmentMeta
+		if s.id, body, ok = readUvarint(body); !ok {
+			return nil, errManifestValue
+		}
+		if len(body) < 1 {
+			return nil, errManifestValue
+		}
+		s.kind = body[0]
+		body = body[1:]
+		if s.kind != kindDelta && s.kind != kindBase {
+			return nil, errManifestValue
+		}
+		if s.records, body, ok = readUvarint(body); !ok {
+			return nil, errManifestValue
+		}
+		if s.bytes, body, ok = readUvarint(body); !ok {
+			return nil, errManifestValue
+		}
+		if s.minVer, body, ok = readUvarint(body); !ok {
+			return nil, errManifestValue
+		}
+		if s.maxVer, body, ok = readUvarint(body); !ok {
+			return nil, errManifestValue
+		}
+		m.live = append(m.live, s)
+	}
+	if u, body, ok = readUvarint(body); !ok || u > maxManifestSegments {
+		return nil, errManifestValue
+	}
+	m.retired = make([]uint64, 0, u)
+	for i := uint64(0); i < u; i++ {
+		var id uint64
+		if id, body, ok = readUvarint(body); !ok {
+			return nil, errManifestValue
+		}
+		m.retired = append(m.retired, id)
+	}
+	if len(body) != 0 {
+		return nil, errManifestValue
+	}
+	return m, nil
+}
+
+// writeManifest atomically replaces dir's manifest: temp file, fsync,
+// rename, directory fsync.
+func writeManifest(dir string, m *manifest) error {
+	tmp, err := os.CreateTemp(dir, "manifest-*.tmp")
+	if err != nil {
+		return fmt.Errorf("statestore: write manifest: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(encodeManifest(m)); err != nil {
+		cleanup()
+		return fmt.Errorf("statestore: write manifest: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("statestore: sync manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("statestore: close manifest: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, manifestName)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("statestore: install manifest: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// readManifest loads dir's manifest; a missing file yields an empty
+// catalog (fresh store).
+func readManifest(dir string) (*manifest, error) {
+	p, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return &manifest{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("statestore: read manifest: %w", err)
+	}
+	m, err := decodeManifest(p)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,316 @@
+// Package statestore is the tiered checkpoint store behind the
+// checkpoint.Store interface: append-only segment files in the wire's
+// varint/binary framing (one CRC-protected record per checkpointed
+// key), a manifest naming the live segments and the monotonically
+// increasing checkpoint version of every supervisor snapshot, and
+// background compaction that folds incremental deltas into a base
+// segment with exactly the split-partial merge semantics of
+// checkpoint.Image. On top of the durable tier it keeps a multi-version
+// in-memory index, so point-in-time reads — Lookup(op, key, version)
+// and Scan(op, version) — are served snapshot-consistently without
+// blocking appends, and reloading after a compaction costs O(live
+// keys), not O(append history).
+//
+// The design borrows the catalog/storage/query separation of
+// LSM-flavoured table stores (see SNIPPETS.md): segments are immutable
+// once sealed, the manifest is the only mutable naming authority
+// (replaced atomically via rename), and compaction is the same
+// incremental-over-full discipline Le Merrer & Trédan apply to
+// repartitioning — fold the deltas, never rewrite what didn't change.
+package statestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"github.com/locastream/locastream/internal/engine"
+)
+
+// Segment file layout. A segment starts with a 4-byte magic and holds
+// length-prefixed records, each protected by a CRC over its body:
+//
+//	magic "LSG1"
+//	record := bodyLen uvarint | body | crc32(body) 4 B LE
+//	body   := version  uvarint        — checkpoint version of the append
+//	          flags    byte           — bit0 split, bit1 has-data
+//	          opLen    uvarint, op
+//	          keyLen   uvarint, key
+//	          inst     uvarint
+//	          [has-data] dataLen uvarint, data
+//	          [split]    nReplicas uvarint, nReplicas × uvarint
+//
+// The has-data flag preserves the nil-vs-empty Data distinction the
+// JSONL store kept through JSON null. A record truncated at the end of
+// the file (crash mid-append) is tolerated — every complete record
+// before it is a valid prefix of the history; a CRC mismatch on a fully
+// present record is interior corruption and fails the load.
+const (
+	segMagic = "LSG1"
+
+	flagSplit   = 1 << 0
+	flagHasData = 1 << 1
+
+	// maxRecordBytes bounds one record body so a corrupt length prefix
+	// cannot make the reader allocate whatever a flipped bit asks for.
+	// It matches the JSONL store's 16 MiB line cap.
+	maxRecordBytes = 16 << 20
+
+	// maxIntField bounds instance numbers and replica-set sizes decoded
+	// from disk.
+	maxIntField = 1 << 31
+)
+
+var (
+	errSegmentCorrupt = errors.New("statestore: corrupt segment record")
+	errManifestValue  = errors.New("statestore: corrupt manifest")
+)
+
+// rec is one decoded segment record: the checkpointed key state plus
+// the checkpoint version of the append that wrote it.
+type rec struct {
+	version uint64
+	state   engine.KeyState
+}
+
+// appendRecord appends the segment encoding of one record to buf.
+func appendRecord(buf []byte, r rec) []byte {
+	var flags byte
+	if r.state.Split {
+		flags |= flagSplit
+	}
+	if r.state.Data != nil {
+		flags |= flagHasData
+	}
+	body := binary.AppendUvarint(nil, r.version)
+	body = append(body, flags)
+	body = appendString(body, r.state.Op)
+	body = appendString(body, r.state.Key)
+	body = binary.AppendUvarint(body, uint64(nonNeg(r.state.Inst)))
+	if r.state.Data != nil {
+		body = binary.AppendUvarint(body, uint64(len(r.state.Data)))
+		body = append(body, r.state.Data...)
+	}
+	if r.state.Split {
+		body = binary.AppendUvarint(body, uint64(len(r.state.Replicas)))
+		for _, inst := range r.state.Replicas {
+			body = binary.AppendUvarint(body, uint64(nonNeg(inst)))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(body)))
+	buf = append(buf, body...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func nonNeg(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// decodeBody decodes one record body (the bytes the CRC covers).
+func decodeBody(body []byte) (rec, error) {
+	var r rec
+	var u uint64
+	var ok bool
+	if r.version, body, ok = readUvarint(body); !ok {
+		return r, errSegmentCorrupt
+	}
+	if len(body) < 1 {
+		return r, errSegmentCorrupt
+	}
+	flags := body[0]
+	body = body[1:]
+	if flags&^(flagSplit|flagHasData) != 0 {
+		return r, errSegmentCorrupt
+	}
+	if r.state.Op, body, ok = readString(body); !ok {
+		return r, errSegmentCorrupt
+	}
+	if r.state.Key, body, ok = readString(body); !ok {
+		return r, errSegmentCorrupt
+	}
+	if u, body, ok = readUvarint(body); !ok || u > maxIntField {
+		return r, errSegmentCorrupt
+	}
+	r.state.Inst = int(u)
+	if flags&flagHasData != 0 {
+		if u, body, ok = readUvarint(body); !ok || u > uint64(len(body)) {
+			return r, errSegmentCorrupt
+		}
+		r.state.Data = append([]byte{}, body[:u]...)
+		body = body[u:]
+	}
+	if flags&flagSplit != 0 {
+		r.state.Split = true
+		// Each replica entry costs at least one byte, so a count beyond
+		// the remaining bytes is unsatisfiable.
+		if u, body, ok = readUvarint(body); !ok || u > uint64(len(body)) {
+			return r, errSegmentCorrupt
+		}
+		replicas := make([]int, u)
+		for i := range replicas {
+			if u, body, ok = readUvarint(body); !ok || u > maxIntField {
+				return r, errSegmentCorrupt
+			}
+			replicas[i] = int(u)
+		}
+		r.state.Replicas = replicas
+	}
+	if len(body) != 0 {
+		return r, errSegmentCorrupt
+	}
+	return r, nil
+}
+
+func readUvarint(p []byte) (uint64, []byte, bool) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, p, false
+	}
+	return v, p[n:], true
+}
+
+func readString(p []byte) (string, []byte, bool) {
+	v, rest, ok := readUvarint(p)
+	if !ok || v > uint64(len(rest)) {
+		return "", p, false
+	}
+	return string(rest[:v]), rest[v:], true
+}
+
+// readSegment replays one segment file, calling fn for every complete
+// record. A record truncated at the end of the stream is tolerated (the
+// torn tail of a crashed append); a CRC mismatch or a malformed body on
+// a fully present record is interior corruption and returns an error.
+func readSegment(r io.Reader, fn func(rec) error) error {
+	br := bufio.NewReaderSize(r, 64*1024)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		if err == io.EOF {
+			return nil // empty file: a segment created but never appended to
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("statestore: truncated segment header")
+		}
+		return err
+	}
+	if string(magic) != segMagic {
+		return fmt.Errorf("statestore: bad segment magic %q", magic)
+	}
+	body := make([]byte, 0, 4096)
+	crcBuf := make([]byte, 4)
+	for {
+		bodyLen, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // torn length prefix at EOF
+			}
+			return err
+		}
+		if bodyLen > maxRecordBytes {
+			return fmt.Errorf("statestore: segment record of %d bytes exceeds the %d MiB cap (oversized or corrupt record)",
+				bodyLen, maxRecordBytes>>20)
+		}
+		if cap(body) < int(bodyLen) {
+			body = make([]byte, bodyLen)
+		}
+		body = body[:bodyLen]
+		if _, err := io.ReadFull(br, body); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // torn body at EOF
+			}
+			return err
+		}
+		if _, err := io.ReadFull(br, crcBuf); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // torn checksum at EOF
+			}
+			return err
+		}
+		if binary.LittleEndian.Uint32(crcBuf) != crc32.ChecksumIEEE(body) {
+			return fmt.Errorf("statestore: segment record checksum mismatch: %w", errSegmentCorrupt)
+		}
+		rc, err := decodeBody(body)
+		if err != nil {
+			return err
+		}
+		if err := fn(rc); err != nil {
+			return err
+		}
+	}
+}
+
+// segmentWriter appends records to the active segment file, fsyncing
+// per batch so a checkpoint is durable before the supervisor considers
+// it taken.
+type segmentWriter struct {
+	id    uint64
+	f     *os.File
+	buf   []byte
+	bytes uint64 // file size including header
+	recs  uint64
+	minV  uint64
+	maxV  uint64
+	sync  bool
+}
+
+func createSegment(path string, id uint64, sync bool) (*segmentWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("statestore: create segment: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("statestore: write segment header: %w", err)
+	}
+	return &segmentWriter{id: id, f: f, bytes: uint64(len(segMagic)), sync: sync}, nil
+}
+
+// append writes one batch of records stamped with version, flushes and
+// (when durability is on) fsyncs.
+func (w *segmentWriter) append(version uint64, recs []engine.KeyState) error {
+	w.buf = w.buf[:0]
+	for _, st := range recs {
+		w.buf = appendRecord(w.buf, rec{version: version, state: st})
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("statestore: write segment: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("statestore: sync segment: %w", err)
+		}
+	}
+	if w.recs == 0 || version < w.minV {
+		w.minV = version
+	}
+	if version > w.maxV {
+		w.maxV = version
+	}
+	w.recs += uint64(len(recs))
+	w.bytes += uint64(len(w.buf))
+	return nil
+}
+
+func (w *segmentWriter) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

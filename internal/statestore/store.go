@@ -1,0 +1,632 @@
+package statestore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/locastream/locastream/internal/checkpoint"
+	"github.com/locastream/locastream/internal/engine"
+	"github.com/locastream/locastream/internal/metrics"
+)
+
+// ErrCompacted is returned by Lookup/Scan for versions older than the
+// compaction floor: their history was folded into the base segment and
+// can no longer be told apart from it.
+var ErrCompacted = errors.New("statestore: version predates the compaction floor")
+
+// Options tune the store. The zero value is production-usable.
+type Options struct {
+	// MaxSegmentBytes rotates the active segment once it grows past
+	// this size (default 4 MiB).
+	MaxSegmentBytes uint64
+	// MaxSegmentAge rotates the active segment once its first record is
+	// this old, so a quiet stream still seals segments for compaction
+	// (0 disables age-based rotation).
+	MaxSegmentAge time.Duration
+	// CompactAfter is the number of sealed delta segments that makes
+	// MaybeCompact start a background compaction (default 4).
+	CompactAfter int
+	// RetainRetired keeps the newest N superseded segment files on disk
+	// after compaction instead of deleting them immediately (default 0:
+	// delete as soon as the new manifest is durable).
+	RetainRetired int
+	// NoSync skips the per-append fsync. Only for benchmarks and tests;
+	// a production checkpoint must be durable before the supervisor
+	// considers it taken.
+	NoSync bool
+	// Meter receives the store measurements (a private meter is used
+	// otherwise; see Stats).
+	Meter *metrics.StoreMeter
+	// Now injects the clock used for age-based rotation and latency
+	// measurements (default time.Now).
+	Now func() time.Time
+}
+
+func (o *Options) defaults() {
+	if o.MaxSegmentBytes == 0 {
+		o.MaxSegmentBytes = 4 << 20
+	}
+	if o.CompactAfter <= 0 {
+		o.CompactAfter = 4
+	}
+	if o.Meter == nil {
+		o.Meter = &metrics.StoreMeter{}
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+}
+
+// Record is one checkpointed key state as served by reads, stamped with
+// the checkpoint version of the append that last wrote it.
+type Record struct {
+	Op       string `json:"op"`
+	Key      string `json:"key"`
+	Inst     int    `json:"inst"`
+	Version  uint64 `json:"version"`
+	Data     []byte `json:"data"`
+	Split    bool   `json:"split,omitempty"`
+	Replicas []int  `json:"replicas,omitempty"`
+}
+
+// KeyResult is one point-in-time key lookup: the snapshot version the
+// read was served at and the key's records (several while split — one
+// partial per replica).
+type KeyResult struct {
+	Op      string   `json:"op"`
+	Key     string   `json:"key"`
+	Version uint64   `json:"version"`
+	Records []Record `json:"records"`
+}
+
+// ScanResult is one point-in-time operator scan.
+type ScanResult struct {
+	Op      string   `json:"op"`
+	Version uint64   `json:"version"`
+	Keys    int      `json:"keys"`
+	Records []Record `json:"records"`
+}
+
+// verEntry is one key's merged state as of one checkpoint version.
+type verEntry struct {
+	version uint64
+	insts   []engine.KeyState // sorted by Inst; never mutated once stored
+}
+
+// keyHistory is a key's version chain, ascending. Appends extend it;
+// compaction trims everything before the entry in effect at the
+// compaction floor.
+type keyHistory struct {
+	chain []verEntry
+}
+
+// at returns the entry in effect at version v (the last entry with
+// version <= v).
+func (h *keyHistory) at(v uint64) (verEntry, bool) {
+	i := sort.Search(len(h.chain), func(i int) bool { return h.chain[i].version > v })
+	if i == 0 {
+		return verEntry{}, false
+	}
+	return h.chain[i-1], true
+}
+
+// Store is the tiered checkpoint store. It implements
+// checkpoint.Store, checkpoint.VersionedStore and
+// checkpoint.StoreStatsReporter. All methods are safe for concurrent
+// use; appends, reads and compaction may run concurrently.
+type Store struct {
+	dir  string
+	opts Options
+
+	// fileMu serializes every on-disk mutation: appends, rotation,
+	// manifest installs. Reads never take it. Lock order is always
+	// fileMu before mu.
+	fileMu  sync.Mutex
+	w       *segmentWriter
+	wOpened time.Time
+	// wSnapshot mirrors the active segment's id for readers that must
+	// not take fileMu (the compaction fold-set snapshot); nil while no
+	// active segment exists.
+	wSnapshot atomic.Pointer[uint64]
+
+	// mu guards the in-memory catalog and index. Appends hold it only
+	// for the in-memory merge — never across an fsync — so reads are
+	// serviced while the disk works.
+	mu      sync.RWMutex
+	man     manifest
+	idx     map[string]map[string]*keyHistory // op -> key -> chain
+	version uint64
+	closed  bool
+
+	compactMu   sync.Mutex // serializes whole compaction runs
+	compactWG   sync.WaitGroup
+	compactPend bool // a background compaction is queued or running (guarded by mu)
+	compactErr  error
+
+	meter *metrics.StoreMeter
+}
+
+// Open opens (creating if needed) the store rooted at dir and rebuilds
+// the in-memory index from the manifest's segments. The replay cost is
+// bounded by what the manifest names: after a compaction that is the
+// live key count plus the un-compacted delta tail, not the full append
+// history.
+func Open(dir string, opts Options) (*Store, error) {
+	opts.defaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("statestore: open %s: %w", dir, err)
+	}
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		man:   *man,
+		idx:   make(map[string]map[string]*keyHistory),
+		meter: opts.Meter,
+	}
+	replayed := 0
+	for i := range s.man.live {
+		meta := &s.man.live[i]
+		n, minV, maxV, err := s.replaySegment(meta.id, meta.kind)
+		if err != nil {
+			return nil, err
+		}
+		// Normalize the entry with what the file actually holds — the
+		// previously active segment was catalogued before its records
+		// landed, and a torn tail may have trimmed the counts.
+		meta.records, meta.minVer, meta.maxVer = uint64(n), minV, maxV
+		if fi, err := os.Stat(filepath.Join(dir, segmentName(meta.id))); err == nil {
+			meta.bytes = uint64(fi.Size())
+		}
+		if maxV > s.version {
+			s.version = maxV
+		}
+		replayed += n
+	}
+	if err := s.removeOrphans(); err != nil {
+		return nil, err
+	}
+	// Re-catalog with the normalized counts; every listed segment is now
+	// sealed (a fresh active segment is created on the first append).
+	if err := writeManifest(dir, &s.man); err != nil {
+		return nil, err
+	}
+	s.meter.RecordReplay(replayed)
+	s.refreshGaugesLocked()
+	return s, nil
+}
+
+// replaySegment folds one segment file into the index, returning the
+// record count and version bounds read. Delta records re-run the
+// checkpoint merge in their original order, which reproduces the live
+// append path exactly. Base records must NOT be re-merged: a folded
+// image can pair a non-split record with split partials that landed
+// after it, and Merge would let the non-split record wipe the partials
+// on replay — so they are installed verbatim as the key's entry.
+func (s *Store) replaySegment(id uint64, kind byte) (n int, minV, maxV uint64, err error) {
+	f, err := os.Open(filepath.Join(s.dir, segmentName(id)))
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("statestore: open segment: %w", err)
+	}
+	defer f.Close()
+	err = readSegment(f, func(r rec) error {
+		if kind == kindBase {
+			s.installLocked(r.version, r.state)
+		} else {
+			s.applyLocked(r.version, []engine.KeyState{r.state})
+		}
+		if n == 0 || r.version < minV {
+			minV = r.version
+		}
+		if r.version > maxV {
+			maxV = r.version
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("statestore: segment %s: %w", segmentName(id), err)
+	}
+	return n, minV, maxV, nil
+}
+
+// removeOrphans deletes *.seg files the manifest references neither as
+// live nor as retained — leftovers of a crash between a segment write
+// and its manifest install.
+func (s *Store) removeOrphans() error {
+	known := make(map[string]bool, len(s.man.live)+len(s.man.retired))
+	for _, meta := range s.man.live {
+		known[segmentName(meta.id)] = true
+	}
+	for _, id := range s.man.retired {
+		known[segmentName(id)] = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("statestore: scan %s: %w", s.dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) != ".seg" || known[name] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+			return fmt.Errorf("statestore: remove orphan segment: %w", err)
+		}
+	}
+	return nil
+}
+
+// applyLocked folds records stamped with version into the index. The
+// caller holds mu (or, during Open, exclusive ownership). The merge
+// semantics are exactly checkpoint.Image's: a key's next chain entry is
+// its previous image with the new records merged in.
+func (s *Store) applyLocked(version uint64, states []engine.KeyState) {
+	for _, st := range states {
+		keys := s.idx[st.Op]
+		if keys == nil {
+			keys = make(map[string]*keyHistory)
+			s.idx[st.Op] = keys
+		}
+		h := keys[st.Key]
+		if h == nil {
+			h = &keyHistory{}
+			keys[st.Key] = h
+		}
+		img := make(checkpoint.Image, 1)
+		if n := len(h.chain); n > 0 {
+			img.Merge(h.chain[n-1].insts)
+		}
+		img.Merge([]engine.KeyState{st})
+		insts := img.Sorted()
+		if n := len(h.chain); n > 0 && h.chain[n-1].version == version {
+			// Another record of the same append batch: extend the entry.
+			h.chain[n-1] = verEntry{version: version, insts: insts}
+		} else {
+			h.chain = append(h.chain, verEntry{version: version, insts: insts})
+		}
+	}
+}
+
+// installLocked places one base-segment record into the index without
+// re-running the merge: compaction wrote each key's folded image
+// contiguously, every record stamped with the key's original version,
+// sorted by instance — appending them verbatim reconstructs the entry.
+func (s *Store) installLocked(version uint64, st engine.KeyState) {
+	keys := s.idx[st.Op]
+	if keys == nil {
+		keys = make(map[string]*keyHistory)
+		s.idx[st.Op] = keys
+	}
+	h := keys[st.Key]
+	if h == nil {
+		h = &keyHistory{}
+		keys[st.Key] = h
+	}
+	if n := len(h.chain); n > 0 && h.chain[n-1].version == version {
+		h.chain[n-1].insts = append(h.chain[n-1].insts, st)
+	} else {
+		h.chain = append(h.chain, verEntry{version: version, insts: []engine.KeyState{st}})
+	}
+}
+
+// refreshGaugesLocked pushes the manifest-shaped gauges to the meter.
+// Callers hold mu (or exclusive ownership during Open). The active
+// segment's catalog entry is kept current on every append, so the
+// manifest alone describes the on-disk volume.
+func (s *Store) refreshGaugesLocked() {
+	segs := len(s.man.live)
+	var bytes uint64
+	for _, meta := range s.man.live {
+		bytes += meta.bytes
+	}
+	s.meter.SetGauges(segs, bytes, s.version, s.man.baseVersion)
+}
+
+// noteActiveLocked mirrors the active writer's counters into its
+// catalog entry. Caller holds both fileMu and mu.
+func (s *Store) noteActiveLocked(w *segmentWriter) {
+	for i := range s.man.live {
+		if s.man.live[i].id == w.id {
+			s.man.live[i].records = w.recs
+			s.man.live[i].bytes = w.bytes
+			s.man.live[i].minVer = w.minV
+			s.man.live[i].maxVer = w.maxV
+			return
+		}
+	}
+}
+
+// Append implements checkpoint.Store.
+func (s *Store) Append(recs []engine.KeyState) error {
+	_, err := s.AppendVersion(recs)
+	return err
+}
+
+// AppendVersion implements checkpoint.VersionedStore: the batch is
+// persisted to the active segment stamped with a fresh monotonically
+// increasing checkpoint version, which is returned. An empty batch
+// stamps nothing and returns the current version.
+func (s *Store) AppendVersion(recs []engine.KeyState) (uint64, error) {
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("statestore: store %s is closed", s.dir)
+	}
+	if len(recs) == 0 {
+		return s.Version(), nil
+	}
+	if err := s.rotateIfDueLocked(); err != nil {
+		return 0, err
+	}
+	v := s.Version() + 1
+	if err := s.w.append(v, recs); err != nil {
+		return 0, err
+	}
+	var bytes uint64
+	for _, r := range recs {
+		bytes += uint64(len(r.Op) + len(r.Key) + len(r.Data))
+	}
+	s.mu.Lock()
+	s.applyLocked(v, recs)
+	s.version = v
+	s.noteActiveLocked(s.w)
+	s.refreshGaugesLocked()
+	s.mu.Unlock()
+	s.meter.RecordAppend(len(recs), bytes)
+	return v, nil
+}
+
+// rotateIfDueLocked makes sure an active segment writer exists, sealing
+// the previous one when it outgrew the size or age budget. Caller holds
+// fileMu.
+func (s *Store) rotateIfDueLocked() error {
+	now := s.opts.Now()
+	if s.w != nil {
+		rotate := s.w.bytes >= s.opts.MaxSegmentBytes ||
+			(s.opts.MaxSegmentAge > 0 && s.w.recs > 0 && now.Sub(s.wOpened) >= s.opts.MaxSegmentAge)
+		if !rotate {
+			return nil
+		}
+		if err := s.sealActiveLocked(); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	id := s.man.nextSegID
+	s.man.nextSegID++
+	s.man.live = append(s.man.live, segmentMeta{id: id, kind: kindDelta})
+	man := s.man
+	s.mu.Unlock()
+	// The manifest names the segment before any record lands in it, so
+	// a crash can never strand durable records in an uncatalogued file.
+	if err := writeManifest(s.dir, &man); err != nil {
+		return err
+	}
+	w, err := createSegment(filepath.Join(s.dir, segmentName(id)), id, !s.opts.NoSync)
+	if err != nil {
+		return err
+	}
+	s.w, s.wOpened = w, now
+	wid := id
+	s.wSnapshot.Store(&wid)
+	return nil
+}
+
+// sealActiveLocked finalizes the active segment's catalog entry and
+// closes its file. Caller holds fileMu.
+func (s *Store) sealActiveLocked() error {
+	w := s.w
+	if w == nil {
+		return nil
+	}
+	s.w = nil
+	s.wSnapshot.Store(nil)
+	if err := w.close(); err != nil {
+		return fmt.Errorf("statestore: close segment: %w", err)
+	}
+	s.mu.Lock()
+	s.noteActiveLocked(w)
+	s.mu.Unlock()
+	return nil
+}
+
+// Seal closes the active segment (the next append starts a fresh one),
+// making everything appended so far foldable by an immediate Compact.
+// The background trigger never seals — it folds only what rotation
+// already sealed — so Seal is for explicit compact-now requests and
+// orderly handoffs.
+func (s *Store) Seal() error {
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.sealActiveLocked()
+}
+
+// Load implements checkpoint.Store: the latest image, sorted by
+// operator, key, then instance — served from the in-memory index, so
+// recovery never replays history.
+func (s *Store) Load() ([]engine.KeyState, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []engine.KeyState
+	for _, keys := range s.idx {
+		for _, h := range keys {
+			if n := len(h.chain); n > 0 {
+				out = append(out, h.chain[n-1].insts...)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Inst < out[j].Inst
+	})
+	return out, nil
+}
+
+// Version returns the latest stamped checkpoint version.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// BaseVersion returns the compaction floor: the oldest version
+// point-in-time reads can still be served at.
+func (s *Store) BaseVersion() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.man.baseVersion
+}
+
+// resolveLocked maps a requested version (0 = latest) to the snapshot
+// version a read is served at. Caller holds mu.RLock.
+func (s *Store) resolveLocked(version uint64) (uint64, error) {
+	if version == 0 || version > s.version {
+		return s.version, nil
+	}
+	if version < s.man.baseVersion {
+		return 0, fmt.Errorf("%w (requested %d, floor %d)", ErrCompacted, version, s.man.baseVersion)
+	}
+	return version, nil
+}
+
+func toRecord(st engine.KeyState, version uint64) Record {
+	return Record{
+		Op: st.Op, Key: st.Key, Inst: st.Inst, Version: version,
+		Data: st.Data, Split: st.Split, Replicas: st.Replicas,
+	}
+}
+
+// Lookup serves one key's state as of version (0 = latest),
+// snapshot-consistently against the checkpoint version the read
+// resolved to. found is false when the key had no checkpointed state at
+// that version.
+func (s *Store) Lookup(op, key string, version uint64) (KeyResult, bool, error) {
+	start := s.opts.Now()
+	s.mu.RLock()
+	snapV, err := s.resolveLocked(version)
+	if err != nil {
+		s.mu.RUnlock()
+		return KeyResult{}, false, err
+	}
+	res := KeyResult{Op: op, Key: key, Version: snapV}
+	var found bool
+	if keys := s.idx[op]; keys != nil {
+		if h := keys[key]; h != nil {
+			if e, ok := h.at(snapV); ok {
+				found = true
+				res.Records = make([]Record, 0, len(e.insts))
+				for _, st := range e.insts {
+					res.Records = append(res.Records, toRecord(st, e.version))
+				}
+			}
+		}
+	}
+	s.mu.RUnlock()
+	s.meter.RecordLookup(s.opts.Now().Sub(start))
+	return res, found, nil
+}
+
+// Scan serves one operator's full keyed state as of version
+// (0 = latest), sorted by key then instance.
+func (s *Store) Scan(op string, version uint64) (ScanResult, error) {
+	start := s.opts.Now()
+	s.mu.RLock()
+	snapV, err := s.resolveLocked(version)
+	if err != nil {
+		s.mu.RUnlock()
+		return ScanResult{}, err
+	}
+	res := ScanResult{Op: op, Version: snapV}
+	for _, h := range s.idx[op] {
+		if e, ok := h.at(snapV); ok {
+			res.Keys++
+			for _, st := range e.insts {
+				res.Records = append(res.Records, toRecord(st, e.version))
+			}
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(res.Records, func(i, j int) bool {
+		if res.Records[i].Key != res.Records[j].Key {
+			return res.Records[i].Key < res.Records[j].Key
+		}
+		return res.Records[i].Inst < res.Records[j].Inst
+	})
+	s.meter.RecordScan(s.opts.Now().Sub(start))
+	return res, nil
+}
+
+// Ops returns the operators with checkpointed state, sorted.
+func (s *Store) Ops() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.idx))
+	for op := range s.idx {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns the store's measurements with fresh gauges.
+func (s *Store) Stats() metrics.StoreStats {
+	s.mu.RLock()
+	s.refreshGaugesLocked()
+	s.mu.RUnlock()
+	return s.meter.Snapshot()
+}
+
+// StoreStats implements checkpoint.StoreStatsReporter.
+func (s *Store) StoreStats() any { return s.Stats() }
+
+// CompactionError returns the most recent background compaction
+// failure, if any.
+func (s *Store) CompactionError() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.compactErr
+}
+
+// Close seals the active segment, waits for a running compaction and
+// writes the final manifest. Idempotent.
+func (s *Store) Close() error {
+	s.compactWG.Wait()
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.sealActiveLocked()
+	s.mu.RLock()
+	man := s.man
+	s.mu.RUnlock()
+	if werr := writeManifest(s.dir, &man); err == nil {
+		err = werr
+	}
+	return err
+}
+
+var (
+	_ checkpoint.Store              = (*Store)(nil)
+	_ checkpoint.VersionedStore     = (*Store)(nil)
+	_ checkpoint.StoreStatsReporter = (*Store)(nil)
+)

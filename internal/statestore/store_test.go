@@ -1,0 +1,430 @@
+package statestore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/locastream/locastream/internal/engine"
+)
+
+func ks(op, key string, inst int, data string) engine.KeyState {
+	var d []byte
+	if data != "" {
+		d = []byte(data)
+	}
+	return engine.KeyState{Op: op, Inst: inst, Key: key, Data: d}
+}
+
+func splitKS(op, key string, inst int, data string, replicas ...int) engine.KeyState {
+	r := ks(op, key, inst, data)
+	r.Split = true
+	r.Replicas = replicas
+	return r
+}
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestStoreContract exercises the checkpoint.Store contract: appends
+// fold into a last-record-wins image sorted by operator, key, instance.
+func TestStoreContract(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	if recs, err := s.Load(); err != nil || len(recs) != 0 {
+		t.Fatalf("empty store: recs=%v err=%v", recs, err)
+	}
+	if err := s.Append([]engine.KeyState{
+		ks("B", "k1", 1, "b1-old"),
+		ks("A", "k2", 0, "a2"),
+		ks("A", "k1", 0, "a1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]engine.KeyState{
+		ks("B", "k1", 1, "b1-new"),
+		ks("B", "k9", 1, ""),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []engine.KeyState{
+		ks("A", "k1", 0, "a1"),
+		ks("A", "k2", 0, "a2"),
+		ks("B", "k1", 1, "b1-new"),
+		ks("B", "k9", 1, ""),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged image = %+v, want %+v", got, want)
+	}
+	if v := s.Version(); v != 2 {
+		t.Fatalf("version = %d after two appends, want 2", v)
+	}
+}
+
+// TestStoreSplitPartials mirrors the checkpoint store's split-key
+// exception: per-replica partials, epoch pruning through Replicas, and
+// post-demote collapse.
+func TestStoreSplitPartials(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	if err := s.Append([]engine.KeyState{
+		splitKS("B", "hot", 1, "p1", 1, 2),
+		splitKS("B", "hot", 2, "p2", 1, 2),
+		ks("B", "cold", 0, "c"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]engine.KeyState{splitKS("B", "hot", 3, "p3", 1, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []engine.KeyState{
+		ks("B", "cold", 0, "c"),
+		splitKS("B", "hot", 1, "p1", 1, 2),
+		splitKS("B", "hot", 3, "p3", 1, 3),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("image after epoch change = %+v, want %+v", got, want)
+	}
+	if err := s.Append([]engine.KeyState{ks("B", "hot", 1, "full")}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []engine.KeyState{
+		ks("B", "cold", 0, "c"),
+		ks("B", "hot", 1, "full"),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("image after demote = %+v, want %+v", got, want)
+	}
+}
+
+// TestStoreReopen verifies the restart path: the reopened store serves
+// the same image, the same version, and keeps stamping after it.
+func TestStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if err := s.Append([]engine.KeyState{
+			ks("A", "k", 0, "v"+string(rune('0'+i))),
+			ks("A", "other", 1, "x"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantImage, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+	if _, err := s.AppendVersion([]engine.KeyState{ks("A", "k", 0, "late")}); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+
+	re := open(t, dir, Options{})
+	got, err := re.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, wantImage) {
+		t.Fatalf("reopened image = %+v, want %+v", got, wantImage)
+	}
+	if v := re.Version(); v != 3 {
+		t.Fatalf("reopened version = %d, want 3", v)
+	}
+	v, err := re.AppendVersion([]engine.KeyState{ks("A", "k", 0, "v4")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 4 {
+		t.Fatalf("version after reopen append = %d, want 4", v)
+	}
+}
+
+// TestStorePointInTime verifies Lookup/Scan serve the image as of the
+// requested version, tagged with the snapshot version they resolved to.
+func TestStorePointInTime(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	versions := make([]uint64, 0, 3)
+	for _, val := range []string{"v1", "v2", "v3"} {
+		v, err := s.AppendVersion([]engine.KeyState{ks("A", "k", 0, val)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		versions = append(versions, v)
+	}
+	// Another key appears only at the last version.
+	if _, err := s.AppendVersion([]engine.KeyState{ks("A", "late", 1, "l")}); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, wantData := range []string{"v1", "v2", "v3"} {
+		res, found, err := s.Lookup("A", "k", versions[i])
+		if err != nil || !found {
+			t.Fatalf("Lookup@%d: found=%v err=%v", versions[i], found, err)
+		}
+		if res.Version != versions[i] || len(res.Records) != 1 || string(res.Records[0].Data) != wantData {
+			t.Fatalf("Lookup@%d = %+v, want %s", versions[i], res, wantData)
+		}
+	}
+	// Version 0 means latest; a future version clamps to latest.
+	for _, req := range []uint64{0, 99} {
+		res, found, err := s.Lookup("A", "k", req)
+		if err != nil || !found || string(res.Records[0].Data) != "v3" || res.Version != 4 {
+			t.Fatalf("Lookup@%d = %+v (found=%v err=%v), want v3@4", req, res, found, err)
+		}
+	}
+	// "late" did not exist at version 2.
+	if _, found, err := s.Lookup("A", "late", versions[1]); err != nil || found {
+		t.Fatalf("Lookup(late)@%d: found=%v err=%v, want absent", versions[1], found, err)
+	}
+	if res, found, err := s.Lookup("A", "late", 0); err != nil || !found || string(res.Records[0].Data) != "l" {
+		t.Fatalf("Lookup(late)@latest = %+v found=%v err=%v", res, found, err)
+	}
+	// Unknown key and operator.
+	if _, found, err := s.Lookup("A", "nope", 0); err != nil || found {
+		t.Fatalf("Lookup unknown key: found=%v err=%v", found, err)
+	}
+	if _, found, err := s.Lookup("Z", "k", 0); err != nil || found {
+		t.Fatalf("Lookup unknown op: found=%v err=%v", found, err)
+	}
+
+	scan, err := s.Scan("A", versions[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Keys != 1 || len(scan.Records) != 1 || string(scan.Records[0].Data) != "v3" {
+		t.Fatalf("Scan@%d = %+v, want only k=v3", versions[2], scan)
+	}
+	scan, err = s.Scan("A", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Keys != 2 || scan.Version != 4 {
+		t.Fatalf("Scan@latest = %+v, want both keys at version 4", scan)
+	}
+	if scan.Records[0].Key != "k" || scan.Records[1].Key != "late" {
+		t.Fatalf("Scan order = %+v, want sorted by key", scan.Records)
+	}
+	if ops := s.Ops(); len(ops) != 1 || ops[0] != "A" {
+		t.Fatalf("Ops = %v", ops)
+	}
+}
+
+// TestStoreRotation verifies size-based segment rotation: small
+// segments seal and the manifest names each of them.
+func TestStoreRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxSegmentBytes: 128})
+	for i := 0; i < 6; i++ {
+		if err := s.Append([]engine.KeyState{
+			ks("A", "key-"+string(rune('a'+i)), 0, strings.Repeat("x", 64)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("segments = %d after 6 oversized appends with a 128 B budget, want >= 3", st.Segments)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != st.Segments {
+		t.Fatalf("on-disk segments = %d, manifest says %d", len(names), st.Segments)
+	}
+}
+
+// TestStoreAgeRotation verifies age-based rotation on an injected
+// clock: a slow trickle still seals segments so compaction has input.
+func TestStoreAgeRotation(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := open(t, t.TempDir(), Options{
+		MaxSegmentAge: time.Minute,
+		Now:           func() time.Time { return now },
+	})
+	if err := s.Append([]engine.KeyState{ks("A", "k", 0, "v1")}); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	if err := s.Append([]engine.KeyState{ks("A", "k", 0, "v2")}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Segments != 2 {
+		t.Fatalf("segments = %d after age rotation, want 2", st.Segments)
+	}
+}
+
+// TestStoreCompactedVersionRejected verifies reads below the compaction
+// floor fail with ErrCompacted instead of silently serving newer state.
+func TestStoreCompactedVersionRejected(t *testing.T) {
+	s := open(t, t.TempDir(), Options{MaxSegmentBytes: 1})
+	for i := 0; i < 4; i++ {
+		if err := s.Append([]engine.KeyState{ks("A", "k", 0, "v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BaseVersion == 0 {
+		t.Fatalf("compaction stats = %+v, want a floor > 0", st)
+	}
+	if _, _, err := s.Lookup("A", "k", st.BaseVersion-1); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("Lookup below floor: err = %v, want ErrCompacted", err)
+	}
+	if _, err := s.Scan("A", st.BaseVersion-1); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("Scan below floor: err = %v, want ErrCompacted", err)
+	}
+	// The floor itself and latest still serve.
+	if _, found, err := s.Lookup("A", "k", st.BaseVersion); err != nil || !found {
+		t.Fatalf("Lookup at floor: found=%v err=%v", found, err)
+	}
+}
+
+// TestStoreTornTailTolerated verifies crash tolerance: a truncated
+// final record in the active segment is skipped on reopen, every
+// complete record before it still loads.
+func TestStoreTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Append([]engine.KeyState{ks("A", "k1", 0, "good")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]engine.KeyState{ks("A", "k2", 0, "gone")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record: chop a few bytes off the segment.
+	names, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil || len(names) != 1 {
+		t.Fatalf("segments = %v (%v)", names, err)
+	}
+	fi, err := os.Stat(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(names[0], fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	re := open(t, dir, Options{})
+	got, err := re.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Key != "k1" {
+		t.Fatalf("image after torn tail = %+v, want only the complete record", got)
+	}
+	if v := re.Version(); v != 1 {
+		t.Fatalf("version after torn tail = %d, want 1", v)
+	}
+}
+
+// TestStoreInteriorCorruptionRejected verifies a flipped byte inside a
+// complete record fails the reopen instead of silently dropping state.
+func TestStoreInteriorCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Append([]engine.KeyState{ks("A", "k1", 0, strings.Repeat("x", 100))}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]engine.KeyState{ks("A", "k2", 0, "tail")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	raw, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[20] ^= 0xff // inside the first record's body
+	if err := os.WriteFile(names[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a segment with interior corruption")
+	} else if !strings.Contains(err.Error(), "checksum") && !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corruption error = %v, want checksum/corrupt", err)
+	}
+}
+
+// TestStoreOrphanSegmentRemoved verifies a segment file the manifest
+// does not name (crash between segment create and manifest install) is
+// cleaned up on open.
+func TestStoreOrphanSegmentRemoved(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Append([]engine.KeyState{ks("A", "k", 0, "v")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, segmentName(999))
+	if err := os.WriteFile(orphan, []byte(segMagic), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re := open(t, dir, Options{})
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan segment survived reopen: %v", err)
+	}
+	if got, err := re.Load(); err != nil || len(got) != 1 {
+		t.Fatalf("image after orphan cleanup = %+v, %v", got, err)
+	}
+}
+
+// TestManifestRoundTrip pins the manifest codec.
+func TestManifestRoundTrip(t *testing.T) {
+	m := &manifest{
+		baseVersion: 7,
+		nextSegID:   12,
+		live: []segmentMeta{
+			{id: 9, kind: kindBase, records: 41, bytes: 4096, minVer: 1, maxVer: 7},
+			{id: 10, kind: kindDelta, records: 3, bytes: 210, minVer: 8, maxVer: 9},
+		},
+		retired: []uint64{3, 5},
+	}
+	got, err := decodeManifest(encodeManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("manifest round-trip = %+v, want %+v", got, m)
+	}
+	// A flipped byte must fail the checksum.
+	raw := encodeManifest(m)
+	raw[6] ^= 0x01
+	if _, err := decodeManifest(raw); err == nil {
+		t.Fatal("decodeManifest accepted a corrupt manifest")
+	}
+}

@@ -28,6 +28,7 @@ type options struct {
 	chargeSource   bool
 	keySplitting   bool
 	splitThreshold float64
+	stateDir       string
 }
 
 func defaultOptions() options {
@@ -172,6 +173,18 @@ func WithOptimizer(alpha float64, maxEdges int, seed int64) Option {
 		o.optimizer.MaxEdges = maxEdges
 		o.optimizer.Seed = seed
 	})
+}
+
+// WithStateStore attaches a tiered queryable checkpoint store rooted at
+// dir: checkpoints land in append-only segment files under a versioned
+// manifest, background compaction folds history into a base image, and
+// the state becomes readable — point in time — through App.QueryState /
+// App.ScanState and, with an autopilot, GET /state/{op}[/{key}]. A
+// FaultTolerance created without an explicit Store or Dir checkpoints
+// into this store automatically. The App owns the store and closes it
+// on Stop.
+func WithStateStore(dir string) Option {
+	return optionFunc(func(o *options) { o.stateDir = dir })
 }
 
 // WithConfigStore persists every routing configuration before deployment

@@ -1,0 +1,125 @@
+package locastream
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/locastream/locastream/internal/control"
+	"github.com/locastream/locastream/internal/metrics"
+	"github.com/locastream/locastream/internal/statestore"
+)
+
+// StateRecord is one checkpointed key state served by the queryable
+// state store, stamped with the checkpoint version that last wrote it.
+type StateRecord = statestore.Record
+
+// StateKeyResult is one point-in-time key lookup.
+type StateKeyResult = statestore.KeyResult
+
+// StateScanResult is one point-in-time operator scan.
+type StateScanResult = statestore.ScanResult
+
+// StateStoreStats are the queryable state store's measurements.
+type StateStoreStats = metrics.StoreStats
+
+// ErrStateCompacted is returned by the query methods when the requested
+// version predates the store's compaction floor — its history was
+// folded into the base image and can no longer be reconstructed.
+var ErrStateCompacted = statestore.ErrCompacted
+
+// errNoStateStore is returned by the query methods when the App was
+// built without WithStateStore.
+var errNoStateStore = errors.New("locastream: no state store attached (use WithStateStore)")
+
+// QueryState serves one key's checkpointed state as of version
+// (0 = latest), snapshot-consistent against the checkpoint version the
+// read resolves to. found is false when the key had no checkpointed
+// state at that version. Requires WithStateStore.
+func (a *App) QueryState(op, key string, version uint64) (StateKeyResult, bool, error) {
+	if a.stateStore == nil {
+		return StateKeyResult{}, false, errNoStateStore
+	}
+	return a.stateStore.Lookup(op, key, version)
+}
+
+// ScanState serves one operator's full checkpointed state as of version
+// (0 = latest), sorted by key then instance. Requires WithStateStore.
+func (a *App) ScanState(op string, version uint64) (StateScanResult, error) {
+	if a.stateStore == nil {
+		return StateScanResult{}, errNoStateStore
+	}
+	return a.stateStore.Scan(op, version)
+}
+
+// StateOps lists the operators with checkpointed state, sorted.
+// Requires WithStateStore.
+func (a *App) StateOps() ([]string, error) {
+	if a.stateStore == nil {
+		return nil, errNoStateStore
+	}
+	return a.stateStore.Ops(), nil
+}
+
+// StateVersion returns the latest checkpoint version the state store
+// stamped (0 before the first checkpoint). Requires WithStateStore.
+func (a *App) StateVersion() (uint64, error) {
+	if a.stateStore == nil {
+		return 0, errNoStateStore
+	}
+	return a.stateStore.Version(), nil
+}
+
+// StateStoreStats returns the state store's measurements: segment and
+// version gauges, append/compaction/replay counters, lookup latencies.
+// Requires WithStateStore.
+func (a *App) StateStoreStats() (StateStoreStats, error) {
+	if a.stateStore == nil {
+		return StateStoreStats{}, errNoStateStore
+	}
+	return a.stateStore.Stats(), nil
+}
+
+// CompactState seals the active segment and folds every durable
+// snapshot into a fresh base image immediately (compaction otherwise
+// runs in the background as checkpoints accumulate). Requires
+// WithStateStore.
+func (a *App) CompactState() error {
+	if a.stateStore == nil {
+		return errNoStateStore
+	}
+	if err := a.stateStore.Seal(); err != nil {
+		return err
+	}
+	_, err := a.stateStore.Compact()
+	return err
+}
+
+// stateReader adapts the store to the control plane's any-typed
+// StateReader interface (the /state endpoints), translating the store's
+// compaction-floor error to the one the handler maps to 410 Gone.
+type stateReader struct{ s *statestore.Store }
+
+func (r stateReader) LookupState(op, key string, version uint64) (any, bool, error) {
+	res, found, err := r.s.Lookup(op, key, version)
+	if err != nil {
+		return nil, false, stateReadErr(err)
+	}
+	return res, found, nil
+}
+
+func (r stateReader) ScanState(op string, version uint64) (any, error) {
+	res, err := r.s.Scan(op, version)
+	if err != nil {
+		return nil, stateReadErr(err)
+	}
+	return res, nil
+}
+
+func (r stateReader) StateOps() []string { return r.s.Ops() }
+
+func stateReadErr(err error) error {
+	if errors.Is(err, statestore.ErrCompacted) {
+		return fmt.Errorf("%w: %v", control.ErrStateCompacted, err)
+	}
+	return err
+}

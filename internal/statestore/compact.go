@@ -1,6 +1,7 @@
 package statestore
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -48,11 +49,21 @@ func (s *Store) MaybeCompact() bool {
 		return false
 	}
 	s.compactPend = true
-	s.mu.Unlock()
+	// Register with the WaitGroup inside the critical section that saw
+	// closed == false: Close sets closed under mu before it Waits, so
+	// either this Add happens first and Close waits the run out, or
+	// Close wins and the closed check above refuses the run. Adding
+	// after unlock would let a compaction start behind Close's Wait.
 	s.compactWG.Add(1)
+	s.mu.Unlock()
 	go func() {
 		defer s.compactWG.Done()
 		_, err := s.Compact()
+		if errors.Is(err, errClosed) {
+			// Close raced ahead after this run was queued; the run did
+			// nothing and there is no failure to report.
+			err = nil
+		}
 		s.mu.Lock()
 		s.compactPend = false
 		s.compactErr = err
@@ -88,7 +99,7 @@ func (s *Store) Compact() (CompactStats, error) {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return CompactStats{}, fmt.Errorf("statestore: store %s is closed", s.dir)
+		return CompactStats{}, fmt.Errorf("%w: %s", errClosed, s.dir)
 	}
 	activeID, hasActive := s.activeID()
 	var (

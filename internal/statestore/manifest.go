@@ -174,11 +174,22 @@ func writeManifest(dir string, m *manifest) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("statestore: install manifest: %w", err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
+	_ = syncDir(dir) // best effort: the rename itself already succeeded
 	return nil
+}
+
+// syncDir fsyncs a directory so freshly created or renamed entries in
+// it survive a power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // readManifest loads dir's manifest; a missing file yields an empty

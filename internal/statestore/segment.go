@@ -27,6 +27,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"github.com/locastream/locastream/internal/engine"
 )
@@ -60,9 +61,9 @@ const (
 	// It matches the JSONL store's 16 MiB line cap.
 	maxRecordBytes = 16 << 20
 
-	// maxIntField bounds instance numbers and replica-set sizes decoded
-	// from disk.
-	maxIntField = 1 << 31
+	// maxIntField bounds instance numbers and replica values decoded
+	// from disk so int(u) stays non-negative even where int is 32 bits.
+	maxIntField = 1<<31 - 1
 )
 
 var (
@@ -273,9 +274,25 @@ func createSegment(path string, id uint64, sync bool) (*segmentWriter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("statestore: create segment: %w", err)
 	}
-	if _, err := f.Write([]byte(segMagic)); err != nil {
+	fail := func(what string, err error) (*segmentWriter, error) {
 		f.Close()
-		return nil, fmt.Errorf("statestore: write segment header: %w", err)
+		os.Remove(path)
+		return nil, fmt.Errorf("statestore: %s: %w", what, err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		return fail("write segment header", err)
+	}
+	if sync {
+		// The header and the directory entry must be durable before the
+		// manifest names this segment: after a power loss the fsynced
+		// manifest must never point at a missing file or a torn header,
+		// either of which would make the store unopenable.
+		if err := f.Sync(); err != nil {
+			return fail("sync segment header", err)
+		}
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			return fail("sync segment directory", err)
+		}
 	}
 	return &segmentWriter{id: id, f: f, bytes: uint64(len(segMagic)), sync: sync}, nil
 }

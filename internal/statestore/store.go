@@ -20,6 +20,11 @@ import (
 // can no longer be told apart from it.
 var ErrCompacted = errors.New("statestore: version predates the compaction floor")
 
+// errClosed marks mutations attempted after Close. A background
+// compaction that loses the race against Close aborts with it and the
+// trigger does not report that as a failure.
+var errClosed = errors.New("statestore: store is closed")
+
 // Options tune the store. The zero value is production-usable.
 type Options struct {
 	// MaxSegmentBytes rotates the active segment once it grows past
@@ -142,7 +147,9 @@ type Store struct {
 	man     manifest
 	idx     map[string]map[string]*keyHistory // op -> key -> chain
 	version uint64
-	closed  bool
+	// closed is written with BOTH fileMu and mu held, so holders of
+	// either lock read it race-free.
+	closed bool
 
 	compactMu   sync.Mutex // serializes whole compaction runs
 	compactWG   sync.WaitGroup
@@ -360,7 +367,7 @@ func (s *Store) AppendVersion(recs []engine.KeyState) (uint64, error) {
 	s.fileMu.Lock()
 	defer s.fileMu.Unlock()
 	if s.closed {
-		return 0, fmt.Errorf("statestore: store %s is closed", s.dir)
+		return 0, fmt.Errorf("%w: %s", errClosed, s.dir)
 	}
 	if len(recs) == 0 {
 		return s.Version(), nil
@@ -404,16 +411,35 @@ func (s *Store) rotateIfDueLocked() error {
 	s.mu.Lock()
 	id := s.man.nextSegID
 	s.man.nextSegID++
+	s.mu.Unlock()
+	// Create (and sync) the segment file before the manifest names it: a
+	// crash or a transient create failure in between leaves at worst an
+	// orphan file, which Open's removeOrphans cleans up. The reverse
+	// order could durably catalog a segment with no backing file, and
+	// the store would never reopen. Records cannot be stranded in the
+	// uncatalogued file either — they only land once this returns, after
+	// the manifest install below. A burned id on failure is harmless.
+	w, err := createSegment(filepath.Join(s.dir, segmentName(id)), id, !s.opts.NoSync)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
 	s.man.live = append(s.man.live, segmentMeta{id: id, kind: kindDelta})
 	man := s.man
 	s.mu.Unlock()
-	// The manifest names the segment before any record lands in it, so
-	// a crash can never strand durable records in an uncatalogued file.
 	if err := writeManifest(s.dir, &man); err != nil {
-		return err
-	}
-	w, err := createSegment(filepath.Join(s.dir, segmentName(id)), id, !s.opts.NoSync)
-	if err != nil {
+		// Roll the catalog entry back so a later manifest write (Close,
+		// compaction) cannot name the file we are about to remove.
+		w.close()
+		os.Remove(filepath.Join(s.dir, segmentName(id)))
+		s.mu.Lock()
+		for i := len(s.man.live) - 1; i >= 0; i-- {
+			if s.man.live[i].id == id {
+				s.man.live = append(s.man.live[:i], s.man.live[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
 		return err
 	}
 	s.w, s.wOpened = w, now
@@ -605,16 +631,28 @@ func (s *Store) CompactionError() error {
 	return s.compactErr
 }
 
-// Close seals the active segment, waits for a running compaction and
-// writes the final manifest. Idempotent.
+// Close marks the store closed (no new appends or compactions), waits
+// for a running compaction, seals the active segment and writes the
+// final manifest. Idempotent.
 func (s *Store) Close() error {
-	s.compactWG.Wait()
+	// Set closed under both locks BEFORE waiting: MaybeCompact claims
+	// compactPend and registers with compactWG under mu, so once closed
+	// is visible no new compaction can slip in after the Wait below and
+	// write a manifest behind the final one.
 	s.fileMu.Lock()
-	defer s.fileMu.Unlock()
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
+		s.fileMu.Unlock()
 		return nil
 	}
 	s.closed = true
+	s.mu.Unlock()
+	s.fileMu.Unlock()
+	// Released so an in-flight compaction can finish its install.
+	s.compactWG.Wait()
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
 	err := s.sealActiveLocked()
 	s.mu.RLock()
 	man := s.man

@@ -37,9 +37,19 @@ type App struct {
 	keySplitting   bool
 	splitThreshold float64
 
+	// autoMin/autoMax bound the elastic membership (0/0 without
+	// WithAutoscale); planSeed fixes the rescale planner's tie-breaking.
+	autoMin, autoMax int
+	planSeed         int64
+
 	stateStore *statestore.Store // non-nil with WithStateStore; closed on Stop
 
 	reconfigMu sync.Mutex
+
+	// faultTol is the attached fault-tolerance subsystem, if any; ScaleTo
+	// drains keyed state through it before a scale-down.
+	ftMu     sync.Mutex
+	faultTol *FaultTolerance
 
 	stopTicker chan struct{}
 	tickerDone chan struct{}
@@ -55,9 +65,34 @@ func NewApp(topo *Topology, opts ...Option) (*App, error) {
 		return nil, fmt.Errorf("locastream: nil topology")
 	}
 
+	// WithAutoscale lays the placement out at max capacity and parks the
+	// servers beyond the initial width; ScaleTo flips them in and out.
+	initialActive := 0
+	if o.autoscaleMax > 0 {
+		if o.autoscaleMin < 1 || o.autoscaleMax < o.autoscaleMin {
+			return nil, fmt.Errorf("locastream: invalid autoscale range [%d, %d]",
+				o.autoscaleMin, o.autoscaleMax)
+		}
+		initialActive = o.servers
+		if initialActive < o.autoscaleMin {
+			initialActive = o.autoscaleMin
+		}
+		if initialActive > o.autoscaleMax {
+			initialActive = o.autoscaleMax
+		}
+		o.servers = o.autoscaleMax
+	}
+
 	place, err := buildPlacement(topo, o)
 	if err != nil {
 		return nil, err
+	}
+	var activeMask []bool
+	if initialActive > 0 && initialActive < o.servers {
+		activeMask = make([]bool, o.servers)
+		for s := 0; s < initialActive; s++ {
+			activeMask[s] = true
+		}
 	}
 	mode := fieldsMode(o)
 	policies, err := engine.NewPolicies(topo, place, mode)
@@ -80,6 +115,7 @@ func NewApp(topo *Topology, opts ...Option) (*App, error) {
 		MaxBuffered:    o.maxBuffered,
 		TCPTransport:   o.tcpTransport,
 		KeySplitting:   o.keySplitting,
+		ActiveServers:  activeMask,
 	})
 	if err != nil {
 		return nil, err
@@ -91,6 +127,15 @@ func NewApp(topo *Topology, opts ...Option) (*App, error) {
 	if err != nil {
 		live.Stop()
 		return nil, err
+	}
+	if activeMask != nil {
+		// The optimizer must partition over the initial membership, not
+		// the full capacity, or it would assign keys to parked servers.
+		activeList := make([]int, initialActive)
+		for s := range activeList {
+			activeList[s] = s
+		}
+		mgr.SetActiveServers(activeList)
 	}
 	var stateStore *statestore.Store
 	if o.stateDir != "" {
@@ -104,6 +149,8 @@ func NewApp(topo *Topology, opts ...Option) (*App, error) {
 	app := &App{
 		topo: topo, place: place, live: live, mgr: mgr,
 		keySplitting: o.keySplitting, splitThreshold: o.splitThreshold,
+		autoMin: o.autoscaleMin, autoMax: o.autoscaleMax,
+		planSeed:   o.optimizer.Seed,
 		stateStore: stateStore,
 	}
 	if o.reconfigEvery > 0 {
@@ -213,8 +260,13 @@ func (a *App) ProcessorState(op string, inst int, fn func(Processor)) error {
 	return a.live.ProcessorState(op, inst, func(p topology.Processor) { fn(p) })
 }
 
-// Servers returns the number of servers the application is deployed on.
+// Servers returns the number of servers the application is deployed on
+// — with WithAutoscale, the max capacity the placement was built for.
 func (a *App) Servers() int { return a.place.Servers() }
+
+// ActiveServers returns the current elastic membership width (equal to
+// Servers without WithAutoscale).
+func (a *App) ActiveServers() int { return a.live.ActiveServers() }
 
 // Stop drains the stream, cancels auto-reconfiguration, terminates
 // every executor and closes the state store when WithStateStore opened

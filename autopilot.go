@@ -8,6 +8,7 @@ import (
 	"github.com/locastream/locastream/internal/control"
 	"github.com/locastream/locastream/internal/core"
 	"github.com/locastream/locastream/internal/routing"
+	"github.com/locastream/locastream/internal/scale"
 )
 
 // Decision is one autopilot journal entry: what the controller did on
@@ -28,6 +29,8 @@ const (
 	// WithKeySplitting).
 	Promoted = control.ActionPromoted
 	Demoted  = control.ActionDemoted
+	// Scaled records an elastic-scaling operation (see WithAutoscale).
+	Scaled = control.ActionScaled
 )
 
 // AutopilotStatus is the autopilot's public state.
@@ -68,6 +71,22 @@ type AutopilotOptions struct {
 	// SkipRecovery disables re-deploying the last persisted
 	// configuration at startup.
 	SkipRecovery bool
+
+	// ScaleTargetLoad activates the elastic scaler on an App built with
+	// WithAutoscale: the desired width is the window's fields-grouped
+	// transfer count divided by this per-server target, clamped into
+	// the autoscale range (0 keeps the scaler off; App.ScaleTo still
+	// works manually).
+	ScaleTargetLoad uint64
+	// ScaleConfirm requires this many consecutive windows agreeing on a
+	// direction before scaling (default 2); ScaleCooldown skips this
+	// many ticks after each scale operation (default 1).
+	ScaleConfirm  int
+	ScaleCooldown int
+	// ScaleMaxMoves caps the voluntary key moves of one scale-up's
+	// rebalance (0 = unbounded; forced moves off leaving servers are
+	// never capped).
+	ScaleMaxMoves int
 }
 
 // Autopilot is the application's autonomous control plane: a periodic
@@ -126,6 +145,22 @@ func (a *App) NewAutopilot(opts AutopilotOptions) (*Autopilot, error) {
 	}
 	if a.stateStore != nil {
 		ctl.SetStateReader(stateReader{s: a.stateStore})
+	}
+	if a.autoMax > 0 && opts.ScaleTargetLoad > 0 {
+		err := ctl.AttachScaleEngine(scaleAdapter{app: a, maxMoves: opts.ScaleMaxMoves}, scale.Options{
+			Min:        a.autoMin,
+			Max:        a.autoMax,
+			TargetLoad: opts.ScaleTargetLoad,
+			Confirm:    opts.ScaleConfirm,
+			Cooldown:   opts.ScaleCooldown,
+			MaxMoves:   opts.ScaleMaxMoves,
+		})
+		if err != nil {
+			if sink != nil {
+				_ = sink.Close()
+			}
+			return nil, fmt.Errorf("locastream: attach elastic scaler: %w", err)
+		}
 	}
 	return &Autopilot{ctl: ctl, sink: sink}, nil
 }

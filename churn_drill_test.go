@@ -1,0 +1,226 @@
+package locastream
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestChurnDrill is the acceptance drill for elastic autoscaling: one
+// application rides a full load cycle — sustained heavy traffic widens
+// the cluster 4 -> 8, sustained light traffic shrinks it 8 -> 3 — with
+// the autopilot alone deciding both moves from the measured window
+// traffic. Deterministic (manual ticks, seeded optimizer, no sleeps).
+// The drill must lose nothing, keep every per-key count exact, respect
+// the planner's movement bound, journal both scale decisions durably,
+// and end with window locality within 5 points of an application
+// partitioned from scratch at the final width.
+func TestChurnDrill(t *testing.T) {
+	const (
+		parallelism = 8
+		keys        = 16
+		heavy       = 1600 // tuples per heavy window: demands the max width
+		light       = 200  // tuples per light window: demands the min width
+	)
+	dir := t.TempDir()
+	journalPath := filepath.Join(dir, "journal.jsonl")
+
+	app, err := NewApp(scaleTopo(t, parallelism),
+		WithAutoscale(3, 8), WithServers(4),
+		WithOptimizer(0, 0, 7),
+		WithMaxInFlight(4096),
+		WithMaxBuffered(4096), // bounded buffering: overflow would surface as loss
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+	if app.Servers() != 8 || app.ActiveServers() != 4 {
+		t.Fatalf("capacity %d active %d, want 8 and 4", app.Servers(), app.ActiveServers())
+	}
+	// ScaleTargetLoad 205 sizes one server for ~205 fields transfers per
+	// window: the heavy window demands the max width and the light window
+	// the min, whether or not the source hop is billed.
+	ap, err := app.NewAutopilot(AutopilotOptions{
+		CostPerKey:      1,
+		JournalPath:     journalPath,
+		ScaleTargetLoad: 205,
+		ScaleConfirm:    2,
+		ScaleCooldown:   1,
+		ScaleMaxMoves:   64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ap.Stop()
+	// Scale-downs drain keyed state through this subsystem's checkpoint.
+	ft, err := app.NewFaultTolerance(FaultToleranceOptions{Store: NewMemoryCheckpointStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ft.Stop()
+
+	want := make(map[string]uint64)
+	window := func(tuples int) {
+		for i := 0; i < tuples; i++ {
+			k := "k" + strconv.Itoa(i%keys)
+			want[k]++
+			if err := app.Inject(Tuple{Values: []string{k, k}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		app.Drain()
+	}
+
+	// Heavy phase: window 1 starts the confirmation streak, window 2
+	// fires the scale-up.
+	window(heavy)
+	ap.Tick()
+	if app.ActiveServers() != 4 {
+		t.Fatalf("scaled after one heavy window: active %d", app.ActiveServers())
+	}
+	window(heavy)
+	ap.Tick()
+	if app.ActiveServers() != 8 {
+		t.Fatalf("active %d after sustained heavy traffic, want 8", app.ActiveServers())
+	}
+	upResult := *ap.Status().Scale.LastResult
+	if upResult.From != 4 || upResult.To != 8 {
+		t.Fatalf("scale-up result = %+v", upResult)
+	}
+	if upResult.MovedKeys > upResult.MoveBound {
+		t.Fatalf("scale-up moved %d keys, bound %d", upResult.MovedKeys, upResult.MoveBound)
+	}
+	// Two more heavy windows: cooldown passes, the optimizer spreads the
+	// keys over the widened cluster, width holds steady at 8.
+	for i := 0; i < 2; i++ {
+		window(heavy)
+		ap.Tick()
+	}
+	if app.ActiveServers() != 8 {
+		t.Fatalf("width did not hold at 8: active %d", app.ActiveServers())
+	}
+
+	// Light phase: two light windows confirm the shrink, the third fires
+	// nothing more (cooldown, then steady state).
+	window(light)
+	ap.Tick()
+	window(light)
+	ap.Tick()
+	if app.ActiveServers() != 3 {
+		t.Fatalf("active %d after sustained light traffic, want 3", app.ActiveServers())
+	}
+	downResult := *ap.Status().Scale.LastResult
+	if downResult.From != 8 || downResult.To != 3 {
+		t.Fatalf("scale-down result = %+v", downResult)
+	}
+	if downResult.MovedKeys > downResult.MoveBound {
+		t.Fatalf("scale-down moved %d keys, bound %d", downResult.MovedKeys, downResult.MoveBound)
+	}
+	if ft.Status().Fault.Checkpoints == 0 {
+		t.Fatal("scale-down skipped the drain checkpoint")
+	}
+	// Cooldown window, then one steady window letting the optimizer
+	// settle on the narrowed cluster.
+	window(light)
+	ap.Tick()
+	window(light)
+	ap.Tick()
+	if app.ActiveServers() != 3 {
+		t.Fatalf("width did not hold at 3: active %d", app.ActiveServers())
+	}
+
+	// Measured window at the final width.
+	tb := app.FieldsTraffic()
+	window(light)
+	ta := app.FieldsTraffic()
+	drillLocality := float64(ta.LocalTuples-tb.LocalTuples) / float64(ta.Total()-tb.Total())
+
+	// Zero loss and exact per-key counts through both migrations.
+	if lost := app.TuplesLost(); lost != 0 {
+		t.Fatalf("lost %d tuples across the churn", lost)
+	}
+	for _, op := range []string{"A", "B"} {
+		for k, n := range want {
+			total, _ := countKey(t, app, op, parallelism, k)
+			if total != n {
+				t.Fatalf("%s[%s] counted %d, injected %d", op, k, total, n)
+			}
+		}
+	}
+
+	// The journal is durable: close the sink and re-read the JSONL file —
+	// both scale decisions must be recoverable with their signals.
+	if err := ap.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var scaled []Decision
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var d Decision
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("corrupt journal line: %v", err)
+		}
+		if d.Action == Scaled {
+			scaled = append(scaled, d)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(scaled) != 2 {
+		t.Fatalf("journal holds %d scaled decisions, want 2", len(scaled))
+	}
+	for i, d := range scaled {
+		if d.Signals.WindowTraffic == 0 || d.Reason == "" || d.KeysToMigrate > downResult.MoveBound+upResult.MoveBound {
+			t.Fatalf("scaled decision %d lacks signals: %+v", i, d)
+		}
+	}
+
+	// A from-scratch partition at the final width is the quality bar:
+	// the churned application's window locality must be within 5 points.
+	fresh, err := NewApp(scaleTopo(t, parallelism),
+		WithServers(3), WithOptimizer(0, 0, 7), WithMaxInFlight(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Stop()
+	for i := 0; i < 2; i++ {
+		for j := 0; j < light; j++ {
+			k := "k" + strconv.Itoa(j%keys)
+			if err := fresh.Inject(Tuple{Values: []string{k, k}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fresh.Drain()
+		if _, err := fresh.Reconfigure(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fb := fresh.FieldsTraffic()
+	for j := 0; j < light; j++ {
+		k := "k" + strconv.Itoa(j%keys)
+		if err := fresh.Inject(Tuple{Values: []string{k, k}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh.Drain()
+	fa := fresh.FieldsTraffic()
+	freshLocality := float64(fa.LocalTuples-fb.LocalTuples) / float64(fa.Total()-fb.Total())
+
+	t.Logf("window locality: churned=%.3f fresh=%.3f; scale-up moved %d/%d, scale-down moved %d/%d",
+		drillLocality, freshLocality,
+		upResult.MovedKeys, upResult.MoveBound, downResult.MovedKeys, downResult.MoveBound)
+	if drillLocality < freshLocality-0.05 {
+		t.Fatalf("churned locality %.3f fell more than 5 points below from-scratch %.3f",
+			drillLocality, freshLocality)
+	}
+}

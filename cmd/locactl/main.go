@@ -15,8 +15,16 @@
 //	locactl -confirm 2 -cooldown 1 -flip 4 -journal decisions.jsonl
 //	locactl -serve :8080 -rounds 100
 //
+// The scale verb instead drives a load surge-and-ebb through an elastic
+// application: the autopilot's scaler widens the cluster for the surge
+// and shrinks it back when traffic ebbs, printing each membership
+// change as it happens.
+//
+//	locactl scale -min 3 -max 8 -servers 4 -surge 3 -rounds 10
+//	locactl scale -target 2600 -journal decisions.jsonl
+//
 // With -serve the introspection API (/status, /snapshots, /journal,
-// /tables) is exposed over HTTP for the duration of the run.
+// /tables, /scale) is exposed over HTTP for the duration of the run.
 package main
 
 import (
@@ -38,6 +46,9 @@ func main() {
 }
 
 func run() error {
+	if len(os.Args) > 1 && os.Args[1] == "scale" {
+		return runScale(os.Args[2:])
+	}
 	var (
 		servers  = flag.Int("servers", 6, "cluster size (= parallelism of both operators)")
 		rounds   = flag.Int("rounds", 8, "statistics windows to run")
@@ -130,5 +141,116 @@ func run() error {
 	fmt.Printf("\n%d windows: %d deployed, %d skipped, %d in cooldown, %d errors; final locality %.3f (cumulative %.3f)\n",
 		st.Ticks, st.Deploys, st.Skips, st.Cooldowns, st.Errors,
 		st.SmoothedLocality, app.Locality())
+	return nil
+}
+
+// runScale is the scale verb: a surge of heavy windows followed by an
+// ebb of light ones, with the elastic scaler alone resizing the cluster.
+func runScale(args []string) error {
+	fs := flag.NewFlagSet("locactl scale", flag.ExitOnError)
+	var (
+		min      = fs.Int("min", 3, "minimum active servers")
+		max      = fs.Int("max", 8, "maximum active servers (= parallelism of both operators)")
+		servers  = fs.Int("servers", 4, "initial active servers")
+		rounds   = fs.Int("rounds", 10, "statistics windows to run")
+		surge    = fs.Int("surge", 3, "heavy windows at the start of the run")
+		heavy    = fs.Int("heavy", 20000, "tuples per heavy (surge) window")
+		light    = fs.Int("light", 2000, "tuples per light (ebb) window")
+		target   = fs.Uint64("target", 2600, "fields transfers per window one server is sized for")
+		confirm  = fs.Int("confirm", 2, "consecutive agreeing windows required to scale")
+		cooldown = fs.Int("cooldown", 1, "windows to skip after each scale operation")
+		maxMoves = fs.Int("maxmoves", 0, "voluntary key moves allowed per scale-up (0 = unbounded)")
+		locality = fs.Float64("locality", 1, "probability that a tuple's two keys are correlated")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		journal  = fs.String("journal", "", "append decisions to this JSONL file")
+		serve    = fs.String("serve", "", "serve the introspection API on this address during the run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	topo, err := locastream.NewTopology("elastic").
+		AddOperator(locastream.Operator{Name: "A", Parallelism: *max, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(0) }}).
+		AddOperator(locastream.Operator{Name: "B", Parallelism: *max, Stateful: true,
+			New: func() locastream.Processor { return locastream.NewCounter(1) }}).
+		Connect("A", "B", locastream.Fields, 1).
+		Build()
+	if err != nil {
+		return err
+	}
+	app, err := locastream.NewApp(topo,
+		locastream.WithAutoscale(*min, *max),
+		locastream.WithServers(*servers),
+		locastream.WithMaxInFlight(8192),
+	)
+	if err != nil {
+		return err
+	}
+	defer app.Stop()
+	ap, err := app.NewAutopilot(locastream.AutopilotOptions{
+		CostPerKey:      1,
+		JournalPath:     *journal,
+		ScaleTargetLoad: *target,
+		ScaleConfirm:    *confirm,
+		ScaleCooldown:   *cooldown,
+		ScaleMaxMoves:   *maxMoves,
+	})
+	if err != nil {
+		return err
+	}
+	defer ap.Stop()
+	// Scale-downs drain keyed state through the checkpoint subsystem.
+	ft, err := app.NewFaultTolerance(locastream.FaultToleranceOptions{
+		Store: locastream.NewMemoryCheckpointStore(),
+	})
+	if err != nil {
+		return err
+	}
+	defer ft.Stop()
+
+	if *serve != "" {
+		srv := &http.Server{Addr: *serve, Handler: ap.Handler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "locactl: serve:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("introspection API on http://%s\n", *serve)
+	}
+
+	gen := workload.NewSynthetic(*max, *locality, 0, *seed)
+	for round := 1; round <= *rounds; round++ {
+		tuples, phase := *light, "ebb"
+		if round <= *surge {
+			tuples, phase = *heavy, "surge"
+		}
+		before := app.ActiveServers()
+		for i := 0; i < tuples; i++ {
+			if err := app.Inject(gen.Next()); err != nil {
+				return err
+			}
+		}
+		app.Drain()
+		d := ap.Tick()
+		width := app.ActiveServers()
+		arrow := " "
+		if width != before {
+			arrow = fmt.Sprintf("  %d -> %d servers", before, width)
+		}
+		fmt.Printf("round %2d  %-5s %6d tuples  width %d  %-9s %s%s\n",
+			round, phase, tuples, width, d.Action, d.Reason, arrow)
+	}
+
+	st := ap.Status()
+	if st.Scale != nil {
+		fmt.Printf("\n%d scale operations; final width %d/%d; %d tuples lost\n",
+			st.Scale.Scales, st.Scale.Active, st.Scale.Capacity, app.TuplesLost())
+		if last := st.Scale.LastResult; last != nil {
+			fmt.Printf("last: %d -> %d servers, moved %d keys (bound %d), v%d\n",
+				last.From, last.To, last.MovedKeys, last.MoveBound, last.Version)
+		}
+	}
 	return nil
 }

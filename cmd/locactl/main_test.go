@@ -55,3 +55,27 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunScaleEndToEnd drives the scale verb in-process: the surge must
+// widen the cluster to max and the ebb shrink it to min, with both
+// decisions journaled.
+func TestRunScaleEndToEnd(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "decisions.jsonl")
+	err := runScale([]string{
+		"-min", "1", "-max", "4", "-servers", "2",
+		"-rounds", "7", "-surge", "2",
+		"-heavy", "4000", "-light", "250", "-target", "600",
+		"-confirm", "2", "-cooldown", "1",
+		"-journal", journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), `"action":"scaled"`); got != 2 {
+		t.Fatalf("journal records %d scale decisions, want 2:\n%s", got, data)
+	}
+}

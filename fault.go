@@ -142,6 +142,11 @@ func (a *App) NewFaultTolerance(opts FaultToleranceOptions) (*FaultTolerance, er
 	if opts.Autopilot != nil {
 		opts.Autopilot.ctl.SetFaultInfo(func() interface{} { return sup.Status() })
 	}
+	// ScaleTo drains keyed state through this subsystem before a
+	// scale-down (last one attached wins).
+	a.ftMu.Lock()
+	a.faultTol = ft
+	a.ftMu.Unlock()
 	return ft, nil
 }
 

@@ -6,9 +6,8 @@ import (
 
 	"github.com/locastream/locastream/internal/cluster"
 	"github.com/locastream/locastream/internal/engine"
-	"github.com/locastream/locastream/internal/keygraph"
-	"github.com/locastream/locastream/internal/partition"
 	"github.com/locastream/locastream/internal/routing"
+	"github.com/locastream/locastream/internal/scale"
 )
 
 // RepairInput is everything the planner needs to compute a
@@ -17,7 +16,8 @@ import (
 type RepairInput struct {
 	// Place is the static instance placement.
 	Place *cluster.Placement
-	// Alive is the per-server liveness vector after the failure.
+	// Alive is the per-server usability vector after the failure
+	// (alive AND inside the elastic membership — engine.UsableServers).
 	Alive []bool
 	// Tables are the currently deployed routing tables (per operator).
 	Tables map[string]*routing.Table
@@ -58,7 +58,7 @@ type RepairInput struct {
 
 // DefaultRepairAlpha is the default balance bound of the repair
 // partitioning (see RepairInput.Alpha).
-const DefaultRepairAlpha = 1.5
+const DefaultRepairAlpha = scale.DefaultAlpha
 
 // RepairPlan is the computed recovery: new routing tables covering every
 // reassigned key, the buffers to arm, and the state records to restore.
@@ -86,13 +86,16 @@ type RepairPlan struct {
 	MergedPartials int
 }
 
-// PlanRepair computes where the dead servers' keys go. Survivor keys are
-// pinned to their current servers and the retained key graph is
+// PlanRepair computes where the dead servers' keys go. It is the
+// degenerate case of elastic rescaling — remove servers, add none — and
+// delegates the movement planning to scale.PlanRescale: survivor keys
+// are pinned to their current servers and the retained key graph is
 // re-partitioned under that constraint, so orphaned keys land next to
 // the keys they exchange tuples with — locality is preserved — while
 // keys owned by survivors never move (minimal movement). Orphaned keys
 // absent from the graph (no statistics) spread deterministically by
-// hash over the survivors.
+// hash over the survivors. What remains here is the checkpoint layering:
+// which buffers to arm and which saved records restore or merge where.
 func PlanRepair(in RepairInput) (*RepairPlan, error) {
 	if in.Place == nil {
 		return nil, fmt.Errorf("checkpoint: repair needs a placement")
@@ -101,277 +104,114 @@ func PlanRepair(in RepairInput) (*RepairPlan, error) {
 		return nil, fmt.Errorf("checkpoint: %d liveness entries for %d servers",
 			len(in.Alive), in.Place.Servers())
 	}
-	var survivors, dead []int
-	for s, ok := range in.Alive {
-		if ok {
-			survivors = append(survivors, s)
-		} else {
-			dead = append(dead, s)
-		}
+	anyAlive := false
+	for _, ok := range in.Alive {
+		anyAlive = anyAlive || ok
 	}
-	if len(survivors) == 0 {
+	if !anyAlive {
 		return nil, fmt.Errorf("checkpoint: no surviving servers")
-	}
-	partOf := make(map[int]int, len(survivors)) // server -> part index
-	for i, s := range survivors {
-		partOf[s] = i
 	}
 	stateful := make(map[string]bool, len(in.StatefulOps))
 	for _, op := range in.StatefulOps {
 		stateful[op] = true
 	}
-
-	// The key universe: everything named by a routing table, a
-	// checkpoint record, or the retained key graph. Keys outside it have
-	// neither state nor an explicit assignment; after ApplyAliveRouting
-	// they hash-detour deterministically and start fresh.
-	keysOf := make(map[string]map[string]bool)
-	note := func(op, key string) {
-		if keysOf[op] == nil {
-			keysOf[op] = make(map[string]bool)
-		}
-		keysOf[op][key] = true
-	}
-	for op, t := range in.Tables {
-		for key := range t.Assign {
-			note(op, key)
-		}
-	}
+	// Checkpointed keys belong to the key universe even when no table or
+	// statistic names them.
 	ckpt := make(map[ImageKey][]engine.KeyState, len(in.Checkpoint))
+	extra := make(map[string][]string)
 	for _, r := range in.Checkpoint {
 		k := ImageKey{Op: r.Op, Key: r.Key}
+		if ckpt[k] == nil {
+			extra[r.Op] = append(extra[r.Op], r.Key)
+		}
 		ckpt[k] = append(ckpt[k], r)
-		note(r.Op, r.Key)
 	}
-
-	// Split keys route by their replica set, not the table. One with a
-	// surviving replica is re-owned in place: the first alive replica in
-	// original order becomes the owner — the same choice
-	// engine.PruneSplitReplicas makes, so the planner and the engine
-	// agree without coordination — and the key is pinned there, out of
-	// the repair partitioning. Only a split key that lost every replica
-	// falls through to the ordinary orphan path below.
-	type reowned struct {
-		newOwner int
-		moved    bool  // original owner was on a dead server
-		dead     []int // dead replica instances (partials to merge)
-	}
-	splitReowned := make(map[ImageKey]*reowned)
-	for _, si := range in.Splits {
-		k := ImageKey{Op: si.Op, Key: si.Key}
-		note(si.Op, si.Key)
-		ro := &reowned{newOwner: -1}
-		for _, inst := range si.Replicas {
-			s := in.Place.ServerOf(si.Op, inst)
-			if s >= 0 && in.Alive[s] {
-				if ro.newOwner == -1 {
-					ro.newOwner = inst
-				}
-			} else {
-				ro.dead = append(ro.dead, inst)
-			}
-		}
-		if ro.newOwner == -1 {
-			continue // every replica died: ordinary orphan
-		}
-		if len(si.Replicas) > 0 {
-			ownerS := in.Place.ServerOf(si.Op, si.Replicas[0])
-			ro.moved = ownerS < 0 || !in.Alive[ownerS]
-		}
-		splitReowned[k] = ro
-	}
-	graph := keygraph.New()
-	for _, st := range in.Stats {
-		graph.AddPairs(st.FromOp, st.ToOp, st.Pairs, 0)
-	}
-	for _, v := range graph.Vertices() {
-		note(v.ID.Op, v.ID.Key)
-	}
-
-	// Current owners, split into pinned survivors and orphans.
-	ownerServer := func(op, key string) (int, bool) {
-		if t := in.Tables[op]; t != nil {
-			if inst, ok := t.Assign[key]; ok {
-				if s := in.Place.ServerOf(op, inst); s >= 0 {
-					return s, true
-				}
-			}
-		}
-		if in.OwnerOf != nil {
-			if inst, ok := in.OwnerOf(op, key); ok {
-				if s := in.Place.ServerOf(op, inst); s >= 0 {
-					return s, true
-				}
-			}
-		}
-		return 0, false
-	}
-	type orphan struct{ op, key string }
-	var orphans []orphan
-	pinnedServer := make(map[keygraph.VertexID]int)
-	ops := make([]string, 0, len(keysOf))
-	for op := range keysOf {
-		ops = append(ops, op)
-	}
-	sort.Strings(ops)
-	for _, op := range ops {
-		keys := make([]string, 0, len(keysOf[op]))
-		for key := range keysOf[op] {
-			keys = append(keys, key)
-		}
-		sort.Strings(keys)
-		for _, key := range keys {
-			if ro, ok := splitReowned[ImageKey{Op: op, Key: key}]; ok {
-				pinnedServer[keygraph.VertexID{Op: op, Key: key}] = in.Place.ServerOf(op, ro.newOwner)
-				continue
-			}
-			server, ok := ownerServer(op, key)
-			if !ok {
-				continue // unroutable (no fields-grouped input): nothing to repair
-			}
-			if in.Alive[server] {
-				pinnedServer[keygraph.VertexID{Op: op, Key: key}] = server
-			} else {
-				orphans = append(orphans, orphan{op: op, key: key})
-			}
-		}
-	}
-
-	plan := &RepairPlan{
-		Dead:    dead,
-		Tables:  make(map[string]*routing.Table),
-		Expects: make(map[string]map[int][]string),
-	}
-	for op, t := range in.Tables {
-		plan.Tables[op] = t.Clone()
-	}
-
-	// Re-own surviving splits: repoint the table pin at the new owner
-	// and fold every dead replica's checkpointed partial into it. No
-	// buffer arming — the owner's live partial stays valid throughout,
-	// and the merge contract is associative, so tuples landing before
-	// the merge applies are simply added on top.
-	splitKeys := make([]ImageKey, 0, len(splitReowned))
-	for k := range splitReowned {
-		splitKeys = append(splitKeys, k)
-	}
-	sort.Slice(splitKeys, func(i, j int) bool {
-		if splitKeys[i].Op != splitKeys[j].Op {
-			return splitKeys[i].Op < splitKeys[j].Op
-		}
-		return splitKeys[i].Key < splitKeys[j].Key
-	})
-	for _, k := range splitKeys {
-		ro := splitReowned[k]
-		if ro.moved {
-			table := plan.Tables[k.Op]
-			if table == nil {
-				table = &routing.Table{Assign: make(map[string]int)}
-				plan.Tables[k.Op] = table
-			}
-			table.Assign[k.Key] = ro.newOwner
-			plan.MovedKeys++
-		}
-		for _, saved := range ckpt[k] {
-			if saved.Data == nil || !deadInstance(saved.Inst, ro.dead) {
-				continue
-			}
-			plan.Records = append(plan.Records, engine.KeyState{
-				Op: k.Op, Inst: ro.newOwner, Key: k.Key, Data: saved.Data, Merge: true,
-			})
-			plan.MergedPartials++
-		}
-	}
-
-	if len(orphans) == 0 {
-		return plan, nil
-	}
-
-	// Locality-preserving placement: re-partition the retained key graph
-	// over the survivors with every survivor-owned vertex pinned to its
-	// current server. Only the orphans are free, so the partitioner
-	// places each next to its heaviest surviving neighbours under the
-	// balance constraint — and cannot move anything else.
 	alpha := in.Alpha
 	if alpha <= 0 {
 		alpha = DefaultRepairAlpha
 	}
-	orphanServer := make(map[keygraph.VertexID]int, len(orphans))
-	if graph.NumVertices() > 0 {
-		ids, weights, adjRaw := graph.CSR()
-		pinned := make([]int, len(ids))
-		for i, id := range ids {
-			if s, ok := pinnedServer[id]; ok {
-				pinned[i] = partOf[s]
-			} else {
-				pinned[i] = -1
-			}
-		}
-		adj := make([][]partition.Adj, len(adjRaw))
-		for i, list := range adjRaw {
-			conv := make([]partition.Adj, len(list))
-			for j, a := range list {
-				conv[j] = partition.Adj{To: a.To, Weight: a.Weight}
-			}
-			adj[i] = conv
-		}
-		res, err := partition.Partition(
-			&partition.Graph{Weights: weights, Adj: adj},
-			partition.Options{K: len(survivors), Alpha: alpha, Seed: in.Seed, Pinned: pinned},
-		)
-		if err != nil {
-			return nil, fmt.Errorf("checkpoint: repair partition: %w", err)
-		}
-		for i, id := range ids {
-			if pinned[i] == -1 {
-				orphanServer[id] = survivors[res.Parts[i]]
-			}
-		}
+	sp, err := scale.PlanRescale(scale.PlanInput{
+		Place:       in.Place,
+		To:          in.Alive,
+		Tables:      in.Tables,
+		Stats:       in.Stats,
+		Splits:      in.Splits,
+		ExtraKeys:   extra,
+		OwnerOf:     in.OwnerOf,
+		StatefulOps: in.StatefulOps,
+		Alpha:       alpha,
+		Seed:        in.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
 
-	for _, o := range orphans {
-		server, ok := orphanServer[keygraph.VertexID{Op: o.op, Key: o.key}]
-		if !ok {
-			// No statistics for this key: spread by hash over survivors.
-			server = survivors[routing.HashKey(o.key, len(survivors))]
-		}
-		inst, ok := adoptInstance(in.Place, o.op, o.key, server, survivors)
-		if !ok {
-			return nil, fmt.Errorf("checkpoint: no surviving instance of %q", o.op)
-		}
-		table := plan.Tables[o.op]
-		if table == nil {
-			table = &routing.Table{Assign: make(map[string]int)}
-			plan.Tables[o.op] = table
-		}
-		table.Assign[o.key] = inst
-		plan.MovedKeys++
-		if !stateful[o.op] {
-			continue
-		}
-		if plan.Expects[o.op] == nil {
-			plan.Expects[o.op] = make(map[int][]string)
-		}
-		plan.Expects[o.op][inst] = append(plan.Expects[o.op][inst], o.key)
-		// A key checkpointed while split carries one partial per replica
-		// (and a fully-dead split lands here): the owner's partial
-		// restores as the base image, the others fold in as merges.
-		saved := ckpt[ImageKey{Op: o.op, Key: o.key}]
-		base := primaryRecord(saved)
-		rec := engine.KeyState{Op: o.op, Inst: inst, Key: o.key}
-		if base >= 0 && saved[base].Data != nil {
-			rec.Data = saved[base].Data
-			plan.RestoredKeys++
-		}
-		plan.Records = append(plan.Records, rec)
-		for i, s := range saved {
-			if i == base || s.Data == nil {
+	plan := &RepairPlan{
+		Dead:      sp.Leaving,
+		Tables:    sp.Tables,
+		Expects:   make(map[string]map[int][]string),
+		MovedKeys: sp.MovedKeys,
+	}
+
+	// Surviving splits re-owned by the planner: fold every dead
+	// replica's checkpointed partial into the new owner. No buffer
+	// arming — the owner's live partial stays valid throughout, and the
+	// merge contract is associative, so tuples landing before the merge
+	// applies are simply added on top.
+	for _, ro := range sp.SplitReowns {
+		for _, saved := range ckpt[ImageKey{Op: ro.Op, Key: ro.Key}] {
+			if saved.Data == nil || !deadInstance(saved.Inst, ro.Gone) {
 				continue
 			}
 			plan.Records = append(plan.Records, engine.KeyState{
-				Op: o.op, Inst: inst, Key: o.key, Data: s.Data, Merge: true,
+				Op: ro.Op, Inst: ro.NewOwner, Key: ro.Key, Data: saved.Data, Merge: true,
 			})
 			plan.MergedPartials++
+		}
+	}
+
+	// Ordinary orphans: arm the adopting instance's buffer and restore
+	// the checkpointed state. A key checkpointed while split carries one
+	// partial per replica (and a fully-dead split lands here): the
+	// owner's partial restores as the base image, the others fold in as
+	// merges.
+	ops := make([]string, 0, len(sp.Assigned))
+	for op := range sp.Assigned {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		keys := make([]string, 0, len(sp.Assigned[op]))
+		for key := range sp.Assigned[op] {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			if !stateful[op] {
+				continue
+			}
+			inst := sp.Assigned[op][key]
+			if plan.Expects[op] == nil {
+				plan.Expects[op] = make(map[int][]string)
+			}
+			plan.Expects[op][inst] = append(plan.Expects[op][inst], key)
+			saved := ckpt[ImageKey{Op: op, Key: key}]
+			base := primaryRecord(saved)
+			rec := engine.KeyState{Op: op, Inst: inst, Key: key}
+			if base >= 0 && saved[base].Data != nil {
+				rec.Data = saved[base].Data
+				plan.RestoredKeys++
+			}
+			plan.Records = append(plan.Records, rec)
+			for i, s := range saved {
+				if i == base || s.Data == nil {
+					continue
+				}
+				plan.Records = append(plan.Records, engine.KeyState{
+					Op: op, Inst: inst, Key: key, Data: s.Data, Merge: true,
+				})
+				plan.MergedPartials++
+			}
 		}
 	}
 	return plan, nil
@@ -400,29 +240,4 @@ func deadInstance(inst int, dead []int) bool {
 		}
 	}
 	return false
-}
-
-// adoptInstance picks the instance of op on server that adopts key,
-// spreading co-located instances by hash (mirroring the optimizer's
-// instanceOn). When op has no instance on the chosen server the
-// survivors are scanned in deterministic order for one that hosts the
-// operator.
-func adoptInstance(place *cluster.Placement, op, key string, server int, survivors []int) (int, bool) {
-	if insts := place.InstancesOn(op, server); len(insts) > 0 {
-		return insts[routing.HashKey(key, len(insts))], true
-	}
-	start := 0
-	for i, s := range survivors {
-		if s == server {
-			start = i
-			break
-		}
-	}
-	for i := 1; i < len(survivors); i++ {
-		s := survivors[(start+i)%len(survivors)]
-		if insts := place.InstancesOn(op, s); len(insts) > 0 {
-			return insts[routing.HashKey(key, len(insts))], true
-		}
-	}
-	return 0, false
 }

@@ -332,7 +332,7 @@ func (s *Supervisor) recoverLocked(f Failure, now time.Time) error {
 	}
 	plan, err := PlanRepair(RepairInput{
 		Place:       s.eng.Placement(),
-		Alive:       s.eng.AliveServers(),
+		Alive:       s.eng.UsableServers(),
 		Tables:      s.mgr.Tables(),
 		Stats:       s.stats,
 		Checkpoint:  image,

@@ -38,6 +38,7 @@ import (
 	"github.com/locastream/locastream/internal/engine"
 	"github.com/locastream/locastream/internal/metrics"
 	"github.com/locastream/locastream/internal/routing"
+	"github.com/locastream/locastream/internal/scale"
 )
 
 // Engine is the live-engine surface the controller measures.
@@ -160,6 +161,10 @@ type Status struct {
 	Promotions int                   `json:"promotions"`
 	Demotions  int                   `json:"demotions"`
 
+	// Scale reports the elastic-scaling state (nil when no scale engine
+	// is attached); also served alone on /scale.
+	Scale *ScaleStatus `json:"scale,omitempty"`
+
 	// Paused reports that a server failure was observed and optimization
 	// is held until the fault-tolerance subsystem reports recovery.
 	Paused bool `json:"paused"`
@@ -200,6 +205,10 @@ type Controller struct {
 	splitter     *splitter
 	promotions   int
 	demotions    int
+	scaler       *scale.Scaler
+	scaleEng     ScaleEngine
+	scales       int
+	lastScale    *ScaleResult
 
 	loopMu  sync.Mutex
 	stop    chan struct{}
@@ -246,6 +255,22 @@ func New(eng Engine, mgr Manager, opts Options) (*Controller, error) {
 // decision. The controller's Start loop calls Tick on every clock tick;
 // tests and batch drivers call it directly.
 func (c *Controller) Tick() Decision {
+	d, snap, scaleOK := c.tickLocked()
+	// Elastic scaling runs after c.mu is released: a ScaleTo drains
+	// state through the checkpoint supervisor, whose event hooks call
+	// back into this controller (NoteFailure takes c.mu) — holding c.mu
+	// across the drain would be an AB-BA deadlock. Paused, cooldown and
+	// error ticks never reach the scaler, so scaling holds during a
+	// failure recovery exactly like optimization does.
+	if scaleOK {
+		c.runScaler(snap)
+	}
+	return d
+}
+
+// tickLocked is the measure→decide→migrate round proper, entirely under
+// c.mu. It reports whether the tick is eligible for a scaling decision.
+func (c *Controller) tickLocked() (Decision, Snapshot, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
@@ -265,7 +290,7 @@ func (c *Controller) Tick() Decision {
 		d.Reason = "optimization paused: failure recovery in progress"
 		d.Streak = c.streak
 		c.journal.Record(d)
-		return d
+		return d, snap, false
 	}
 
 	if c.cooldownLeft > 0 {
@@ -275,7 +300,7 @@ func (c *Controller) Tick() Decision {
 		d.Reason = fmt.Sprintf("post-migration cooldown, %d tick(s) left", c.cooldownLeft)
 		d.Streak = c.streak
 		c.journal.Record(d)
-		return d
+		return d, snap, false
 	}
 
 	cand, err := c.mgr.Candidate()
@@ -286,7 +311,7 @@ func (c *Controller) Tick() Decision {
 		d.Reason = "candidate computation failed"
 		d.Err = err.Error()
 		c.journal.Record(d)
-		return d
+		return d, snap, false
 	}
 	d.CurrentLocality = cand.Impact.CurrentLocality
 	d.CandidateLocality = cand.Impact.CandidateLocality
@@ -354,7 +379,11 @@ func (c *Controller) Tick() Decision {
 			c.journal.Record(sd)
 		}
 	}
-	return d
+	// Elastic scaling runs last (see Tick): it sees the tick's window
+	// after the optimizer and the splitter had their say, so a scale
+	// operation's migration never interleaves with a same-tick
+	// deployment.
+	return d, snap, d.Action != ActionError
 }
 
 // AttachSplitEngine connects the hot-key splitter to the live engine's
@@ -552,6 +581,8 @@ func (c *Controller) Status() Status {
 
 		Promotions: c.promotions,
 		Demotions:  c.demotions,
+
+		Scale: c.scaleStatusLocked(),
 	}
 	if c.splitter != nil {
 		st.SplitKeys = c.splitter.eng.SplitSnapshot()

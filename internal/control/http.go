@@ -51,6 +51,14 @@ func (c *Controller) Handler() http.Handler {
 	mux.HandleFunc("/tables", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, r, c.Tables())
 	})
+	mux.HandleFunc("/scale", func(w http.ResponseWriter, r *http.Request) {
+		st := c.ScaleStatusSnapshot()
+		if st == nil {
+			http.Error(w, "no scale engine attached", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, r, st)
+	})
 	mux.HandleFunc("/checkpoints", func(w http.ResponseWriter, r *http.Request) {
 		provider := c.faultInfoProvider()
 		if provider == nil {

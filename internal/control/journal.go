@@ -41,6 +41,10 @@ const (
 	// ActionDemoted records a cooled-down key demoted back to
 	// single-owner routing, its partials merged into the owner.
 	ActionDemoted Action = "demoted"
+	// ActionScaled records an elastic-scaling operation: servers added
+	// to or removed from the cluster, with a minimal-movement
+	// repartition migrating the affected keys.
+	ActionScaled Action = "scaled"
 )
 
 // Decision is one journal entry: what the controller did on one tick and

@@ -327,6 +327,38 @@ func (m *Manager) deploy(tables map[string]*routing.Table, plan *Plan) error {
 // Tables returns a copy of the currently deployed routing tables.
 func (m *Manager) Tables() map[string]*routing.Table { return cloneTables(m.tables) }
 
+// SetActiveServers forwards the elastic membership to the optimizer
+// (ascending; nil restores full capacity), so every future candidate
+// assigns keys to active servers only.
+func (m *Manager) SetActiveServers(active []int) { m.opt.SetActiveServers(active) }
+
+// DeployRescale persists and rolls out a rescale plan: precomputed
+// tables plus the exact key moves the planner chose — unlike deploy,
+// no DiffTables pass, because a minimal-movement plan already knows its
+// moves and a diff against tables carrying voluntary assignments would
+// recompute the same set anyway. The migration runs through the same
+// §3.4 protocol as an optimizer deployment: every leaving server is
+// still attached and participates. Returns the version the plan was
+// deployed as.
+func (m *Manager) DeployRescale(tables map[string]*routing.Table, moves map[string][]engine.KeyMove) (uint64, error) {
+	version := m.opt.NextVersion()
+	adopted := cloneTables(tables)
+	for _, t := range adopted {
+		t.Version = version
+	}
+	if err := m.store.Save(version, adopted); err != nil {
+		return 0, fmt.Errorf("core: persist rescale configuration: %w", err)
+	}
+	if err := m.eng.Reconfigure(engine.ReconfigPlan{Tables: adopted, Moves: moves}); err != nil {
+		return 0, err
+	}
+	m.tables = adopted
+	if err := m.store.MarkDeployed(version); err != nil {
+		return 0, fmt.Errorf("core: mark rescale configuration deployed: %w", err)
+	}
+	return version, nil
+}
+
 // ApplyRepair adopts failure-recovery routing tables as the deployed
 // configuration, outside the planned reconfiguration protocol (a dead
 // server cannot acknowledge a propagation wave). The tables are stamped

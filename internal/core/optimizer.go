@@ -62,6 +62,21 @@ type Optimizer struct {
 	place   *cluster.Placement
 	opts    OptimizerOptions
 	version uint64
+	// active, when non-nil, restricts partitioning to these servers
+	// (ascending) — the elastic membership. Nil means every server.
+	active []int
+}
+
+// SetActiveServers restricts the next table computations to the given
+// servers (ascending; nil restores full capacity). With a restricted
+// membership the partitioner builds K=len(active) parts and maps part i
+// to active[i], so no key is ever assigned to a parked server.
+func (o *Optimizer) SetActiveServers(active []int) {
+	if active == nil {
+		o.active = nil
+		return
+	}
+	o.active = append([]int(nil), active...)
 }
 
 // NewOptimizer returns an optimizer for the given deployment.
@@ -135,6 +150,7 @@ func (o *Optimizer) ComputeTablesSplit(stats []engine.PairStat, splits []engine.
 		}
 		adj[i] = conv
 	}
+	servers := o.active // nil: all servers, identity part->server map
 	popts := partition.Options{
 		K:            o.place.Servers(),
 		Alpha:        o.opts.Alpha,
@@ -142,12 +158,18 @@ func (o *Optimizer) ComputeTablesSplit(stats []engine.PairStat, splits []engine.
 		CoarsenTo:    o.opts.CoarsenTo,
 		RefinePasses: o.opts.RefinePasses,
 	}
+	if servers != nil {
+		popts.K = len(servers)
+	}
 	pg := &partition.Graph{Weights: weights, Adj: adj}
 	var (
 		res *partition.Result
 		err error
 	)
-	if o.opts.RackAware && o.place.Racks() > 1 {
+	// Rack-aware hierarchical partitioning assumes the full server set;
+	// a restricted elastic membership partitions flat until the cluster
+	// is back at capacity.
+	if o.opts.RackAware && o.place.Racks() > 1 && servers == nil {
 		res, err = partition.Hierarchical(pg, o.place.RackAssignment(), popts)
 	} else {
 		res, err = partition.Partition(pg, popts)
@@ -163,6 +185,9 @@ func (o *Optimizer) ComputeTablesSplit(stats []engine.PairStat, splits []engine.
 	tables := make(map[string]*routing.Table)
 	for i, id := range ids {
 		server := res.Parts[i]
+		if servers != nil {
+			server = servers[res.Parts[i]]
+		}
 		inst, ok := o.instanceOn(id.Op, server, id.Key)
 		if !ok {
 			// No instance of this operator on the chosen server (only

@@ -166,12 +166,19 @@ func (l *Live) Ping(s int) bool {
 	if l.dead[s].Load() {
 		return false
 	}
+	if !l.active[s].Load() {
+		// A parked (decommissioned or not-yet-added) server is
+		// administratively out, not failed: it may well be detached from
+		// the fabric, so a probe proves nothing. Report it alive so the
+		// failure detector never confirms a bogus death for it.
+		return true
+	}
 	if l.fabric == nil {
 		return true
 	}
 	from := -1
 	for i := 0; i < l.place.Servers(); i++ {
-		if i != s && !l.dead[i].Load() {
+		if i != s && !l.dead[i].Load() && l.active[i].Load() {
 			from = i
 			break
 		}
@@ -261,12 +268,15 @@ func (l *Live) ApplyAliveRouting() {
 	}
 }
 
-// instAlive computes the per-instance liveness mask of one operator.
+// instAlive computes the per-instance usability mask of one operator:
+// an instance is routable iff its server is alive AND inside the
+// elastic membership.
 func (l *Live) instAlive(op string) []bool {
 	n := l.place.Parallelism(op)
 	out := make([]bool, n)
 	for i := 0; i < n; i++ {
-		out[i] = !l.dead[l.place.ServerOf(op, i)].Load()
+		s := l.place.ServerOf(op, i)
+		out[i] = !l.dead[s].Load() && l.active[s].Load()
 	}
 	return out
 }

@@ -79,6 +79,12 @@ type LiveConfig struct {
 	// Enabling it turns on per-mailbox queue-depth tracking (the 2-choice
 	// load signal); disabled, the data path is bit-identical to before.
 	KeySplitting bool
+	// ActiveServers is the initial per-server membership vector for
+	// elastic scaling (nil means every server is active). The placement
+	// is built at full capacity; inactive servers keep their executors
+	// parked — mailboxes open, processing nothing routed to them — until
+	// AddServer brings them into the usable set.
+	ActiveServers []bool
 }
 
 // Live executes a topology with one goroutine per operator instance and
@@ -114,6 +120,12 @@ type Live struct {
 	// heartbeat probes delivered over the wire.
 	dead   []atomic.Bool
 	hbRecv atomic.Uint64
+
+	// active marks servers inside the elastic membership (see AddServer
+	// / DecommissionServer). A server is usable — routable, eligible as
+	// a split replica, counted by the repair planner — iff it is alive
+	// AND active. Unlike dead, active is administrative and reversible.
+	active []atomic.Bool
 
 	// Hot-key splitting state (KeySplitting only): splits maps op -> key
 	// -> replica set (replicas[0] = owner) and mirrors the split entries
@@ -267,6 +279,20 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 		}
 	}
 
+	if cfg.ActiveServers != nil {
+		if len(cfg.ActiveServers) != cfg.Placement.Servers() {
+			return nil, fmt.Errorf("engine: %d membership entries for %d servers",
+				len(cfg.ActiveServers), cfg.Placement.Servers())
+		}
+		any := false
+		for _, on := range cfg.ActiveServers {
+			any = any || on
+		}
+		if !any {
+			return nil, errors.New("engine: no active servers")
+		}
+	}
+
 	l := &Live{
 		cfg:      cfg,
 		topo:     cfg.Topology,
@@ -274,6 +300,13 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 		execs:    make(map[string][]*executor),
 		inflight: newInflightCounter(cfg.MaxInFlight),
 		dead:     make([]atomic.Bool, cfg.Placement.Servers()),
+		active:   make([]atomic.Bool, cfg.Placement.Servers()),
+	}
+	someInactive := false
+	for s := range l.active {
+		on := cfg.ActiveServers == nil || cfg.ActiveServers[s]
+		l.active[s].Store(on)
+		someInactive = someInactive || !on
 	}
 
 	for _, op := range cfg.Topology.Operators() {
@@ -355,6 +388,21 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 			return nil, fmt.Errorf("engine: start transport: %w", err)
 		}
 		l.fabric = fabric
+	}
+	if someInactive {
+		// Route around the parked servers from the first tuple on:
+		// hash-fallback keys detour over the active set exactly as they
+		// detour around dead servers. Parked servers also start detached
+		// from the fabric — AddServer re-attaches them — keeping the
+		// wire topology congruent with the membership.
+		l.ApplyAliveRouting()
+		if l.fabric != nil {
+			for s := range l.active {
+				if !l.active[s].Load() {
+					l.fabric.Detach(s)
+				}
+			}
+		}
 	}
 	for _, ex := range l.all {
 		l.wg.Add(1)

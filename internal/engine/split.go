@@ -112,8 +112,9 @@ func (l *Live) PromoteSplit(op, key string, d int) ([]int, error) {
 }
 
 // chooseReplicas builds a replica set of up to d instances for op:
-// the owner first, then instances on distinct alive servers (scanning
-// forward from the owner so the choice is deterministic).
+// the owner first, then instances on distinct usable (alive and
+// active) servers (scanning forward from the owner so the choice is
+// deterministic).
 func (l *Live) chooseReplicas(op string, owner, d int) []int {
 	insts := l.execs[op]
 	n := len(insts)
@@ -125,7 +126,7 @@ func (l *Live) chooseReplicas(op string, owner, d int) []int {
 	for off := 1; off < n && len(replicas) < d; off++ {
 		cand := (owner + off) % n
 		s := l.place.ServerOf(op, cand)
-		if used[s] || !l.ServerAlive(s) {
+		if used[s] || !l.ServerUsable(s) {
 			continue
 		}
 		used[s] = true
@@ -235,7 +236,7 @@ func (l *Live) PruneSplitReplicas() {
 		for key, replicas := range keys {
 			alive := make([]int, 0, len(replicas))
 			for _, r := range replicas {
-				if l.ServerAlive(l.place.ServerOf(op, r)) {
+				if l.ServerUsable(l.place.ServerOf(op, r)) {
 					alive = append(alive, r)
 				}
 			}

@@ -1,0 +1,553 @@
+// Package scale is the elastic-scaling subsystem: a minimal-movement
+// repartition planner (PlanRescale) that generalizes the failure-repair
+// pin-survivors-move-few logic to arbitrary membership changes, and a
+// Scaler that turns the controller's load signals into add/remove-server
+// decisions under the same hysteresis idiom the optimizer and the
+// hot-key splitter use.
+package scale
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/locastream/locastream/internal/cluster"
+	"github.com/locastream/locastream/internal/engine"
+	"github.com/locastream/locastream/internal/keygraph"
+	"github.com/locastream/locastream/internal/partition"
+	"github.com/locastream/locastream/internal/routing"
+)
+
+// DefaultAlpha is the default balance bound of the rescale partitioning
+// — deliberately looser than the optimizer's 1.03: during a membership
+// change, keeping correlated key pairs together and moving few keys
+// outranks strict balance, and the next planned reconfiguration restores
+// the tight bound anyway.
+const DefaultAlpha = 1.5
+
+// PlanInput is everything PlanRescale needs to compute a
+// minimal-movement, locality-preserving repartition against a new
+// server set.
+type PlanInput struct {
+	// Place is the static instance placement, built at full capacity.
+	Place *cluster.Placement
+	// From is the usable-server vector before the change (nil means
+	// every server). Servers in From but not To are leaving; servers in
+	// To but not From are joining.
+	From []bool
+	// To is the usable-server vector after the change.
+	To []bool
+	// Tables are the currently deployed routing tables (per operator).
+	Tables map[string]*routing.Table
+	// Stats is the key-pair statistics window the locality-preserving
+	// placement is computed from.
+	Stats []engine.PairStat
+	// Splits lists the keys currently promoted to replicated (split)
+	// routing. A split key never enters the partitioning: it is pinned
+	// at its first replica whose server is in To — the same choice
+	// engine.PruneSplitReplicas makes — and only a split key with no
+	// replica in To falls through to the ordinary move path.
+	Splits []engine.SplitKeyInfo
+	// ExtraKeys names keys (per operator) that belong to the key
+	// universe beyond tables, splits and statistics — the repair path
+	// passes the checkpointed keys here.
+	ExtraKeys map[string][]string
+	// OwnerOf resolves the current owner instance of a key not found in
+	// Tables (the hash-fallback path); engine.Live.OwnerOf implements
+	// it.
+	OwnerOf func(op, key string) (int, bool)
+	// StatefulOps are the operators holding keyed state — the only ones
+	// whose moves carry a state migration.
+	StatefulOps []string
+	// Alpha is the balance bound of the partitioning (0 selects
+	// DefaultAlpha); Seed fixes tie-breaking.
+	Alpha float64
+	Seed  int64
+	// MaxMoves caps the voluntary moves toward joining servers (the
+	// disruption bound). Forced moves — keys whose server leaves — are
+	// never capped: they must go somewhere. <= 0 means unbounded.
+	MaxMoves int
+}
+
+// SplitReown records where a split (replicated) key was re-owned during
+// the plan: pinned at NewOwner, with Gone listing replica instances
+// whose server left the To set (their partials, if checkpointed, merge
+// into the new owner — the repair path consumes this).
+type SplitReown struct {
+	Op, Key  string
+	NewOwner int
+	// Moved reports that the original owner (first replica) left, so
+	// the table pin changed.
+	Moved bool
+	Gone  []int
+}
+
+// Plan is the computed repartition.
+type Plan struct {
+	// Leaving and Joining are the servers removed from / added to the
+	// usable set, ascending.
+	Leaving []int
+	Joining []int
+	// Tables merges the untouched assignments with the new homes of
+	// every moved key.
+	Tables map[string]*routing.Table
+	// Moves carries the live state migrations (stateful operators
+	// only): for each moved key the owning instance before and after.
+	// Feed them to engine.Reconfigure via Manager.DeployRescale. The
+	// repair path ignores Moves — dead instances cannot snapshot — and
+	// restores from the checkpoint instead.
+	Moves map[string][]engine.KeyMove
+	// Assigned maps op -> key -> adopting instance for every ordinary
+	// (non-split) moved key; the repair path derives buffer arming and
+	// restore records from it.
+	Assigned map[string]map[string]int
+	// SplitReowns lists the split keys re-pinned during the plan,
+	// sorted by (op, key).
+	SplitReowns []SplitReown
+	// MovedKeys counts reassigned keys across all operators (forced +
+	// voluntary + moved split pins).
+	MovedKeys int
+	// Bound is the a-priori ceiling on MovedKeys for this step: forced
+	// moves plus the voluntary cap.
+	Bound int
+}
+
+// PlanRescale computes a minimal-movement repartition against the To
+// server set. Keys on staying servers are pinned and the retained key
+// graph is re-partitioned under that constraint, so keys forced off
+// leaving servers land next to the keys they exchange tuples with —
+// locality is preserved — while nothing else moves. When servers join,
+// a bounded number of voluntary moves (heaviest keys first, chosen by
+// overlap with a from-scratch partition) shift load onto them without
+// exceeding MaxMoves. Remove-one-server with no joiners degenerates to
+// exactly the failure-repair plan.
+func PlanRescale(in PlanInput) (*Plan, error) {
+	if in.Place == nil {
+		return nil, fmt.Errorf("scale: rescale needs a placement")
+	}
+	n := in.Place.Servers()
+	if len(in.To) != n {
+		return nil, fmt.Errorf("scale: %d membership entries for %d servers", len(in.To), n)
+	}
+	if in.From != nil && len(in.From) != n {
+		return nil, fmt.Errorf("scale: %d from-membership entries for %d servers", len(in.From), n)
+	}
+	var toList []int
+	for s, ok := range in.To {
+		if ok {
+			toList = append(toList, s)
+		}
+	}
+	if len(toList) == 0 {
+		return nil, fmt.Errorf("scale: no servers in target set")
+	}
+	partOf := make(map[int]int, len(toList)) // server -> part index
+	for i, s := range toList {
+		partOf[s] = i
+	}
+	inFrom := func(s int) bool { return in.From == nil || in.From[s] }
+	plan := &Plan{
+		Tables:   make(map[string]*routing.Table),
+		Moves:    make(map[string][]engine.KeyMove),
+		Assigned: make(map[string]map[string]int),
+	}
+	for s := 0; s < n; s++ {
+		switch {
+		case inFrom(s) && !in.To[s]:
+			plan.Leaving = append(plan.Leaving, s)
+		case in.To[s] && !inFrom(s):
+			plan.Joining = append(plan.Joining, s)
+		}
+	}
+	stateful := make(map[string]bool, len(in.StatefulOps))
+	for _, op := range in.StatefulOps {
+		stateful[op] = true
+	}
+
+	// The key universe: everything named by a routing table, a split,
+	// an extra (checkpointed) key, or the retained key graph. Keys
+	// outside it have neither state nor an explicit assignment; after
+	// the alive-mask routing update they hash-detour deterministically.
+	keysOf := make(map[string]map[string]bool)
+	note := func(op, key string) {
+		if keysOf[op] == nil {
+			keysOf[op] = make(map[string]bool)
+		}
+		keysOf[op][key] = true
+	}
+	for op, t := range in.Tables {
+		for key := range t.Assign {
+			note(op, key)
+		}
+	}
+	for op, keys := range in.ExtraKeys {
+		for _, key := range keys {
+			note(op, key)
+		}
+	}
+
+	// Split keys route by their replica set, not the table. One with a
+	// replica in To is re-owned in place: the first such replica in
+	// original order becomes the owner and the key is pinned there, out
+	// of the partitioning. Only a split key that lost every replica
+	// falls through to the ordinary move path below.
+	reownOf := make(map[keygraph.VertexID]*SplitReown)
+	for _, si := range in.Splits {
+		note(si.Op, si.Key)
+		ro := &SplitReown{Op: si.Op, Key: si.Key, NewOwner: -1}
+		for _, inst := range si.Replicas {
+			s := in.Place.ServerOf(si.Op, inst)
+			if s >= 0 && in.To[s] {
+				if ro.NewOwner == -1 {
+					ro.NewOwner = inst
+				}
+			} else {
+				ro.Gone = append(ro.Gone, inst)
+			}
+		}
+		if ro.NewOwner == -1 {
+			continue // every replica left: ordinary move
+		}
+		if len(si.Replicas) > 0 {
+			ownerS := in.Place.ServerOf(si.Op, si.Replicas[0])
+			ro.Moved = ownerS < 0 || !in.To[ownerS]
+		}
+		reownOf[keygraph.VertexID{Op: si.Op, Key: si.Key}] = ro
+	}
+
+	graph := keygraph.New()
+	for _, st := range in.Stats {
+		graph.AddPairs(st.FromOp, st.ToOp, st.Pairs, 0)
+	}
+	for _, v := range graph.Vertices() {
+		note(v.ID.Op, v.ID.Key)
+	}
+
+	// Current owners, split into pinned stayers and forced moves.
+	ownerInst := func(op, key string) (int, bool) {
+		if t := in.Tables[op]; t != nil {
+			if inst, ok := t.Assign[key]; ok {
+				return inst, true
+			}
+		}
+		if in.OwnerOf != nil {
+			if inst, ok := in.OwnerOf(op, key); ok {
+				return inst, true
+			}
+		}
+		return 0, false
+	}
+	type moveKey struct {
+		op, key  string
+		fromInst int // owning instance before the move (-1 unknown)
+	}
+	var forced []moveKey
+	pinnedServer := make(map[keygraph.VertexID]int) // stayers + reowned splits
+	currentServer := make(map[keygraph.VertexID]int)
+	currentInst := make(map[keygraph.VertexID]int)
+	ops := make([]string, 0, len(keysOf))
+	for op := range keysOf {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		keys := make([]string, 0, len(keysOf[op]))
+		for key := range keysOf[op] {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			id := keygraph.VertexID{Op: op, Key: key}
+			if ro, ok := reownOf[id]; ok {
+				pinnedServer[id] = in.Place.ServerOf(op, ro.NewOwner)
+				continue
+			}
+			inst, ok := ownerInst(op, key)
+			if !ok {
+				continue // unroutable (no fields-grouped input): nothing to move
+			}
+			server := in.Place.ServerOf(op, inst)
+			if server < 0 {
+				continue
+			}
+			if in.To[server] {
+				pinnedServer[id] = server
+				currentServer[id] = server
+				currentInst[id] = inst
+			} else {
+				forced = append(forced, moveKey{op: op, key: key, fromInst: inst})
+			}
+		}
+	}
+
+	for op, t := range in.Tables {
+		plan.Tables[op] = t.Clone()
+	}
+
+	// Re-pin the re-owned splits whose owner left (sorted for
+	// determinism). No state move — the surviving replica's live
+	// partial stays valid throughout; the repair path folds departed
+	// partials in via SplitReowns.
+	reownIDs := make([]keygraph.VertexID, 0, len(reownOf))
+	for id := range reownOf {
+		reownIDs = append(reownIDs, id)
+	}
+	sort.Slice(reownIDs, func(i, j int) bool {
+		if reownIDs[i].Op != reownIDs[j].Op {
+			return reownIDs[i].Op < reownIDs[j].Op
+		}
+		return reownIDs[i].Key < reownIDs[j].Key
+	})
+	forcedMoves := 0
+	for _, id := range reownIDs {
+		ro := reownOf[id]
+		plan.SplitReowns = append(plan.SplitReowns, *ro)
+		if !ro.Moved {
+			continue
+		}
+		table := plan.Tables[id.Op]
+		if table == nil {
+			table = &routing.Table{Assign: make(map[string]int)}
+			plan.Tables[id.Op] = table
+		}
+		table.Assign[id.Key] = ro.NewOwner
+		plan.MovedKeys++
+		forcedMoves++
+	}
+
+	alpha := in.Alpha
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+
+	assign := func(op, key string, inst int, fromInst int) {
+		table := plan.Tables[op]
+		if table == nil {
+			table = &routing.Table{Assign: make(map[string]int)}
+			plan.Tables[op] = table
+		}
+		table.Assign[key] = inst
+		plan.MovedKeys++
+		if plan.Assigned[op] == nil {
+			plan.Assigned[op] = make(map[string]int)
+		}
+		plan.Assigned[op][key] = inst
+		if stateful[op] && fromInst >= 0 && fromInst != inst {
+			plan.Moves[op] = append(plan.Moves[op], engine.KeyMove{Key: key, From: fromInst, To: inst})
+		}
+	}
+
+	// Forced placement: re-partition the retained key graph over the To
+	// set with every staying vertex pinned to its current server. Only
+	// the forced keys are free, so the partitioner places each next to
+	// its heaviest staying neighbours under the balance constraint —
+	// and cannot move anything else. Forced keys absent from the graph
+	// spread deterministically by hash over the To servers.
+	var ids []keygraph.VertexID
+	var weights []uint64
+	var adj [][]partition.Adj
+	if graph.NumVertices() > 0 {
+		var adjRaw [][]keygraph.Adj
+		ids, weights, adjRaw = graph.CSR()
+		adj = make([][]partition.Adj, len(adjRaw))
+		for i, list := range adjRaw {
+			conv := make([]partition.Adj, len(list))
+			for j, a := range list {
+				conv[j] = partition.Adj{To: a.To, Weight: a.Weight}
+			}
+			adj[i] = conv
+		}
+	}
+	if len(forced) > 0 {
+		forcedServer := make(map[keygraph.VertexID]int, len(forced))
+		if len(ids) > 0 {
+			pinned := make([]int, len(ids))
+			for i, id := range ids {
+				if s, ok := pinnedServer[id]; ok {
+					pinned[i] = partOf[s]
+				} else {
+					pinned[i] = -1
+				}
+			}
+			res, err := partition.Partition(
+				&partition.Graph{Weights: weights, Adj: adj},
+				partition.Options{K: len(toList), Alpha: alpha, Seed: in.Seed, Pinned: pinned},
+			)
+			if err != nil {
+				return nil, fmt.Errorf("scale: rescale partition: %w", err)
+			}
+			for i, id := range ids {
+				if pinned[i] == -1 {
+					forcedServer[id] = toList[res.Parts[i]]
+				}
+			}
+		}
+		for _, m := range forced {
+			server, ok := forcedServer[keygraph.VertexID{Op: m.op, Key: m.key}]
+			if !ok {
+				// No statistics for this key: spread by hash over To.
+				server = toList[routing.HashKey(m.key, len(toList))]
+			}
+			inst, ok := AdoptInstance(in.Place, m.op, m.key, server, toList)
+			if !ok {
+				return nil, fmt.Errorf("scale: no usable instance of %q", m.op)
+			}
+			assign(m.op, m.key, inst, m.fromInst)
+			forcedMoves++
+		}
+	}
+
+	// Voluntary phase: when servers join, compute the partition the
+	// optimizer would build from scratch at the new width, match its
+	// parts to servers by maximum overlap with the current ownership
+	// (so staying servers keep their clusters), and move only the keys
+	// the from-scratch plan hands to a JOINING server — heaviest first,
+	// at most MaxMoves of them. That keeps disruption bounded while the
+	// moved keys are the ones whose relocation buys the most balance.
+	voluntaryCap := 0
+	if len(plan.Joining) > 0 && len(ids) > 0 {
+		res, err := partition.Partition(
+			&partition.Graph{Weights: weights, Adj: adj},
+			partition.Options{K: len(toList), Alpha: alpha, Seed: in.Seed},
+		)
+		if err != nil {
+			return nil, fmt.Errorf("scale: fresh partition: %w", err)
+		}
+		target := matchPartsToServers(res.Parts, ids, weights, currentServer, partOf, len(toList))
+		joining := make(map[int]bool, len(plan.Joining))
+		for _, s := range plan.Joining {
+			joining[s] = true
+		}
+		type candidate struct {
+			id     keygraph.VertexID
+			weight uint64
+			server int
+		}
+		var cands []candidate
+		for i, id := range ids {
+			cur, ok := currentServer[id]
+			if !ok {
+				continue // forced, split or unroutable: not a voluntary move
+			}
+			want := toList[target[res.Parts[i]]]
+			if !joining[want] || want == cur {
+				continue
+			}
+			cands = append(cands, candidate{id: id, weight: weights[i], server: want})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].weight != cands[j].weight {
+				return cands[i].weight > cands[j].weight
+			}
+			if cands[i].id.Op != cands[j].id.Op {
+				return cands[i].id.Op < cands[j].id.Op
+			}
+			return cands[i].id.Key < cands[j].id.Key
+		})
+		voluntaryCap = len(cands)
+		if in.MaxMoves > 0 && in.MaxMoves < voluntaryCap {
+			voluntaryCap = in.MaxMoves
+		}
+		taken := 0
+		for _, c := range cands {
+			if taken >= voluntaryCap {
+				break
+			}
+			inst, ok := AdoptInstance(in.Place, c.id.Op, c.id.Key, c.server, toList)
+			if !ok || inst == currentInst[c.id] {
+				continue
+			}
+			assign(c.id.Op, c.id.Key, inst, currentInst[c.id])
+			taken++
+		}
+	}
+	plan.Bound = forcedMoves + voluntaryCap
+	return plan, nil
+}
+
+// matchPartsToServers greedily matches from-scratch partition parts to
+// To-set part indices by maximum overlap weight with the current
+// ownership, so an existing server keeps the part most like what it
+// already holds and the leftover parts land on the joining servers.
+// Returns part -> To-set index.
+func matchPartsToServers(parts []int, ids []keygraph.VertexID, weights []uint64,
+	currentServer map[keygraph.VertexID]int, partOf map[int]int, k int) []int {
+	overlap := make([][]uint64, k)
+	for p := range overlap {
+		overlap[p] = make([]uint64, k)
+	}
+	for i, id := range ids {
+		if s, ok := currentServer[id]; ok {
+			overlap[parts[i]][partOf[s]] += weights[i]
+		}
+	}
+	type pair struct {
+		p, idx int
+		w      uint64
+	}
+	var pairs []pair
+	for p := 0; p < k; p++ {
+		for idx := 0; idx < k; idx++ {
+			if overlap[p][idx] > 0 {
+				pairs = append(pairs, pair{p: p, idx: idx, w: overlap[p][idx]})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].w != pairs[j].w {
+			return pairs[i].w > pairs[j].w
+		}
+		if pairs[i].p != pairs[j].p {
+			return pairs[i].p < pairs[j].p
+		}
+		return pairs[i].idx < pairs[j].idx
+	})
+	target := make([]int, k)
+	for p := range target {
+		target[p] = -1
+	}
+	usedIdx := make([]bool, k)
+	for _, pr := range pairs {
+		if target[pr.p] != -1 || usedIdx[pr.idx] {
+			continue
+		}
+		target[pr.p] = pr.idx
+		usedIdx[pr.idx] = true
+	}
+	next := 0
+	for p := 0; p < k; p++ {
+		if target[p] != -1 {
+			continue
+		}
+		for usedIdx[next] {
+			next++
+		}
+		target[p] = next
+		usedIdx[next] = true
+	}
+	return target
+}
+
+// AdoptInstance picks the instance of op on server that adopts key,
+// spreading co-located instances by hash (mirroring the optimizer's
+// instanceOn). When op has no instance on the chosen server the usable
+// servers are scanned in deterministic order for one that hosts the
+// operator.
+func AdoptInstance(place *cluster.Placement, op, key string, server int, usable []int) (int, bool) {
+	if insts := place.InstancesOn(op, server); len(insts) > 0 {
+		return insts[routing.HashKey(key, len(insts))], true
+	}
+	start := 0
+	for i, s := range usable {
+		if s == server {
+			start = i
+			break
+		}
+	}
+	for i := 1; i < len(usable); i++ {
+		s := usable[(start+i)%len(usable)]
+		if insts := place.InstancesOn(op, s); len(insts) > 0 {
+			return insts[routing.HashKey(key, len(insts))], true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,134 @@
+package scale
+
+import "fmt"
+
+// Options tune the Scaler's decision policy.
+type Options struct {
+	// Min and Max bound the active server count.
+	Min, Max int
+	// TargetLoad is the fields-grouped transfers per statistics window
+	// one active server is sized for. The desired width is
+	// ceil(window traffic / TargetLoad), clamped to [Min, Max].
+	TargetLoad uint64
+	// Confirm is the number of consecutive windows the desired width
+	// must differ from the active width (in the same direction) before
+	// a decision fires (default 2) — one bursty window neither grows
+	// nor shrinks the cluster.
+	Confirm int
+	// Cooldown is the number of windows skipped after each decision
+	// (default 1, negative disables), giving migrations time to settle
+	// before the next measurement is trusted.
+	Cooldown int
+	// MaxMoves caps the voluntary key moves per scale-up step (passed
+	// through to PlanRescale; <= 0 unbounded).
+	MaxMoves int
+}
+
+func (o *Options) defaults() error {
+	if o.Min < 1 {
+		o.Min = 1
+	}
+	if o.Max < o.Min {
+		return fmt.Errorf("scale: max %d below min %d", o.Max, o.Min)
+	}
+	if o.TargetLoad == 0 {
+		return fmt.Errorf("scale: zero target load")
+	}
+	if o.Confirm < 1 {
+		o.Confirm = 2
+	}
+	if o.Cooldown == 0 {
+		o.Cooldown = 1
+	} else if o.Cooldown < 0 {
+		o.Cooldown = 0
+	}
+	return nil
+}
+
+// Scaler is the pure decision half of elastic scaling: fed one load
+// observation per statistics window, it applies threshold + confirmation
+// + cooldown hysteresis (the controller/splitter idiom) and emits the
+// width the cluster should move to. It holds no engine references — the
+// control plane owns wiring decisions to an engine. Not safe for
+// concurrent use; the controller serializes ticks.
+type Scaler struct {
+	opts         Options
+	upStreak     int
+	downStreak   int
+	cooldownLeft int
+}
+
+// NewScaler validates opts and returns a Scaler.
+func NewScaler(opts Options) (*Scaler, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	return &Scaler{opts: opts}, nil
+}
+
+// Options returns the effective (defaulted) options.
+func (s *Scaler) Options() Options { return s.opts }
+
+// Desired returns the width the observed window traffic calls for,
+// before hysteresis.
+func (s *Scaler) Desired(windowTraffic uint64) int {
+	want := int((windowTraffic + s.opts.TargetLoad - 1) / s.opts.TargetLoad)
+	if want < s.opts.Min {
+		want = s.opts.Min
+	}
+	if want > s.opts.Max {
+		want = s.opts.Max
+	}
+	return want
+}
+
+// Observe feeds one statistics window. It returns (target, true) when a
+// scale decision fires this window, (0, false) otherwise. After a
+// decision the cooldown suppresses further decisions for Cooldown
+// windows and both confirmation streaks restart.
+func (s *Scaler) Observe(windowTraffic uint64, active int) (int, bool) {
+	if s.cooldownLeft > 0 {
+		s.cooldownLeft--
+		return 0, false
+	}
+	want := s.Desired(windowTraffic)
+	switch {
+	case want > active:
+		s.upStreak++
+		s.downStreak = 0
+	case want < active:
+		s.downStreak++
+		s.upStreak = 0
+	default:
+		s.upStreak, s.downStreak = 0, 0
+		return 0, false
+	}
+	if s.upStreak >= s.opts.Confirm || s.downStreak >= s.opts.Confirm {
+		s.noteScaled()
+		return want, true
+	}
+	return 0, false
+}
+
+// noteScaled resets the hysteresis after a scale operation (whether
+// decided here or forced externally via App.ScaleTo).
+func (s *Scaler) noteScaled() {
+	s.upStreak, s.downStreak = 0, 0
+	s.cooldownLeft = s.opts.Cooldown
+}
+
+// NoteScaled informs the scaler of an externally-driven scale operation
+// so its cooldown and streaks restart.
+func (s *Scaler) NoteScaled() { s.noteScaled() }
+
+// CooldownLeft returns the remaining cooldown windows.
+func (s *Scaler) CooldownLeft() int { return s.cooldownLeft }
+
+// Streak returns the current confirmation streak: positive counts
+// consecutive windows wanting growth, negative wanting shrink.
+func (s *Scaler) Streak() int {
+	if s.downStreak > 0 {
+		return -s.downStreak
+	}
+	return s.upStreak
+}

@@ -645,6 +645,30 @@ func (n *Node) DropPeer(peer int) {
 	}
 }
 
+// DetachPeer cleanly removes this node's outgoing connection to peer:
+// the pending batch is flushed first, so — unlike DropPeer — a detach
+// from a live, draining peer loses nothing. The listener stays up and a
+// later Connect re-establishes the link (fresh dictionaries both ends).
+// Used when a peer leaves the cluster administratively (the engine's
+// DecommissionServer) rather than by dying. Safe to call when no
+// connection to peer exists. A flush failure is accounted through
+// DropHandler inside flushLocked, exactly as a failed data flush is.
+func (n *Node) DetachPeer(peer int) {
+	pc := (*n.peers.Load())[peer]
+	if pc == nil {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.broken {
+		return
+	}
+	_ = n.flushLocked(peer, pc, metrics.FlushClose)
+	if !pc.broken { // a failed flush already dropped the connection
+		n.dropConnLocked(peer, pc)
+	}
+}
+
 func (n *Node) accept() {
 	defer n.wg.Done()
 	for {
@@ -785,6 +809,7 @@ func (n *Node) Close() {
 // Fabric is a fully connected set of nodes, one per server.
 type Fabric struct {
 	nodes []*Node
+	addrs map[int]string
 }
 
 // NewFabric starts servers nodes and fully connects them. handler
@@ -799,8 +824,7 @@ func NewFabricWith(servers int, handler func(server int, msg Message), opts Node
 	if servers < 1 {
 		return nil, errors.New("transport: fabric needs at least one server")
 	}
-	f := &Fabric{nodes: make([]*Node, servers)}
-	addrs := make(map[int]string, servers)
+	f := &Fabric{nodes: make([]*Node, servers), addrs: make(map[int]string, servers)}
 	for i := 0; i < servers; i++ {
 		id := i
 		node, err := NewNodeWith(id, func(msg Message) { handler(id, msg) }, opts)
@@ -809,10 +833,10 @@ func NewFabricWith(servers int, handler func(server int, msg Message), opts Node
 			return nil, err
 		}
 		f.nodes[i] = node
-		addrs[i] = node.Addr()
+		f.addrs[i] = node.Addr()
 	}
 	for _, node := range f.nodes {
-		if err := node.Connect(addrs); err != nil {
+		if err := node.Connect(f.addrs); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -852,6 +876,51 @@ func (f *Fabric) CloseNode(server int) {
 	}
 	if node := f.nodes[server]; node != nil {
 		node.Close()
+	}
+}
+
+// Attach (re)connects server to every listed peer in both directions,
+// using the addresses recorded at fabric construction. Peers whose
+// nodes are closed are skipped. Used when a server joins the elastic
+// membership: its listener has been up the whole time, only the
+// outgoing connections need (re-)dialing.
+func (f *Fabric) Attach(server int, peers []int) error {
+	if server < 0 || server >= len(f.nodes) || f.nodes[server] == nil {
+		return fmt.Errorf("transport: attach unknown server %d", server)
+	}
+	want := make(map[int]string, len(peers))
+	for _, p := range peers {
+		if p == server || p < 0 || p >= len(f.nodes) || f.nodes[p] == nil {
+			continue
+		}
+		want[p] = f.addrs[p]
+	}
+	if err := f.nodes[server].Connect(want); err != nil {
+		return err
+	}
+	back := map[int]string{server: f.addrs[server]}
+	for p := range want {
+		if err := f.nodes[p].Connect(back); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Detach cleanly disconnects server from every other node in both
+// directions, flushing pending batches first (DetachPeer), so a detach
+// from a live peer loses nothing. Listeners stay up; a later Attach
+// re-establishes the connections.
+func (f *Fabric) Detach(server int) {
+	if server < 0 || server >= len(f.nodes) || f.nodes[server] == nil {
+		return
+	}
+	for i, node := range f.nodes {
+		if node == nil || i == server {
+			continue
+		}
+		node.DetachPeer(server)
+		f.nodes[server].DetachPeer(i)
 	}
 }
 

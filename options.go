@@ -29,6 +29,8 @@ type options struct {
 	keySplitting   bool
 	splitThreshold float64
 	stateDir       string
+	autoscaleMin   int
+	autoscaleMax   int
 }
 
 func defaultOptions() options {
@@ -150,6 +152,21 @@ func WithKeySplitting() Option {
 // WithKeySplitting is set.
 func WithSplitThreshold(mult float64) Option {
 	return optionFunc(func(o *options) { o.splitThreshold = mult })
+}
+
+// WithAutoscale builds the application for elastic scaling between min
+// and max servers. The placement is laid out at max capacity; servers
+// beyond the initial width (WithServers, clamped into [min, max]) start
+// parked — executors running with open mailboxes but no transport
+// connections and excluded from routing. App.ScaleTo resizes the active
+// membership at runtime with a minimal-movement repartition, and an
+// autopilot built with AutopilotOptions.ScaleTargetLoad closes the loop
+// automatically from the measured window traffic.
+func WithAutoscale(min, max int) Option {
+	return optionFunc(func(o *options) {
+		o.autoscaleMin = min
+		o.autoscaleMax = max
+	})
 }
 
 // WithHashRouting disables routing tables: fields grouping stays pure

@@ -1,0 +1,276 @@
+package locastream
+
+import (
+	"strconv"
+	"testing"
+)
+
+func scaleTopo(t testing.TB, parallelism int) *Topology {
+	t.Helper()
+	topo, err := NewTopology("elastic").
+		AddOperator(Operator{Name: "A", Parallelism: parallelism, Stateful: true,
+			New: func() Processor { return NewCounter(0) }}).
+		AddOperator(Operator{Name: "B", Parallelism: parallelism, Stateful: true,
+			New: func() Processor { return NewCounter(1) }}).
+		Connect("A", "B", Fields, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// injectRoundRobin streams tuples over a fixed key set (key i paired
+// with itself, the perfectly correlated workload) and returns how many
+// each key received.
+func injectRoundRobin(t *testing.T, app *App, tuples, keys int) map[string]uint64 {
+	t.Helper()
+	counts := make(map[string]uint64, keys)
+	for i := 0; i < tuples; i++ {
+		k := "k" + strconv.Itoa(i%keys)
+		counts[k]++
+		if err := app.Inject(Tuple{Values: []string{k, k}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app.Drain()
+	return counts
+}
+
+// countKey sums a key's counter over the operator's instances and
+// reports which instances hold a non-zero share.
+func countKey(t *testing.T, app *App, op string, parallelism int, key string) (uint64, []int) {
+	t.Helper()
+	var total uint64
+	var holders []int
+	for i := 0; i < parallelism; i++ {
+		var n uint64
+		if err := app.ProcessorState(op, i, func(p Processor) {
+			n = p.(interface{ Count(string) uint64 }).Count(key)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n > 0 {
+			holders = append(holders, i)
+		}
+		total += n
+	}
+	return total, holders
+}
+
+func TestWithAutoscaleValidation(t *testing.T) {
+	topo := scaleTopo(t, 4)
+	if _, err := NewApp(topo, WithAutoscale(0, 4)); err == nil {
+		t.Error("zero min accepted")
+	}
+	if _, err := NewApp(topo, WithAutoscale(3, 2)); err == nil {
+		t.Error("max below min accepted")
+	}
+}
+
+func TestScaleToBounds(t *testing.T) {
+	app, err := NewApp(scaleTopo(t, 4), WithAutoscale(2, 4), WithServers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+	if app.Servers() != 4 || app.ActiveServers() != 3 {
+		t.Fatalf("capacity %d active %d, want 4 and 3", app.Servers(), app.ActiveServers())
+	}
+	if _, err := app.ScaleTo(5); err == nil {
+		t.Error("target above max accepted")
+	}
+	if _, err := app.ScaleTo(1); err == nil {
+		t.Error("target below min accepted")
+	}
+	res, err := app.ScaleTo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.From != 3 || res.To != 3 || res.MovedKeys != 0 {
+		t.Fatalf("no-op scale = %+v", res)
+	}
+
+	// Without WithAutoscale the bounds are [1, capacity].
+	fixed, err := NewApp(scaleTopo(t, 2), WithServers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fixed.Stop()
+	if _, err := fixed.ScaleTo(3); err == nil {
+		t.Error("target above capacity accepted")
+	}
+	if _, err := fixed.ScaleTo(2); err != nil {
+		t.Errorf("identity scale on a fixed app: %v", err)
+	}
+}
+
+// TestScaleUpDownPreservesState walks the membership 2 -> 4 -> 3 -> 2
+// under a correlated workload: every resize migrates keyed state with
+// the online protocol, so per-key counts stay exact across the whole
+// churn, nothing is lost, and decommissioned servers end up holding no
+// state and receiving no traffic.
+func TestScaleUpDownPreservesState(t *testing.T) {
+	const parallelism = 4
+	app, err := NewApp(scaleTopo(t, parallelism),
+		WithAutoscale(2, 4), WithServers(2),
+		WithOptimizer(0, 0, 7), WithMaxInFlight(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+	// The attached subsystem makes every scale-down drain state into a
+	// checkpoint first.
+	ft, err := app.NewFaultTolerance(FaultToleranceOptions{Store: NewMemoryCheckpointStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ft.Stop()
+
+	want := make(map[string]uint64)
+	add := func(m map[string]uint64) {
+		for k, n := range m {
+			want[k] += n
+		}
+	}
+
+	add(injectRoundRobin(t, app, 800, 12))
+	if _, err := app.Reconfigure(); err != nil {
+		t.Fatal(err)
+	}
+	add(injectRoundRobin(t, app, 800, 12))
+
+	res, err := app.ScaleTo(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.From != 2 || res.To != 4 || app.ActiveServers() != 4 {
+		t.Fatalf("scale-up = %+v, active %d", res, app.ActiveServers())
+	}
+	if res.MovedKeys > res.MoveBound {
+		t.Fatalf("scale-up moved %d keys, bound %d", res.MovedKeys, res.MoveBound)
+	}
+	// The next optimization spreads the keys over the widened cluster.
+	if _, err := app.Reconfigure(); err != nil {
+		t.Fatal(err)
+	}
+	before := append([]uint64(nil), app.Loads("A")...)
+	add(injectRoundRobin(t, app, 800, 12))
+	after := app.Loads("A")
+	var widened uint64
+	for i := 2; i < parallelism; i++ {
+		widened += after[i] - before[i]
+	}
+	if widened == 0 {
+		t.Fatal("joining servers received no traffic after reconfiguration")
+	}
+
+	res, err = app.ScaleTo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.ActiveServers() != 3 || res.MovedKeys > res.MoveBound {
+		t.Fatalf("scale-down = %+v, active %d", res, app.ActiveServers())
+	}
+	if ft.Status().Fault.Checkpoints == 0 {
+		t.Fatal("scale-down skipped the drain checkpoint")
+	}
+	before = append([]uint64(nil), app.Loads("A")...)
+	add(injectRoundRobin(t, app, 800, 12))
+	after = app.Loads("A")
+	if d := after[3] - before[3]; d != 0 {
+		t.Fatalf("decommissioned server still received %d tuples", d)
+	}
+
+	if _, err = app.ScaleTo(2); err != nil {
+		t.Fatal(err)
+	}
+	add(injectRoundRobin(t, app, 800, 12))
+
+	if lost := app.TuplesLost(); lost != 0 {
+		t.Fatalf("lost %d tuples across the churn", lost)
+	}
+	for _, op := range []string{"A", "B"} {
+		for k, n := range want {
+			total, holders := countKey(t, app, op, parallelism, k)
+			if total != n {
+				t.Fatalf("%s[%s] counted %d, injected %d", op, k, total, n)
+			}
+			for _, h := range holders {
+				if h >= 2 {
+					t.Fatalf("%s[%s] left state on decommissioned instance %d", op, k, h)
+				}
+			}
+		}
+	}
+}
+
+// TestScaleToOneDemotesSplits: scaling to a single server first demotes
+// every hot-key split (their replicas necessarily span leaving servers),
+// merging partials back into one owner — exact counts, zero loss, one
+// holder.
+func TestScaleToOneDemotesSplits(t *testing.T) {
+	const parallelism = 4
+	app, err := NewApp(scaleTopo(t, parallelism),
+		WithAutoscale(1, 4), WithServers(4), WithKeySplitting(),
+		WithOptimizer(0, 0, 7), WithMaxInFlight(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+	ap, err := app.NewAutopilot(AutopilotOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ap.Stop()
+
+	var hotTotal uint64
+	injectHot := func() {
+		for i := 0; i < 800; i++ {
+			k := "t" + strconv.Itoa(i%16)
+			if i%100 < 60 {
+				k = "hot"
+				hotTotal++
+			}
+			if err := app.Inject(Tuple{Values: []string{k, k}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		app.Drain()
+	}
+
+	// Two hot windows promote the hot key (splitter Confirm = 2).
+	injectHot()
+	ap.Tick()
+	injectHot()
+	ap.Tick()
+	if st := ap.Status(); st.Promotions == 0 || len(st.SplitKeys) == 0 {
+		t.Fatalf("hot key never promoted: %+v", st)
+	}
+
+	res, err := app.ScaleTo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.To != 1 || app.ActiveServers() != 1 {
+		t.Fatalf("scale-to-1 = %+v, active %d", res, app.ActiveServers())
+	}
+	if splits := app.live.SplitSnapshot(); len(splits) != 0 {
+		t.Fatalf("splits survived the scale-down: %+v", splits)
+	}
+
+	// The lone server carries the whole stream afterwards.
+	injectHot()
+	if lost := app.TuplesLost(); lost != 0 {
+		t.Fatalf("lost %d tuples", lost)
+	}
+	for _, op := range []string{"A", "B"} {
+		total, holders := countKey(t, app, op, parallelism, "hot")
+		if total != hotTotal {
+			t.Fatalf("%s[hot] counted %d, injected %d", op, total, hotTotal)
+		}
+		if len(holders) != 1 || holders[0] != 0 {
+			t.Fatalf("%s[hot] held by instances %v, want only instance 0", op, holders)
+		}
+	}
+}

@@ -31,6 +31,9 @@ const (
 	Demoted  = control.ActionDemoted
 	// Scaled records an elastic-scaling operation (see WithAutoscale).
 	Scaled = control.ActionScaled
+	// Retuned records an adaptive flush policy change (see
+	// AdaptiveFlush).
+	Retuned = control.ActionRetuned
 )
 
 // AutopilotStatus is the autopilot's public state.
@@ -87,6 +90,23 @@ type AutopilotOptions struct {
 	// rebalance (0 = unbounded; forced moves off leaving servers are
 	// never capped).
 	ScaleMaxMoves int
+
+	// AdaptiveFlush activates the transport flush tuner on an App built
+	// with WithTCPTransport: sustained in-flight pressure widens the
+	// wire batching policy (fewer, larger writev flushes), sustained
+	// idleness walks it back toward the latency floor. Every applied
+	// retune is journaled as a Retuned decision. No-op without a TCP
+	// fabric.
+	AdaptiveFlush bool
+	// FlushHighWater/FlushLowWater are the in-flight depths framing the
+	// tuner's dead band (defaults 4096 and HighWater/16).
+	FlushHighWater int64
+	FlushLowWater  int64
+	// FlushConfirm requires this many consecutive pressured (idle)
+	// windows before a retune (default 2); FlushCooldown skips this many
+	// ticks after one (default 2).
+	FlushConfirm  int
+	FlushCooldown int
 }
 
 // Autopilot is the application's autonomous control plane: a periodic
@@ -125,6 +145,15 @@ func (a *App) NewAutopilot(opts AutopilotOptions) (*Autopilot, error) {
 			Threshold: a.splitThreshold,
 		}
 	}
+	if opts.AdaptiveFlush {
+		copts.Flush = control.FlushOptions{
+			Enabled:   true,
+			HighWater: opts.FlushHighWater,
+			LowWater:  opts.FlushLowWater,
+			Confirm:   opts.FlushConfirm,
+			Cooldown:  opts.FlushCooldown,
+		}
+	}
 	var sink *control.JSONLSink
 	if opts.JournalPath != "" {
 		var err error
@@ -142,6 +171,9 @@ func (a *App) NewAutopilot(opts AutopilotOptions) (*Autopilot, error) {
 	}
 	if a.keySplitting {
 		ctl.AttachSplitEngine(a.live)
+	}
+	if opts.AdaptiveFlush {
+		ctl.AttachFlushEngine(a.live)
 	}
 	if a.stateStore != nil {
 		ctl.SetStateReader(stateReader{s: a.stateStore})

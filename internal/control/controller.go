@@ -97,6 +97,9 @@ type Options struct {
 	// Split tunes the hot-key splitter; it runs only when Split.Enabled
 	// and a split engine is attached (AttachSplitEngine).
 	Split SplitOptions
+	// Flush tunes the adaptive flush tuner; it runs only when
+	// Flush.Enabled and a flush engine is attached (AttachFlushEngine).
+	Flush FlushOptions
 }
 
 func (o *Options) defaults() {
@@ -161,6 +164,14 @@ type Status struct {
 	Promotions int                   `json:"promotions"`
 	Demotions  int                   `json:"demotions"`
 
+	// Retunes counts the adaptive flush tuner's journaled policy
+	// changes; FlushBytes/FlushInterval report the transport's current
+	// batching thresholds (both zero when no flush engine is attached or
+	// the engine runs without a TCP fabric).
+	Retunes       int           `json:"retunes"`
+	FlushBytes    int           `json:"flush_bytes,omitempty"`
+	FlushInterval time.Duration `json:"flush_interval,omitempty"`
+
 	// Scale reports the elastic-scaling state (nil when no scale engine
 	// is attached); also served alone on /scale.
 	Scale *ScaleStatus `json:"scale,omitempty"`
@@ -205,6 +216,8 @@ type Controller struct {
 	splitter     *splitter
 	promotions   int
 	demotions    int
+	tuner        *flushTuner
+	retunes      int
 	scaler       *scale.Scaler
 	scaleEng     ScaleEngine
 	scales       int
@@ -379,6 +392,17 @@ func (c *Controller) tickLocked() (Decision, Snapshot, bool) {
 			c.journal.Record(sd)
 		}
 	}
+	// The adaptive flush tuner runs after the deployment decision and
+	// the splitter: a deployed candidate floods the wire with migration
+	// snapshots, and the tuner should see that pressure in the *next*
+	// window's in-flight depth rather than retune mid-deployment on a
+	// half-collected one.
+	if c.tuner != nil && c.opts.Flush.Enabled && d.Action != ActionError {
+		if td, ok := c.tuner.run(snap, snap.Time, snap.Seq, c.version); ok {
+			c.retunes++
+			c.journal.Record(td)
+		}
+	}
 	// Elastic scaling runs last (see Tick): it sees the tick's window
 	// after the optimizer and the splitter had their say, so a scale
 	// operation's migration never interleaves with a same-tick
@@ -393,6 +417,15 @@ func (c *Controller) AttachSplitEngine(eng SplitEngine) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.splitter = newSplitter(eng, c.opts.Split)
+}
+
+// AttachFlushEngine connects the adaptive flush tuner to the live
+// engine's wire flush API. Without it (or with Options.Flush.Enabled
+// unset) the controller never retunes the transport's batching policy.
+func (c *Controller) AttachFlushEngine(eng FlushEngine) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tuner = newFlushTuner(eng, c.opts.Flush)
 }
 
 // Start launches the periodic loop. It is a no-op when already running.
@@ -586,6 +619,10 @@ func (c *Controller) Status() Status {
 	}
 	if c.splitter != nil {
 		st.SplitKeys = c.splitter.eng.SplitSnapshot()
+	}
+	st.Retunes = c.retunes
+	if c.tuner != nil {
+		st.FlushBytes, st.FlushInterval = c.tuner.eng.WireFlushPolicy()
 	}
 	if snap, ok := c.ring.last(); ok {
 		st.SmoothedLocality = snap.SmoothedLocality

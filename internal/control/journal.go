@@ -45,6 +45,10 @@ const (
 	// to or removed from the cluster, with a minimal-movement
 	// repartition migrating the affected keys.
 	ActionScaled Action = "scaled"
+	// ActionRetuned records the adaptive flush tuner changing the
+	// transport's batching policy (flush bytes / flush interval) in
+	// response to sustained in-flight pressure or idleness.
+	ActionRetuned Action = "retuned"
 )
 
 // Decision is one journal entry: what the controller did on one tick and

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/locastream/locastream/internal/cluster"
 	"github.com/locastream/locastream/internal/metrics"
@@ -73,6 +74,13 @@ type LiveConfig struct {
 	// enables the per-connection dictionary plus the per-frame LZ pass;
 	// transport.CompressionOff keeps the raw PR 4 encoding.
 	WireCompression transport.Compression
+	// FlushBytes/FlushInterval seed the transport's batching thresholds
+	// when TCPTransport is on (zero values take the transport defaults).
+	// They are starting points, not fixed: SetWireFlushPolicy — and the
+	// control plane's adaptive flush tuner through it — retunes both
+	// live.
+	FlushBytes    int
+	FlushInterval time.Duration
 	// KeySplitting enables hot-key splitting (Partial Key Grouping):
 	// promoted keys route 2-of-d-choices over a replica set and replicas'
 	// partials are folded back with the operator's associative combine.
@@ -185,9 +193,9 @@ type message struct {
 	// migrate
 	migKey  string
 	migData []byte
-	// migHasData marks a snapshot as present even when it is empty; gob
-	// drops a zero-length migData on the wire, so the payload alone
-	// cannot distinguish "no state" from "empty state".
+	// migHasData marks a snapshot as present even when it is empty; the
+	// payload alone cannot distinguish "no state" from "empty state",
+	// so the flag crosses the wire as an explicit bit.
 	migHasData bool
 	// migMerge marks the payload as a split-key partial to fold with
 	// MergeKey instead of installing with RestoreKey. Merge records are
@@ -365,7 +373,9 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 		fabric, err := transport.NewFabricWith(cfg.Placement.Servers(), func(_ int, msg transport.Message) {
 			l.deliverWire(msg)
 		}, transport.NodeOptions{
-			Compression: cfg.WireCompression,
+			Compression:   cfg.WireCompression,
+			FlushBytes:    cfg.FlushBytes,
+			FlushInterval: cfg.FlushInterval,
 			// Batched data frames are drained into mailboxes one target
 			// at a time (deliverWireBatch); control traffic (migrations,
 			// propagation markers, heartbeats) still arrives one message
@@ -512,6 +522,30 @@ func (l *Live) WireStats() metrics.WireStats {
 		return metrics.WireStats{}
 	}
 	return l.wire.Snapshot()
+}
+
+// WireFlushPolicy returns the transport's current batching thresholds
+// (zeros without a TCP fabric).
+func (l *Live) WireFlushPolicy() (bytes int, interval time.Duration) {
+	if l.fabric == nil {
+		return 0, 0
+	}
+	return l.fabric.FlushPolicy()
+}
+
+// SetWireFlushPolicy retunes the transport's batching thresholds live
+// on every node (see transport.Node.SetFlushPolicy for clamping).
+// No-op without a TCP fabric; a change that actually alters the policy
+// is counted on the wire meter as a flush retune.
+func (l *Live) SetWireFlushPolicy(bytes int, interval time.Duration) {
+	if l.fabric == nil {
+		return
+	}
+	prevBytes, prevInterval := l.fabric.FlushPolicy()
+	l.fabric.SetFlushPolicy(bytes, interval)
+	if newBytes, newInterval := l.fabric.FlushPolicy(); newBytes != prevBytes || newInterval != prevInterval {
+		l.wire.RecordFlushRetune()
+	}
 }
 
 // sendWire encodes msg for the TCP fabric and reports whether it was
@@ -1235,8 +1269,9 @@ func (e *executor) onPropagate() {
 	// Migrate outgoing state. A record is sent for every planned key —
 	// flagged hasData only when a snapshot exists — so recipients always
 	// clear their pending markers. The explicit flag (not payload
-	// nil-ness) is what survives the wire: gob delivers an empty snapshot
-	// as nil, so local and TCP delivery must agree on the flag instead.
+	// nil-ness) is what survives the wire: the control codec encodes the
+	// flag as its own bit, so local and TCP delivery agree on it even
+	// for a zero-length snapshot.
 	if len(rc.send) > 0 {
 		keys := make([]string, 0, len(rc.send))
 		for k := range rc.send {

@@ -1,6 +1,9 @@
 package metrics
 
-import "sync/atomic"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // FlushReason says why a pending data batch was written to the socket.
 type FlushReason uint8
@@ -17,11 +20,18 @@ const (
 	FlushClose
 )
 
+// FlushSizeBuckets is the number of log2 buckets in the flush-size
+// histogram: bucket 0 counts data frames of up to 64 wire bytes and
+// each subsequent bucket doubles the bound, so the last bucket opens at
+// 2 MiB. The histogram is how the adaptive flush tuner (and operators)
+// see the batch-size distribution rather than just its mean.
+const FlushSizeBuckets = 16
+
 // WireStats is a snapshot of the binary wire protocol's counters.
 type WireStats struct {
 	// FramesSent / TuplesSent / BytesSent cover outgoing data frames
 	// (batched tuples); ControlSent / ControlBytesSent cover outgoing
-	// control frames (gob traffic).
+	// control frames (the versioned varint control codec).
 	FramesSent       uint64 `json:"frames_sent"`
 	TuplesSent       uint64 `json:"tuples_sent"`
 	BytesSent        uint64 `json:"bytes_sent"`
@@ -34,6 +44,21 @@ type WireStats struct {
 	FlushTimer   uint64 `json:"flush_timer"`
 	FlushControl uint64 `json:"flush_control"`
 	FlushClose   uint64 `json:"flush_close"`
+
+	// WritevCalls counts vectored writes handed to the kernel and
+	// WritevFrames the frames they carried; WritevFrames >= WritevCalls,
+	// and the gap is the syscall batching the per-connection flusher
+	// buys (a dictionary announcement, a data frame and a control frame
+	// that used to cost three writes now cost one).
+	WritevCalls  uint64 `json:"writev_calls"`
+	WritevFrames uint64 `json:"writev_frames"`
+
+	// FlushSizeHist is the log2 histogram of sent data-frame wire sizes
+	// (bucket i counts frames of up to 64<<i bytes; the last bucket is
+	// unbounded). FlushRetunes counts live flush-policy changes applied
+	// through the adaptive tuner.
+	FlushSizeHist [FlushSizeBuckets]uint64 `json:"flush_size_hist"`
+	FlushRetunes  uint64                   `json:"flush_retunes"`
 
 	// Compression counters. RawBytesSent is what the sent data frames
 	// would have cost in the raw (un-interned, uncompressed) encoding,
@@ -103,6 +128,28 @@ func (s WireStats) WireBytesPerTuple() float64 {
 	return float64(s.BytesSent+s.DictBytesSent) / float64(s.TuplesSent)
 }
 
+// SyscallsPerFlush is the mean number of vectored writes per sent data
+// frame — the writev coalescing factor. The pre-writev transport paid
+// at least 1.0 (one write per data frame, plus extra writes for
+// dictionary and control frames); the flusher pays 1.0 only when every
+// flush finds an empty queue, and strictly less whenever frames
+// coalesce.
+func (s WireStats) SyscallsPerFlush() float64 {
+	if s.FramesSent == 0 {
+		return 0
+	}
+	return float64(s.WritevCalls) / float64(s.FramesSent)
+}
+
+// FramesPerWritev is the mean number of frames each vectored write
+// carried.
+func (s WireStats) FramesPerWritev() float64 {
+	if s.WritevCalls == 0 {
+		return 0
+	}
+	return float64(s.WritevFrames) / float64(s.WritevCalls)
+}
+
 // DictHitRate is the fraction of string fields sent as dictionary
 // references rather than inline bytes.
 func (s WireStats) DictHitRate() float64 {
@@ -128,6 +175,11 @@ type WireMeter struct {
 	flushTimer   atomic.Uint64
 	flushControl atomic.Uint64
 	flushClose   atomic.Uint64
+
+	writevCalls   atomic.Uint64
+	writevFrames  atomic.Uint64
+	flushSizeHist [FlushSizeBuckets]atomic.Uint64
+	flushRetunes  atomic.Uint64
 
 	rawBytesSent         atomic.Uint64
 	compressedFramesSent atomic.Uint64
@@ -157,6 +209,7 @@ func (m *WireMeter) RecordDataFrameSent(tuples, wireBytes, rawBytes int, compres
 	m.tuplesSent.Add(uint64(tuples))
 	m.bytesSent.Add(uint64(wireBytes))
 	m.rawBytesSent.Add(uint64(rawBytes))
+	m.flushSizeHist[flushSizeBucket(wireBytes)].Add(1)
 	if compressed {
 		m.compressedFramesSent.Add(1)
 	}
@@ -191,6 +244,30 @@ func (m *WireMeter) RecordDictLookups(hits, misses int) {
 func (m *WireMeter) RecordControlSent(bytes int) {
 	m.controlSent.Add(1)
 	m.controlBytesSent.Add(uint64(bytes))
+}
+
+// RecordWritev folds in one vectored write carrying frames frames.
+func (m *WireMeter) RecordWritev(frames int) {
+	m.writevCalls.Add(1)
+	m.writevFrames.Add(uint64(frames))
+}
+
+// RecordFlushRetune folds in one live flush-policy change.
+func (m *WireMeter) RecordFlushRetune() {
+	m.flushRetunes.Add(1)
+}
+
+// flushSizeBucket maps a data frame's wire size to its log2 histogram
+// bucket: 0 for <=64 bytes, doubling per bucket, the last unbounded.
+func flushSizeBucket(wireBytes int) int {
+	if wireBytes <= 64 {
+		return 0
+	}
+	b := bits.Len64(uint64(wireBytes-1)) - 6
+	if b >= FlushSizeBuckets {
+		return FlushSizeBuckets - 1
+	}
+	return b
 }
 
 // RecordFrameReceived folds in one decoded data frame.
@@ -231,7 +308,16 @@ func (m *WireMeter) RecordEncode(nanos int64) {
 // atomic at a time, so a snapshot taken mid-flush may be off by one
 // frame — fine for monitoring, which is all this is for.
 func (m *WireMeter) Snapshot() WireStats {
+	var hist [FlushSizeBuckets]uint64
+	for i := range hist {
+		hist[i] = m.flushSizeHist[i].Load()
+	}
 	return WireStats{
+		WritevCalls:   m.writevCalls.Load(),
+		WritevFrames:  m.writevFrames.Load(),
+		FlushSizeHist: hist,
+		FlushRetunes:  m.flushRetunes.Load(),
+
 		FramesSent:           m.framesSent.Load(),
 		TuplesSent:           m.tuplesSent.Load(),
 		BytesSent:            m.bytesSent.Load(),

@@ -44,7 +44,7 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 	write("FuzzFrameDecode", "raw_two_frames", append(append([]byte{}, frame...), frame...))
 	write("FuzzFrameDecode", "torn_frame", frame[:len(frame)-3])
 	write("FuzzFrameDecode", "oversized_header", []byte{frameData, 0xff, 0xff, 0xff, 0xff})
-	write("FuzzFrameDecode", "control_frame", []byte{frameControl, 4, 0, 0, 0, 1, 2, 3, 4})
+	write("FuzzFrameDecode", "control_frame", []byte{0x02, 4, 0, 0, 0, 1, 2, 3, 4})
 	write("FuzzFrameDecode", "bare_payload", payload)
 	write("FuzzFrameDecode", "dict_compressed_stream", stream)
 	write("FuzzFrameDecode", "torn_compressed", stream[:len(stream)-2])
@@ -65,4 +65,16 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 	write("FuzzDictDecode", "bad_announce", []byte{2, 1, 'a'}, batch)
 	write("FuzzDictDecode", "corrupt_batch", sd.pending, []byte{0xff, 0xff, 0xff})
 	write("FuzzDictDecode", "lz_wrapped_batch", sd.pending, lzAppendCompress(nil, batch, &table))
+
+	// FuzzControlFrameDecode: one []byte, a frameControlV2 payload.
+	ctrls := sampleControls()
+	names := []string{"migrate_with_data", "migrate_empty_present", "migrate_no_data", "propagate", "heartbeat"}
+	for i := range ctrls {
+		write("FuzzControlFrameDecode", names[i], appendControl(nil, &ctrls[i]))
+	}
+	valid := appendControl(nil, &ctrls[0])
+	write("FuzzControlFrameDecode", "torn_snapshot", valid[:len(valid)-3])
+	write("FuzzControlFrameDecode", "future_version", append([]byte{ctrlVersion + 1}, valid[1:]...))
+	write("FuzzControlFrameDecode", "data_kind_rejected", []byte{ctrlVersion, byte(KindData), 0, 0, 0, 0})
+	write("FuzzControlFrameDecode", "trailing_garbage", append(append([]byte{}, valid...), 0xee))
 }

@@ -1,0 +1,129 @@
+package transport
+
+import "encoding/binary"
+
+// Control-frame codec (frameControlV2). Control traffic — migration
+// snapshots, propagation markers, heartbeats — used to ride gob behind
+// frameControl; this codec replaces it with the same uvarint primitives
+// the data path uses, dropping the last reflective encoder from the
+// wire. Each frame is self-contained (no cross-frame state, unlike the
+// data path's dictionary), so a reconnect needs no codec handshake:
+// the first control frame on a fresh connection decodes exactly like
+// the hundredth.
+//
+// frameControlV2 payload layout (all integers unsigned varints unless
+// noted):
+//
+//	version                — 1 byte, ctrlVersion; a decoder seeing a
+//	                         newer version drops the connection rather
+//	                         than guess at fields it does not know
+//	kind                   — 1 byte, KindMigrate/KindPropagate/
+//	                         KindHeartbeat (KindData never uses control
+//	                         frames)
+//	opLen, op bytes        — To.Op
+//	instance               — To.Instance
+//	from                   — origin server
+//	flags                  — 1 byte; bit0 = migration snapshot present
+//	                         (ctrlFlagHasData)
+//	migKeyLen, key bytes   — KindMigrate only: the migrating key
+//	migDataLen, data bytes — KindMigrate only: the state snapshot
+//
+// The explicit presence flag is what gob could not give us: gob elides
+// zero-value fields, so an empty-but-present snapshot decoded as nil
+// and "no state" vs "empty state" was indistinguishable from the
+// payload alone (Message.MigHasData exists for exactly that reason).
+// Here the flag is one bit on the wire and the ambiguity is gone.
+const (
+	// ctrlVersion is the control-frame layout version. Bump it when the
+	// layout changes incompatibly; decoders reject frames from the
+	// future instead of misparsing them.
+	ctrlVersion = 1
+
+	// ctrlFlagHasData marks a migration snapshot as present even when
+	// it is zero-length.
+	ctrlFlagHasData = 0x01
+)
+
+// appendControl appends the frameControlV2 payload encoding of one
+// control message to buf and returns the extended slice. The caller
+// stamps the frame header.
+func appendControl(buf []byte, m *Message) []byte {
+	buf = append(buf, ctrlVersion, byte(m.Kind))
+	buf = appendString(buf, m.To.Op)
+	buf = binary.AppendUvarint(buf, uint64(nonNeg(m.To.Instance)))
+	buf = binary.AppendUvarint(buf, uint64(nonNeg(m.From)))
+	if m.Kind != KindMigrate {
+		buf = append(buf, 0)
+		return buf
+	}
+	var flags byte
+	if m.MigHasData {
+		flags |= ctrlFlagHasData
+	}
+	buf = append(buf, flags)
+	buf = appendString(buf, m.MigKey)
+	buf = binary.AppendUvarint(buf, uint64(len(m.MigData)))
+	return append(buf, m.MigData...)
+}
+
+// decodeControl decodes one frameControlV2 payload. The payload must be
+// consumed exactly — trailing bytes, short fields, an unknown version
+// or a kind that never rides control frames all mean the stream is
+// corrupt and the connection must be dropped, the same contract the
+// batch decoder enforces. MigData is copied out of p so the frame
+// buffer can be recycled immediately.
+func decodeControl(p []byte) (Message, error) {
+	var m Message
+	if len(p) < 2 || p[0] != ctrlVersion {
+		return m, errFrameCorrupt
+	}
+	m.Kind = Kind(p[1])
+	if m.Kind != KindMigrate && m.Kind != KindPropagate && m.Kind != KindHeartbeat {
+		return m, errFrameCorrupt
+	}
+	p = p[2:]
+	var (
+		u  uint64
+		ok bool
+	)
+	if m.To.Op, p, ok = readString(p); !ok {
+		return m, errFrameCorrupt
+	}
+	if u, p, ok = readUvarint(p); !ok || u > maxIntField {
+		return m, errFrameCorrupt
+	}
+	m.To.Instance = int(u)
+	if u, p, ok = readUvarint(p); !ok || u > maxIntField {
+		return m, errFrameCorrupt
+	}
+	m.From = int(u)
+	if len(p) < 1 {
+		return m, errFrameCorrupt
+	}
+	flags := p[0]
+	p = p[1:]
+	if m.Kind != KindMigrate {
+		if flags != 0 || len(p) != 0 {
+			return m, errFrameCorrupt
+		}
+		return m, nil
+	}
+	m.MigHasData = flags&ctrlFlagHasData != 0
+	if flags&^byte(ctrlFlagHasData) != 0 {
+		return m, errFrameCorrupt
+	}
+	if m.MigKey, p, ok = readString(p); !ok {
+		return m, errFrameCorrupt
+	}
+	if u, p, ok = readUvarint(p); !ok || u > uint64(len(p)) {
+		return m, errFrameCorrupt
+	}
+	if u > 0 {
+		m.MigData = append([]byte(nil), p[:u]...)
+	}
+	p = p[u:]
+	if len(p) != 0 {
+		return m, errFrameCorrupt
+	}
+	return m, nil
+}

@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+func sampleControls() []Message {
+	return []Message{
+		{Kind: KindMigrate, To: Addr{Op: "B", Instance: 3}, From: 1,
+			MigKey: "Asia", MigData: []byte("snapshot-bytes"), MigHasData: true},
+		// Empty-but-present snapshot: the case gob's zero-value elision
+		// could not represent. MigData nil, flag set.
+		{Kind: KindMigrate, To: Addr{Op: "B", Instance: 0}, From: 2,
+			MigKey: "k", MigData: nil, MigHasData: true},
+		// No snapshot at all (key had no state at the old owner).
+		{Kind: KindMigrate, To: Addr{Op: "wc", Instance: 7}, From: 0,
+			MigKey: "", MigData: nil, MigHasData: false},
+		{Kind: KindPropagate, To: Addr{Op: "B", Instance: 2}, From: 3},
+		{Kind: KindHeartbeat, To: Addr{Op: "", Instance: 0}, From: 5},
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	for _, in := range sampleControls() {
+		buf := appendControl(nil, &in)
+		out, err := decodeControl(buf)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", in, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+		}
+	}
+}
+
+// TestControlEmptySnapshotSurvives pins the regression the codec was
+// written to fix: an empty-but-present migration snapshot must decode
+// with MigHasData=true, distinguishable from a migration with no
+// snapshot. The payload alone cannot carry that distinction; the flags
+// bit must.
+func TestControlEmptySnapshotSurvives(t *testing.T) {
+	present := Message{Kind: KindMigrate, To: Addr{Op: "B"}, MigKey: "k", MigHasData: true}
+	absent := Message{Kind: KindMigrate, To: Addr{Op: "B"}, MigKey: "k", MigHasData: false}
+	pb, ab := appendControl(nil, &present), appendControl(nil, &absent)
+	if bytes.Equal(pb, ab) {
+		t.Fatal("present and absent empty snapshots encode identically")
+	}
+	pd, err1 := decodeControl(pb)
+	ad, err2 := decodeControl(ab)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("decode: %v / %v", err1, err2)
+	}
+	if !pd.MigHasData || ad.MigHasData {
+		t.Fatalf("MigHasData lost: present=%v absent=%v", pd.MigHasData, ad.MigHasData)
+	}
+}
+
+// TestControlDecodeCorrupt feeds the decoder malformed payloads; every
+// one must error out cleanly with errFrameCorrupt, never panic, never
+// accept.
+func TestControlDecodeCorrupt(t *testing.T) {
+	valid := appendControl(nil, &sampleControls()[0])
+	hb := appendControl(nil, &Message{Kind: KindHeartbeat, From: 1})
+
+	cases := map[string][]byte{
+		"empty":              {},
+		"version only":       {ctrlVersion},
+		"future version":     append([]byte{ctrlVersion + 1}, valid[1:]...),
+		"zero version":       append([]byte{0}, valid[1:]...),
+		"kind data":          {ctrlVersion, byte(KindData), 0, 0, 0, 0},
+		"kind unknown":       {ctrlVersion, 0x7f, 0, 0, 0, 0},
+		"trailing byte":      append(append([]byte{}, valid...), 0),
+		"hb trailing":        append(append([]byte{}, hb...), 0),
+		"hb nonzero flags":   {ctrlVersion, byte(KindHeartbeat), 0, 0, 0, 1},
+		"hb migrate fields":  append(append([]byte{}, hb...), 1, 'k', 0),
+		"mig unknown flag":   {ctrlVersion, byte(KindMigrate), 0, 0, 0, 0x02, 0, 0},
+		"mig len overrun":    {ctrlVersion, byte(KindMigrate), 0, 0, 0, 1, 0, 5, 'a'},
+		"mig len absurd":     append([]byte{ctrlVersion, byte(KindMigrate), 0, 0, 0, 1, 0}, binary.AppendUvarint(nil, 1<<40)...),
+		"op len overrun":     {ctrlVersion, byte(KindHeartbeat), 200},
+		"instance ten bytes": append([]byte{ctrlVersion, byte(KindHeartbeat), 0}, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02),
+	}
+	for name, p := range cases {
+		if _, err := decodeControl(p); err == nil {
+			t.Errorf("%s: corrupt payload accepted", name)
+		}
+	}
+
+	// Every strict prefix of a valid migrate encoding is a truncation
+	// and must be rejected.
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := decodeControl(valid[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// FuzzControlFrameDecode drives the control-frame decoder — the exact
+// function Node.serve hands a frameControlV2 payload to — with
+// arbitrary bytes. It must never panic, and everything it accepts must
+// satisfy the codec's invariants and survive a re-encode round trip.
+func FuzzControlFrameDecode(f *testing.F) {
+	for _, m := range sampleControls() {
+		f.Add(appendControl(nil, &m))
+	}
+	valid := appendControl(nil, &sampleControls()[0])
+	f.Add(valid[:len(valid)-3])                          // torn mid-snapshot
+	f.Add(append([]byte{ctrlVersion + 1}, valid[1:]...)) // future version
+	f.Add([]byte{ctrlVersion, byte(KindData), 0, 0, 0, 0})
+	f.Add(append(append([]byte{}, valid...), 0xee)) // trailing garbage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeControl(data)
+		if err != nil {
+			return
+		}
+		switch m.Kind {
+		case KindMigrate, KindPropagate, KindHeartbeat:
+		default:
+			t.Fatalf("decoded illegal control kind %d", m.Kind)
+		}
+		if m.To.Instance < 0 || m.From < 0 {
+			t.Fatalf("decoded negative int field: %+v", m)
+		}
+		if m.Kind != KindMigrate && (m.MigKey != "" || m.MigData != nil || m.MigHasData) {
+			t.Fatalf("non-migrate decoded migration fields: %+v", m)
+		}
+		// Accepted payloads must round-trip: re-encoding the decoded
+		// message and decoding again yields the identical message (the
+		// encodings may differ only if the input used non-minimal
+		// varints; the decoded values may not).
+		again, err := decodeControl(appendControl(nil, &m))
+		if err != nil {
+			t.Fatalf("re-encode of accepted message rejected: %v (%+v)", err, m)
+		}
+		if !reflect.DeepEqual(m, again) {
+			t.Fatalf("re-encode round trip mismatch:\n in: %+v\nout: %+v", m, again)
+		}
+	})
+}

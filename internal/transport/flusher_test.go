@@ -1,0 +1,259 @@
+package transport
+
+import (
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/locastream/locastream/internal/metrics"
+)
+
+// TestWritevCoalescesQueuedFrames pins the tentpole property of the
+// flusher: frames that pile up while a vectored write is (or could be)
+// in flight drain in ONE net.Buffers round, not one syscall each. The
+// test parks the flusher by holding the peer's batch lock, stages eight
+// complete frames, releases the lock and watches the meter: all eight
+// must leave through a single writev.
+func TestWritevCoalescesQueuedFrames(t *testing.T) {
+	meter := new(metrics.WireMeter)
+	recv, err := NewNode(1, func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	n, err := NewNodeWith(0, func(Message) {}, NodeOptions{Meter: meter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.Connect(map[int]string{1: recv.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+
+	pc := (*n.peers.Load())[1]
+	if pc == nil {
+		t.Fatal("no peer connection")
+	}
+	const frames = 8
+	msg := Message{Kind: KindData, To: Addr{Op: "B", Instance: 1}, Key: "k", Values: []string{"v"}}
+	pc.mu.Lock()
+	// With the lock held the flusher cannot wake from its cond.Wait, so
+	// every frame staged here lands in the same queue generation.
+	for i := 0; i < frames; i++ {
+		buf := pc.takeBufLocked()
+		buf = appendTuple(buf, &msg)
+		putFrameHeader(buf, frameData)
+		pc.enqueueLocked(queuedFrame{
+			buf: buf, class: classData, tuples: 1,
+			rawBytes: len(buf) - frameHeaderLen, reason: metrics.FlushSize,
+		})
+	}
+	pc.mu.Unlock()
+
+	deadline := time.Now().Add(5 * time.Second)
+	var snap metrics.WireStats
+	for {
+		snap = meter.Snapshot()
+		if snap.FramesSent >= frames || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if snap.FramesSent != frames {
+		t.Fatalf("FramesSent = %d, want %d", snap.FramesSent, frames)
+	}
+	if snap.WritevCalls != 1 || snap.WritevFrames != frames {
+		t.Fatalf("writev calls/frames = %d/%d, want 1/%d (queued frames must coalesce)",
+			snap.WritevCalls, snap.WritevFrames, frames)
+	}
+	if spf := snap.SyscallsPerFlush(); spf >= 1 {
+		t.Fatalf("syscalls/flush = %.3f, want < 1 with a backed-up queue", spf)
+	}
+}
+
+// TestKillPeerMidFlushExactAccounting is the writev-queue settlement
+// regression test: when the connection dies with frames still staged in
+// the flusher's queue (and a partial batch behind them), every accepted
+// tuple must end up exactly once on one side of the ledger —
+// FlushedHandler's running sum keeps the tuples that reached the
+// kernel, DropHandler gets the rest, and the two add back up to every
+// Send that returned nil.
+func TestKillPeerMidFlushExactAccounting(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			accepted <- conn // hold open, never read: the writev queue backs up
+		}
+	}()
+
+	var dropped, flushedNet atomic.Int64
+	n, err := NewNodeWith(0, func(Message) {}, NodeOptions{
+		WriteTimeout:   200 * time.Millisecond,
+		FlushBytes:     1 << 10,
+		DropHandler:    func(tuples int) { dropped.Add(int64(tuples)) },
+		FlushedHandler: func(_, tuples int) { flushedNet.Add(int64(tuples)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.Connect(map[int]string{1: ln.Addr().String()}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		select {
+		case conn := <-accepted:
+			conn.Close()
+		default:
+		}
+	}()
+
+	// Distinct pseudo-random payloads defeat the dictionary and the LZ
+	// pass, so the queue fills with real bytes until the write deadline
+	// kills the connection mid-flush.
+	rng := rand.New(rand.NewSource(11))
+	raw := make([]byte, 1<<10)
+	sent := 0
+	for i := 0; i < 1<<16; i++ {
+		rng.Read(raw)
+		if n.Send(1, Message{Kind: KindData, Key: "k", Values: []string{string(raw)}}) != nil {
+			break
+		}
+		sent++
+	}
+	if sent == 0 {
+		t.Fatal("no send was ever accepted")
+	}
+
+	// The flusher settles its in-hand frames asynchronously after the
+	// write error; poll until the ledger balances.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if flushedNet.Load()+dropped.Load() == int64(sent) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := flushedNet.Load() + dropped.Load(); got != int64(sent) {
+		t.Fatalf("ledger off: flushed %d + dropped %d = %d, want %d accepted tuples",
+			flushedNet.Load(), dropped.Load(), got, sent)
+	}
+	if dropped.Load() == 0 {
+		t.Fatal("stalled peer lost nothing: the writev queue was never exercised")
+	}
+	if flushedNet.Load() < 0 {
+		t.Fatalf("flushed sum went negative (%d): a frame was debited twice", flushedNet.Load())
+	}
+}
+
+// TestReconnectDuringRetune is the round-3 TCP drill: live traffic, a
+// concurrent tug-of-war on the flush policy (the adaptive tuner's view
+// of the world), a peer drop and a reconnect in the middle — after
+// which the ledger must still balance exactly and traffic must flow on
+// the new connection under whatever policy won.
+func TestReconnectDuringRetune(t *testing.T) {
+	var received atomic.Int64
+	recv, err := NewNode(1, func(m Message) {
+		if m.Kind == KindData {
+			received.Add(1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	var dropped, flushedNet atomic.Int64
+	n, err := NewNodeWith(0, func(Message) {}, NodeOptions{
+		DropHandler:    func(tuples int) { dropped.Add(int64(tuples)) },
+		FlushedHandler: func(_, tuples int) { flushedNet.Add(int64(tuples)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.Connect(map[int]string{1: recv.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+
+	var accepted atomic.Int64
+	stop := make(chan struct{})
+	pumpDone := make(chan struct{})
+	go func() {
+		defer close(pumpDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Sends fail while the connection is down mid-drill; only
+			// accepted tuples enter the ledger.
+			if n.Send(1, Message{Kind: KindData, To: Addr{Op: "B"}, Key: "k", Values: []string{"vvvvvvvv"}}) == nil {
+				accepted.Add(1)
+			}
+		}
+	}()
+
+	var beforeReconnect int64
+	for i := 0; i < 60; i++ {
+		// Alternate the extremes the adaptive tuner swings between.
+		if i%2 == 0 {
+			n.SetFlushPolicy(MinFlushBytes, MinFlushInterval)
+		} else {
+			n.SetFlushPolicy(1<<20, 10*time.Millisecond)
+		}
+		if i == 30 {
+			n.DropPeer(1)
+			beforeReconnect = received.Load()
+			if err := n.Connect(map[int]string{1: recv.Addr()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-pumpDone
+
+	// A synchronous control send drains everything staged before it on
+	// the live connection.
+	if err := n.Send(1, Message{Kind: KindHeartbeat, From: 0}); err != nil {
+		t.Fatalf("heartbeat after reconnect: %v", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if flushedNet.Load()+dropped.Load() == accepted.Load() || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := flushedNet.Load() + dropped.Load(); got != accepted.Load() {
+		t.Fatalf("ledger off after reconnect drill: flushed %d + dropped %d = %d, want %d accepted",
+			flushedNet.Load(), dropped.Load(), got, accepted.Load())
+	}
+	// Delivered tuples are a subset of the tuples handed to the kernel.
+	if received.Load() > flushedNet.Load() {
+		t.Fatalf("received %d > flushed %d: a lost frame was delivered", received.Load(), flushedNet.Load())
+	}
+	// The new connection must carry traffic.
+	reconDeadline := time.Now().Add(5 * time.Second)
+	for received.Load() <= beforeReconnect && time.Now().Before(reconDeadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if received.Load() <= beforeReconnect {
+		t.Fatal("no tuple was delivered after the reconnect")
+	}
+	// The last retune won and survives the drill (clamped by the node).
+	if bytes, interval := n.FlushPolicy(); bytes != 1<<20 || interval != 10*time.Millisecond {
+		t.Fatalf("flush policy after drill = %d/%v, want %d/%v", bytes, interval, 1<<20, 10*time.Millisecond)
+	}
+}

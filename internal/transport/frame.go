@@ -16,13 +16,13 @@ import (
 //	+------+----------------+=================+
 //
 // frameData carries a batch of KindData messages in the compact binary
-// tuple encoding below; frameControl carries exactly one gob-encoded
-// Message (migration snapshots, propagation markers, heartbeats — rare
-// control traffic where gob's self-describing flexibility is worth its
-// per-message cost). frameDict announces per-connection dictionary
-// entries, frameDataDict is the dictionary-tagged batch encoding, and
-// frameCompressed wraps an LZ-compressed frameData/frameDataDict
-// payload (see dict.go and lz.go; byte layouts in PROTOCOL.md).
+// tuple encoding below; frameControlV2 carries exactly one control
+// Message (migration snapshots, propagation markers, heartbeats) in
+// the versioned varint layout of ctrl.go. frameDict announces
+// per-connection dictionary entries, frameDataDict is the
+// dictionary-tagged batch encoding, and frameCompressed wraps an
+// LZ-compressed frameData/frameDataDict payload (see dict.go and
+// lz.go; byte layouts in PROTOCOL.md).
 //
 // A reader that cannot parse a frame — truncated header or payload,
 // length prefix beyond maxFramePayload, unknown type byte, malformed
@@ -32,11 +32,14 @@ import (
 const (
 	frameHeaderLen = 5
 
-	frameData       byte = 0x01
-	frameControl    byte = 0x02
+	frameData byte = 0x01
+	// 0x02 is retired: it carried the PR 4–8 gob control encoding and
+	// is rejected as corrupt today. Do not reuse the id — a frame from
+	// a stale peer must fail loudly, not misparse.
 	frameDict       byte = 0x03
 	frameDataDict   byte = 0x04
 	frameCompressed byte = 0x05
+	frameControlV2  byte = 0x06
 
 	// maxFramePayload bounds a frame's declared payload length. A reader
 	// seeing a larger prefix treats the stream as corrupt and drops the
@@ -186,7 +189,9 @@ func readFrame(r io.Reader, hdr []byte) (typ byte, payload *[]byte, err error) {
 		return 0, nil, err
 	}
 	typ = hdr[0]
-	if typ < frameData || typ > frameCompressed {
+	switch typ {
+	case frameData, frameDict, frameDataDict, frameCompressed, frameControlV2:
+	default:
 		return 0, nil, errFrameCorrupt
 	}
 	length := binary.LittleEndian.Uint32(hdr[1:frameHeaderLen])

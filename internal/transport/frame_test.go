@@ -184,7 +184,7 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add(append(append([]byte{}, frame...), frame...))
 	f.Add(frame[:len(frame)-3]) // torn mid-payload
 	f.Add([]byte{frameData, 0xff, 0xff, 0xff, 0xff})
-	f.Add([]byte{frameControl, 4, 0, 0, 0, 1, 2, 3, 4})
+	f.Add([]byte{0x02, 4, 0, 0, 0, 1, 2, 3, 4}) // retired gob-control id: must be rejected
 	f.Add(payload)
 	// Compressed/dictionary-era seeds.
 	seed := fuzzSeedStream()

@@ -8,15 +8,24 @@
 // transfers expensive in the paper's measurements.
 //
 // Data tuples (KindData) are packed into per-peer batches with a compact
-// varint encoding and flushed when the batch reaches FlushBytes or ages
-// past FlushInterval — the amortization Storm's batched Netty transport
-// applies to the same cost. Control traffic (state migrations,
-// propagation markers, heartbeats) stays gob-encoded behind its own
-// frame type: it is rare, its payloads are irregular, and gob's
-// self-describing encoding keeps those paths simple. A control send
-// first flushes the pending data batch on the same connection, so the
-// per-pair FIFO order the reconfiguration protocol relies on (§3.4) is
-// preserved exactly.
+// varint encoding and staged for the connection's flusher once the batch
+// reaches FlushBytes or ages past FlushInterval — the amortization
+// Storm's batched Netty transport applies to the same cost. Each
+// connection owns one flusher goroutine that drains every staged frame —
+// dictionary announcements, data batches, control frames — through a
+// single vectored write (net.Buffers, writev on Linux), so a flush that
+// used to cost one syscall per frame now hands the whole backlog to the
+// kernel at once. Control traffic (state migrations, propagation
+// markers, heartbeats) rides the same versioned varint framing as data
+// (see ctrl.go); a control Send stages the pending batch first and then
+// waits for its own frame to reach the kernel, so control errors stay
+// synchronous and the per-pair FIFO order the reconfiguration protocol
+// relies on (§3.4) is preserved exactly.
+//
+// FlushBytes and FlushInterval are live-tunable (SetFlushPolicy): the
+// control plane widens batches under load and shrinks the interval when
+// the stream idles, trading latency for throughput the same way it
+// trades locality for migration cost.
 //
 // One Node is created per simulated server. Each ordered pair of nodes
 // shares one TCP connection, so messages between two servers are
@@ -25,9 +34,7 @@ package transport
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
@@ -74,9 +81,9 @@ type Message struct {
 	MigKey  string
 	MigData []byte
 	// MigHasData distinguishes "no state for this key" from an
-	// empty-but-present snapshot: gob omits zero-value fields, so a
-	// non-nil empty MigData decodes as nil at the receiver and the two
-	// cases are indistinguishable from the payload alone.
+	// empty-but-present snapshot. It rides the wire as an explicit flag
+	// bit (ctrl.go), so the two cases stay distinguishable even when
+	// the snapshot is zero-length.
 	MigHasData bool
 }
 
@@ -128,15 +135,31 @@ const (
 	DefaultFlushInterval = time.Millisecond
 )
 
+// Flush-policy clamps for SetFlushPolicy: whatever the adaptive tuner
+// asks for, the transport never batches below MinFlushBytes (the frame
+// header would dominate) nor above MaxFlushBytes, and the interval
+// stays inside [MinFlushInterval, MaxFlushInterval] so a runaway policy
+// cannot park tuples forever or busy-flush per tuple.
+const (
+	MinFlushBytes    = 1 << 9
+	MaxFlushBytes    = 1 << 22
+	MinFlushInterval = 50 * time.Microsecond
+	MaxFlushInterval = time.Second
+)
+
+// maxFreeBufs bounds each connection's staging-buffer free list; beyond
+// it buffers are left to the garbage collector.
+const maxFreeBufs = 8
+
 // NodeOptions tune a node's network behaviour. The zero value makes a
 // single no-timeout dial attempt per peer, blocks writes until the
 // kernel accepts them, and batches data tuples with the default
 // FlushBytes/FlushInterval thresholds.
 type NodeOptions struct {
-	// WriteTimeout bounds each socket write (batch flushes and control
-	// frames): if the peer's socket stays unwritable (stalled reader,
+	// WriteTimeout bounds each vectored write the flusher hands to the
+	// kernel: if the peer's socket stays unwritable (stalled reader,
 	// dead host with a full window) past the deadline, the write fails
-	// instead of hanging the caller. The connection is dropped on any
+	// instead of hanging the flusher. The connection is dropped on any
 	// write error — a partially written frame cannot be resumed — so
 	// subsequent Sends to that peer fail fast.
 	WriteTimeout time.Duration
@@ -150,13 +173,14 @@ type NodeOptions struct {
 	// subsequent one (default 10ms when DialRetries > 0).
 	DialBackoff time.Duration
 
-	// FlushBytes flushes a peer's pending data batch once its encoded
+	// FlushBytes stages a peer's pending data batch once its encoded
 	// payload reaches this many bytes (default DefaultFlushBytes).
+	// Live-tunable afterwards with SetFlushPolicy.
 	FlushBytes int
 	// FlushInterval bounds how long a pending batch waits for more
-	// tuples before being flushed anyway (default DefaultFlushInterval).
+	// tuples before being staged anyway (default DefaultFlushInterval).
 	// Batching therefore delays a tuple by at most this much; it never
-	// reorders anything.
+	// reorders anything. Live-tunable afterwards with SetFlushPolicy.
 	FlushInterval time.Duration
 
 	// Compression selects the data-frame encoding; the zero value
@@ -171,23 +195,27 @@ type NodeOptions struct {
 	BatchHandler BatchHandler
 	// DropHandler, when set, is called with the number of batched
 	// KindData messages discarded because their connection broke before
-	// the batch could be flushed. Senders that count tuples in flight
-	// need this to settle their accounting; the callback must be cheap
-	// and must not call back into the transport.
+	// they could reach the kernel — whether they were still in the
+	// pending batch or already staged in the flusher's writev queue.
+	// Senders that count tuples in flight need this to settle their
+	// accounting; the callback must be cheap and must not call back
+	// into the transport.
 	DropHandler func(tuples int)
 	// FlushedHandler, when set, is called with the number of KindData
-	// tuples in each data frame handed to the kernel, keyed by the
+	// tuples in each data frame staged for the flusher, keyed by the
 	// destination peer — the sender-side half of exactly-once loss
 	// accounting (BatchHandler's node is the matching receive side). If
-	// the write then fails it is called again with the negated count
-	// before DropHandler reports the loss, so the running sum per peer
-	// counts only frames actually on the wire. Called under the peer's
-	// batch lock: must be cheap and must not call back into the
+	// the frame then fails to reach the kernel — the vectored write
+	// breaks before it, or the connection is dropped with the frame
+	// still queued — it is called again with the negated count before
+	// DropHandler reports the loss, so the running sum per peer counts
+	// only frames actually handed to the kernel. Called under the
+	// peer's batch lock: must be cheap and must not call back into the
 	// transport.
 	FlushedHandler func(peer, tuples int)
 	// Meter, when set, accumulates wire statistics (frames, tuples per
-	// frame, bytes, flush reasons, encode time) across all of the node's
-	// connections.
+	// frame, bytes, flush reasons, writev batching, encode time) across
+	// all of the node's connections.
 	Meter *metrics.WireMeter
 }
 
@@ -199,8 +227,11 @@ type Node struct {
 	handler Handler
 	opts    NodeOptions
 
-	flushBytes    int
-	flushInterval time.Duration
+	// flushBytes/flushIntervalNs hold the live flush policy; they are
+	// atomics so SetFlushPolicy can retune them mid-stream without
+	// stalling the per-tuple send path.
+	flushBytes      atomic.Int64
+	flushIntervalNs atomic.Int64
 
 	// peers is copy-on-write: Send loads it with one atomic read (the
 	// per-tuple fast path takes no node-wide lock); Connect, connection
@@ -240,19 +271,63 @@ func (n *Node) removePeerLocked(id int, pc *peerConn) {
 	n.peers.Store(&next)
 }
 
-// peerConn serializes writes to one peer and owns the pending data
-// batch: a single reusable buffer holding the frame header placeholder
-// followed by the tuples encoded so far. With compression enabled it
-// also owns the connection's send dictionary and the LZ scratch state —
-// all of it created with the connection and discarded with it, so a
-// reconnect always starts from empty state on both ends.
+// frameClass says what a staged frame carries, for the flusher's meter
+// accounting and loss settlement.
+type frameClass uint8
+
+const (
+	classData frameClass = iota
+	classDict
+	classControl
+)
+
+// queuedFrame is one complete frame (header stamped) staged for the
+// connection's flusher.
+type queuedFrame struct {
+	buf                  []byte
+	class                frameClass
+	tuples               int // KindData tuples inside (classData only)
+	rawBytes             int // raw-encoding equivalent, for the meter's ratio
+	compressed           bool
+	reason               metrics.FlushReason
+	dictEntries          int // classDict: entries announced
+	dictHits, dictMisses int // classData: lookup counts for the meter
+}
+
+// peerConn serializes staging to one peer and owns the pending data
+// batch, the flusher's frame queue, and — with compression enabled —
+// the connection's send dictionary and LZ scratch state. All of it is
+// created with the connection and discarded with it, so a reconnect
+// always starts from empty state on both ends.
+//
+// Lifecycle of a frame: Send appends tuples into buf under mu; a full
+// or expired batch is staged — header stamped, FlushedHandler credited,
+// appended to q — and the flusher is signalled. The flusher swaps q out
+// under mu, writes every staged frame with one vectored write outside
+// mu, then advances wroteSeq and recycles the buffers. Control senders
+// wait on cond until wroteSeq covers their frame, which keeps their
+// error reporting synchronous. Loss settlement on a broken connection
+// is exact: whoever transitions broken (flusher write error, DropPeer,
+// Close) settles the frames still in q plus the unstaged batch, and the
+// flusher settles whatever was in its hands when the write failed.
 type peerConn struct {
-	mu     sync.Mutex
-	conn   net.Conn
+	mu   sync.Mutex
+	cond *sync.Cond // signalled on q/wroteSeq/broken transitions
+	conn net.Conn
+
 	buf    []byte // frameHeaderLen reserved bytes + encoded tuples
 	batchN int    // tuples currently in buf
 	timer  *time.Timer
 	broken bool
+
+	q        []queuedFrame // staged frames awaiting the flusher
+	qSpare   []queuedFrame // flusher's previous queue, reused
+	qBytes   int           // sum of len(buf) over q
+	enqSeq   uint64        // frames ever staged
+	wroteSeq uint64        // frames fully handed to the kernel
+	writeErr error         // first write error, for control senders
+
+	free [][]byte // recycled staging buffers
 
 	// dict is non-nil when the node interns strings (CompressionAuto or
 	// CompressionDict); rawBytes accumulates what the current batch
@@ -265,6 +340,35 @@ type peerConn struct {
 	lzBuf   []byte
 	lzTable *[1 << lzHashBits]int32
 	lzDefer int
+}
+
+// takeBufLocked returns a staging buffer with the frame header
+// reserved, recycled from the flusher when possible.
+func (pc *peerConn) takeBufLocked() []byte {
+	for len(pc.free) > 0 {
+		b := pc.free[len(pc.free)-1]
+		pc.free = pc.free[:len(pc.free)-1]
+		if cap(b) >= frameHeaderLen {
+			return b[:frameHeaderLen]
+		}
+	}
+	return make([]byte, frameHeaderLen, frameHeaderLen+4096)
+}
+
+// recycleBufLocked returns a written frame's buffer to the free list.
+func (pc *peerConn) recycleBufLocked(b []byte) {
+	if cap(b) > maxPooledBuf || len(pc.free) >= maxFreeBufs {
+		return
+	}
+	pc.free = append(pc.free, b[:0])
+}
+
+// enqueueLocked stages one complete frame for the flusher.
+func (pc *peerConn) enqueueLocked(f queuedFrame) {
+	pc.q = append(pc.q, f)
+	pc.qBytes += len(f.buf)
+	pc.enqSeq++
+	pc.cond.Broadcast()
 }
 
 // NewNode starts a node listening on an ephemeral localhost port.
@@ -285,14 +389,16 @@ func NewNodeWith(id int, handler Handler, opts NodeOptions) (*Node, error) {
 	n := &Node{id: id, ln: ln, handler: handler, opts: opts}
 	empty := make(map[int]*peerConn)
 	n.peers.Store(&empty)
-	n.flushBytes = opts.FlushBytes
-	if n.flushBytes <= 0 {
-		n.flushBytes = DefaultFlushBytes
+	fb := opts.FlushBytes
+	if fb <= 0 {
+		fb = DefaultFlushBytes
 	}
-	n.flushInterval = opts.FlushInterval
-	if n.flushInterval <= 0 {
-		n.flushInterval = DefaultFlushInterval
+	n.flushBytes.Store(int64(fb))
+	fi := opts.FlushInterval
+	if fi <= 0 {
+		fi = DefaultFlushInterval
 	}
+	n.flushIntervalNs.Store(int64(fi))
 	n.wg.Add(1)
 	go n.accept()
 	return n, nil
@@ -303,6 +409,39 @@ func (n *Node) ID() int { return n.id }
 
 // Addr returns the node's listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// FlushPolicy returns the node's current flush thresholds.
+func (n *Node) FlushPolicy() (bytes int, interval time.Duration) {
+	return int(n.flushBytes.Load()), time.Duration(n.flushIntervalNs.Load())
+}
+
+// SetFlushPolicy retunes the batching thresholds live, for every
+// current and future connection. Non-positive values leave the
+// corresponding knob unchanged; the rest are clamped into
+// [MinFlushBytes, MaxFlushBytes] and [MinFlushInterval,
+// MaxFlushInterval]. In-flight batches finish under the policy they
+// started with; the new thresholds apply from the next tuple on. Safe
+// for concurrent use with Send.
+func (n *Node) SetFlushPolicy(bytes int, interval time.Duration) {
+	if bytes > 0 {
+		if bytes < MinFlushBytes {
+			bytes = MinFlushBytes
+		}
+		if bytes > MaxFlushBytes {
+			bytes = MaxFlushBytes
+		}
+		n.flushBytes.Store(int64(bytes))
+	}
+	if interval > 0 {
+		if interval < MinFlushInterval {
+			interval = MinFlushInterval
+		}
+		if interval > MaxFlushInterval {
+			interval = MaxFlushInterval
+		}
+		n.flushIntervalNs.Store(int64(interval))
+	}
+}
 
 // Connect dials every peer in the map (peer id -> address). Peers may be
 // connected before they have connected back; each direction uses its own
@@ -325,16 +464,24 @@ func (n *Node) Connect(peers map[int]string) error {
 		n.DropPeer(id)
 		pc := &peerConn{
 			conn: conn,
-			buf:  make([]byte, frameHeaderLen, frameHeaderLen+n.flushBytes+4096),
+			buf:  make([]byte, frameHeaderLen, frameHeaderLen+int(n.flushBytes.Load())+4096),
 		}
+		pc.cond = sync.NewCond(&pc.mu)
 		if n.opts.Compression != CompressionOff {
 			pc.dict = newSendDict()
 		}
 		pc.timer = time.AfterFunc(time.Hour, func() { n.flushExpired(id, pc) })
 		pc.timer.Stop()
 		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return errors.New("transport: node is closed")
+		}
 		n.setPeerLocked(id, pc)
+		n.wg.Add(1)
 		n.mu.Unlock()
+		go n.flusher(id, pc)
 	}
 	return nil
 }
@@ -369,17 +516,19 @@ func (n *Node) dial(addr string) (net.Conn, error) {
 // nodes are delivered in order.
 //
 // KindData messages are appended to the peer's pending batch and return
-// immediately; the batch is written as one data frame when it reaches
+// immediately; the batch is staged for the flusher when it reaches
 // FlushBytes, ages past FlushInterval, or a control message needs the
-// stream. A batched tuple whose flush later fails is reported through
-// DropHandler, not through Send's error. All other kinds are control
-// traffic: they flush the pending batch, then write their own gob frame
-// before returning, so their errors are synchronous.
+// stream. Once accepted, a data tuple's fate is reported through
+// FlushedHandler/DropHandler, never through a later Send's error — Send
+// fails only when the connection is already gone. All other kinds are
+// control traffic: they stage the pending batch, then wait until their
+// own frame has been handed to the kernel, so their errors are
+// synchronous.
 //
-// With a WriteTimeout configured, a write that cannot make progress
-// within the deadline fails — and the connection is dropped, since a
-// truncated frame cannot carry further messages — instead of blocking
-// the caller forever.
+// With a WriteTimeout configured, a flusher write that cannot make
+// progress within the deadline fails — and the connection is dropped,
+// since a truncated frame cannot carry further messages — so senders
+// are never blocked forever on a stalled peer.
 func (n *Node) Send(peer int, msg Message) error {
 	pc := (*n.peers.Load())[peer]
 	if pc == nil {
@@ -402,10 +551,12 @@ func (n *Node) Send(peer int, msg Message) error {
 // resulting EncodeNanos is an estimate — fine for a monitoring counter.
 const encodeSampleMask = 63
 
-// sendDataLocked encodes one tuple into the peer's batch, flushing on
+// sendDataLocked encodes one tuple into the peer's batch, staging on
 // the size threshold and arming the flush timer when the batch opens.
 // With a dictionary attached the tuple is encoded in tagged form and
-// the raw-equivalent size accumulated for the meter's ratio.
+// the raw-equivalent size accumulated for the meter's ratio. When the
+// flusher's queue is saturated the sender waits here — backpressure,
+// not loss.
 func (n *Node) sendDataLocked(peer int, pc *peerConn, msg *Message) error {
 	if m := n.opts.Meter; m != nil && pc.batchN&encodeSampleMask == 0 {
 		start := time.Now()
@@ -415,44 +566,58 @@ func (n *Node) sendDataLocked(peer int, pc *peerConn, msg *Message) error {
 		pc.appendLocked(msg)
 	}
 	pc.batchN++
-	if len(pc.buf)-frameHeaderLen >= n.flushBytes {
-		return n.flushLocked(peer, pc, metrics.FlushSize)
+	flushBytes := int(n.flushBytes.Load())
+	if len(pc.buf)-frameHeaderLen >= flushBytes {
+		if err := n.stageBatchLocked(peer, pc, metrics.FlushSize); err != nil {
+			return err
+		}
+		// Backpressure: the queue bound is a small multiple of the flush
+		// threshold, so a sender that outruns the kernel parks here until
+		// the flusher drains (or the connection breaks, which settles the
+		// staged tuples through DropHandler).
+		limit := 4 * flushBytes
+		if limit < 256<<10 {
+			limit = 256 << 10
+		}
+		for pc.qBytes > limit && !pc.broken {
+			pc.cond.Wait()
+		}
+		return nil
 	}
 	if pc.batchN == 1 {
-		pc.timer.Reset(n.flushInterval)
+		pc.timer.Reset(time.Duration(n.flushIntervalNs.Load()))
 	}
 	return nil
 }
 
-// sendControlLocked writes one gob-encoded control frame, after pushing
-// out any batched tuples so the connection's FIFO order is preserved.
+// sendControlLocked stages one binary control frame — after the pending
+// data batch, preserving the connection's FIFO order — and waits until
+// the flusher has handed it to the kernel, so the caller observes write
+// failures synchronously.
 func (n *Node) sendControlLocked(peer int, pc *peerConn, msg *Message) error {
-	if err := n.flushLocked(peer, pc, metrics.FlushControl); err != nil {
+	if err := n.stageBatchLocked(peer, pc, metrics.FlushControl); err != nil {
 		return err
 	}
-	bp := getBuf(frameHeaderLen)
-	defer putBuf(bp)
-	bb := bytes.NewBuffer((*bp)[:frameHeaderLen])
-	// Each control frame is a self-contained gob stream: control traffic
-	// is rare enough that re-sending type descriptors costs little, and
-	// self-contained frames keep torn-stream recovery trivial.
-	if err := gob.NewEncoder(bb).Encode(msg); err != nil {
-		return fmt.Errorf("transport: encode control for %d: %w", peer, err)
-	}
-	frame := bb.Bytes()
-	if len(frame)-frameHeaderLen > maxFramePayload {
+	b := pc.takeBufLocked()
+	b = appendControl(b, msg)
+	if len(b)-frameHeaderLen > maxFramePayload {
+		pc.recycleBufLocked(b)
 		return fmt.Errorf("transport: control frame for %d exceeds %d bytes", peer, maxFramePayload)
 	}
-	putFrameHeader(frame, frameControl)
-	if err := n.writeLocked(pc, frame); err != nil {
-		n.dropConnLocked(peer, pc)
-		return fmt.Errorf("transport: send to %d: %w", peer, err)
+	putFrameHeader(b, frameControlV2)
+	pc.enqueueLocked(queuedFrame{buf: b, class: classControl})
+	seq := pc.enqSeq
+	for !pc.broken && pc.wroteSeq < seq {
+		pc.cond.Wait()
 	}
-	*bp = frame[:0] // return the (possibly grown) buffer to the pool
-	if m := n.opts.Meter; m != nil {
-		m.RecordControlSent(len(frame))
+	if pc.wroteSeq >= seq {
+		return nil
 	}
-	return nil
+	err := pc.writeErr
+	if err == nil {
+		err = errors.New("connection dropped")
+	}
+	return fmt.Errorf("transport: send to %d: %w", peer, err)
 }
 
 // appendLocked encodes one tuple into the batch buffer, raw or
@@ -466,26 +631,23 @@ func (pc *peerConn) appendLocked(msg *Message) {
 	pc.buf = appendTuple(pc.buf, msg)
 }
 
-// flushLocked writes the peer's pending batch as one data frame —
-// preceded by a dictionary-announce frame when tuples in the batch
-// promoted new entries, and wrapped in a compressed frame when the LZ
-// pass actually shrank it. On a write error the connection is dropped
-// and the batched tuples are reported to DropHandler — they were
-// accepted by earlier Sends and are now gone.
-func (n *Node) flushLocked(peer int, pc *peerConn, reason metrics.FlushReason) error {
+// stageBatchLocked hands the peer's pending batch to the flusher as one
+// data frame — preceded by a dictionary-announce frame when tuples in
+// the batch promoted new entries, and wrapped in a compressed frame
+// when the LZ pass actually shrank it. The tuples are credited to
+// FlushedHandler here, before the flusher can possibly write them (the
+// receiver decrements on delivery, so the credit must come first); a
+// later write failure takes the credit back and reports the loss.
+func (n *Node) stageBatchLocked(peer int, pc *peerConn, reason metrics.FlushReason) error {
 	if pc.batchN == 0 {
 		return nil
 	}
 	if len(pc.buf)-frameHeaderLen > maxFramePayload {
 		// Unreachable with sane FlushBytes; guard anyway so a giant tuple
 		// can never emit a frame the receiver is obliged to reject.
-		tuples := pc.batchN
-		n.resetBatchLocked(pc)
-		n.dropConnLocked(peer, pc)
-		if n.opts.DropHandler != nil {
-			n.opts.DropHandler(tuples)
-		}
-		return fmt.Errorf("transport: batch for %d exceeds %d bytes", peer, maxFramePayload)
+		err := fmt.Errorf("transport: batch for %d exceeds %d bytes", peer, maxFramePayload)
+		n.breakConnLocked(peer, pc, err)
+		return err
 	}
 	tuples := pc.batchN
 	rawBytes := len(pc.buf) // raw-equivalent frame size, header included
@@ -497,29 +659,16 @@ func (n *Node) flushLocked(peer int, pc *peerConn, reason metrics.FlushReason) e
 		dictHits, dictMisses = pc.dict.hits, pc.dict.misses
 		pc.dict.hits, pc.dict.misses = 0, 0
 		// Entries promoted by this batch must be installed at the receiver
-		// before the batch's references to them decode: announce first,
-		// on the same FIFO stream.
+		// before the batch's references to them decode: announce first, on
+		// the same FIFO stream (the flusher writes the queue in order).
 		if pc.dict.pendingEntries > 0 {
 			entries := pc.dict.pendingEntries
-			bp := getBuf(frameHeaderLen)
-			frame := append(*bp, pc.dict.pending...)
-			putFrameHeader(frame, frameDict)
-			err := n.writeLocked(pc, frame)
-			*bp = frame[:0]
-			putBuf(bp)
-			if err != nil {
-				n.resetBatchLocked(pc)
-				n.dropConnLocked(peer, pc)
-				if n.opts.DropHandler != nil {
-					n.opts.DropHandler(tuples)
-				}
-				return fmt.Errorf("transport: send to %d: %w", peer, err)
-			}
+			db := pc.takeBufLocked()
+			db = append(db, pc.dict.pending...)
+			putFrameHeader(db, frameDict)
 			pc.dict.pending = pc.dict.pending[:0]
 			pc.dict.pendingEntries = 0
-			if m := n.opts.Meter; m != nil {
-				m.RecordDictFrameSent(entries, len(frame))
-			}
+			pc.enqueueLocked(queuedFrame{buf: db, class: classDict, dictEntries: entries})
 		}
 	}
 	frame := pc.buf
@@ -545,88 +694,211 @@ func (n *Node) flushLocked(peer int, pc *peerConn, reason metrics.FlushReason) e
 			}
 		}
 	}
-	if !compressed {
+	if compressed {
+		// The queue takes ownership of the LZ buffer; the batch buffer is
+		// immediately reusable. The next LZ attempt re-grows its scratch.
+		pc.lzBuf = nil
+		pc.buf = pc.buf[:frameHeaderLen]
+	} else {
 		putFrameHeader(frame, typ)
+		pc.buf = pc.takeBufLocked()
 	}
-	// The flushed count must be visible before the receiver can possibly
-	// deliver the frame (it is decremented on delivery), so it is
-	// recorded before the write and taken back if the write fails.
+	pc.batchN = 0
+	pc.rawBytes = 0
 	if n.opts.FlushedHandler != nil {
 		n.opts.FlushedHandler(peer, tuples)
 	}
-	err := n.writeLocked(pc, frame)
-	frameBytes := len(frame)
-	n.resetBatchLocked(pc)
-	if err != nil {
-		if n.opts.FlushedHandler != nil {
-			n.opts.FlushedHandler(peer, -tuples)
-		}
-		n.dropConnLocked(peer, pc)
-		if n.opts.DropHandler != nil {
-			n.opts.DropHandler(tuples)
-		}
-		return fmt.Errorf("transport: send to %d: %w", peer, err)
-	}
-	if m := n.opts.Meter; m != nil {
-		m.RecordDataFrameSent(tuples, frameBytes, rawBytes, compressed, reason)
-		if dictHits|dictMisses != 0 {
-			m.RecordDictLookups(dictHits, dictMisses)
-		}
-	}
+	pc.enqueueLocked(queuedFrame{
+		buf:        frame,
+		class:      classData,
+		tuples:     tuples,
+		rawBytes:   rawBytes,
+		compressed: compressed,
+		reason:     reason,
+		dictHits:   dictHits,
+		dictMisses: dictMisses,
+	})
 	return nil
 }
 
-// resetBatchLocked empties the pending batch state after a flush
-// attempt, successful or not.
-func (n *Node) resetBatchLocked(pc *peerConn) {
-	pc.buf = pc.buf[:frameHeaderLen]
-	pc.batchN = 0
-	pc.rawBytes = 0
-}
-
-// writeLocked writes one frame under the node's write deadline.
-func (n *Node) writeLocked(pc *peerConn, frame []byte) error {
-	if n.opts.WriteTimeout > 0 {
-		_ = pc.conn.SetWriteDeadline(time.Now().Add(n.opts.WriteTimeout))
-	}
-	_, err := pc.conn.Write(frame)
-	if n.opts.WriteTimeout > 0 {
-		_ = pc.conn.SetWriteDeadline(time.Time{})
-	}
-	return err
-}
-
-// flushExpired is the FlushInterval timer callback: write out whatever
-// the batch holds. A failure is reported through DropHandler (there is
-// no caller to return an error to).
+// flushExpired is the FlushInterval timer callback: stage whatever the
+// batch holds. No socket write happens on the timer goroutine — the
+// flusher owns all I/O.
 func (n *Node) flushExpired(peer int, pc *peerConn) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if pc.broken {
 		return
 	}
-	_ = n.flushLocked(peer, pc, metrics.FlushTimer)
+	_ = n.stageBatchLocked(peer, pc, metrics.FlushTimer)
 }
 
-// dropConnLocked closes and forgets a peer connection whose stream is no
-// longer usable (a write failed or timed out mid-frame). Callers hold
-// pc.mu.
-func (n *Node) dropConnLocked(peer int, pc *peerConn) {
+// flusher is the connection's single writer: it drains every staged
+// frame through one vectored write (writev), so a backlog of
+// dictionary announcements, data batches and control frames reaches
+// the kernel as one syscall instead of one per frame. It exits when
+// the connection breaks — including by its own write failing.
+func (n *Node) flusher(peer int, pc *peerConn) {
+	defer n.wg.Done()
+	var (
+		batch   []queuedFrame
+		scratch [][]byte
+	)
+	for {
+		pc.mu.Lock()
+		for len(pc.q) == 0 && !pc.broken {
+			pc.cond.Wait()
+		}
+		if pc.broken {
+			pc.mu.Unlock()
+			return
+		}
+		batch, pc.q = pc.q, pc.qSpare[:0]
+		pc.qSpare = batch
+		pc.qBytes = 0
+		conn := pc.conn
+		// Senders parked on the queue bound can refill while the write is
+		// in flight.
+		pc.cond.Broadcast()
+		pc.mu.Unlock()
+
+		scratch = scratch[:0]
+		for i := range batch {
+			scratch = append(scratch, batch[i].buf)
+		}
+		wv := net.Buffers(scratch)
+		if wt := n.opts.WriteTimeout; wt > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(wt))
+		}
+		written, err := wv.WriteTo(conn)
+		if n.opts.WriteTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Time{})
+		}
+
+		if err == nil {
+			n.recordWritten(batch, len(batch))
+			pc.mu.Lock()
+			pc.wroteSeq += uint64(len(batch))
+			for i := range batch {
+				pc.recycleBufLocked(batch[i].buf)
+			}
+			pc.cond.Broadcast()
+			pc.mu.Unlock()
+			continue
+		}
+
+		// The stream is dead mid-queue. Frames fully handed to the kernel
+		// count as written (their FlushedHandler credit stands); the
+		// partially-written frame and everything after it is lost and must
+		// be settled exactly once — these frames are in our hands, not in
+		// pc.q, so whoever broke the connection (possibly us, below) has
+		// not already counted them.
+		k := 0
+		rem := written
+		for k < len(batch) && rem >= int64(len(batch[k].buf)) {
+			rem -= int64(len(batch[k].buf))
+			k++
+		}
+		n.recordWritten(batch[:k], len(batch[:k]))
+		pc.mu.Lock()
+		pc.wroteSeq += uint64(k)
+		if !pc.broken {
+			n.breakConnLocked(peer, pc, err)
+		} else if pc.writeErr == nil {
+			pc.writeErr = err
+		}
+		n.settleFramesLocked(peer, batch[k:])
+		pc.cond.Broadcast()
+		pc.mu.Unlock()
+		return
+	}
+}
+
+// recordWritten folds written frames into the meter: one writev call
+// covering frames frames, then the per-frame counters.
+func (n *Node) recordWritten(frames []queuedFrame, count int) {
+	m := n.opts.Meter
+	if m == nil {
+		return
+	}
+	if count > 0 {
+		m.RecordWritev(count)
+	}
+	for i := range frames {
+		f := &frames[i]
+		switch f.class {
+		case classData:
+			m.RecordDataFrameSent(f.tuples, len(f.buf), f.rawBytes, f.compressed, f.reason)
+			if f.dictHits|f.dictMisses != 0 {
+				m.RecordDictLookups(f.dictHits, f.dictMisses)
+			}
+		case classDict:
+			m.RecordDictFrameSent(f.dictEntries, len(f.buf))
+		case classControl:
+			m.RecordControlSent(len(f.buf))
+		}
+	}
+}
+
+// settleFramesLocked accounts for staged frames that will never reach
+// the kernel: each data frame's FlushedHandler credit is taken back,
+// then the total tuple loss is reported once through DropHandler — the
+// same negate-then-drop order a failed single-frame flush always used.
+func (n *Node) settleFramesLocked(peer int, frames []queuedFrame) {
+	lost := 0
+	for i := range frames {
+		if frames[i].class == classData && frames[i].tuples > 0 {
+			if n.opts.FlushedHandler != nil {
+				n.opts.FlushedHandler(peer, -frames[i].tuples)
+			}
+			lost += frames[i].tuples
+		}
+	}
+	if lost > 0 && n.opts.DropHandler != nil {
+		n.opts.DropHandler(lost)
+	}
+}
+
+// breakConnLocked is the single transition to the broken state: it
+// settles every frame still in the queue and the unstaged batch,
+// closes the socket and forgets the peer. Exactly-once settlement
+// hinges on this running once — every caller checks pc.broken first —
+// and on the flusher settling its own in-hand frames separately.
+// Callers hold pc.mu.
+func (n *Node) breakConnLocked(peer int, pc *peerConn, err error) {
 	pc.broken = true
+	if pc.writeErr == nil {
+		pc.writeErr = err
+	}
 	pc.timer.Stop()
+	q := pc.q
+	pc.q = nil
+	pc.qBytes = 0
+	n.settleFramesLocked(peer, q)
+	if pc.batchN > 0 {
+		tuples := pc.batchN
+		pc.buf = pc.buf[:frameHeaderLen]
+		pc.batchN = 0
+		pc.rawBytes = 0
+		if n.opts.DropHandler != nil {
+			n.opts.DropHandler(tuples)
+		}
+	}
 	_ = pc.conn.Close()
 	n.mu.Lock()
 	n.removePeerLocked(peer, pc)
 	n.mu.Unlock()
+	pc.cond.Broadcast()
 }
 
 // DropPeer severs this node's outgoing connection to peer without
-// waiting for a write to fail. Tuples batched but not yet flushed are
-// reported through DropHandler — exactly once, matching the accounting
-// a failed flush would have done. Used when a peer is known dead (the
-// engine's KillServer) so loss is settled deterministically, and before
-// a Connect that re-dials the same peer. Safe to call when no
-// connection to peer exists.
+// waiting for a write to fail. Tuples batched or staged but not yet
+// handed to the kernel are reported through DropHandler — exactly once,
+// with staged frames' FlushedHandler credits taken back first, matching
+// the accounting a failed flush would have done. Used when a peer is
+// known dead (the engine's KillServer) so loss is settled
+// deterministically, and before a Connect that re-dials the same peer.
+// Safe to call when no connection to peer exists.
 func (n *Node) DropPeer(peer int) {
 	pc := (*n.peers.Load())[peer]
 	if pc == nil {
@@ -637,22 +909,18 @@ func (n *Node) DropPeer(peer int) {
 	if pc.broken {
 		return
 	}
-	tuples := pc.batchN
-	n.resetBatchLocked(pc)
-	n.dropConnLocked(peer, pc)
-	if tuples > 0 && n.opts.DropHandler != nil {
-		n.opts.DropHandler(tuples)
-	}
+	n.breakConnLocked(peer, pc, errors.New("peer dropped"))
 }
 
 // DetachPeer cleanly removes this node's outgoing connection to peer:
-// the pending batch is flushed first, so — unlike DropPeer — a detach
-// from a live, draining peer loses nothing. The listener stays up and a
-// later Connect re-establishes the link (fresh dictionaries both ends).
-// Used when a peer leaves the cluster administratively (the engine's
-// DecommissionServer) rather than by dying. Safe to call when no
-// connection to peer exists. A flush failure is accounted through
-// DropHandler inside flushLocked, exactly as a failed data flush is.
+// the pending batch is staged and the flusher drained first, so —
+// unlike DropPeer — a detach from a live, draining peer loses nothing.
+// The listener stays up and a later Connect re-establishes the link
+// (fresh dictionaries both ends). Used when a peer leaves the cluster
+// administratively (the engine's DecommissionServer) rather than by
+// dying. Safe to call when no connection to peer exists. A flush
+// failure is accounted through DropHandler exactly as a failed data
+// flush is.
 func (n *Node) DetachPeer(peer int) {
 	pc := (*n.peers.Load())[peer]
 	if pc == nil {
@@ -663,9 +931,12 @@ func (n *Node) DetachPeer(peer int) {
 	if pc.broken {
 		return
 	}
-	_ = n.flushLocked(peer, pc, metrics.FlushClose)
-	if !pc.broken { // a failed flush already dropped the connection
-		n.dropConnLocked(peer, pc)
+	_ = n.stageBatchLocked(peer, pc, metrics.FlushClose)
+	for !pc.broken && pc.wroteSeq < pc.enqSeq {
+		pc.cond.Wait()
+	}
+	if !pc.broken { // a failed drain already dropped the connection
+		n.breakConnLocked(peer, pc, errors.New("peer detached"))
 	}
 }
 
@@ -751,9 +1022,9 @@ func (n *Node) serve(conn net.Conn) {
 			if m := n.opts.Meter; m != nil {
 				m.RecordDictFrameReceived(entries, wireBytes)
 			}
-		case frameControl:
+		case frameControlV2:
 			var msg Message
-			if err = gob.NewDecoder(bytes.NewReader(payload)).Decode(&msg); err != nil {
+			if msg, err = decodeControl(payload); err != nil {
 				break
 			}
 			if m := n.opts.Meter; m != nil {
@@ -771,8 +1042,8 @@ func (n *Node) serve(conn net.Conn) {
 	}
 }
 
-// Close stops accepting, flushes and closes every outgoing connection
-// and waits for the reader goroutines to exit. Idempotent.
+// Close stops accepting, drains and closes every outgoing connection
+// and waits for the reader and flusher goroutines to exit. Idempotent.
 func (n *Node) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -791,12 +1062,16 @@ func (n *Node) Close() {
 	for peer, pc := range peers {
 		pc.mu.Lock()
 		if !pc.broken {
-			// Best-effort drain of the pending batch; a failure is already
-			// accounted through DropHandler inside flushLocked.
-			_ = n.flushLocked(peer, pc, metrics.FlushClose)
-			pc.broken = true
-			pc.timer.Stop()
-			_ = pc.conn.Close()
+			// Best-effort drain of the pending batch and staged queue; a
+			// write failure is accounted through DropHandler by the flusher
+			// and wakes this wait via the broken flag.
+			_ = n.stageBatchLocked(peer, pc, metrics.FlushClose)
+			for !pc.broken && pc.wroteSeq < pc.enqSeq {
+				pc.cond.Wait()
+			}
+			if !pc.broken {
+				n.breakConnLocked(peer, pc, errors.New("node closed"))
+			}
 		}
 		pc.mu.Unlock()
 	}
@@ -852,11 +1127,32 @@ func (f *Fabric) Send(from, to int, msg Message) error {
 	return f.nodes[from].Send(to, msg)
 }
 
+// SetFlushPolicy retunes every node's batching thresholds live (see
+// Node.SetFlushPolicy for clamping and semantics).
+func (f *Fabric) SetFlushPolicy(bytes int, interval time.Duration) {
+	for _, node := range f.nodes {
+		if node != nil {
+			node.SetFlushPolicy(bytes, interval)
+		}
+	}
+}
+
+// FlushPolicy returns the fabric's current flush thresholds (every
+// node shares the same policy).
+func (f *Fabric) FlushPolicy() (bytes int, interval time.Duration) {
+	for _, node := range f.nodes {
+		if node != nil {
+			return node.FlushPolicy()
+		}
+	}
+	return 0, 0
+}
+
 // DropPeer severs every surviving node's outgoing connection to server,
-// reporting not-yet-flushed batches through DropHandler. Called before
-// CloseNode when a server is killed: afterwards no survivor can flush
-// another frame to it, which pins the flushed-but-undelivered count for
-// exact loss settlement.
+// reporting batched and queue-staged tuples through DropHandler. Called
+// before CloseNode when a server is killed: afterwards no survivor can
+// flush another frame to it, which pins the flushed-but-undelivered
+// count for exact loss settlement.
 func (f *Fabric) DropPeer(server int) {
 	for i, node := range f.nodes {
 		if node != nil && i != server {
@@ -908,7 +1204,7 @@ func (f *Fabric) Attach(server int, peers []int) error {
 }
 
 // Detach cleanly disconnects server from every other node in both
-// directions, flushing pending batches first (DetachPeer), so a detach
+// directions, draining pending batches first (DetachPeer), so a detach
 // from a live peer loses nothing. Listeners stay up; a later Attach
 // re-establishes the connections.
 func (f *Fabric) Detach(server int) {

@@ -221,6 +221,130 @@ func BenchmarkGobForward(b *testing.B) {
 	awaitBench(b, done)
 }
 
+// BenchmarkWireWritev measures the flusher's vectored-write batching at
+// a fixed queue depth: each round stages eight complete frames while
+// the flusher is parked on the peer's lock, releases it, and waits for
+// the vectored write to hand all eight to the kernel. One writev per
+// eight frames, by construction — so the gated syscalls/flush metric
+// sits at 1/8 deterministically (1.0 is the pre-writev transport's
+// floor: one write syscall per frame), and ns/op prices the drain path
+// itself.
+func BenchmarkWireWritev(b *testing.B) {
+	const depth = 8
+	meter := new(metrics.WireMeter)
+	recv, err := NewNode(1, func(Message) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer recv.Close()
+	n, err := NewNodeWith(0, func(Message) {}, NodeOptions{Meter: meter})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.Connect(map[int]string{1: recv.Addr()}); err != nil {
+		b.Fatal(err)
+	}
+	pc := (*n.peers.Load())[1]
+	msg := benchMessage()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for staged := 0; staged < b.N; {
+		batch := depth
+		if left := b.N - staged; left < batch {
+			batch = left
+		}
+		pc.mu.Lock()
+		for i := 0; i < batch; i++ {
+			buf := pc.takeBufLocked()
+			buf = appendTuple(buf, &msg)
+			putFrameHeader(buf, frameData)
+			pc.enqueueLocked(queuedFrame{
+				buf: buf, class: classData, tuples: 1,
+				rawBytes: len(buf) - frameHeaderLen, reason: metrics.FlushSize,
+			})
+		}
+		// Wait for the single vectored write that drains the batch.
+		for pc.wroteSeq < pc.enqSeq && !pc.broken {
+			pc.cond.Wait()
+		}
+		pc.mu.Unlock()
+		staged += batch
+	}
+	b.StopTimer()
+	if st := meter.Snapshot(); st.WritevCalls > 0 {
+		b.ReportMetric(st.SyscallsPerFlush(), "syscalls/flush")
+		b.ReportMetric(st.FramesPerWritev(), "frames/writev")
+	}
+}
+
+// BenchmarkWireAdaptiveFlush is the adaptive-flush end-to-end number:
+// tuples stream while a background goroutine retunes the flush policy
+// between its extremes every few hundred microseconds — the adaptive
+// tuner's steady thrash, compressed in time. The ns/op shows what a
+// mid-stream retune costs the data path (it should cost nothing: the
+// policy is two atomics).
+func BenchmarkWireAdaptiveFlush(b *testing.B) {
+	var (
+		received atomic.Int64
+		target   atomic.Int64
+	)
+	done := make(chan struct{}, 1)
+	f, err := NewFabricWith(2, func(int, Message) {}, NodeOptions{
+		BatchHandler: func(_ int, msgs []Message) {
+			if t := target.Load(); t > 0 && received.Add(int64(len(msgs))) >= t {
+				select {
+				case done <- struct{}{}:
+				default:
+				}
+			}
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		wide := false
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(500 * time.Microsecond):
+			}
+			if wide {
+				f.SetFlushPolicy(MaxFlushBytes, 10*time.Millisecond)
+			} else {
+				f.SetFlushPolicy(MinFlushBytes, MinFlushInterval)
+			}
+			wide = !wide
+		}
+	}()
+
+	msg := benchMessage()
+	target.Store(4096)
+	for i := 0; i < 4096; i++ {
+		if err := f.Send(0, 1, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	awaitBench(b, done)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	target.Store(received.Load() + int64(b.N))
+	for i := 0; i < b.N; i++ {
+		if err := f.Send(0, 1, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	awaitBench(b, done)
+}
+
 // BenchmarkWireEncode isolates the steady-state encode path — one tuple
 // appended to a warm batch buffer — which must run allocation-free
 // (also pinned by TestEncodeSteadyStateZeroAlloc).

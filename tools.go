@@ -1,0 +1,16 @@
+//go:build tools
+
+// Package tools pins the versions of the CLI tools CI installs outside
+// the module graph. The blank imports never build (the tools tag is
+// never set); they exist so `go mod tidy -tags tools` would surface the
+// pins and so the versions live next to the code they check. Keep the
+// versions here and in .github/workflows/ci.yml (STATICCHECK_VERSION,
+// GOVULNCHECK_VERSION) in lockstep: the workflow installs exactly these,
+// caches the binaries, and fails closed if they drift from the cache
+// key.
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"  // v1.1.3
+	_ "honnef.co/go/tools/cmd/staticcheck" // 2024.1.1
+)

@@ -34,6 +34,9 @@ const (
 	// Retuned records an adaptive flush policy change (see
 	// AdaptiveFlush).
 	Retuned = control.ActionRetuned
+	// Federated records a cross-cluster key migration approved by the
+	// federation layer (see WithClusters).
+	Federated = control.ActionFederated
 )
 
 // AutopilotStatus is the autopilot's public state.
@@ -90,6 +93,15 @@ type AutopilotOptions struct {
 	// rebalance (0 = unbounded; forced moves off leaving servers are
 	// never capped).
 	ScaleMaxMoves int
+
+	// FederationConfirm requires this many consecutive windows in which
+	// the cross-cluster move set clears the inter-cluster cost gate
+	// before it deploys (default 1); FederationCooldown skips the gate
+	// for this many ticks after a cross-cluster deployment (default 0).
+	// Both apply only on an App built with WithClusters; intra-cluster
+	// moves use the ordinary Confirm/Cooldown, tracked per cluster.
+	FederationConfirm  int
+	FederationCooldown int
 
 	// AdaptiveFlush activates the transport flush tuner on an App built
 	// with WithTCPTransport: sustained in-flight pressure widens the
@@ -172,6 +184,14 @@ func (a *App) NewAutopilot(opts AutopilotOptions) (*Autopilot, error) {
 	if a.keySplitting {
 		ctl.AttachSplitEngine(a.live)
 	}
+	if a.place.Clusters() > 1 && !a.clusterBlind {
+		ctl.AttachFederation(lockedManager{app: a}, control.FederationOptions{
+			Enabled:  true,
+			Clusters: a.place.Clusters(),
+			Confirm:  opts.FederationConfirm,
+			Cooldown: opts.FederationCooldown,
+		})
+	}
 	if opts.AdaptiveFlush {
 		ctl.AttachFlushEngine(a.live)
 	}
@@ -223,6 +243,18 @@ func (m lockedManager) DeployCandidate(c *core.Candidate) error {
 	m.app.reconfigMu.Lock()
 	defer m.app.reconfigMu.Unlock()
 	return m.app.mgr.DeployCandidate(c)
+}
+
+func (m lockedManager) FederatedCandidate(costPerKey float64) (*core.FederatedCandidate, error) {
+	m.app.reconfigMu.Lock()
+	defer m.app.reconfigMu.Unlock()
+	return m.app.mgr.FederatedCandidate(costPerKey)
+}
+
+func (m lockedManager) MergeFederated(fc *core.FederatedCandidate, approved map[int]bool, approveCross bool) *core.Candidate {
+	m.app.reconfigMu.Lock()
+	defer m.app.reconfigMu.Unlock()
+	return m.app.mgr.MergeFederated(fc, approved, approveCross)
 }
 
 func (m lockedManager) Recover() (uint64, bool, error) {

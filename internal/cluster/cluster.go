@@ -11,15 +11,47 @@ import (
 	"github.com/locastream/locastream/internal/topology"
 )
 
+// Locality tiers, cheapest first. Tier(from, to) classifies a transfer
+// between two servers; TierCosts prices each class relative to a
+// same-rack remote hop.
+const (
+	// TierServer: both instances on the same server (in-process hand-off).
+	TierServer = iota
+	// TierRack: different servers sharing a rack (one ToR switch hop).
+	TierRack
+	// TierCluster: different racks inside one cluster (aggregation layer).
+	TierCluster
+	// TierRegion: different clusters (the metered cross-region link).
+	TierRegion
+	// NumTiers is the number of locality tiers.
+	NumTiers
+)
+
+// TierCosts is the relative transfer cost of each locality tier, indexed
+// by the Tier* constants. Costs must be non-negative and non-decreasing
+// from TierServer to TierRegion.
+type TierCosts [NumTiers]float64
+
+// DefaultTierCosts prices the hierarchy the way the federation layer
+// assumes it: in-process free, rack hop 1, cross-rack 4, and the
+// cross-cluster link 100× a rack hop — the gate every federated
+// migration must amortize.
+func DefaultTierCosts() TierCosts { return TierCosts{0, 1, 4, 100} }
+
 // Placement maps every operator instance to the server hosting it, and
-// every server to a rack (a single rack by default). Rack information
-// feeds the hierarchical locality extension sketched in the paper's
-// conclusion.
+// every server to a rack and a cluster (a single rack in a single
+// cluster by default). The rack and cluster tiers feed the hierarchical
+// locality extension sketched in the paper's conclusion: the partitioner
+// splits keys across clusters before racks before servers, and the
+// federation layer prices cross-cluster moves with TierCosts.
 type Placement struct {
-	servers  int
-	serverOf map[string][]int // op -> instance index -> server
-	rackOf   []int            // server -> rack
-	racks    int
+	servers   int
+	serverOf  map[string][]int // op -> instance index -> server
+	rackOf    []int            // server -> rack
+	racks     int
+	clusterOf []int // server -> cluster
+	clusters  int
+	costs     TierCosts
 }
 
 // NewRoundRobin places instance i of every operator on server i mod
@@ -30,12 +62,7 @@ func NewRoundRobin(t *topology.Topology, servers int) (*Placement, error) {
 	if servers < 1 {
 		return nil, fmt.Errorf("cluster: %d servers, want >= 1", servers)
 	}
-	p := &Placement{
-		servers:  servers,
-		serverOf: make(map[string][]int),
-		rackOf:   make([]int, servers),
-		racks:    1,
-	}
+	p := newPlacement(servers)
 	for _, op := range t.Operators() {
 		assign := make([]int, op.Parallelism)
 		for i := range assign {
@@ -46,18 +73,25 @@ func NewRoundRobin(t *topology.Topology, servers int) (*Placement, error) {
 	return p, nil
 }
 
+func newPlacement(servers int) *Placement {
+	return &Placement{
+		servers:   servers,
+		serverOf:  make(map[string][]int),
+		rackOf:    make([]int, servers),
+		racks:     1,
+		clusterOf: make([]int, servers),
+		clusters:  1,
+		costs:     DefaultTierCosts(),
+	}
+}
+
 // NewExplicit builds a placement from an explicit map of operator name to
 // per-instance server indices.
 func NewExplicit(t *topology.Topology, servers int, assign map[string][]int) (*Placement, error) {
 	if servers < 1 {
 		return nil, fmt.Errorf("cluster: %d servers, want >= 1", servers)
 	}
-	p := &Placement{
-		servers:  servers,
-		serverOf: make(map[string][]int),
-		rackOf:   make([]int, servers),
-		racks:    1,
-	}
+	p := newPlacement(servers)
 	for _, op := range t.Operators() {
 		a, ok := assign[op.Name]
 		if !ok {
@@ -79,7 +113,8 @@ func NewExplicit(t *topology.Topology, servers int, assign map[string][]int) (*P
 }
 
 // AssignRacks maps servers to racks. rackOf must list one non-negative
-// rack per server; rack numbering may be sparse.
+// rack per server; rack numbering may be sparse. When clusters were
+// already assigned, every rack must stay within one cluster.
 func (p *Placement) AssignRacks(rackOf []int) error {
 	if len(rackOf) != p.servers {
 		return fmt.Errorf("cluster: %d rack entries for %d servers", len(rackOf), p.servers)
@@ -93,10 +128,101 @@ func (p *Placement) AssignRacks(rackOf []int) error {
 			racks = r + 1
 		}
 	}
+	if p.clusters > 1 && racks > 1 {
+		if err := checkNesting(rackOf, p.clusterOf); err != nil {
+			return err
+		}
+	}
 	p.rackOf = append([]int(nil), rackOf...)
 	p.racks = racks
 	return nil
 }
+
+// AssignClusters maps servers to clusters. clusterOf must list one
+// non-negative cluster per server; cluster numbering may be sparse.
+// When racks were already assigned, every rack must stay within one
+// cluster (a physical rack cannot straddle the cross-region link).
+func (p *Placement) AssignClusters(clusterOf []int) error {
+	if len(clusterOf) != p.servers {
+		return fmt.Errorf("cluster: %d cluster entries for %d servers", len(clusterOf), p.servers)
+	}
+	clusters := 0
+	for s, c := range clusterOf {
+		if c < 0 {
+			return fmt.Errorf("cluster: server %d has negative cluster %d", s, c)
+		}
+		if c+1 > clusters {
+			clusters = c + 1
+		}
+	}
+	if p.racks > 1 && clusters > 1 {
+		if err := checkNesting(p.rackOf, clusterOf); err != nil {
+			return err
+		}
+	}
+	p.clusterOf = append([]int(nil), clusterOf...)
+	p.clusters = clusters
+	return nil
+}
+
+// AssignTiers installs the full server→rack→cluster tier list in one
+// call; both lists must have one entry per server. Either may be nil to
+// keep the default flat assignment for that tier. The update is atomic:
+// on any validation error the placement keeps its previous tiers.
+func (p *Placement) AssignTiers(rackOf, clusterOf []int) error {
+	savedRackOf, savedRacks := p.rackOf, p.racks
+	savedClusterOf, savedClusters := p.clusterOf, p.clusters
+	restore := func() {
+		p.rackOf, p.racks = savedRackOf, savedRacks
+		p.clusterOf, p.clusters = savedClusterOf, savedClusters
+	}
+	if clusterOf != nil {
+		if err := p.AssignClusters(clusterOf); err != nil {
+			restore()
+			return err
+		}
+	}
+	if rackOf != nil {
+		if err := p.AssignRacks(rackOf); err != nil {
+			restore()
+			return err
+		}
+	}
+	return nil
+}
+
+// checkNesting rejects rack numbers that span clusters.
+func checkNesting(rackOf, clusterOf []int) error {
+	clusterOfRack := make(map[int]int)
+	for s, r := range rackOf {
+		if prev, ok := clusterOfRack[r]; ok {
+			if prev != clusterOf[s] {
+				return fmt.Errorf("cluster: rack %d spans clusters %d and %d", r, prev, clusterOf[s])
+			}
+		} else {
+			clusterOfRack[r] = clusterOf[s]
+		}
+	}
+	return nil
+}
+
+// SetTierCosts overrides the relative per-tier transfer costs. Costs
+// must be non-negative and non-decreasing from TierServer to TierRegion.
+func (p *Placement) SetTierCosts(costs TierCosts) error {
+	if costs[0] < 0 {
+		return fmt.Errorf("cluster: negative tier cost %v", costs[0])
+	}
+	for t := 1; t < NumTiers; t++ {
+		if costs[t] < costs[t-1] {
+			return fmt.Errorf("cluster: tier costs must be non-decreasing, got %v", costs)
+		}
+	}
+	p.costs = costs
+	return nil
+}
+
+// Costs returns the per-tier transfer costs.
+func (p *Placement) Costs() TierCosts { return p.costs }
 
 // Servers returns the number of servers.
 func (p *Placement) Servers() int { return p.servers }
@@ -115,6 +241,59 @@ func (p *Placement) RackOf(server int) int {
 // RackAssignment returns a copy of the server-to-rack map.
 func (p *Placement) RackAssignment() []int {
 	return append([]int(nil), p.rackOf...)
+}
+
+// Clusters returns the number of clusters (1 unless AssignClusters was
+// called).
+func (p *Placement) Clusters() int { return p.clusters }
+
+// ClusterOf returns the cluster of a server (-1 for invalid servers).
+func (p *Placement) ClusterOf(server int) int {
+	if server < 0 || server >= p.servers {
+		return -1
+	}
+	return p.clusterOf[server]
+}
+
+// ClusterAssignment returns a copy of the server-to-cluster map.
+func (p *Placement) ClusterAssignment() []int {
+	return append([]int(nil), p.clusterOf...)
+}
+
+// ServersInCluster returns the server indices assigned to cluster c.
+func (p *Placement) ServersInCluster(c int) []int {
+	var out []int
+	for s, sc := range p.clusterOf {
+		if sc == c {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Tier classifies a transfer between two servers into a locality tier.
+// The cluster boundary dominates: two servers in different clusters are
+// TierRegion regardless of rack numbering. Invalid servers map to
+// TierRegion, the most conservative class.
+func (p *Placement) Tier(from, to int) int {
+	if from < 0 || from >= p.servers || to < 0 || to >= p.servers {
+		return TierRegion
+	}
+	if from == to {
+		return TierServer
+	}
+	if p.clusterOf[from] != p.clusterOf[to] {
+		return TierRegion
+	}
+	if p.rackOf[from] != p.rackOf[to] {
+		return TierCluster
+	}
+	return TierRack
+}
+
+// TierCost returns the relative cost of a transfer between two servers.
+func (p *Placement) TierCost(from, to int) float64 {
+	return p.costs[p.Tier(from, to)]
 }
 
 // Parallelism returns the instance count of op (0 when unknown).

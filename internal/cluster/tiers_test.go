@@ -1,0 +1,164 @@
+package cluster
+
+import "testing"
+
+func TestDefaultSingleCluster(t *testing.T) {
+	topo := testTopo(t, 2, 2)
+	p, err := NewRoundRobin(topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Clusters() != 1 {
+		t.Fatalf("Clusters() = %d, want 1 by default", p.Clusters())
+	}
+	if p.ClusterOf(0) != 0 || p.ClusterOf(1) != 0 {
+		t.Fatal("all servers should be in cluster 0 by default")
+	}
+	if p.ClusterOf(-1) != -1 || p.ClusterOf(5) != -1 {
+		t.Fatal("invalid servers should report cluster -1")
+	}
+	if p.Costs() != DefaultTierCosts() {
+		t.Fatalf("Costs() = %v, want defaults", p.Costs())
+	}
+}
+
+func TestAssignClusters(t *testing.T) {
+	topo := testTopo(t, 4, 4)
+	p, err := NewRoundRobin(topo, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AssignClusters([]int{0, 0, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Clusters() != 2 {
+		t.Fatalf("Clusters() = %d", p.Clusters())
+	}
+	if p.ClusterOf(2) != 1 {
+		t.Fatalf("ClusterOf(2) = %d", p.ClusterOf(2))
+	}
+	assignment := p.ClusterAssignment()
+	assignment[0] = 9 // callers must not alias internals
+	if p.ClusterOf(0) != 0 {
+		t.Fatal("ClusterAssignment exposes internal slice")
+	}
+	if got := p.ServersInCluster(1); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("ServersInCluster(1) = %v", got)
+	}
+}
+
+func TestAssignClustersValidation(t *testing.T) {
+	topo := testTopo(t, 2, 2)
+	p, _ := NewRoundRobin(topo, 2)
+	if err := p.AssignClusters([]int{0}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if err := p.AssignClusters([]int{0, -1}); err == nil {
+		t.Error("negative cluster accepted")
+	}
+}
+
+// Sparse numbering is allowed — Clusters()/Racks() report max+1, and
+// unused ids simply hold no servers.
+func TestAssignTiersSparseNumbering(t *testing.T) {
+	topo := testTopo(t, 4, 4)
+	p, _ := NewRoundRobin(topo, 4)
+	if err := p.AssignTiers([]int{0, 2, 5, 5}, []int{0, 0, 3, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Racks() != 6 {
+		t.Fatalf("Racks() = %d, want 6 with sparse numbering", p.Racks())
+	}
+	if p.Clusters() != 4 {
+		t.Fatalf("Clusters() = %d, want 4 with sparse numbering", p.Clusters())
+	}
+	if len(p.ServersInCluster(1)) != 0 || len(p.ServersInCluster(2)) != 0 {
+		t.Fatal("unused cluster ids should hold no servers")
+	}
+}
+
+// Single-server racks and clusters are legal tiers.
+func TestAssignTiersSingleServerTiers(t *testing.T) {
+	topo := testTopo(t, 3, 3)
+	p, _ := NewRoundRobin(topo, 3)
+	if err := p.AssignTiers([]int{0, 1, 2}, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Clusters() != 3 || p.Racks() != 3 {
+		t.Fatalf("Clusters()/Racks() = %d/%d, want 3/3", p.Clusters(), p.Racks())
+	}
+	if p.Tier(0, 0) != TierServer || p.Tier(0, 1) != TierRegion {
+		t.Fatal("single-server tiers misclassified")
+	}
+}
+
+func TestAssignTiersValidation(t *testing.T) {
+	topo := testTopo(t, 4, 4)
+	p, _ := NewRoundRobin(topo, 4)
+	// Tier-list length mismatches.
+	if err := p.AssignTiers([]int{0, 0, 1}, []int{0, 0, 1, 1}); err == nil {
+		t.Error("short rack list accepted")
+	}
+	if err := p.AssignTiers([]int{0, 0, 1, 1}, []int{0, 1}); err == nil {
+		t.Error("short cluster list accepted")
+	}
+	// Rack 1 would span clusters 0 and 1: racks must nest.
+	if err := p.AssignTiers([]int{0, 1, 1, 2}, []int{0, 0, 1, 1}); err == nil {
+		t.Error("rack spanning two clusters accepted")
+	}
+	// Same nesting check when racks come first.
+	if err := p.AssignRacks([]int{0, 1, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AssignClusters([]int{0, 0, 1, 1}); err == nil {
+		t.Error("cluster split through a rack accepted")
+	}
+}
+
+func TestTierClassification(t *testing.T) {
+	topo := testTopo(t, 6, 6)
+	p, _ := NewRoundRobin(topo, 6)
+	if err := p.AssignTiers([]int{0, 0, 1, 2, 2, 3}, []int{0, 0, 0, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		from, to, want int
+	}{
+		{0, 0, TierServer},
+		{0, 1, TierRack},    // same rack
+		{0, 2, TierCluster}, // same cluster, different rack
+		{0, 3, TierRegion},  // different cluster
+		{3, 4, TierRack},
+		{2, 5, TierRegion},
+		{-1, 0, TierRegion}, // invalid servers classify worst-case
+	}
+	for _, c := range cases {
+		if got := p.Tier(c.from, c.to); got != c.want {
+			t.Errorf("Tier(%d, %d) = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+	costs := p.Costs()
+	if p.TierCost(0, 3) != costs[TierRegion] {
+		t.Fatalf("TierCost(0, 3) = %v, want region cost", p.TierCost(0, 3))
+	}
+	if p.TierCost(0, 1) != costs[TierRack] {
+		t.Fatalf("TierCost(0, 1) = %v, want rack cost", p.TierCost(0, 1))
+	}
+}
+
+func TestSetTierCosts(t *testing.T) {
+	topo := testTopo(t, 2, 2)
+	p, _ := NewRoundRobin(topo, 2)
+	if err := p.SetTierCosts(TierCosts{0, 1, 2, 50}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Costs() != (TierCosts{0, 1, 2, 50}) {
+		t.Fatalf("Costs() = %v", p.Costs())
+	}
+	if err := p.SetTierCosts(TierCosts{0, -1, 2, 50}); err == nil {
+		t.Error("negative cost accepted")
+	}
+	if err := p.SetTierCosts(TierCosts{0, 5, 2, 50}); err == nil {
+		t.Error("decreasing cost accepted")
+	}
+}

@@ -176,6 +176,11 @@ type Status struct {
 	// is attached); also served alone on /scale.
 	Scale *ScaleStatus `json:"scale,omitempty"`
 
+	// Federation reports the hierarchical control-plane state (nil when
+	// no federation layer is attached): the per-cluster loops and the
+	// cross-cluster gate.
+	Federation *FederationStatus `json:"federation,omitempty"`
+
 	// Paused reports that a server failure was observed and optimization
 	// is held until the fault-tolerance subsystem reports recovery.
 	Paused bool `json:"paused"`
@@ -222,6 +227,7 @@ type Controller struct {
 	scaleEng     ScaleEngine
 	scales       int
 	lastScale    *ScaleResult
+	fedr         *federator
 
 	loopMu  sync.Mutex
 	stop    chan struct{}
@@ -316,63 +322,80 @@ func (c *Controller) tickLocked() (Decision, Snapshot, bool) {
 		return d, snap, false
 	}
 
-	cand, err := c.mgr.Candidate()
-	if err != nil {
-		c.streak = 0
-		c.errors++
-		d.Action = ActionError
-		d.Reason = "candidate computation failed"
-		d.Err = err.Error()
+	var cand *core.Candidate
+	if c.fedr != nil {
+		// Hierarchical path: per-cluster loops decide the local moves,
+		// the federation gate the cross-cluster ones (federation.go).
+		// The global tiered candidate comes back for the splitter.
+		var extra []Decision
+		cand, extra = c.federatedDecideLocked(&d)
 		c.journal.Record(d)
-		return d, snap, false
-	}
-	d.CurrentLocality = cand.Impact.CurrentLocality
-	d.CandidateLocality = cand.Impact.CandidateLocality
-	d.SavedTuplesPerPeriod = cand.Impact.SavedTuplesPerPeriod
-	d.KeysToMigrate = cand.Impact.KeysToMigrate
-	gain := cand.Impact.CandidateLocality - cand.Impact.CurrentLocality
-
-	switch {
-	case !cand.Impact.Worthwhile(c.opts.CostPerKey):
-		c.streak = 0
-		c.skips++
-		d.Action = ActionSkipped
-		d.Reason = fmt.Sprintf(
-			"not worthwhile: saving %.1f tuples/period does not amortize migrating %d keys at cost %.1f/key",
-			cand.Impact.SavedTuplesPerPeriod, cand.Impact.KeysToMigrate, c.opts.CostPerKey)
-	case gain < c.opts.MinGain:
-		c.streak = 0
-		c.skips++
-		d.Action = ActionSkipped
-		d.Reason = fmt.Sprintf("locality gain %.4f below minimum %.4f", gain, c.opts.MinGain)
-	default:
-		c.streak++
-		if c.streak < c.opts.Confirm {
-			c.skips++
-			d.Action = ActionSkipped
-			d.Reason = fmt.Sprintf("awaiting confirmation (%d/%d consecutive worthwhile windows)",
-				c.streak, c.opts.Confirm)
-		} else if err := c.mgr.DeployCandidate(cand); err != nil {
+		for _, ed := range extra {
+			c.journal.Record(ed)
+		}
+		if d.Action == ActionError {
+			return d, snap, false
+		}
+	} else {
+		var err error
+		cand, err = c.mgr.Candidate()
+		if err != nil {
 			c.streak = 0
 			c.errors++
 			d.Action = ActionError
-			d.Reason = "deployment failed"
+			d.Reason = "candidate computation failed"
 			d.Err = err.Error()
-		} else {
-			c.streak = 0
-			c.cooldownLeft = c.opts.Cooldown
-			c.deploys++
-			c.version = cand.Plan.Version
-			d.Action = ActionDeployed
-			d.Version = cand.Plan.Version
-			d.Reason = fmt.Sprintf(
-				"deployed v%d: locality %.3f → %.3f (est.), %d keys migrated",
-				cand.Plan.Version, cand.Impact.CurrentLocality, cand.Impact.CandidateLocality,
-				cand.Impact.KeysToMigrate)
+			c.journal.Record(d)
+			return d, snap, false
 		}
+		d.CurrentLocality = cand.Impact.CurrentLocality
+		d.CandidateLocality = cand.Impact.CandidateLocality
+		d.SavedTuplesPerPeriod = cand.Impact.SavedTuplesPerPeriod
+		d.KeysToMigrate = cand.Impact.KeysToMigrate
+		gain := cand.Impact.CandidateLocality - cand.Impact.CurrentLocality
+
+		switch {
+		case !cand.Impact.Worthwhile(c.opts.CostPerKey):
+			c.streak = 0
+			c.skips++
+			d.Action = ActionSkipped
+			d.Reason = fmt.Sprintf(
+				"not worthwhile: saving %.1f tuples/period does not amortize migrating %d keys at cost %.1f/key",
+				cand.Impact.SavedTuplesPerPeriod, cand.Impact.KeysToMigrate, c.opts.CostPerKey)
+		case gain < c.opts.MinGain:
+			c.streak = 0
+			c.skips++
+			d.Action = ActionSkipped
+			d.Reason = fmt.Sprintf("locality gain %.4f below minimum %.4f", gain, c.opts.MinGain)
+		default:
+			c.streak++
+			if c.streak < c.opts.Confirm {
+				c.skips++
+				d.Action = ActionSkipped
+				d.Reason = fmt.Sprintf("awaiting confirmation (%d/%d consecutive worthwhile windows)",
+					c.streak, c.opts.Confirm)
+			} else if err := c.mgr.DeployCandidate(cand); err != nil {
+				c.streak = 0
+				c.errors++
+				d.Action = ActionError
+				d.Reason = "deployment failed"
+				d.Err = err.Error()
+			} else {
+				c.streak = 0
+				c.cooldownLeft = c.opts.Cooldown
+				c.deploys++
+				c.version = cand.Plan.Version
+				d.Action = ActionDeployed
+				d.Version = cand.Plan.Version
+				d.Reason = fmt.Sprintf(
+					"deployed v%d: locality %.3f → %.3f (est.), %d keys migrated",
+					cand.Plan.Version, cand.Impact.CurrentLocality, cand.Impact.CandidateLocality,
+					cand.Impact.KeysToMigrate)
+			}
+		}
+		d.Streak = c.streak
+		c.journal.Record(d)
 	}
-	d.Streak = c.streak
-	c.journal.Record(d)
 
 	// The hot-key splitter runs after the deployment decision, so a
 	// promotion always reads the key's owner from the tables that are
@@ -616,6 +639,9 @@ func (c *Controller) Status() Status {
 		Demotions:  c.demotions,
 
 		Scale: c.scaleStatusLocked(),
+	}
+	if c.fedr != nil {
+		st.Federation = c.fedr.statusLocked()
 	}
 	if c.splitter != nil {
 		st.SplitKeys = c.splitter.eng.SplitSnapshot()

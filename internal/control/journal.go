@@ -49,6 +49,13 @@ const (
 	// transport's batching policy (flush bytes / flush interval) in
 	// response to sustained in-flight pressure or idleness.
 	ActionRetuned Action = "retuned"
+	// ActionFederated records a cross-cluster key migration approved by
+	// the federation layer: the inter-cluster tuple transfers it saves
+	// per period cleared the inter-cluster cost gate (100× a same-rack
+	// move by default). SavedTuplesPerPeriod and KeysToMigrate carry the
+	// gate's two sides; intra-cluster rebalances stay ordinary
+	// "deployed" entries.
+	ActionFederated Action = "federated"
 )
 
 // Decision is one journal entry: what the controller did on one tick and

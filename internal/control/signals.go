@@ -26,6 +26,14 @@ type Snapshot struct {
 	// WindowRackLocality additionally counts transfers that stayed
 	// inside one rack.
 	WindowRackLocality float64 `json:"window_rack_locality"`
+	// WindowClusterLocality additionally counts transfers that stayed
+	// inside one cluster; 1 − it is the fraction that paid the
+	// inter-cluster link.
+	WindowClusterLocality float64 `json:"window_cluster_locality"`
+	// WindowInterClusterTuples is the number of the window's transfers
+	// that crossed clusters — the raw quantity the federation layer's
+	// 100× cost gate prices.
+	WindowInterClusterTuples uint64 `json:"window_inter_cluster_tuples"`
 	// SmoothedLocality is the EWMA of WindowLocality over non-empty
 	// windows.
 	SmoothedLocality float64 `json:"smoothed_locality"`
@@ -95,9 +103,11 @@ func (s *signals) collect(st engine.Stats, now time.Time) Snapshot {
 		window = subTraffic(st.Fields, s.prev.Fields)
 	}
 	snap.WindowTraffic = window.Total()
+	snap.WindowInterClusterTuples = window.InterClusterTuples()
 	if snap.WindowTraffic > 0 {
 		snap.WindowLocality = window.Locality()
 		snap.WindowRackLocality = window.RackLocality()
+		snap.WindowClusterLocality = window.ClusterLocality()
 		snap.SmoothedLocality = s.locEWMA.Observe(snap.WindowLocality)
 	} else {
 		// An idle window carries no locality information; hold the
@@ -126,12 +136,14 @@ func (s *signals) collect(st engine.Stats, now time.Time) Snapshot {
 // engine's cumulative accumulators).
 func subTraffic(cur, prev metrics.Traffic) metrics.Traffic {
 	return metrics.Traffic{
-		LocalTuples:  cur.LocalTuples - prev.LocalTuples,
-		RemoteTuples: cur.RemoteTuples - prev.RemoteTuples,
-		LocalBytes:   cur.LocalBytes - prev.LocalBytes,
-		RemoteBytes:  cur.RemoteBytes - prev.RemoteBytes,
-		RackTuples:   cur.RackTuples - prev.RackTuples,
-		RackBytes:    cur.RackBytes - prev.RackBytes,
+		LocalTuples:   cur.LocalTuples - prev.LocalTuples,
+		RemoteTuples:  cur.RemoteTuples - prev.RemoteTuples,
+		LocalBytes:    cur.LocalBytes - prev.LocalBytes,
+		RemoteBytes:   cur.RemoteBytes - prev.RemoteBytes,
+		RackTuples:    cur.RackTuples - prev.RackTuples,
+		RackBytes:     cur.RackBytes - prev.RackBytes,
+		ClusterTuples: cur.ClusterTuples - prev.ClusterTuples,
+		ClusterBytes:  cur.ClusterBytes - prev.ClusterBytes,
 	}
 }
 

@@ -99,6 +99,39 @@ func (o *Optimizer) EstimateImpact(stats []engine.PairStat, current, candidate m
 	return im
 }
 
+// EstimateInterCluster scores two configurations by the pair weight
+// that crosses clusters per statistics period — the volume the
+// federation layer's cost gate prices. Both are evaluated with hash
+// fallback, exactly like EstimateImpact scores same-server weight.
+func (o *Optimizer) EstimateInterCluster(stats []engine.PairStat, a, b map[string]*routing.Table) (aCross, bCross float64) {
+	tbl := func(tables map[string]*routing.Table, op string) *routing.Table {
+		if tables == nil {
+			return nil
+		}
+		return tables[op]
+	}
+	for _, st := range stats {
+		fromN := o.place.Parallelism(st.FromOp)
+		toN := o.place.Parallelism(st.ToOp)
+		if fromN == 0 || toN == 0 {
+			continue
+		}
+		for _, p := range st.Pairs {
+			aFrom := o.serverOfOwner(st.FromOp, Owner(tbl(a, st.FromOp), st.FromOp, p.In, fromN))
+			aTo := o.serverOfOwner(st.ToOp, Owner(tbl(a, st.ToOp), st.ToOp, p.Out, toN))
+			if o.place.ClusterOf(aFrom) != o.place.ClusterOf(aTo) {
+				aCross += float64(p.Count)
+			}
+			bFrom := o.serverOfOwner(st.FromOp, Owner(tbl(b, st.FromOp), st.FromOp, p.In, fromN))
+			bTo := o.serverOfOwner(st.ToOp, Owner(tbl(b, st.ToOp), st.ToOp, p.Out, toN))
+			if o.place.ClusterOf(bFrom) != o.place.ClusterOf(bTo) {
+				bCross += float64(p.Count)
+			}
+		}
+	}
+	return aCross, bCross
+}
+
 func ownerChanged(cur, cand *routing.Table, op, key string, n int) bool {
 	return Owner(cur, op, key, n) != Owner(cand, op, key, n)
 }

@@ -227,6 +227,13 @@ func (m *Manager) Candidate() (*Candidate, error) {
 	if err != nil {
 		return nil, err
 	}
+	if m.opt.tieredEnabled() {
+		// Two-level partitions are label-unstable across windows: align
+		// the candidate's cluster labels with the deployed configuration
+		// before estimating impact, so a cosmetic cluster swap never
+		// masquerades as a full cross-cluster migration.
+		m.alignClusters(m.tables, tables)
+	}
 	return &Candidate{
 		Tables: tables,
 		Plan:   plan,

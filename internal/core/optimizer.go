@@ -35,6 +35,11 @@ type OptimizerOptions struct {
 	// the expensive inter-rack traffic) and then across each rack's
 	// servers — the extension sketched in the paper's conclusion.
 	RackAware bool
+	// ClusterBlind partitions flat even when the placement defines
+	// several clusters — the baseline for measuring what the two-level
+	// cluster partition buys. Cluster traffic accounting and simulation
+	// costs still apply; only the partitioner ignores the boundary.
+	ClusterBlind bool
 }
 
 // Plan reports what a computed configuration promises. The expected
@@ -166,12 +171,18 @@ func (o *Optimizer) ComputeTablesSplit(stats []engine.PairStat, splits []engine.
 		res *partition.Result
 		err error
 	)
-	// Rack-aware hierarchical partitioning assumes the full server set;
-	// a restricted elastic membership partitions flat until the cluster
-	// is back at capacity.
-	if o.opts.RackAware && o.place.Racks() > 1 && servers == nil {
+	// Hierarchical partitioning assumes the full server set; a
+	// restricted elastic membership partitions flat until the cluster is
+	// back at capacity. A placement with several clusters partitions
+	// keys→cluster first (the cross-region link dominates every other
+	// cost) unless ClusterBlind asks for the flat baseline; the rack
+	// level additionally needs RackAware.
+	switch {
+	case o.place.Clusters() > 1 && !o.opts.ClusterBlind && servers == nil:
+		res, err = partition.Tiered(pg, o.place.RackAssignment(), o.place.ClusterAssignment(), popts)
+	case o.opts.RackAware && o.place.Racks() > 1 && servers == nil:
 		res, err = partition.Hierarchical(pg, o.place.RackAssignment(), popts)
-	} else {
+	default:
 		res, err = partition.Partition(pg, popts)
 	}
 	if err != nil {
@@ -251,6 +262,13 @@ func (o *Optimizer) pinSplitKeys(tables map[string]*routing.Table, splitKeys map
 			table.Assign[key] = owner
 		}
 	}
+}
+
+// tieredEnabled reports whether the two-level cluster partition is in
+// effect: a multi-cluster placement, not cluster-blind, and the full
+// (non-elastic) membership — the first case of the partition switch.
+func (o *Optimizer) tieredEnabled() bool {
+	return o.place.Clusters() > 1 && !o.opts.ClusterBlind && o.active == nil
 }
 
 // instanceOn picks the instance of op on the given server that should own

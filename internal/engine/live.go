@@ -393,6 +393,9 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 				l.wireOut[peer].Add(int64(tuples))
 			},
 			Meter: l.wire,
+			// Per-tier wire accounting: the placement's tier list is
+			// immutable after construction, so the classifier is pure.
+			PeerTier: cfg.Placement.Tier,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("engine: start transport: %w", err)
@@ -944,10 +947,11 @@ type resolvedEdge struct {
 	keyField int
 	policy   routing.Policy
 
-	targets    []*executor // recipient instance -> executor
-	server     []int       // recipient instance -> hosting server
-	sameServer []bool      // recipient instance co-located with the sender
-	sameRack   []bool      // recipient instance within the sender's rack
+	targets     []*executor // recipient instance -> executor
+	server      []int       // recipient instance -> hosting server
+	sameServer  []bool      // recipient instance co-located with the sender
+	sameRack    []bool      // recipient instance within the sender's rack
+	sameCluster []bool      // recipient instance within the sender's cluster
 
 	// traffic is written only by the owning executor; mu is therefore
 	// uncontended on the hot path and exists so Traffic()/FieldsTraffic()
@@ -964,22 +968,24 @@ func (l *Live) resolveEdges(e *executor) []*resolvedEdge {
 	for i, edge := range edges {
 		targets := l.execs[edge.To]
 		re := &resolvedEdge{
-			key:        EdgeKey(edge.From, edge.To),
-			to:         edge.To,
-			grouping:   edge.Grouping,
-			keyField:   edge.KeyField,
-			policy:     l.cfg.Policies[EdgeKey(edge.From, edge.To)],
-			targets:    targets,
-			server:     make([]int, len(targets)),
-			sameServer: make([]bool, len(targets)),
-			sameRack:   make([]bool, len(targets)),
+			key:         EdgeKey(edge.From, edge.To),
+			to:          edge.To,
+			grouping:    edge.Grouping,
+			keyField:    edge.KeyField,
+			policy:      l.cfg.Policies[EdgeKey(edge.From, edge.To)],
+			targets:     targets,
+			server:      make([]int, len(targets)),
+			sameServer:  make([]bool, len(targets)),
+			sameRack:    make([]bool, len(targets)),
+			sameCluster: make([]bool, len(targets)),
 		}
 		for j := range targets {
 			s := l.place.ServerOf(edge.To, j)
 			re.server[j] = s
-			re.sameServer[j] = s == e.server
-			re.sameRack[j] = re.sameServer[j] ||
-				l.place.RackOf(s) == l.place.RackOf(e.server)
+			tier := l.place.Tier(e.server, s)
+			re.sameServer[j] = tier == cluster.TierServer
+			re.sameRack[j] = tier <= cluster.TierRack
+			re.sameCluster[j] = tier <= cluster.TierCluster
 		}
 		out[i] = re
 	}
@@ -1179,7 +1185,7 @@ func (e *executor) forward(re *resolvedEdge, keyOp, key string, out topology.Tup
 	e.seq++
 	target := re.policy.Route(routeKey, e.server, e.seq)
 	re.mu.Lock()
-	re.traffic.RecordLevel(re.sameServer[target], re.sameRack[target], out.Size())
+	re.traffic.RecordTiers(re.sameServer[target], re.sameRack[target], re.sameCluster[target], out.Size())
 	re.mu.Unlock()
 	e.eng.inflight.incInternal()
 	msg := message{kind: msgData, tuple: out, keyOp: nextKeyOp, key: nextKey}

@@ -180,11 +180,13 @@ func (s *Sim) forward(e topology.Edge, fromOp string, fromInst, fromServer int, 
 	s.seq++
 	target := policy.Route(routeKey, fromServer, s.seq)
 	targetServer := s.place.ServerOf(e.To, target)
-	local := targetServer == fromServer
-	sameRack := local || s.place.RackOf(targetServer) == s.place.RackOf(fromServer)
+	tier := s.place.Tier(fromServer, targetServer)
+	local := tier == cluster.TierServer
+	sameRack := tier <= cluster.TierRack
+	sameCluster := tier <= cluster.TierCluster
 
 	size := out.Size()
-	s.traffic[EdgeKey(e.From, e.To)].RecordLevel(local, sameRack, size)
+	s.traffic[EdgeKey(e.From, e.To)].RecordTiers(local, sameRack, sameCluster, size)
 	fromPOI := simnet.POI{Op: fromOp, Instance: fromInst}
 	toPOI := simnet.POI{Op: e.To, Instance: target}
 	if local {
@@ -192,7 +194,10 @@ func (s *Sim) forward(e topology.Edge, fromOp string, fromInst, fromServer int, 
 	} else {
 		fsize := float64(size)
 		nicNs := s.nicNs
-		if !sameRack {
+		switch {
+		case !sameCluster:
+			nicNs = s.cfg.Model.InterClusterNsPerByte()
+		case !sameRack:
 			nicNs = s.cfg.Model.InterRackNsPerByte()
 		}
 		s.usage.AddCPU(fromPOI, s.cfg.Model.RemoteFixedNs+fsize*s.cfg.Model.SerializeNsPerByte)

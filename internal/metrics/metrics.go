@@ -25,16 +25,33 @@ type Traffic struct {
 	// they are included in RemoteTuples/RemoteBytes.
 	RackTuples uint64
 	RackBytes  uint64
+	// ClusterTuples/ClusterBytes count the subset of remote transfers
+	// that crossed racks but stayed within the sender's cluster; they
+	// are included in RemoteTuples/RemoteBytes and disjoint from
+	// RackTuples/RackBytes. Remote minus rack minus cluster is the
+	// cross-cluster volume (see InterClusterTuples).
+	ClusterTuples uint64
+	ClusterBytes  uint64
 }
 
 // Record adds one tuple transfer.
 func (t *Traffic) Record(local bool, size int) {
-	t.RecordLevel(local, local, size)
+	t.RecordTiers(local, local, local, size)
 }
 
 // RecordLevel adds one transfer with rack detail: sameServer transfers
 // are local; sameRack transfers are remote but stay inside the rack.
+// Deployments without a cluster tier never cross one, so everything
+// remote counts as same-cluster.
 func (t *Traffic) RecordLevel(sameServer, sameRack bool, size int) {
+	t.RecordTiers(sameServer, sameRack, true, size)
+}
+
+// RecordTiers adds one transfer with full hierarchy detail: sameServer
+// transfers are local; sameRack transfers are remote inside the rack;
+// sameCluster transfers are remote across racks but inside the cluster;
+// the rest crossed the inter-cluster link.
+func (t *Traffic) RecordTiers(sameServer, sameRack, sameCluster bool, size int) {
 	switch {
 	case sameServer:
 		t.LocalTuples++
@@ -44,6 +61,11 @@ func (t *Traffic) RecordLevel(sameServer, sameRack bool, size int) {
 		t.RemoteBytes += uint64(size)
 		t.RackTuples++
 		t.RackBytes += uint64(size)
+	case sameCluster:
+		t.RemoteTuples++
+		t.RemoteBytes += uint64(size)
+		t.ClusterTuples++
+		t.ClusterBytes += uint64(size)
 	default:
 		t.RemoteTuples++
 		t.RemoteBytes += uint64(size)
@@ -58,6 +80,8 @@ func (t *Traffic) Add(other Traffic) {
 	t.RemoteBytes += other.RemoteBytes
 	t.RackTuples += other.RackTuples
 	t.RackBytes += other.RackBytes
+	t.ClusterTuples += other.ClusterTuples
+	t.ClusterBytes += other.ClusterBytes
 }
 
 // Total returns the number of transfers recorded.
@@ -81,6 +105,29 @@ func (t Traffic) RackLocality() float64 {
 		return 0
 	}
 	return float64(t.LocalTuples+t.RackTuples) / float64(total)
+}
+
+// ClusterLocality returns the fraction of transfers that stayed inside
+// one cluster (on one server, inside one rack, or across racks of the
+// same cluster).
+func (t Traffic) ClusterLocality() float64 {
+	total := t.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(t.LocalTuples+t.RackTuples+t.ClusterTuples) / float64(total)
+}
+
+// InterClusterTuples returns the number of transfers that crossed the
+// inter-cluster link.
+func (t Traffic) InterClusterTuples() uint64 {
+	return t.RemoteTuples - t.RackTuples - t.ClusterTuples
+}
+
+// InterClusterBytes returns the byte volume that crossed the
+// inter-cluster link.
+func (t Traffic) InterClusterBytes() uint64 {
+	return t.RemoteBytes - t.RackBytes - t.ClusterBytes
 }
 
 // String formats the traffic for experiment logs.

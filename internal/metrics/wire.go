@@ -20,6 +20,15 @@ const (
 	FlushClose
 )
 
+// NumWireTiers is the number of locality tiers the wire meter accounts
+// separately (mirrors cluster.NumTiers): same server, same rack, same
+// cluster across racks, and the inter-cluster link.
+const NumWireTiers = 4
+
+// InterClusterTier indexes the cross-cluster entry of the per-tier wire
+// counters — the tier the federation layer's 100× cost gate prices.
+const InterClusterTier = NumWireTiers - 1
+
 // FlushSizeBuckets is the number of log2 buckets in the flush-size
 // histogram: bucket 0 counts data frames of up to 64 wire bytes and
 // each subsequent bucket doubles the bound, so the last bucket opens at
@@ -44,6 +53,14 @@ type WireStats struct {
 	FlushTimer   uint64 `json:"flush_timer"`
 	FlushControl uint64 `json:"flush_control"`
 	FlushClose   uint64 `json:"flush_close"`
+
+	// TierTuplesSent/TierBytesSent break the sent data frames down by
+	// locality tier of the (sender, receiver) pair — same server, same
+	// rack, same cluster, inter-cluster — when the transport was built
+	// with a PeerTier classifier; all-zero otherwise. Their sums equal
+	// TuplesSent/BytesSent then.
+	TierTuplesSent [NumWireTiers]uint64 `json:"tier_tuples_sent"`
+	TierBytesSent  [NumWireTiers]uint64 `json:"tier_bytes_sent"`
 
 	// WritevCalls counts vectored writes handed to the kernel and
 	// WritevFrames the frames they carried; WritevFrames >= WritevCalls,
@@ -128,6 +145,18 @@ func (s WireStats) WireBytesPerTuple() float64 {
 	return float64(s.BytesSent+s.DictBytesSent) / float64(s.TuplesSent)
 }
 
+// InterClusterBytesPerTuple is the cross-cluster wire volume amortized
+// over every sent data tuple — the figure of merit for hierarchical
+// partitioning: keeping correlated keys inside one cluster drives it
+// toward zero even while total traffic is unchanged. Zero when no
+// PeerTier classifier was installed or nothing was sent.
+func (s WireStats) InterClusterBytesPerTuple() float64 {
+	if s.TuplesSent == 0 {
+		return 0
+	}
+	return float64(s.TierBytesSent[InterClusterTier]) / float64(s.TuplesSent)
+}
+
 // SyscallsPerFlush is the mean number of vectored writes per sent data
 // frame — the writev coalescing factor. The pre-writev transport paid
 // at least 1.0 (one write per data frame, plus extra writes for
@@ -176,6 +205,9 @@ type WireMeter struct {
 	flushControl atomic.Uint64
 	flushClose   atomic.Uint64
 
+	tierTuplesSent [NumWireTiers]atomic.Uint64
+	tierBytesSent  [NumWireTiers]atomic.Uint64
+
 	writevCalls   atomic.Uint64
 	writevFrames  atomic.Uint64
 	flushSizeHist [FlushSizeBuckets]atomic.Uint64
@@ -223,6 +255,18 @@ func (m *WireMeter) RecordDataFrameSent(tuples, wireBytes, rawBytes int, compres
 	case FlushClose:
 		m.flushClose.Add(1)
 	}
+}
+
+// RecordTierSent folds one sent data frame into the per-tier
+// breakdown; tier indexes the Tier* hierarchy (out-of-range tiers
+// count as inter-cluster, the conservative class). Called alongside
+// RecordDataFrameSent when the transport knows the peer's tier.
+func (m *WireMeter) RecordTierSent(tier, tuples, wireBytes int) {
+	if tier < 0 || tier >= NumWireTiers {
+		tier = InterClusterTier
+	}
+	m.tierTuplesSent[tier].Add(uint64(tuples))
+	m.tierBytesSent[tier].Add(uint64(wireBytes))
 }
 
 // RecordDictFrameSent folds in one outgoing dictionary-announce frame
@@ -312,11 +356,18 @@ func (m *WireMeter) Snapshot() WireStats {
 	for i := range hist {
 		hist[i] = m.flushSizeHist[i].Load()
 	}
+	var tierTuples, tierBytes [NumWireTiers]uint64
+	for i := 0; i < NumWireTiers; i++ {
+		tierTuples[i] = m.tierTuplesSent[i].Load()
+		tierBytes[i] = m.tierBytesSent[i].Load()
+	}
 	return WireStats{
-		WritevCalls:   m.writevCalls.Load(),
-		WritevFrames:  m.writevFrames.Load(),
-		FlushSizeHist: hist,
-		FlushRetunes:  m.flushRetunes.Load(),
+		WritevCalls:    m.writevCalls.Load(),
+		WritevFrames:   m.writevFrames.Load(),
+		FlushSizeHist:  hist,
+		FlushRetunes:   m.flushRetunes.Load(),
+		TierTuplesSent: tierTuples,
+		TierBytesSent:  tierBytes,
 
 		FramesSent:           m.framesSent.Load(),
 		TuplesSent:           m.tuplesSent.Load(),

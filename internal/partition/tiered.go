@@ -1,0 +1,120 @@
+package partition
+
+import (
+	"fmt"
+)
+
+// Tiered performs the full hierarchy: keys are first split across
+// clusters — minimizing traffic over the cross-region link, the kind
+// priced ~100× a rack hop — and each cluster's induced subgraph is then
+// split across that cluster's racks and servers by Hierarchical. The
+// cluster level sees only the key graph; per-tier prices enter through
+// the federation layer's cost gate, not the cut objective, so the same
+// partition is optimal for any non-decreasing tier costs.
+//
+// rackOf and clusterOf map every server (part index of the final
+// result) to its rack and cluster. With one cluster the call delegates
+// to Hierarchical unchanged, and with one rack on top of that to the
+// flat Partition — the results are byte-identical, so enabling the
+// hierarchy on a flat deployment is a no-op.
+func Tiered(g *Graph, rackOf, clusterOf []int, opts Options) (*Result, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	servers := len(clusterOf)
+	if servers < 1 {
+		return nil, fmt.Errorf("partition: tiered needs at least one server")
+	}
+	if len(rackOf) != servers {
+		return nil, fmt.Errorf("partition: %d rack entries for %d servers", len(rackOf), servers)
+	}
+	clusters := 0
+	for s, c := range clusterOf {
+		if c < 0 {
+			return nil, fmt.Errorf("partition: server %d has negative cluster %d", s, c)
+		}
+		if c+1 > clusters {
+			clusters = c + 1
+		}
+	}
+	serversInCluster := make([][]int, clusters)
+	for s, c := range clusterOf {
+		serversInCluster[c] = append(serversInCluster[c], s)
+	}
+	for c, list := range serversInCluster {
+		if len(list) == 0 {
+			return nil, fmt.Errorf("partition: cluster %d has no servers", c)
+		}
+	}
+	if clusters == 1 {
+		// Degenerate: the single cluster holds every server, so the rack
+		// hierarchy (or flat partition) over the whole set is the answer.
+		return Hierarchical(g, rackOf, opts)
+	}
+
+	// Level 1: partition across clusters, each weighted by its server
+	// count so larger clusters receive proportionally more keys.
+	fractions := make([]float64, clusters)
+	for c, list := range serversInCluster {
+		fractions[c] = float64(len(list)) / float64(servers)
+	}
+	clusterOpts := withK(opts, clusters)
+	clusterOpts.TargetFractions = fractions
+	clusterRes, err := Partition(g, clusterOpts)
+	if err != nil {
+		return nil, fmt.Errorf("partition clusters: %w", err)
+	}
+
+	// Level 2: run the rack hierarchy inside each cluster's induced
+	// subgraph, over that cluster's servers with compacted rack ids.
+	parts := make([]int, g.NumVertices())
+	for c := 0; c < clusters; c++ {
+		sub, toGlobal := induced(g, clusterRes.Parts, c)
+		if sub.NumVertices() == 0 {
+			continue
+		}
+		localRacks := compactRacks(rackOf, serversInCluster[c])
+		subOpts := opts
+		subOpts.TargetFractions = nil
+		subOpts.Seed = opts.Seed + int64(c+1)*1_000_003
+		subRes, err := Hierarchical(sub, localRacks, subOpts)
+		if err != nil {
+			return nil, fmt.Errorf("partition cluster %d: %w", c, err)
+		}
+		for sv, p := range subRes.Parts {
+			parts[toGlobal[sv]] = serversInCluster[c][p]
+		}
+	}
+	return summarize(g, parts, servers), nil
+}
+
+// compactRacks renumbers the racks of the given servers into a dense
+// 0..n-1 range, preserving first-appearance order.
+func compactRacks(rackOf []int, servers []int) []int {
+	local := make([]int, len(servers))
+	seen := make(map[int]int)
+	for i, s := range servers {
+		r := rackOf[s]
+		id, ok := seen[r]
+		if !ok {
+			id = len(seen)
+			seen[r] = id
+		}
+		local[i] = id
+	}
+	return local
+}
+
+// CutBetweenClusters measures the weight of edges crossing clusters for
+// an assignment of vertices to servers.
+func CutBetweenClusters(g *Graph, parts, clusterOf []int) uint64 {
+	var cut uint64
+	for u, list := range g.Adj {
+		for _, a := range list {
+			if a.To > u && clusterOf[parts[a.To]] != clusterOf[parts[u]] {
+				cut += a.Weight
+			}
+		}
+	}
+	return cut
+}

@@ -1,0 +1,192 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomGraph builds a connected-ish random graph: n unit-weight
+// vertices, ~2n random edges with weights in [1, 50].
+func randomGraph(rng *rand.Rand, n int) *Graph {
+	g := &Graph{Weights: make([]uint64, n), Adj: make([][]Adj, n)}
+	for i := range g.Weights {
+		g.Weights[i] = 1 + uint64(rng.Intn(4))
+	}
+	addEdge := func(u, v int, w uint64) {
+		g.Adj[u] = append(g.Adj[u], Adj{To: v, Weight: w})
+		g.Adj[v] = append(g.Adj[v], Adj{To: u, Weight: w})
+	}
+	for i := 1; i < n; i++ {
+		addEdge(i, rng.Intn(i), 1+uint64(rng.Intn(50)))
+	}
+	for e := 0; e < n; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			addEdge(u, v, 1+uint64(rng.Intn(50)))
+		}
+	}
+	return g
+}
+
+func TestTieredValidation(t *testing.T) {
+	g := pathGraph(8)
+	if _, err := Tiered(nil, []int{0}, []int{0}, Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Tiered(g, nil, []int{0, 0}, Options{}); err == nil {
+		t.Error("no rack assignment accepted")
+	}
+	if _, err := Tiered(g, []int{0, 0}, nil, Options{}); err == nil {
+		t.Error("no cluster assignment accepted")
+	}
+	if _, err := Tiered(g, []int{0, 0}, []int{0}, Options{}); err == nil {
+		t.Error("rack/cluster length mismatch accepted")
+	}
+	if _, err := Tiered(g, []int{0, 0}, []int{0, -1}, Options{}); err == nil {
+		t.Error("negative cluster accepted")
+	}
+	if _, err := Tiered(g, []int{0, 0}, []int{0, 2}, Options{}); err == nil {
+		t.Error("empty cluster accepted")
+	}
+}
+
+// TestTieredSingleClusterEqualsFlat is the degeneracy property the
+// federation refactor must preserve: with one cluster and one rack the
+// two-level partition is byte-identical to the flat partition — same
+// Parts, same CutWeight, same PartWeights — over randomized seeded key
+// graphs. No topology information means no behavior change.
+func TestTieredSingleClusterEqualsFlat(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		servers := 2 + rng.Intn(6)
+		n := servers * (5 + rng.Intn(40))
+		g := randomGraph(rng, n)
+		rackOf := make([]int, servers)
+		clusterOf := make([]int, servers)
+		opts := Options{Seed: int64(trial) * 31, Alpha: 1.03}
+
+		flat, err := Partition(g, withK(opts, servers))
+		if err != nil {
+			t.Fatalf("trial %d: flat: %v", trial, err)
+		}
+		tiered, err := Tiered(g, rackOf, clusterOf, opts)
+		if err != nil {
+			t.Fatalf("trial %d: tiered: %v", trial, err)
+		}
+		if !reflect.DeepEqual(flat.Parts, tiered.Parts) {
+			t.Fatalf("trial %d (servers=%d, n=%d): tiered Parts diverge from flat", trial, servers, n)
+		}
+		if flat.CutWeight != tiered.CutWeight {
+			t.Fatalf("trial %d: CutWeight %d != %d", trial, tiered.CutWeight, flat.CutWeight)
+		}
+		if !reflect.DeepEqual(flat.PartWeights, tiered.PartWeights) {
+			t.Fatalf("trial %d: PartWeights diverge", trial)
+		}
+	}
+}
+
+// One cluster with several racks must likewise collapse to the
+// rack-hierarchical partition exactly.
+func TestTieredSingleClusterEqualsHierarchical(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		servers := 4 + rng.Intn(4)
+		n := servers * (10 + rng.Intn(30))
+		g := randomGraph(rng, n)
+		rackOf := make([]int, servers)
+		for s := range rackOf {
+			rackOf[s] = s % 2
+		}
+		clusterOf := make([]int, servers)
+		opts := Options{Seed: int64(trial) * 17, Alpha: 1.03}
+
+		hier, err := Hierarchical(g, rackOf, opts)
+		if err != nil {
+			t.Fatalf("trial %d: hierarchical: %v", trial, err)
+		}
+		tiered, err := Tiered(g, rackOf, clusterOf, opts)
+		if err != nil {
+			t.Fatalf("trial %d: tiered: %v", trial, err)
+		}
+		if !reflect.DeepEqual(hier.Parts, tiered.Parts) {
+			t.Fatalf("trial %d: tiered Parts diverge from hierarchical", trial)
+		}
+	}
+}
+
+func TestTieredPrefersIntraClusterCut(t *testing.T) {
+	// Four key communities chained by light links; 4 servers in 2
+	// clusters of 2 racks. Any 4-way split cuts 3 light edges; the
+	// two-level split must put at most 1 of them between clusters.
+	g := clustersGraph(4, 6, 100, 1)
+	rackOf := []int{0, 1, 2, 3}
+	clusterOf := []int{0, 0, 1, 1}
+	res, err := Tiered(g, rackOf, clusterOf, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, g, res, 4)
+	if res.CutWeight != 3 {
+		t.Fatalf("CutWeight = %d, want 3 (inter-community edges)", res.CutWeight)
+	}
+	if interCluster := CutBetweenClusters(g, res.Parts, clusterOf); interCluster > 1 {
+		t.Fatalf("inter-cluster cut = %d, want <= 1", interCluster)
+	}
+	// Each community stays whole on one server.
+	for c := 0; c < 4; c++ {
+		p := res.Parts[c*6]
+		for i := 1; i < 6; i++ {
+			if res.Parts[c*6+i] != p {
+				t.Fatalf("community %d split", c)
+			}
+		}
+	}
+}
+
+func TestTieredUnequalClusters(t *testing.T) {
+	// 3 servers: cluster 0 has two, cluster 1 has one. Isolated unit
+	// vertices must split roughly 2:1 across clusters.
+	n := 30
+	g := &Graph{Weights: make([]uint64, n), Adj: make([][]Adj, n)}
+	for i := range g.Weights {
+		g.Weights[i] = 1
+	}
+	rackOf := []int{0, 1, 0}
+	clusterOf := []int{0, 0, 1}
+	res, err := Tiered(g, rackOf, clusterOf, Options{Seed: 5, Alpha: 1.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, g, res, 3)
+	clusterLoad := make([]uint64, 2)
+	for _, p := range res.Parts {
+		clusterLoad[clusterOf[p]]++
+	}
+	if clusterLoad[0] < 18 || clusterLoad[0] > 22 {
+		t.Fatalf("cluster 0 load = %d, want ~20 of 30", clusterLoad[0])
+	}
+}
+
+// Sparse rack numbering within clusters must be tolerated: the level-2
+// subproblem renumbers each cluster's racks densely.
+func TestTieredSparseRackNumbers(t *testing.T) {
+	g := clustersGraph(4, 8, 50, 1)
+	rackOf := []int{0, 0, 5, 7} // racks 1-4 and 6 unused
+	clusterOf := []int{0, 0, 1, 1}
+	res, err := Tiered(g, rackOf, clusterOf, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, g, res, 4)
+}
+
+func TestCutBetweenClusters(t *testing.T) {
+	g := pathGraph(4)
+	parts := []int{0, 1, 2, 3}
+	clusterOf := []int{0, 0, 1, 1}
+	// Edges: 0-1 (same cluster), 1-2 (cross), 2-3 (same cluster).
+	if got := CutBetweenClusters(g, parts, clusterOf); got != 1 {
+		t.Fatalf("CutBetweenClusters = %d, want 1", got)
+	}
+}

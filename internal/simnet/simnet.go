@@ -42,6 +42,11 @@ type Model struct {
 	// crossing racks (hierarchical network extension). Values <= 1 mean
 	// a flat network.
 	InterRackFactor float64
+	// InterClusterFactor multiplies NIC transmission time for transfers
+	// crossing clusters (the metered cross-region link; the federation
+	// layer assumes ~100× a rack hop). Values <= 1 fall back to
+	// InterRackFactor.
+	InterClusterFactor float64
 }
 
 // Default10G returns the model calibrated for the paper's 10 Gb/s
@@ -81,6 +86,20 @@ func (m Model) InterRackNsPerByte() float64 {
 		f = 1
 	}
 	return m.NICNsPerByte() * f
+}
+
+// InterClusterNsPerByte is the per-byte time of transfers crossing
+// clusters; never cheaper than a cross-rack transfer.
+func (m Model) InterClusterNsPerByte() float64 {
+	f := m.InterClusterFactor
+	if f < 1 {
+		return m.InterRackNsPerByte()
+	}
+	ns := m.NICNsPerByte() * f
+	if ir := m.InterRackNsPerByte(); ns < ir {
+		return ir
+	}
+	return ns
 }
 
 // POI identifies one operator instance's CPU resource.

@@ -217,6 +217,14 @@ type NodeOptions struct {
 	// frame, bytes, flush reasons, writev batching, encode time) across
 	// all of the node's connections.
 	Meter *metrics.WireMeter
+	// PeerTier, when set alongside Meter, classifies the locality tier
+	// of the link from this node to each peer (0 same server, 1 same
+	// rack, 2 same cluster across racks, 3 inter-cluster — the indices
+	// of the meter's per-tier counters). Each written data frame is then
+	// additionally folded into the meter's TierTuplesSent/TierBytesSent
+	// breakdown. Must be pure and cheap: it runs on the flusher
+	// goroutine once per written frame.
+	PeerTier func(from, to int) int
 }
 
 // Node is one server's endpoint: a listener plus one outgoing connection
@@ -776,7 +784,7 @@ func (n *Node) flusher(peer int, pc *peerConn) {
 		}
 
 		if err == nil {
-			n.recordWritten(batch, len(batch))
+			n.recordWritten(peer, batch, len(batch))
 			pc.mu.Lock()
 			pc.wroteSeq += uint64(len(batch))
 			for i := range batch {
@@ -799,7 +807,7 @@ func (n *Node) flusher(peer int, pc *peerConn) {
 			rem -= int64(len(batch[k].buf))
 			k++
 		}
-		n.recordWritten(batch[:k], len(batch[:k]))
+		n.recordWritten(peer, batch[:k], len(batch[:k]))
 		pc.mu.Lock()
 		pc.wroteSeq += uint64(k)
 		if !pc.broken {
@@ -815,8 +823,10 @@ func (n *Node) flusher(peer int, pc *peerConn) {
 }
 
 // recordWritten folds written frames into the meter: one writev call
-// covering frames frames, then the per-frame counters.
-func (n *Node) recordWritten(frames []queuedFrame, count int) {
+// covering frames frames, then the per-frame counters (with the data
+// frames broken down by the peer link's locality tier when the node
+// has a PeerTier classifier).
+func (n *Node) recordWritten(peer int, frames []queuedFrame, count int) {
 	m := n.opts.Meter
 	if m == nil {
 		return
@@ -824,11 +834,18 @@ func (n *Node) recordWritten(frames []queuedFrame, count int) {
 	if count > 0 {
 		m.RecordWritev(count)
 	}
+	tier := -1
+	if n.opts.PeerTier != nil {
+		tier = n.opts.PeerTier(n.id, peer)
+	}
 	for i := range frames {
 		f := &frames[i]
 		switch f.class {
 		case classData:
 			m.RecordDataFrameSent(f.tuples, len(f.buf), f.rawBytes, f.compressed, f.reason)
+			if tier >= 0 {
+				m.RecordTierSent(tier, f.tuples, len(f.buf))
+			}
 			if f.dictHits|f.dictMisses != 0 {
 				m.RecordDictLookups(f.dictHits, f.dictMisses)
 			}

@@ -157,6 +157,79 @@ func BenchmarkWireForwardSkewed(b *testing.B) {
 	}
 }
 
+// BenchmarkWireForwardTiered drives one sender across three peers — a
+// rack-mate, a cluster-mate across racks, and a peer behind the
+// inter-cluster link — with a PeerTier classifier installed, and
+// reports the per-tier wire accounting the federation drill asserts on:
+// xcluster-B/tuple is the inter-cluster wire volume amortized over all
+// sent tuples, and xcluster-share the tier's tuple fraction (exactly
+// 1/3 by construction — the round-robin target pattern — so a broken
+// classifier shows up as a step change, not noise).
+func BenchmarkWireForwardTiered(b *testing.B) {
+	rackOf := []int{0, 0, 1, 2}
+	clusterOf := []int{0, 0, 0, 1}
+	tier := func(from, to int) int {
+		switch {
+		case from == to:
+			return 0
+		case clusterOf[from] != clusterOf[to]:
+			return metrics.InterClusterTier
+		case rackOf[from] != rackOf[to]:
+			return 2
+		default:
+			return 1
+		}
+	}
+	var (
+		received atomic.Int64
+		target   atomic.Int64
+	)
+	done := make(chan struct{}, 1)
+	meter := new(metrics.WireMeter)
+	f, err := NewFabricWith(4, func(int, Message) {}, NodeOptions{
+		Meter:    meter,
+		PeerTier: tier,
+		BatchHandler: func(_ int, msgs []Message) {
+			if t := target.Load(); t > 0 && received.Add(int64(len(msgs))) >= t {
+				select {
+				case done <- struct{}{}:
+				default:
+				}
+			}
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+
+	msg := benchMessage()
+	target.Store(4095)
+	for i := 0; i < 4095; i++ {
+		if err := f.Send(0, 1+i%3, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	awaitBench(b, done)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	target.Store(received.Load() + int64(b.N))
+	for i := 0; i < b.N; i++ {
+		if err := f.Send(0, 1+i%3, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	awaitBench(b, done)
+	b.StopTimer()
+	if st := meter.Snapshot(); st.TuplesSent > 0 {
+		b.ReportMetric(st.InterClusterBytesPerTuple(), "xcluster-B/tuple")
+		b.ReportMetric(
+			float64(st.TierTuplesSent[metrics.InterClusterTier])/float64(st.TuplesSent),
+			"xcluster-share")
+	}
+}
+
 // BenchmarkGobForward is the retained baseline: the pre-batching wire
 // path, one gob-encoded Message per Send over the same TCP loopback.
 // It exists so the BenchmarkWireForward speedup stays measurable

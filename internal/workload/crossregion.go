@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/locastream/locastream/internal/topology"
+)
+
+// CrossRegionConfig parameterizes the multi-region generator: the
+// workload the hierarchical federation drill runs. Keys form regional
+// communities — users of one region overwhelmingly discuss that
+// region's topics — so a cluster-aware partition can confine almost all
+// key-pair traffic inside a region's cluster. A slice of the population
+// migrates between regions over epochs, re-homing its correlations,
+// which is exactly the drift that produces cross-cluster move
+// candidates for the federation layer to price.
+type CrossRegionConfig struct {
+	// Regions is the number of regions (≥ 1); users and topics are
+	// partitioned among them.
+	Regions int
+	// UsersPerRegion and TopicsPerRegion size each region's key space.
+	UsersPerRegion  int
+	TopicsPerRegion int
+	// UserSkew and TopicSkew are the Zipf exponents (> 1) of the
+	// within-region popularity distributions.
+	UserSkew  float64
+	TopicSkew float64
+	// HomeBias is the probability that a tuple's topic is drawn from
+	// the user's home region rather than a uniformly random foreign
+	// region. It bounds the cluster locality any routing can achieve.
+	HomeBias float64
+	// MigrantsPerEpoch is the number of users re-homed to another
+	// region at each epoch boundary (their topic correlations move with
+	// them).
+	MigrantsPerEpoch int
+	// Padding is the tuple payload size in bytes.
+	Padding int
+	// Seed makes the stream deterministic.
+	Seed int64
+}
+
+// DefaultCrossRegionConfig mirrors the scale of the federation drill:
+// two regions with strongly home-biased traffic and a visible migrant
+// population.
+func DefaultCrossRegionConfig() CrossRegionConfig {
+	return CrossRegionConfig{
+		Regions:          2,
+		UsersPerRegion:   150,
+		TopicsPerRegion:  150,
+		UserSkew:         1.2,
+		TopicSkew:        1.2,
+		HomeBias:         0.9,
+		MigrantsPerEpoch: 20,
+		Seed:             1,
+	}
+}
+
+// CrossRegion generates (user, topic) tuples with region-local
+// correlations. Advance epochs with NextEpoch; a batch of users then
+// migrates to a new home region. Not safe for concurrent use.
+type CrossRegion struct {
+	cfg CrossRegionConfig
+	rng *rand.Rand
+
+	userZipf *rand.Zipf
+	tpcZipf  *rand.Zipf
+
+	// homeOf maps a global user index to its current home region.
+	homeOf []int
+	epoch  int
+}
+
+var _ Generator = (*CrossRegion)(nil)
+
+// NewCrossRegion returns a generator in epoch 0, with every user living
+// in its birth region.
+func NewCrossRegion(cfg CrossRegionConfig) *CrossRegion {
+	if cfg.Regions < 1 {
+		cfg.Regions = 1
+	}
+	if cfg.UsersPerRegion < 1 {
+		cfg.UsersPerRegion = 1
+	}
+	if cfg.TopicsPerRegion < 1 {
+		cfg.TopicsPerRegion = 1
+	}
+	if cfg.UserSkew <= 1 {
+		cfg.UserSkew = 1.1
+	}
+	if cfg.TopicSkew <= 1 {
+		cfg.TopicSkew = 1.1
+	}
+	if cfg.HomeBias < 0 || cfg.HomeBias > 1 {
+		cfg.HomeBias = 0.9
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &CrossRegion{
+		cfg:      cfg,
+		rng:      rng,
+		userZipf: rand.NewZipf(rng, cfg.UserSkew, 1, uint64(cfg.UsersPerRegion-1)),
+		tpcZipf:  rand.NewZipf(rng, cfg.TopicSkew, 1, uint64(cfg.TopicsPerRegion-1)),
+		homeOf:   make([]int, cfg.Regions*cfg.UsersPerRegion),
+	}
+	for u := range g.homeOf {
+		g.homeOf[u] = u / cfg.UsersPerRegion
+	}
+	return g
+}
+
+// Epoch returns the current epoch index.
+func (g *CrossRegion) Epoch() int { return g.epoch }
+
+// NextEpoch migrates MigrantsPerEpoch users to a uniformly random other
+// region: their traffic is thereafter correlated with the new region's
+// topics, so the optimal placement moves their state across the cluster
+// boundary.
+func (g *CrossRegion) NextEpoch() {
+	g.epoch++
+	if g.cfg.Regions < 2 {
+		return
+	}
+	for i := 0; i < g.cfg.MigrantsPerEpoch; i++ {
+		u := g.rng.Intn(len(g.homeOf))
+		to := g.rng.Intn(g.cfg.Regions - 1)
+		if to >= g.homeOf[u] {
+			to++
+		}
+		g.homeOf[u] = to
+	}
+}
+
+// Migrants returns the number of users currently living outside their
+// birth region.
+func (g *CrossRegion) Migrants() int {
+	n := 0
+	for u, home := range g.homeOf {
+		if home != u/g.cfg.UsersPerRegion {
+			n++
+		}
+	}
+	return n
+}
+
+// Next returns the next (user, topic) tuple: a Zipf-popular user of a
+// uniformly random region, paired with a Zipf-popular topic of its home
+// region (HomeBias) or of a random foreign one.
+func (g *CrossRegion) Next() topology.Tuple {
+	region := g.rng.Intn(g.cfg.Regions)
+	u := region*g.cfg.UsersPerRegion + int(g.userZipf.Uint64())
+	topicRegion := g.homeOf[u]
+	if g.cfg.Regions > 1 && g.rng.Float64() >= g.cfg.HomeBias {
+		topicRegion = g.rng.Intn(g.cfg.Regions - 1)
+		if topicRegion >= g.homeOf[u] {
+			topicRegion++
+		}
+	}
+	topic := topicRegion*g.cfg.TopicsPerRegion + int(g.tpcZipf.Uint64())
+	return topology.Tuple{
+		Values:  []string{fmt.Sprintf("user%d", u), fmt.Sprintf("topic%d", topic)},
+		Padding: g.cfg.Padding,
+	}
+}

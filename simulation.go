@@ -113,6 +113,11 @@ func (s *Simulation) FieldsTraffic() Traffic { return s.sim.FieldsTraffic() }
 // stayed on one server or inside one rack in the current window.
 func (s *Simulation) RackLocality() float64 { return s.sim.FieldsTraffic().RackLocality() }
 
+// ClusterLocality returns the fraction of fields-grouped transfers that
+// stayed inside one cluster in the current window; 1 − it is the
+// fraction that paid the inter-cluster link.
+func (s *Simulation) ClusterLocality() float64 { return s.sim.FieldsTraffic().ClusterLocality() }
+
 // Loads returns tuples received per instance of op in the current
 // window.
 func (s *Simulation) Loads(op string) []uint64 { return s.sim.Loads(op) }
